@@ -1,0 +1,225 @@
+//! Differential evolution with feasibility-rule constraint handling.
+
+use nnbo_core::{Evaluation, OptimizationResult, Problem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the [`DifferentialEvolution`] baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeConfig {
+    /// Population size.
+    pub population: usize,
+    /// Total evaluation budget (including the initial population).
+    pub max_evaluations: usize,
+    /// Differential weight `F`.
+    pub differential_weight: f64,
+    /// Crossover probability `CR`.
+    pub crossover_probability: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl DeConfig {
+    /// Creates a configuration with the standard DE/rand/1/bin settings
+    /// (`F = 0.8`, `CR = 0.9`).
+    pub fn new(population: usize, max_evaluations: usize) -> Self {
+        DeConfig {
+            population,
+            max_evaluations,
+            differential_weight: 0.8,
+            crossover_probability: 0.9,
+            seed: 0,
+        }
+    }
+
+    /// Sets the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The DE/rand/1/bin differential-evolution optimizer with Deb's feasibility rules
+/// for constraint handling:
+///
+/// 1. a feasible solution beats an infeasible one,
+/// 2. two feasible solutions are compared by objective,
+/// 3. two infeasible solutions are compared by total constraint violation.
+///
+/// This is the "DE" column of the paper's tables — an evolutionary baseline that
+/// needs roughly an order of magnitude more circuit simulations than the
+/// surrogate-based methods to reach comparable (usually worse) designs.
+///
+/// # Example
+///
+/// ```
+/// use nnbo_baselines::{DeConfig, DifferentialEvolution};
+/// use nnbo_core::problems::ConstrainedBranin;
+///
+/// let de = DifferentialEvolution::new(DeConfig::new(12, 60).with_seed(3));
+/// let result = de.run(&ConstrainedBranin::new());
+/// assert_eq!(result.num_evaluations(), 60);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DifferentialEvolution {
+    config: DeConfig,
+}
+
+impl DifferentialEvolution {
+    /// Creates the optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is smaller than 4 (DE/rand/1 needs four distinct
+    /// individuals) or the budget is smaller than the population.
+    pub fn new(config: DeConfig) -> Self {
+        assert!(config.population >= 4, "DE needs a population of at least 4");
+        assert!(
+            config.max_evaluations >= config.population,
+            "budget must cover the initial population"
+        );
+        DifferentialEvolution { config }
+    }
+
+    /// The configuration of this optimizer.
+    pub fn config(&self) -> &DeConfig {
+        &self.config
+    }
+
+    /// Runs the optimization.
+    pub fn run(&self, problem: &dyn Problem) -> OptimizationResult {
+        let dim = problem.dim();
+        let np = self.config.population;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        let mut history: Vec<(Vec<f64>, Evaluation)> = Vec::new();
+        let mut population: Vec<Vec<f64>> = Vec::with_capacity(np);
+        let mut fitness: Vec<Evaluation> = Vec::with_capacity(np);
+        for x in nnbo_core::latin_hypercube(np, dim, &mut rng) {
+            let eval = problem.evaluate(&x);
+            history.push((x.clone(), eval.clone()));
+            population.push(x);
+            fitness.push(eval);
+        }
+
+        let mut i = 0usize;
+        while history.len() < self.config.max_evaluations {
+            let trial = self.make_trial(&population, i, dim, &mut rng);
+            let eval = problem.evaluate(&trial);
+            history.push((trial.clone(), eval.clone()));
+            if better(&eval, &fitness[i]) {
+                population[i] = trial;
+                fitness[i] = eval;
+            }
+            i = (i + 1) % np;
+        }
+
+        OptimizationResult::from_history(history, np)
+    }
+
+    /// Builds the DE/rand/1/bin trial vector for target index `target`.
+    fn make_trial(
+        &self,
+        population: &[Vec<f64>],
+        target: usize,
+        dim: usize,
+        rng: &mut StdRng,
+    ) -> Vec<f64> {
+        let np = population.len();
+        // Pick three distinct indices different from the target.
+        let mut pick = || loop {
+            let k = rng.gen_range(0..np);
+            if k != target {
+                return k;
+            }
+        };
+        let (a, mut b, mut c) = (pick(), pick(), pick());
+        while b == a {
+            b = pick();
+        }
+        while c == a || c == b {
+            c = pick();
+        }
+        let forced = rng.gen_range(0..dim);
+        let mut trial = population[target].clone();
+        for d in 0..dim {
+            if d == forced || rng.gen_range(0.0..1.0) < self.config.crossover_probability {
+                let v = population[a][d]
+                    + self.config.differential_weight * (population[b][d] - population[c][d]);
+                trial[d] = v.clamp(0.0, 1.0);
+            }
+        }
+        trial
+    }
+}
+
+/// Deb's feasibility rules: `a` is better than `b`.
+fn better(a: &Evaluation, b: &Evaluation) -> bool {
+    match (a.is_feasible(), b.is_feasible()) {
+        (true, true) => a.objective < b.objective,
+        (true, false) => true,
+        (false, true) => false,
+        (false, false) => a.violation() < b.violation(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnbo_core::problems::{Ackley, ConstrainedBranin};
+
+    #[test]
+    fn respects_the_budget_and_population() {
+        let de = DifferentialEvolution::new(DeConfig::new(8, 40).with_seed(1));
+        let result = de.run(&ConstrainedBranin::new());
+        assert_eq!(result.num_evaluations(), 40);
+        assert_eq!(result.initial_samples(), 8);
+    }
+
+    #[test]
+    fn optimizes_an_unconstrained_multimodal_function() {
+        let de = DifferentialEvolution::new(DeConfig::new(20, 600).with_seed(2));
+        let result = de.run(&Ackley::new(3));
+        let best = result.best_objective().unwrap();
+        assert!(best < 1.0, "DE best on Ackley {best}");
+    }
+
+    #[test]
+    fn finds_feasible_designs_on_the_constrained_branin() {
+        let de = DifferentialEvolution::new(DeConfig::new(15, 300).with_seed(3));
+        let result = de.run(&ConstrainedBranin::new());
+        let best = result.best_objective().unwrap();
+        assert!(best < 2.0, "DE best on constrained Branin {best}");
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let run = |seed| {
+            DifferentialEvolution::new(DeConfig::new(6, 30).with_seed(seed))
+                .run(&ConstrainedBranin::new())
+                .evaluations()
+                .iter()
+                .map(|(_, e)| e.objective)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn feasibility_rules_prefer_feasible_points() {
+        let feasible = Evaluation::new(10.0, vec![-1.0]);
+        let infeasible_good = Evaluation::new(-100.0, vec![2.0]);
+        assert!(better(&feasible, &infeasible_good));
+        assert!(!better(&infeasible_good, &feasible));
+        let less_violated = Evaluation::new(5.0, vec![0.5]);
+        assert!(better(&less_violated, &infeasible_good));
+    }
+
+    #[test]
+    #[should_panic(expected = "population of at least 4")]
+    fn tiny_population_is_rejected() {
+        let _ = DifferentialEvolution::new(DeConfig::new(3, 10));
+    }
+}

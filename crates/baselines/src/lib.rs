@@ -1,0 +1,26 @@
+//! Baseline optimizers that the paper compares against (Tables I and II).
+//!
+//! * [`weibo`] / [`GpSurrogateTrainer`] — the WEIBO algorithm of Lyu et al.: the
+//!   same constrained Bayesian-optimization loop as the paper's method, but with the
+//!   classical ARD-SE Gaussian process (from [`nnbo_gp`]) as the surrogate.
+//! * [`Gaspad`] — a GASPAD-style surrogate-assisted evolutionary optimizer: a
+//!   differential-evolution population whose offspring are pre-screened by a GP
+//!   surrogate, so only the most promising candidate per generation is simulated.
+//! * [`DifferentialEvolution`] — plain DE/rand/1/bin with feasibility-rule
+//!   constraint handling.
+//! * [`RandomSearch`] — uniform random sampling, the sanity-check baseline.
+//!
+//! All baselines report a [`nnbo_core::OptimizationResult`] so that the reproduction
+//! harness can aggregate every algorithm with the same statistics code.
+
+#![warn(missing_docs)]
+
+mod de;
+mod gaspad;
+mod random_search;
+mod weibo;
+
+pub use de::{DeConfig, DifferentialEvolution};
+pub use gaspad::{Gaspad, GaspadConfig};
+pub use random_search::RandomSearch;
+pub use weibo::{weibo, GpSurrogate, GpSurrogateTrainer};

@@ -1,0 +1,78 @@
+//! Uniform random search — the sanity-check baseline.
+
+use nnbo_core::{Evaluation, OptimizationResult, Problem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Uniform random search over the unit hypercube.
+///
+/// Not part of the paper's tables, but a useful control: any surrogate-based method
+/// that does not clearly beat random search on the circuit problems would indicate a
+/// broken implementation.
+///
+/// # Example
+///
+/// ```
+/// use nnbo_baselines::RandomSearch;
+/// use nnbo_core::problems::ConstrainedBranin;
+///
+/// let result = RandomSearch::new(50, 7).run(&ConstrainedBranin::new());
+/// assert_eq!(result.num_evaluations(), 50);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomSearch {
+    /// Number of evaluations.
+    pub max_evaluations: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl RandomSearch {
+    /// Creates a random-search run with the given budget and seed.
+    pub fn new(max_evaluations: usize, seed: u64) -> Self {
+        RandomSearch {
+            max_evaluations,
+            seed,
+        }
+    }
+
+    /// Runs the search.
+    pub fn run(&self, problem: &dyn Problem) -> OptimizationResult {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let dim = problem.dim();
+        let history: Vec<(Vec<f64>, Evaluation)> = (0..self.max_evaluations)
+            .map(|_| {
+                let x: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+                let eval = problem.evaluate(&x);
+                (x, eval)
+            })
+            .collect();
+        OptimizationResult::from_history(history, self.max_evaluations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnbo_core::problems::{Ackley, ConstrainedBranin};
+
+    #[test]
+    fn evaluates_exactly_the_budget() {
+        let result = RandomSearch::new(25, 1).run(&ConstrainedBranin::new());
+        assert_eq!(result.num_evaluations(), 25);
+    }
+
+    #[test]
+    fn eventually_finds_reasonable_points() {
+        let result = RandomSearch::new(400, 2).run(&Ackley::new(2));
+        assert!(result.best_objective().unwrap() < 5.0);
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let a = RandomSearch::new(10, 3).run(&ConstrainedBranin::new());
+        let b = RandomSearch::new(10, 3).run(&ConstrainedBranin::new());
+        assert_eq!(a.evaluations()[5].1.objective, b.evaluations()[5].1.objective);
+    }
+}

@@ -1,0 +1,130 @@
+//! WEIBO: constrained Bayesian optimization with a classical GP surrogate.
+
+use nnbo_core::{BayesOpt, BoConfig, Prediction, SurrogateModel, SurrogateTrainer};
+use nnbo_gp::{GpConfig, GpModel};
+use rand::rngs::StdRng;
+
+/// A classical-GP surrogate model (adapter around [`nnbo_gp::GpModel`]).
+#[derive(Debug, Clone)]
+pub struct GpSurrogate {
+    model: GpModel,
+}
+
+impl GpSurrogate {
+    /// The underlying GP model.
+    pub fn model(&self) -> &GpModel {
+        &self.model
+    }
+}
+
+impl SurrogateModel for GpSurrogate {
+    fn predict(&self, x: &[f64]) -> Prediction {
+        let p = self.model.predict(x);
+        Prediction::new(p.mean, p.variance)
+    }
+}
+
+/// Trainer producing classical-GP surrogates, used by the WEIBO and GASPAD
+/// baselines.
+#[derive(Debug, Clone, Default)]
+pub struct GpSurrogateTrainer {
+    /// GP fitting configuration.
+    pub config: GpConfig,
+}
+
+impl GpSurrogateTrainer {
+    /// Creates a trainer with the given GP configuration.
+    pub fn new(config: GpConfig) -> Self {
+        GpSurrogateTrainer { config }
+    }
+
+    /// A cheaper trainer for tests and smoke experiments.
+    pub fn fast() -> Self {
+        GpSurrogateTrainer {
+            config: GpConfig::fast(),
+        }
+    }
+}
+
+impl SurrogateTrainer for GpSurrogateTrainer {
+    type Model = GpSurrogate;
+
+    fn fit(&self, xs: &[Vec<f64>], ys: &[f64], rng: &mut StdRng) -> Result<GpSurrogate, String> {
+        GpModel::fit(xs, ys, &self.config, rng)
+            .map(|model| GpSurrogate { model })
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Builds the WEIBO baseline: the constrained BO loop of `nnbo-core` with a
+/// classical GP surrogate and the wEI acquisition — the state-of-the-art algorithm
+/// the paper compares against.
+///
+/// # Example
+///
+/// ```
+/// use nnbo_baselines::weibo;
+/// use nnbo_core::{problems::ConstrainedBranin, BoConfig};
+///
+/// # fn main() -> Result<(), nnbo_core::BoError> {
+/// let result = weibo(BoConfig::fast(8, 12).with_seed(1)).run(&ConstrainedBranin::new())?;
+/// assert_eq!(result.num_evaluations(), 12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn weibo(config: BoConfig) -> BayesOpt<GpSurrogateTrainer> {
+    BayesOpt::with_trainer(config, GpSurrogateTrainer::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnbo_core::problems::{ConstrainedBranin, Problem};
+    use rand::SeedableRng;
+
+    #[test]
+    fn gp_surrogate_trains_and_predicts() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (3.0 * x[0]).sin()).collect();
+        let trainer = GpSurrogateTrainer::fast();
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = trainer.fit(&xs, &ys, &mut rng).unwrap();
+        let p = model.predict(&[0.5]);
+        assert!((p.mean - (1.5_f64).sin()).abs() < 0.2);
+        assert!(p.variance >= 0.0);
+    }
+
+    #[test]
+    fn weibo_improves_on_constrained_branin() {
+        let problem = ConstrainedBranin::new();
+        let bo = BayesOpt::with_trainer(
+            BoConfig::fast(10, 26).with_seed(3),
+            GpSurrogateTrainer::fast(),
+        );
+        let result = bo.run(&problem).unwrap();
+        let best = result.best_objective().expect("found a feasible point");
+        assert!(best < 5.0, "WEIBO best {best}");
+        // The proposal phase actually helped compared to the initial design alone.
+        let initial_best = result.evaluations()[..10]
+            .iter()
+            .filter(|(_, e)| e.is_feasible())
+            .map(|(_, e)| e.objective)
+            .fold(f64::INFINITY, f64::min);
+        assert!(best <= initial_best);
+    }
+
+    #[test]
+    fn degenerate_training_data_reports_an_error() {
+        let trainer = GpSurrogateTrainer::fast();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(trainer.fit(&[], &[], &mut rng).is_err());
+    }
+
+    #[test]
+    fn weibo_uses_the_requested_budget() {
+        let problem = ConstrainedBranin::new();
+        assert_eq!(problem.num_constraints(), 1);
+        let result = weibo(BoConfig::fast(6, 9).with_seed(5)).run(&problem).unwrap();
+        assert_eq!(result.num_evaluations(), 9);
+    }
+}

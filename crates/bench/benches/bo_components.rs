@@ -1,0 +1,83 @@
+//! Criterion benchmark of the Bayesian-optimization building blocks: acquisition
+//! evaluation, ensemble prediction, and one full surrogate-fit + proposal step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nnbo_core::acquisition::{self, AcquisitionKind};
+use nnbo_core::problems::{ConstrainedBranin, Problem};
+use nnbo_core::{
+    BayesOpt, BoConfig, EnsembleConfig, NeuralGpConfig, NeuralGpEnsemble, Prediction,
+    SurrogateModel,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_acquisition(c: &mut Criterion) {
+    let objective = Prediction::new(-0.5, 0.4);
+    let constraints = vec![Prediction::new(-1.0, 0.2), Prediction::new(0.3, 0.5)];
+    c.bench_function("wei_single_evaluation", |b| {
+        b.iter(|| {
+            acquisition::evaluate(
+                AcquisitionKind::WeightedExpectedImprovement,
+                &objective,
+                &constraints,
+                Some(0.0),
+            )
+        })
+    });
+}
+
+fn bench_ensemble_prediction(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let xs: Vec<Vec<f64>> = (0..60)
+        .map(|_| (0..6).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x: &Vec<f64>| x.iter().sum::<f64>().sin()).collect();
+    let config = EnsembleConfig {
+        members: 5,
+        member_config: NeuralGpConfig {
+            epochs: 40,
+            ..NeuralGpConfig::default()
+        },
+        parallel: false,
+    };
+    let ensemble = NeuralGpEnsemble::fit(&xs, &ys, &config, &mut rng).expect("ensemble fit");
+    let query = vec![0.3; 6];
+    c.bench_function("ensemble_predict_k5", |b| b.iter(|| ensemble.predict(&query)));
+}
+
+fn bench_bo_iteration(c: &mut Criterion) {
+    // One complete small BO run on the constrained Branin problem — dominated by the
+    // per-iteration surrogate refits, i.e. the cost the paper's complexity analysis
+    // is about.
+    let problem = ConstrainedBranin::new();
+    assert_eq!(problem.dim(), 2);
+    let mut group = c.benchmark_group("bo_run");
+    group.sample_size(10);
+    group.bench_function("neural_bo_8_plus_4_iterations", |b| {
+        b.iter(|| {
+            let config = BoConfig::fast(8, 12).with_seed(9);
+            let ensemble = EnsembleConfig {
+                members: 3,
+                member_config: NeuralGpConfig {
+                    epochs: 40,
+                    ..NeuralGpConfig::fast()
+                },
+                parallel: false,
+            };
+            BayesOpt::neural_with(config, ensemble)
+                .run(&problem)
+                .expect("bo run")
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_acquisition, bench_ensemble_prediction, bench_bo_iteration
+}
+criterion_main!(benches);

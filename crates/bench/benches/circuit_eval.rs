@@ -1,0 +1,79 @@
+//! Criterion benchmark of the circuit-simulation substrate: cost of one "HSPICE
+//! call" substitute for each of the paper's two testbenches, plus the underlying
+//! DC/AC engine on a reference amplifier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nnbo_circuits::{
+    AcAnalysis, AcSweep, ChargePump, Circuit, DcAnalysis, Element, MosTransistor, MosfetModel,
+    SmallSignalCircuit, TwoStageOpAmp, CHARGE_PUMP_DIM, GROUND, OPAMP_DIM,
+};
+
+fn bench_testbenches(c: &mut Criterion) {
+    let opamp = TwoStageOpAmp::new();
+    let x10 = vec![0.55; OPAMP_DIM];
+    c.bench_function("opamp_evaluate", |b| {
+        b.iter(|| opamp.evaluate_normalized(&x10))
+    });
+
+    let pump = ChargePump::new();
+    let x36 = vec![0.5; CHARGE_PUMP_DIM];
+    c.bench_function("chargepump_evaluate_18_corners", |b| {
+        b.iter(|| pump.evaluate_normalized(&x36))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    // Nonlinear DC + linearised AC of a common-source amplifier.
+    let mut ckt = Circuit::new();
+    let vdd = ckt.add_node();
+    let gate = ckt.add_node();
+    let out = ckt.add_node();
+    ckt.add(Element::VoltageSource {
+        plus: vdd,
+        minus: GROUND,
+        volts: 1.8,
+    });
+    ckt.add(Element::VoltageSource {
+        plus: gate,
+        minus: GROUND,
+        volts: 0.55,
+    });
+    ckt.add(Element::Resistor {
+        a: vdd,
+        b: out,
+        ohms: 20e3,
+    });
+    ckt.add(Element::Capacitor {
+        a: out,
+        b: GROUND,
+        farads: 1e-12,
+    });
+    ckt.add(Element::Mosfet {
+        drain: out,
+        gate,
+        source: GROUND,
+        transistor: MosTransistor::new(MosfetModel::nmos_180nm(), 20e-6, 1e-6),
+    });
+
+    c.bench_function("dc_newton_operating_point", |b| {
+        b.iter(|| DcAnalysis::new().solve(&ckt).expect("dc"))
+    });
+
+    let dc = DcAnalysis::new().solve(&ckt).expect("dc");
+    let ss = SmallSignalCircuit::linearize(&ckt, &dc, gate, out);
+    let analysis = AcAnalysis::new(AcSweep {
+        start_hz: 10.0,
+        stop_hz: 1e9,
+        points_per_decade: 20,
+    });
+    c.bench_function("ac_sweep_bode_metrics", |b| {
+        b.iter(|| analysis.bode_metrics(&ss).expect("ac"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10);
+    targets = bench_testbenches, bench_simulator
+}
+criterion_main!(benches);

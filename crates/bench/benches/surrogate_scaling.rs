@@ -1,0 +1,98 @@
+//! Criterion benchmark for experiment E3: surrogate training / prediction cost as a
+//! function of the number of observations (classic GP vs. neural GP).
+//!
+//! This regenerates the complexity claims of §III.D of the paper: classical GP
+//! training scales as O(N³) and prediction as O(N²), while the neural GP scales
+//! linearly in N for training and has constant prediction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nnbo_core::{NeuralGp, NeuralGpConfig, SurrogateModel};
+use nnbo_gp::{GpConfig, GpModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dataset(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x: &Vec<f64>| x.iter().enumerate().map(|(i, v)| (i as f64 + 1.0) * v.sin()).sum())
+        .collect();
+    (xs, ys)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("surrogate_training");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 200] {
+        let (xs, ys) = dataset(n, 10, 7);
+        let gp_config = GpConfig {
+            restarts: 1,
+            max_iters: 20,
+            ..GpConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("classic_gp_fit", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                GpModel::fit(&xs, &ys, &gp_config, &mut rng).expect("gp fit")
+            })
+        });
+        let nn_config = NeuralGpConfig {
+            epochs: 50,
+            ..NeuralGpConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("neural_gp_fit", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                NeuralGp::fit(&xs, &ys, &nn_config, &mut rng).expect("neural gp fit")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("surrogate_prediction");
+    for &n in &[50usize, 100, 200, 400] {
+        let (xs, ys) = dataset(n, 10, 11);
+        let mut rng = StdRng::seed_from_u64(2);
+        let gp = GpModel::fit(
+            &xs,
+            &ys,
+            &GpConfig {
+                restarts: 1,
+                max_iters: 10,
+                ..GpConfig::default()
+            },
+            &mut rng,
+        )
+        .expect("gp fit");
+        let nngp = NeuralGp::fit(
+            &xs,
+            &ys,
+            &NeuralGpConfig {
+                epochs: 20,
+                ..NeuralGpConfig::default()
+            },
+            &mut rng,
+        )
+        .expect("neural gp fit");
+        let query = vec![0.4; 10];
+        group.bench_with_input(BenchmarkId::new("classic_gp_predict", n), &n, |b, _| {
+            b.iter(|| gp.predict(&query))
+        });
+        group.bench_with_input(BenchmarkId::new("neural_gp_predict", n), &n, |b, _| {
+            b.iter(|| nngp.predict(&query))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2)).sample_size(10);
+    targets = bench_training, bench_prediction
+}
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! `reproduce` — regenerates the paper's tables and complexity study.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce table1                 # Table I  (two-stage op-amp)
+//! reproduce table2                 # Table II (charge pump, 18 PVT corners)
+//! reproduce scaling                # §III.D complexity scaling study
+//! reproduce ablation-ensemble      # ensemble-size ablation (E4)
+//! reproduce ablation-acquisition   # acquisition-function ablation (E5)
+//! reproduce all                    # everything above
+//! ```
+//!
+//! Environment variables: `NNBO_FULL=1` runs the paper-scale protocol,
+//! `NNBO_RUNS=<n>` overrides the repetition count, `NNBO_MAX_SIMS=<n>` the BO
+//! simulation budget.
+
+use nnbo_bench::{
+    format_table1, format_table2, run_ablation_acquisition, run_ablation_ensemble, run_scaling,
+    run_table1, run_table2, Protocol,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("all");
+    match command {
+        "table1" => table1(),
+        "table2" => table2(),
+        "scaling" => scaling(),
+        "ablation-ensemble" => ablation_ensemble(),
+        "ablation-acquisition" => ablation_acquisition(),
+        "all" => {
+            table1();
+            table2();
+            scaling();
+            ablation_ensemble();
+            ablation_acquisition();
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            eprintln!("expected one of: table1 | table2 | scaling | ablation-ensemble | ablation-acquisition | all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn table1() {
+    let protocol = Protocol::table1_quick().with_env_overrides(Protocol::table1_paper());
+    println!("# Experiment E1 (Table I) — protocol: {protocol:?}\n");
+    let rows = run_table1(&protocol);
+    println!("{}", format_table1(&rows));
+}
+
+fn table2() {
+    let protocol = Protocol::table2_quick().with_env_overrides(Protocol::table2_paper());
+    println!("# Experiment E2 (Table II) — protocol: {protocol:?}\n");
+    let rows = run_table2(&protocol);
+    println!("{}", format_table2(&rows));
+}
+
+fn scaling() {
+    println!("# Experiment E3 (section III.D) — surrogate cost vs. number of observations\n");
+    let full = std::env::var("NNBO_FULL").map(|v| v == "1").unwrap_or(false);
+    let sizes: &[usize] = if full {
+        &[50, 100, 200, 400, 800]
+    } else {
+        &[50, 100, 200, 400]
+    };
+    let epochs = if full { 200 } else { 100 };
+    let points = run_scaling(sizes, epochs);
+    println!(
+        "{:>6} {:>14} {:>16} {:>16} {:>18}",
+        "N", "GP fit (ms)", "GP predict (us)", "NN-GP fit (ms)", "NN-GP predict (us)"
+    );
+    for p in &points {
+        println!(
+            "{:>6} {:>14.2} {:>16.2} {:>16.2} {:>18.2}",
+            p.n, p.gp_fit_ms, p.gp_predict_us, p.neural_fit_ms, p.neural_predict_us
+        );
+    }
+    println!();
+}
+
+fn ablation_ensemble() {
+    let protocol = Protocol::table1_quick().with_env_overrides(Protocol::table1_paper());
+    println!("# Experiment E4 — ensemble-size ablation on the op-amp problem\n");
+    let rows = run_ablation_ensemble(&protocol, &[1, 3, 5]);
+    print_ablation(&rows, "GAIN (dB), higher is better (reported as -objective)");
+}
+
+fn ablation_acquisition() {
+    let protocol = Protocol::table1_quick().with_env_overrides(Protocol::table1_paper());
+    println!("# Experiment E5 — acquisition-function ablation on the op-amp problem\n");
+    let rows = run_ablation_acquisition(&protocol);
+    print_ablation(&rows, "GAIN (dB), higher is better (reported as -objective)");
+}
+
+fn print_ablation(rows: &[nnbo_bench::AblationRow], note: &str) {
+    println!("({note})");
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "setting", "mean", "median", "best", "worst", "Avg.#Sim", "success"
+    );
+    for row in rows {
+        match &row.stats {
+            Some(s) => println!(
+                "{:<14} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>10.1} {:>9}",
+                row.setting, -s.mean, -s.median, -s.best, -s.worst, s.avg_simulations,
+                s.success_rate()
+            ),
+            None => println!("{:<14} (no successful run)", row.setting),
+        }
+    }
+    println!();
+}

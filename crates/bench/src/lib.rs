@@ -1,0 +1,20 @@
+//! Reproduction harness: regenerates the paper's tables and the complexity figure.
+//!
+//! The functions here drive every optimizer (the paper's neural-GP BO, WEIBO,
+//! GASPAD and DE) over the two circuit testbenches with the protocol of the paper's
+//! experimental section, and aggregate repeated runs into the rows of Table I and
+//! Table II.  The `reproduce` binary is a thin CLI over this module, and the
+//! integration tests exercise the same entry points at reduced scale.
+
+#![warn(missing_docs)]
+
+mod protocol;
+mod scaling;
+mod tables;
+
+pub use protocol::{Algorithm, Protocol};
+pub use scaling::{run_scaling, ScalingPoint};
+pub use tables::{
+    format_table1, format_table2, run_ablation_acquisition, run_ablation_ensemble,
+    run_algorithm, run_table1, run_table2, AblationRow, Table1Row, Table2Row,
+};

@@ -1,0 +1,101 @@
+//! Complexity-scaling experiment (E3): surrogate cost versus training-set size.
+
+use std::time::Instant;
+
+use nnbo_core::{NeuralGp, NeuralGpConfig, SurrogateModel};
+use nnbo_gp::{GpConfig, GpModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Timing of both surrogates at one training-set size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Number of training points.
+    pub n: usize,
+    /// Classical GP training time in milliseconds.
+    pub gp_fit_ms: f64,
+    /// Classical GP per-point prediction time in microseconds.
+    pub gp_predict_us: f64,
+    /// Neural-GP training time in milliseconds.
+    pub neural_fit_ms: f64,
+    /// Neural-GP per-point prediction time in microseconds.
+    pub neural_predict_us: f64,
+}
+
+/// Runs the scaling study of §III.D of the paper: fit and prediction cost of the
+/// classical GP (`O(N³)` / `O(N²)`) versus the neural GP (`O(N)` / `O(1)`) over a
+/// sweep of training-set sizes on a synthetic 10-dimensional problem.
+pub fn run_scaling(sizes: &[usize], epochs: usize) -> Vec<ScalingPoint> {
+    let dim = 10;
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut out = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x: &Vec<f64>| x.iter().enumerate().map(|(i, v)| (i as f64 + 1.0) * v.sin()).sum())
+            .collect();
+        let queries: Vec<Vec<f64>> = (0..200)
+            .map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+
+        // Classical GP: keep the optimizer effort fixed so the scaling reflects the
+        // per-iteration cost.
+        let gp_config = GpConfig {
+            restarts: 1,
+            max_iters: 30,
+            ..GpConfig::default()
+        };
+        let t0 = Instant::now();
+        let gp = GpModel::fit(&xs, &ys, &gp_config, &mut rng).expect("GP fit");
+        let gp_fit_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        for q in &queries {
+            let _ = gp.predict(q);
+        }
+        let gp_predict_us = t0.elapsed().as_secs_f64() * 1e6 / queries.len() as f64;
+
+        // Neural GP with a fixed number of epochs.
+        let nn_config = NeuralGpConfig {
+            epochs,
+            ..NeuralGpConfig::default()
+        };
+        let t0 = Instant::now();
+        let nngp = NeuralGp::fit(&xs, &ys, &nn_config, &mut rng).expect("neural GP fit");
+        let neural_fit_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        for q in &queries {
+            let _ = nngp.predict(q);
+        }
+        let neural_predict_us = t0.elapsed().as_secs_f64() * 1e6 / queries.len() as f64;
+
+        out.push(ScalingPoint {
+            n,
+            gp_fit_ms,
+            gp_predict_us,
+            neural_fit_ms,
+            neural_predict_us,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_runs_and_reports_every_size() {
+        let points = run_scaling(&[20, 40], 20);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.gp_fit_ms > 0.0);
+            assert!(p.neural_fit_ms > 0.0);
+            assert!(p.gp_predict_us > 0.0);
+            assert!(p.neural_predict_us > 0.0);
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! Table I / Table II reproduction and the ablation experiments.
+
+use nnbo_baselines::{weibo, DeConfig, DifferentialEvolution, Gaspad, GaspadConfig};
+use nnbo_core::acquisition::AcquisitionKind;
+use nnbo_core::problems::{ChargePumpProblem, OpAmpProblem};
+use nnbo_core::{
+    BayesOpt, EnsembleConfig, OptimizationResult, Problem, RunStatistics, RunSummary,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::{Algorithm, Protocol};
+
+/// One row of the reproduced Table I (two-stage op-amp).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Mean UGF of the best designs, in MHz.
+    pub ugf_mhz: f64,
+    /// Mean phase margin of the best designs, in degrees.
+    pub pm_deg: f64,
+    /// Mean best GAIN (dB) over the successful runs.
+    pub mean_gain: f64,
+    /// Median best GAIN (dB).
+    pub median_gain: f64,
+    /// Best GAIN (dB) over all runs.
+    pub best_gain: f64,
+    /// Worst GAIN (dB) over the successful runs.
+    pub worst_gain: f64,
+    /// Average number of simulations to convergence.
+    pub avg_sims: f64,
+    /// Success count formatted as "k/n".
+    pub success: String,
+}
+
+/// One row of the reproduced Table II (charge pump).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Mean `diff1` (µA) of the best designs.
+    pub diff1: f64,
+    /// Mean `diff2` (µA).
+    pub diff2: f64,
+    /// Mean `diff3` (µA).
+    pub diff3: f64,
+    /// Mean `diff4` (µA).
+    pub diff4: f64,
+    /// Mean `deviation` (µA).
+    pub deviation: f64,
+    /// Mean best FOM over the successful runs.
+    pub mean_fom: f64,
+    /// Median best FOM.
+    pub median_fom: f64,
+    /// Best FOM over all runs.
+    pub best_fom: f64,
+    /// Worst FOM over the successful runs.
+    pub worst_fom: f64,
+    /// Average number of simulations to convergence.
+    pub avg_sims: f64,
+    /// Success count formatted as "k/n".
+    pub success: String,
+}
+
+/// One row of an ablation study (objective statistics only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// The varied setting ("K = 3", "wEI", ...).
+    pub setting: String,
+    /// Aggregate statistics of the best objective over the runs.
+    pub stats: Option<RunStatistics>,
+}
+
+/// Runs one algorithm once on `problem` under `protocol` with the given run index
+/// (which offsets the random seed).
+pub fn run_algorithm(
+    algorithm: Algorithm,
+    problem: &dyn Problem,
+    protocol: &Protocol,
+    run: usize,
+) -> OptimizationResult {
+    let seed = protocol.seed + run as u64;
+    match algorithm {
+        Algorithm::NeuralBo => BayesOpt::neural_with(protocol.bo_config(run), protocol.ensemble_config())
+            .run(problem)
+            .expect("neural BO run failed"),
+        Algorithm::Weibo => weibo(protocol.bo_config(run))
+            .run(problem)
+            .expect("WEIBO run failed"),
+        Algorithm::Gaspad => {
+            let population = protocol.initial_samples.max(10);
+            Gaspad::new(
+                GaspadConfig::new(population, protocol.max_sims_gaspad).with_seed(seed),
+            )
+            .run(problem)
+        }
+        Algorithm::De => {
+            let population = (protocol.max_sims_de / 20).clamp(10, 50);
+            DifferentialEvolution::new(
+                DeConfig::new(population, protocol.max_sims_de).with_seed(seed),
+            )
+            .run(problem)
+        }
+    }
+}
+
+fn summaries_for(
+    algorithm: Algorithm,
+    problem: &dyn Problem,
+    protocol: &Protocol,
+    tolerance: f64,
+) -> (Vec<RunSummary>, Vec<OptimizationResult>) {
+    let mut summaries = Vec::with_capacity(protocol.runs);
+    let mut results = Vec::with_capacity(protocol.runs);
+    for run in 0..protocol.runs {
+        let result = run_algorithm(algorithm, problem, protocol, run);
+        summaries.push(RunSummary::from_result(&result, tolerance));
+        results.push(result);
+    }
+    (summaries, results)
+}
+
+/// Reproduces Table I: the two-stage op-amp sizing comparison.
+pub fn run_table1(protocol: &Protocol) -> Vec<Table1Row> {
+    let problem = OpAmpProblem::new();
+    let mut rows = Vec::new();
+    for algorithm in Algorithm::all() {
+        let (summaries, _) = summaries_for(algorithm, &problem, protocol, 0.5);
+        let stats = RunStatistics::from_summaries(&summaries);
+        // Circuit performances of each run's best design, for the UGF/PM rows.
+        let mut ugf = Vec::new();
+        let mut pm = Vec::new();
+        for s in &summaries {
+            if let Some(x) = &s.best_point {
+                let perf = problem.performances(x);
+                ugf.push(perf.ugf_hz / 1e6);
+                pm.push(perf.pm_deg);
+            }
+        }
+        let (mean_gain, median_gain, best_gain, worst_gain, avg_sims, success) = match &stats {
+            Some(st) => (
+                -st.mean,
+                -st.median,
+                -st.best,
+                -st.worst,
+                st.avg_simulations,
+                st.success_rate(),
+            ),
+            None => (
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                format!("0/{}", protocol.runs),
+            ),
+        };
+        rows.push(Table1Row {
+            algorithm: algorithm.name().to_string(),
+            ugf_mhz: nnbo_linalg::mean(&ugf),
+            pm_deg: nnbo_linalg::mean(&pm),
+            mean_gain,
+            median_gain,
+            best_gain,
+            worst_gain,
+            avg_sims,
+            success,
+        });
+    }
+    rows
+}
+
+/// Reproduces Table II: the charge-pump sizing comparison over 18 PVT corners.
+pub fn run_table2(protocol: &Protocol) -> Vec<Table2Row> {
+    let problem = ChargePumpProblem::new();
+    let mut rows = Vec::new();
+    for algorithm in Algorithm::all() {
+        let (summaries, _) = summaries_for(algorithm, &problem, protocol, 0.05);
+        let stats = RunStatistics::from_summaries(&summaries);
+        let mut diff = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        let mut deviation = Vec::new();
+        for s in &summaries {
+            if let Some(x) = &s.best_point {
+                let perf = problem.performances(x);
+                diff[0].push(perf.diff1);
+                diff[1].push(perf.diff2);
+                diff[2].push(perf.diff3);
+                diff[3].push(perf.diff4);
+                deviation.push(perf.deviation);
+            }
+        }
+        let (mean_fom, median_fom, best_fom, worst_fom, avg_sims, success) = match &stats {
+            Some(st) => (
+                st.mean,
+                st.median,
+                st.best,
+                st.worst,
+                st.avg_simulations,
+                st.success_rate(),
+            ),
+            None => (
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                format!("0/{}", protocol.runs),
+            ),
+        };
+        rows.push(Table2Row {
+            algorithm: algorithm.name().to_string(),
+            diff1: nnbo_linalg::mean(&diff[0]),
+            diff2: nnbo_linalg::mean(&diff[1]),
+            diff3: nnbo_linalg::mean(&diff[2]),
+            diff4: nnbo_linalg::mean(&diff[3]),
+            deviation: nnbo_linalg::mean(&deviation),
+            mean_fom,
+            median_fom,
+            best_fom,
+            worst_fom,
+            avg_sims,
+            success,
+        });
+    }
+    rows
+}
+
+/// Ablation E4: optimization quality versus ensemble size `K` on the op-amp problem.
+pub fn run_ablation_ensemble(protocol: &Protocol, members: &[usize]) -> Vec<AblationRow> {
+    let problem = OpAmpProblem::new();
+    members
+        .iter()
+        .map(|&k| {
+            let mut summaries = Vec::with_capacity(protocol.runs);
+            for run in 0..protocol.runs {
+                let ensemble = EnsembleConfig {
+                    members: k,
+                    ..protocol.ensemble_config()
+                };
+                let result = BayesOpt::neural_with(protocol.bo_config(run), ensemble)
+                    .run(&problem)
+                    .expect("ablation run failed");
+                summaries.push(RunSummary::from_result(&result, 0.5));
+            }
+            AblationRow {
+                setting: format!("K = {k}"),
+                stats: RunStatistics::from_summaries(&summaries),
+            }
+        })
+        .collect()
+}
+
+/// Ablation E5: acquisition-function comparison on the op-amp problem.
+pub fn run_ablation_acquisition(protocol: &Protocol) -> Vec<AblationRow> {
+    let problem = OpAmpProblem::new();
+    let kinds = [
+        ("wEI", AcquisitionKind::WeightedExpectedImprovement),
+        ("EI+penalty", AcquisitionKind::ExpectedImprovement),
+        ("LCB", AcquisitionKind::LowerConfidenceBound { kappa: 2.0 }),
+        ("PI", AcquisitionKind::ProbabilityOfImprovement),
+    ];
+    kinds
+        .iter()
+        .map(|(name, kind)| {
+            let mut summaries = Vec::with_capacity(protocol.runs);
+            for run in 0..protocol.runs {
+                let config = protocol.bo_config(run).with_acquisition(*kind);
+                let result = BayesOpt::neural_with(config, protocol.ensemble_config())
+                    .run(&problem)
+                    .expect("ablation run failed");
+                summaries.push(RunSummary::from_result(&result, 0.5));
+            }
+            AblationRow {
+                setting: (*name).to_string(),
+                stats: RunStatistics::from_summaries(&summaries),
+            }
+        })
+        .collect()
+}
+
+/// Formats Table I in the layout of the paper.
+pub fn format_table1(rows: &[Table1Row]) -> String {
+    let mut s = String::new();
+    s.push_str("Table I: two-stage operational amplifier (GAIN in dB, UGF in MHz, PM in deg)\n");
+    s.push_str(&format!(
+        "{:<10} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9} {:>11} {:>9}\n",
+        "Alg", "UGF", "PM", "mean", "median", "best", "worst", "Avg.#Sim", "Success"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<10} {:>9.2} {:>8.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>11.1} {:>9}\n",
+            r.algorithm,
+            r.ugf_mhz,
+            r.pm_deg,
+            r.mean_gain,
+            r.median_gain,
+            r.best_gain,
+            r.worst_gain,
+            r.avg_sims,
+            r.success
+        ));
+    }
+    s
+}
+
+/// Formats Table II in the layout of the paper.
+pub fn format_table2(rows: &[Table2Row]) -> String {
+    let mut s = String::new();
+    s.push_str("Table II: charge pump over 18 PVT corners (all values in uA)\n");
+    s.push_str(&format!(
+        "{:<10} {:>7} {:>7} {:>7} {:>7} {:>9} {:>7} {:>8} {:>7} {:>7} {:>10} {:>8}\n",
+        "Alg", "diff1", "diff2", "diff3", "diff4", "deviation", "mean", "median", "best", "worst",
+        "Avg.#Sim", "Success"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<10} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>9.2} {:>7.2} {:>8.2} {:>7.2} {:>7.2} {:>10.1} {:>8}\n",
+            r.algorithm,
+            r.diff1,
+            r.diff2,
+            r.diff3,
+            r.diff4,
+            r.deviation,
+            r.mean_fom,
+            r.median_fom,
+            r.best_fom,
+            r.worst_fom,
+            r.avg_sims,
+            r.success
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A protocol small enough for unit tests.
+    fn tiny_protocol() -> Protocol {
+        Protocol {
+            runs: 1,
+            initial_samples: 8,
+            max_sims_bo: 12,
+            max_sims_gaspad: 14,
+            max_sims_de: 40,
+            ensemble_members: 2,
+            epochs: 30,
+            candidate_pool: 64,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn every_algorithm_runs_on_the_opamp_problem() {
+        let protocol = tiny_protocol();
+        let problem = OpAmpProblem::new();
+        for algorithm in Algorithm::all() {
+            let result = run_algorithm(algorithm, &problem, &protocol, 0);
+            assert!(result.num_evaluations() >= protocol.initial_samples);
+        }
+    }
+
+    #[test]
+    fn table_formatting_contains_all_algorithms() {
+        let rows = vec![Table1Row {
+            algorithm: "Ours".into(),
+            ugf_mhz: 40.0,
+            pm_deg: 61.0,
+            mean_gain: 88.0,
+            median_gain: 88.2,
+            best_gain: 89.9,
+            worst_gain: 86.0,
+            avg_sims: 86.0,
+            success: "10/10".into(),
+        }];
+        let text = format_table1(&rows);
+        assert!(text.contains("Ours"));
+        assert!(text.contains("10/10"));
+        let rows2 = vec![Table2Row {
+            algorithm: "WEIBO".into(),
+            diff1: 6.58,
+            diff2: 5.30,
+            diff3: 0.24,
+            diff4: 0.37,
+            deviation: 0.41,
+            mean_fom: 3.95,
+            median_fom: 3.97,
+            best_fom: 3.48,
+            worst_fom: 4.48,
+            avg_sims: 790.0,
+            success: "12/12".into(),
+        }];
+        assert!(format_table2(&rows2).contains("WEIBO"));
+    }
+}

@@ -1,0 +1,597 @@
+//! Small-signal AC analysis: complex MNA sweeps and Bode metrics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::complex::Complex;
+use crate::dc::DcSolution;
+use crate::netlist::{Circuit, Element, NodeId, GROUND};
+
+/// An element of a linear small-signal circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SmallSignalElement {
+    /// Conductance (1/Ω) between two nodes.
+    Conductance {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Conductance in siemens.
+        siemens: f64,
+    },
+    /// Capacitor between two nodes.
+    Capacitor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance in farads.
+        farads: f64,
+    },
+    /// Voltage-controlled current source (small-signal transconductance).
+    Vccs {
+        /// Output positive terminal.
+        out_plus: NodeId,
+        /// Output negative terminal.
+        out_minus: NodeId,
+        /// Positive controlling node.
+        ctrl_plus: NodeId,
+        /// Negative controlling node.
+        ctrl_minus: NodeId,
+        /// Transconductance in siemens.
+        gm: f64,
+    },
+}
+
+/// A linear(ised) small-signal circuit with a single AC input port.
+///
+/// The circuit is excited by a unit AC voltage source at `input` and the transfer
+/// function is read at `output`; [`AcAnalysis`] sweeps it over frequency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmallSignalCircuit {
+    node_count: usize,
+    elements: Vec<SmallSignalElement>,
+    input: NodeId,
+    output: NodeId,
+}
+
+impl SmallSignalCircuit {
+    /// Creates an empty small-signal circuit with `node_count` nodes (including
+    /// ground), an AC source at `input` and the response read at `output`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` or `output` is out of range or is the ground node.
+    pub fn new(node_count: usize, input: NodeId, output: NodeId) -> Self {
+        assert!(input > 0 && input < node_count, "invalid input node");
+        assert!(output > 0 && output < node_count, "invalid output node");
+        SmallSignalCircuit {
+            node_count,
+            elements: Vec::new(),
+            input,
+            output,
+        }
+    }
+
+    /// Adds an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element references an out-of-range node.
+    pub fn add(&mut self, element: SmallSignalElement) {
+        let check = |n: NodeId| assert!(n < self.node_count, "node {n} out of range");
+        match &element {
+            SmallSignalElement::Conductance { a, b, .. }
+            | SmallSignalElement::Capacitor { a, b, .. } => {
+                check(*a);
+                check(*b);
+            }
+            SmallSignalElement::Vccs {
+                out_plus,
+                out_minus,
+                ctrl_plus,
+                ctrl_minus,
+                ..
+            } => {
+                check(*out_plus);
+                check(*out_minus);
+                check(*ctrl_plus);
+                check(*ctrl_minus);
+            }
+        }
+        self.elements.push(element);
+    }
+
+    /// Number of nodes, including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The AC input node.
+    pub fn input(&self) -> NodeId {
+        self.input
+    }
+
+    /// The output node whose transfer function is measured.
+    pub fn output(&self) -> NodeId {
+        self.output
+    }
+
+    /// Elements of the circuit.
+    pub fn elements(&self) -> &[SmallSignalElement] {
+        &self.elements
+    }
+
+    /// Linearises a nonlinear [`Circuit`] around a DC operating point.
+    ///
+    /// Resistors become conductances, capacitors stay capacitors, independent
+    /// voltage sources become AC shorts (their nodes are tied to ground through a
+    /// very large conductance), independent current sources become opens, and each
+    /// MOSFET contributes its `gm`, `gds`, `cgs`, `cgd` and `cdb` from the operating
+    /// point.  The AC excitation is applied at `input` and read at `output`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of entries in `dc.mosfet_params` does not match the
+    /// number of MOSFETs in the circuit.
+    pub fn linearize(circuit: &Circuit, dc: &DcSolution, input: NodeId, output: NodeId) -> Self {
+        let mut ss = SmallSignalCircuit::new(circuit.node_count(), input, output);
+        let mut mos_idx = 0;
+        for element in circuit.elements() {
+            match element {
+                Element::Resistor { a, b, ohms } => ss.add(SmallSignalElement::Conductance {
+                    a: *a,
+                    b: *b,
+                    siemens: 1.0 / ohms,
+                }),
+                Element::Capacitor { a, b, farads } => ss.add(SmallSignalElement::Capacitor {
+                    a: *a,
+                    b: *b,
+                    farads: *farads,
+                }),
+                Element::CurrentSource { .. } => {}
+                Element::VoltageSource { plus, minus, .. } => {
+                    // AC short: an ideal DC supply has zero small-signal impedance.
+                    // Skip the AC input port itself (it is driven by the analysis).
+                    if *plus != input && *minus != input {
+                        ss.add(SmallSignalElement::Conductance {
+                            a: *plus,
+                            b: *minus,
+                            siemens: 1e9,
+                        });
+                    }
+                }
+                Element::Vccs {
+                    out_plus,
+                    out_minus,
+                    ctrl_plus,
+                    ctrl_minus,
+                    gm,
+                } => ss.add(SmallSignalElement::Vccs {
+                    out_plus: *out_plus,
+                    out_minus: *out_minus,
+                    ctrl_plus: *ctrl_plus,
+                    ctrl_minus: *ctrl_minus,
+                    gm: *gm,
+                }),
+                Element::Mosfet {
+                    drain,
+                    gate,
+                    source,
+                    ..
+                } => {
+                    let p = dc.mosfet_params[mos_idx];
+                    mos_idx += 1;
+                    ss.add(SmallSignalElement::Vccs {
+                        out_plus: *drain,
+                        out_minus: *source,
+                        ctrl_plus: *gate,
+                        ctrl_minus: *source,
+                        gm: p.gm,
+                    });
+                    ss.add(SmallSignalElement::Conductance {
+                        a: *drain,
+                        b: *source,
+                        siemens: p.gds,
+                    });
+                    ss.add(SmallSignalElement::Capacitor {
+                        a: *gate,
+                        b: *source,
+                        farads: p.cgs,
+                    });
+                    ss.add(SmallSignalElement::Capacitor {
+                        a: *gate,
+                        b: *drain,
+                        farads: p.cgd,
+                    });
+                    ss.add(SmallSignalElement::Capacitor {
+                        a: *drain,
+                        b: GROUND,
+                        farads: p.cdb,
+                    });
+                }
+            }
+        }
+        assert_eq!(
+            mos_idx,
+            dc.mosfet_params.len(),
+            "DC solution does not match the circuit's MOSFET count"
+        );
+        ss
+    }
+
+    /// Solves the circuit at angular frequency `omega` (rad/s) and returns the
+    /// complex transfer function `V(output) / V(input)`.
+    ///
+    /// Returns `None` if the complex MNA matrix is singular at this frequency.
+    pub fn transfer_function(&self, omega: f64) -> Option<Complex> {
+        // Unknowns: node voltages 1..n-1, plus the branch current of the input source.
+        let n = self.node_count - 1;
+        let dim = n + 1;
+        let mut a = vec![vec![Complex::zero(); dim]; dim];
+        let mut b = vec![Complex::zero(); dim];
+        let idx = |node: NodeId| -> Option<usize> {
+            if node == GROUND {
+                None
+            } else {
+                Some(node - 1)
+            }
+        };
+
+        let stamp_admittance = |a: &mut Vec<Vec<Complex>>, n1: NodeId, n2: NodeId, y: Complex| {
+            let i1 = idx(n1);
+            let i2 = idx(n2);
+            if let Some(i) = i1 {
+                a[i][i] += y;
+            }
+            if let Some(j) = i2 {
+                a[j][j] += y;
+            }
+            if let (Some(i), Some(j)) = (i1, i2) {
+                a[i][j] += -y;
+                a[j][i] += -y;
+            }
+        };
+
+        for e in &self.elements {
+            match e {
+                SmallSignalElement::Conductance { a: n1, b: n2, siemens } => {
+                    stamp_admittance(&mut a, *n1, *n2, Complex::real(*siemens));
+                }
+                SmallSignalElement::Capacitor { a: n1, b: n2, farads } => {
+                    stamp_admittance(&mut a, *n1, *n2, Complex::new(0.0, omega * farads));
+                }
+                SmallSignalElement::Vccs {
+                    out_plus,
+                    out_minus,
+                    ctrl_plus,
+                    ctrl_minus,
+                    gm,
+                } => {
+                    let op = idx(*out_plus);
+                    let om = idx(*out_minus);
+                    let cp = idx(*ctrl_plus);
+                    let cm = idx(*ctrl_minus);
+                    for (out, s_out) in [(op, 1.0), (om, -1.0)] {
+                        let Some(o) = out else { continue };
+                        for (ctrl, s_ctrl) in [(cp, 1.0), (cm, -1.0)] {
+                            let Some(c) = ctrl else { continue };
+                            a[o][c] += Complex::real(s_out * s_ctrl * gm);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Unit AC voltage source at the input node (branch current is unknown `n`).
+        let input_idx = idx(self.input).expect("input is not ground");
+        a[input_idx][n] += Complex::one();
+        a[n][input_idx] += Complex::one();
+        b[n] = Complex::one();
+
+        let x = solve_complex(a, b)?;
+        let vout = match idx(self.output) {
+            Some(i) => x[i],
+            None => Complex::zero(),
+        };
+        let vin = x[input_idx];
+        if vin.abs() < 1e-30 {
+            return None;
+        }
+        Some(vout / vin)
+    }
+}
+
+/// Gaussian elimination with partial pivoting for a dense complex system.
+fn solve_complex(mut a: Vec<Vec<Complex>>, mut b: Vec<Complex>) -> Option<Vec<Complex>> {
+    let n = b.len();
+    for k in 0..n {
+        // Pivot on the largest magnitude in column k.
+        let mut pivot = k;
+        let mut best = a[k][k].abs();
+        for i in (k + 1)..n {
+            let m = a[i][k].abs();
+            if m > best {
+                best = m;
+                pivot = i;
+            }
+        }
+        if best < 1e-30 || !best.is_finite() {
+            return None;
+        }
+        a.swap(k, pivot);
+        b.swap(k, pivot);
+        let akk = a[k][k];
+        for i in (k + 1)..n {
+            let factor = a[i][k] / akk;
+            if factor.abs() == 0.0 {
+                continue;
+            }
+            for j in k..n {
+                let delta = factor * a[k][j];
+                a[i][j] = a[i][j] - delta;
+            }
+            b[i] = b[i] - factor * b[k];
+        }
+    }
+    let mut x = vec![Complex::zero(); n];
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for j in (i + 1)..n {
+            sum = sum - a[i][j] * x[j];
+        }
+        x[i] = sum / a[i][i];
+        if !x[i].is_finite() {
+            return None;
+        }
+    }
+    Some(x)
+}
+
+/// A logarithmic frequency sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcSweep {
+    /// Start frequency in hertz.
+    pub start_hz: f64,
+    /// Stop frequency in hertz.
+    pub stop_hz: f64,
+    /// Number of points per decade.
+    pub points_per_decade: usize,
+}
+
+impl Default for AcSweep {
+    fn default() -> Self {
+        AcSweep {
+            start_hz: 1.0,
+            stop_hz: 10e9,
+            points_per_decade: 20,
+        }
+    }
+}
+
+impl AcSweep {
+    /// The list of frequencies (hertz) covered by the sweep.
+    pub fn frequencies(&self) -> Vec<f64> {
+        let decades = (self.stop_hz / self.start_hz).log10();
+        let total = (decades * self.points_per_decade as f64).ceil() as usize + 1;
+        (0..total)
+            .map(|i| self.start_hz * 10f64.powf(i as f64 / self.points_per_decade as f64))
+            .filter(|f| *f <= self.stop_hz * 1.0000001)
+            .collect()
+    }
+}
+
+/// Open-loop frequency-response metrics extracted from an AC sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BodeMetrics {
+    /// Low-frequency gain in dB.
+    pub dc_gain_db: f64,
+    /// Unity-gain frequency in Hz (0 when the gain never reaches unity).
+    pub unity_gain_freq_hz: f64,
+    /// Phase margin in degrees (meaningless when `unity_gain_freq_hz == 0`).
+    pub phase_margin_deg: f64,
+    /// `true` when the gain actually crossed unity inside the sweep.
+    pub crossed_unity: bool,
+}
+
+/// AC analysis: sweeps a [`SmallSignalCircuit`] and extracts [`BodeMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AcAnalysis {
+    /// The frequency sweep to run.
+    pub sweep: AcSweep,
+}
+
+impl AcAnalysis {
+    /// Creates an analysis with the given sweep.
+    pub fn new(sweep: AcSweep) -> Self {
+        AcAnalysis { sweep }
+    }
+
+    /// Runs the sweep, returning `(frequency, transfer function)` pairs.  Frequencies
+    /// where the system is singular are skipped.
+    pub fn run(&self, circuit: &SmallSignalCircuit) -> Vec<(f64, Complex)> {
+        self.sweep
+            .frequencies()
+            .into_iter()
+            .filter_map(|f| {
+                let omega = 2.0 * std::f64::consts::PI * f;
+                circuit.transfer_function(omega).map(|h| (f, h))
+            })
+            .collect()
+    }
+
+    /// Runs the sweep and extracts gain / UGF / phase margin.
+    ///
+    /// Returns `None` when the sweep produced no valid points.
+    pub fn bode_metrics(&self, circuit: &SmallSignalCircuit) -> Option<BodeMetrics> {
+        let response = self.run(circuit);
+        if response.is_empty() {
+            return None;
+        }
+        let dc_gain = response[0].1.abs();
+        let dc_gain_db = 20.0 * dc_gain.max(1e-30).log10();
+
+        // Find the unity-gain crossing by scanning for |H| dropping below 1, carrying
+        // an unwrapped phase along the sweep so that phase excursions past ±180° do
+        // not corrupt the phase-margin estimate.
+        let mut ugf = 0.0;
+        let mut phase_at_ugf = response[0].1.arg();
+        let mut crossed = false;
+        let mut prev_phase = response[0].1.arg();
+        for w in response.windows(2) {
+            let (f1, h1) = w[0];
+            let (f2, h2) = w[1];
+            let (m1, m2) = (h1.abs(), h2.abs());
+            let p1 = unwrap_phase(h1.arg(), prev_phase);
+            let p2 = unwrap_phase(h2.arg(), p1);
+            prev_phase = p1;
+            if m1 >= 1.0 && m2 < 1.0 && !crossed {
+                // Log-log interpolation of the crossing frequency.
+                let t = (m1.ln() - 0.0) / (m1.ln() - m2.ln());
+                ugf = f1 * (f2 / f1).powf(t);
+                phase_at_ugf = p1 + (p2 - p1) * t;
+                crossed = true;
+                break;
+            }
+        }
+        let phase_margin_deg = if crossed {
+            180.0 + phase_at_ugf.to_degrees()
+        } else {
+            180.0
+        };
+        Some(BodeMetrics {
+            dc_gain_db,
+            unity_gain_freq_hz: ugf,
+            phase_margin_deg,
+            crossed_unity: crossed,
+        })
+    }
+}
+
+/// Shifts `phase` by multiples of 2π so that it is within π of `reference`.
+fn unwrap_phase(mut phase: f64, reference: f64) -> f64 {
+    use std::f64::consts::PI;
+    while phase - reference > PI {
+        phase -= 2.0 * PI;
+    }
+    while reference - phase > PI {
+        phase += 2.0 * PI;
+    }
+    phase
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Single-pole RC low-pass filter: R from input to output, C from output to ground.
+    fn rc_lowpass(r: f64, c: f64) -> SmallSignalCircuit {
+        let mut ss = SmallSignalCircuit::new(3, 1, 2);
+        ss.add(SmallSignalElement::Conductance {
+            a: 1,
+            b: 2,
+            siemens: 1.0 / r,
+        });
+        ss.add(SmallSignalElement::Capacitor {
+            a: 2,
+            b: GROUND,
+            farads: c,
+        });
+        ss
+    }
+
+    #[test]
+    fn rc_lowpass_matches_analytic_response() {
+        let (r, c) = (1e3, 1e-9);
+        let ss = rc_lowpass(r, c);
+        let f_c = 1.0 / (2.0 * std::f64::consts::PI * r * c);
+        // At the corner frequency the magnitude is 1/sqrt(2) and phase -45°.
+        let h = ss
+            .transfer_function(2.0 * std::f64::consts::PI * f_c)
+            .unwrap();
+        assert!((h.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
+        assert!((h.arg().to_degrees() + 45.0).abs() < 0.5);
+        // Well below the corner the gain is ~1, far above it falls 20 dB/decade.
+        let low = ss.transfer_function(2.0 * std::f64::consts::PI * f_c / 1000.0).unwrap();
+        assert!((low.abs() - 1.0).abs() < 1e-3);
+        let hi = ss.transfer_function(2.0 * std::f64::consts::PI * f_c * 100.0).unwrap();
+        assert!((20.0 * hi.abs().log10() + 40.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn single_pole_amplifier_bode_metrics() {
+        // gm into an RC load: A0 = gm*R, pole at 1/(2πRC), GBW = gm/(2πC).
+        let gm = 1e-3;
+        let r = 100e3;
+        let c = 10e-12;
+        let mut ss = SmallSignalCircuit::new(3, 1, 2);
+        ss.add(SmallSignalElement::Vccs {
+            out_plus: GROUND,
+            out_minus: 2,
+            ctrl_plus: 1,
+            ctrl_minus: GROUND,
+            gm,
+        });
+        ss.add(SmallSignalElement::Conductance {
+            a: 2,
+            b: GROUND,
+            siemens: 1.0 / r,
+        });
+        ss.add(SmallSignalElement::Capacitor {
+            a: 2,
+            b: GROUND,
+            farads: c,
+        });
+        let metrics = AcAnalysis::new(AcSweep {
+            start_hz: 10.0,
+            stop_hz: 1e9,
+            points_per_decade: 40,
+        })
+        .bode_metrics(&ss)
+        .unwrap();
+        let a0_db = 20.0 * (gm * r).log10();
+        assert!((metrics.dc_gain_db - a0_db).abs() < 0.2);
+        let gbw = gm / (2.0 * std::f64::consts::PI * c);
+        assert!(
+            (metrics.unity_gain_freq_hz - gbw).abs() / gbw < 0.05,
+            "ugf {} vs gbw {}",
+            metrics.unity_gain_freq_hz,
+            gbw
+        );
+        // Single-pole system: phase margin ≈ 90°.
+        assert!((metrics.phase_margin_deg - 90.0).abs() < 3.0);
+        assert!(metrics.crossed_unity);
+    }
+
+    #[test]
+    fn sweep_frequencies_are_log_spaced_and_bounded() {
+        let sweep = AcSweep {
+            start_hz: 1.0,
+            stop_hz: 1e3,
+            points_per_decade: 10,
+        };
+        let f = sweep.frequencies();
+        assert_eq!(f.len(), 31);
+        assert!((f[0] - 1.0).abs() < 1e-12);
+        assert!((f.last().unwrap() - 1000.0).abs() / 1000.0 < 1e-9);
+    }
+
+    #[test]
+    fn attenuator_never_crosses_unity() {
+        // A resistive divider has gain < 1 at all frequencies.
+        let mut ss = SmallSignalCircuit::new(3, 1, 2);
+        ss.add(SmallSignalElement::Conductance {
+            a: 1,
+            b: 2,
+            siemens: 1e-3,
+        });
+        ss.add(SmallSignalElement::Conductance {
+            a: 2,
+            b: GROUND,
+            siemens: 1e-3,
+        });
+        let metrics = AcAnalysis::default().bode_metrics(&ss).unwrap();
+        assert!(!metrics.crossed_unity);
+        assert_eq!(metrics.unity_gain_freq_hz, 0.0);
+        assert!((metrics.dc_gain_db + 6.02).abs() < 0.1);
+    }
+}

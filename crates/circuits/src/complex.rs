@@ -1,0 +1,212 @@
+//! Minimal complex-number arithmetic for AC analysis.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A complex number `re + j·im` with `f64` components.
+///
+/// The standard library has no complex type and the workspace avoids external
+/// numeric crates, so AC analysis carries its own small implementation.
+///
+/// # Example
+///
+/// ```
+/// use nnbo_circuits::Complex;
+///
+/// let z = Complex::new(3.0, 4.0);
+/// assert!((z.abs() - 5.0).abs() < 1e-12);
+/// let w = z * Complex::j();
+/// assert!((w.re + 4.0).abs() < 1e-12 && (w.im - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Zero.
+    pub const fn zero() -> Self {
+        Complex { re: 0.0, im: 0.0 }
+    }
+
+    /// One.
+    pub const fn one() -> Self {
+        Complex { re: 1.0, im: 0.0 }
+    }
+
+    /// The imaginary unit `j`.
+    pub const fn j() -> Self {
+        Complex { re: 0.0, im: 1.0 }
+    }
+
+    /// A purely real complex number.
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Builds from polar form `r·e^{jθ}`.
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude.
+    pub fn abs_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians, in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// Returns a non-finite result for zero input (consistent with `1.0 / 0.0`).
+    pub fn recip(self) -> Self {
+        let d = self.abs_sq();
+        Complex {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// `true` when both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl std::fmt::Display for Complex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert_eq!(a + b, Complex::new(-2.0, 2.5));
+        assert_eq!(a - b, Complex::new(4.0, 1.5));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+        let prod = a * b;
+        assert!((prod.re - (-3.0 - 1.0)).abs() < 1e-12);
+        assert!((prod.im - (0.5 - 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_and_reciprocal() {
+        let a = Complex::new(2.0, -1.0);
+        let one = a * a.recip();
+        assert!((one.re - 1.0).abs() < 1e-12);
+        assert!(one.im.abs() < 1e-12);
+        let q = Complex::new(4.0, 2.0) / Complex::new(2.0, 0.0);
+        assert!((q.re - 2.0).abs() < 1e-12 && (q.im - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_and_magnitude() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z.conj(), Complex::new(3.0, 4.0));
+        assert!((z.abs_sq() - 25.0).abs() < 1e-12);
+        assert!(z.is_finite());
+        assert!(!Complex::new(f64::NAN, 0.0).is_finite());
+    }
+}

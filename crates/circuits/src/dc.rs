@@ -1,0 +1,395 @@
+//! DC operating-point analysis (Newton–Raphson with gmin stepping).
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::mna::MnaSystem;
+use crate::netlist::{Circuit, Element, NodeId};
+use crate::mosfet::SmallSignalParams;
+
+/// Error produced by the DC solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DcError {
+    /// The Newton iteration did not converge within the iteration budget, even with
+    /// gmin stepping.
+    NoConvergence {
+        /// Residual voltage change of the last iteration.
+        last_delta: f64,
+    },
+    /// The linearised MNA matrix was singular (e.g. floating nodes).
+    SingularSystem,
+}
+
+impl fmt::Display for DcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcError::NoConvergence { last_delta } => {
+                write!(f, "newton iteration did not converge (last delta {last_delta:e} V)")
+            }
+            DcError::SingularSystem => write!(f, "singular MNA system (check for floating nodes)"),
+        }
+    }
+}
+
+impl Error for DcError {}
+
+/// Result of a DC operating-point analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DcSolution {
+    /// Node voltages indexed by node id (ground is entry 0 and always `0.0`).
+    pub voltages: Vec<f64>,
+    /// Small-signal parameters of every MOSFET, in netlist order.
+    pub mosfet_params: Vec<SmallSignalParams>,
+    /// Number of Newton iterations used (summed over gmin steps).
+    pub iterations: usize,
+}
+
+impl DcSolution {
+    /// Voltage of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        self.voltages[node]
+    }
+}
+
+/// Configuration and entry point of the Newton–Raphson DC solver.
+///
+/// The solver follows the classic SPICE recipe: each nonlinear device is replaced by
+/// its linearised companion model (a conductance, a transconductance and an
+/// equivalent current source evaluated at the present voltage guess), the resulting
+/// linear MNA system is solved, and the process repeats until the node voltages stop
+/// moving.  If plain Newton fails, a decreasing sequence of gmin conductances to
+/// ground is applied (gmin stepping).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DcAnalysis {
+    /// Maximum Newton iterations per gmin step.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the largest node-voltage update, in volts.
+    pub tolerance: f64,
+    /// Maximum allowed voltage update per iteration (damping), in volts.
+    pub damping: f64,
+    /// Sequence of gmin values to try; the last entry should be the final
+    /// (smallest) gmin.
+    pub gmin_steps: Vec<f64>,
+}
+
+impl Default for DcAnalysis {
+    fn default() -> Self {
+        DcAnalysis {
+            max_iterations: 200,
+            tolerance: 1e-9,
+            damping: 0.5,
+            gmin_steps: vec![1e-3, 1e-5, 1e-7, 1e-9, 1e-12],
+        }
+    }
+}
+
+impl DcAnalysis {
+    /// Creates a solver with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes the DC operating point of `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcError::SingularSystem`] if the linearised system cannot be solved
+    /// and [`DcError::NoConvergence`] if the Newton iteration stalls.
+    pub fn solve(&self, circuit: &Circuit) -> Result<DcSolution, DcError> {
+        let n = circuit.node_count();
+        let mut voltages = vec![0.0; n];
+        // Start all nodes at a mid-rail-ish guess derived from the largest source.
+        let vmax = circuit
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                Element::VoltageSource { volts, .. } => Some(volts.abs()),
+                _ => None,
+            })
+            .fold(0.0_f64, f64::max);
+        for v in voltages.iter_mut().skip(1) {
+            *v = vmax / 2.0;
+        }
+
+        let mut total_iters = 0;
+        let mut converged = false;
+        let mut last_delta = f64::INFINITY;
+        for &gmin in &self.gmin_steps {
+            let mut step_converged = false;
+            for _ in 0..self.max_iterations {
+                total_iters += 1;
+                let (new_voltages, _params) = self
+                    .linearized_solve(circuit, &voltages, gmin)
+                    .ok_or(DcError::SingularSystem)?;
+                let mut delta: f64 = 0.0;
+                for (old, new) in voltages.iter_mut().skip(1).zip(new_voltages.iter().skip(1)) {
+                    let mut step = new - *old;
+                    if step.abs() > self.damping {
+                        step = step.signum() * self.damping;
+                    }
+                    delta = delta.max(step.abs());
+                    *old += step;
+                }
+                last_delta = delta;
+                if delta < self.tolerance {
+                    step_converged = true;
+                    break;
+                }
+            }
+            converged = step_converged;
+        }
+        if !converged {
+            return Err(DcError::NoConvergence { last_delta });
+        }
+
+        // One final linearisation at the converged point to report device parameters.
+        let (_, params) = self
+            .linearized_solve(circuit, &voltages, *self.gmin_steps.last().unwrap_or(&1e-12))
+            .ok_or(DcError::SingularSystem)?;
+        Ok(DcSolution {
+            voltages,
+            mosfet_params: params,
+            iterations: total_iters,
+        })
+    }
+
+    /// Builds and solves the MNA system linearised around `voltages`.
+    fn linearized_solve(
+        &self,
+        circuit: &Circuit,
+        voltages: &[f64],
+        gmin: f64,
+    ) -> Option<(Vec<f64>, Vec<SmallSignalParams>)> {
+        let mut mna = MnaSystem::new(circuit.node_count(), circuit.voltage_source_count());
+        let mut vsrc_idx = 0;
+        let mut mos_params = Vec::new();
+        for element in circuit.elements() {
+            match element {
+                Element::Resistor { a, b, ohms } => {
+                    mna.stamp_conductance(*a, *b, 1.0 / ohms);
+                }
+                Element::Capacitor { .. } => {
+                    // Open circuit in DC.
+                }
+                Element::CurrentSource { from, to, amps } => {
+                    mna.stamp_current(*from, *to, *amps);
+                }
+                Element::VoltageSource { plus, minus, volts } => {
+                    mna.stamp_voltage_source(vsrc_idx, *plus, *minus, *volts);
+                    vsrc_idx += 1;
+                }
+                Element::Vccs {
+                    out_plus,
+                    out_minus,
+                    ctrl_plus,
+                    ctrl_minus,
+                    gm,
+                } => {
+                    mna.stamp_vccs(*out_plus, *out_minus, *ctrl_plus, *ctrl_minus, *gm);
+                }
+                Element::Mosfet {
+                    drain,
+                    gate,
+                    source,
+                    transistor,
+                } => {
+                    let vg = voltages[*gate];
+                    let vd = voltages[*drain];
+                    let vs = voltages[*source];
+                    let p = transistor.evaluate(vg, vd, vs);
+                    mos_params.push(p);
+                    // Companion model: gds between drain and source, gm-controlled
+                    // current source (gate-source controls drain-source), and an
+                    // equivalent current source carrying the residual current.
+                    mna.stamp_conductance(*drain, *source, p.gds);
+                    mna.stamp_vccs(*drain, *source, *gate, *source, p.gm);
+                    let vgs = vg - vs;
+                    let vds = vd - vs;
+                    let i_eq = p.ids - p.gm * vgs - p.gds * vds;
+                    // i_eq flows from drain to source inside the device.
+                    mna.stamp_current(*drain, *source, i_eq);
+                }
+            }
+        }
+        mna.stamp_gmin(gmin);
+        let solution = mna.solve()?;
+        Some((solution[..circuit.node_count()].to_vec(), mos_params))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mosfet::{MosTransistor, MosfetModel, OperatingRegion};
+    use crate::netlist::GROUND;
+
+    #[test]
+    fn linear_divider_converges_immediately() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.add_node();
+        let mid = ckt.add_node();
+        ckt.add(Element::VoltageSource {
+            plus: vin,
+            minus: GROUND,
+            volts: 1.8,
+        });
+        ckt.add(Element::Resistor {
+            a: vin,
+            b: mid,
+            ohms: 10e3,
+        });
+        ckt.add(Element::Resistor {
+            a: mid,
+            b: GROUND,
+            ohms: 30e3,
+        });
+        let sol = DcAnalysis::new().solve(&ckt).unwrap();
+        assert!((sol.voltage(mid) - 1.35).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diode_connected_nmos_settles_at_vgs_for_current() {
+        // Current source pulls 50 µA through a diode-connected NMOS.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.add_node();
+        let d = ckt.add_node();
+        ckt.add(Element::VoltageSource {
+            plus: vdd,
+            minus: GROUND,
+            volts: 1.8,
+        });
+        ckt.add(Element::Resistor {
+            a: vdd,
+            b: d,
+            ohms: 20e3,
+        });
+        let m = MosTransistor::new(MosfetModel::nmos_180nm(), 20e-6, 1e-6);
+        ckt.add(Element::Mosfet {
+            drain: d,
+            gate: d,
+            source: GROUND,
+            transistor: m,
+        });
+        let sol = DcAnalysis::new().solve(&ckt).unwrap();
+        let vd = sol.voltage(d);
+        // Expected: Vgs such that Id = (1.8 - Vgs)/20k; solve approximately.
+        assert!(vd > 0.45 && vd < 1.0, "diode voltage {vd}");
+        let id = (1.8 - vd) / 20e3;
+        let expected_vgs = m.vgs_for_current(id);
+        assert!((vd - expected_vgs).abs() < 0.05, "vd {vd} vs expected {expected_vgs}");
+        assert_eq!(sol.mosfet_params[0].region, OperatingRegion::Saturation);
+    }
+
+    #[test]
+    fn nmos_current_mirror_copies_current() {
+        // Reference branch: 40 µA into a diode-connected NMOS; mirror output drives
+        // a resistor from VDD.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.add_node();
+        let gate = ckt.add_node();
+        let out = ckt.add_node();
+        ckt.add(Element::VoltageSource {
+            plus: vdd,
+            minus: GROUND,
+            volts: 1.8,
+        });
+        ckt.add(Element::CurrentSource {
+            from: vdd,
+            to: gate,
+            amps: 40e-6,
+        });
+        let m = MosTransistor::new(MosfetModel::nmos_180nm(), 20e-6, 1e-6);
+        ckt.add(Element::Mosfet {
+            drain: gate,
+            gate,
+            source: GROUND,
+            transistor: m,
+        });
+        ckt.add(Element::Mosfet {
+            drain: out,
+            gate,
+            source: GROUND,
+            transistor: m,
+        });
+        ckt.add(Element::Resistor {
+            a: vdd,
+            b: out,
+            ohms: 10e3,
+        });
+        let sol = DcAnalysis::new().solve(&ckt).unwrap();
+        // Mirror output current ≈ 40 µA → drop across 10 kΩ ≈ 0.4 V.
+        let vout = sol.voltage(out);
+        let i_out = (1.8 - vout) / 10e3;
+        assert!((i_out - 40e-6).abs() / 40e-6 < 0.1, "mirrored current {i_out}");
+    }
+
+    #[test]
+    fn common_source_amplifier_bias() {
+        // NMOS common-source stage with resistive load; verify the output sits
+        // between the rails and the device is in saturation.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.add_node();
+        let gate = ckt.add_node();
+        let out = ckt.add_node();
+        ckt.add(Element::VoltageSource {
+            plus: vdd,
+            minus: GROUND,
+            volts: 1.8,
+        });
+        ckt.add(Element::VoltageSource {
+            plus: gate,
+            minus: GROUND,
+            volts: 0.7,
+        });
+        ckt.add(Element::Resistor {
+            a: vdd,
+            b: out,
+            ohms: 15e3,
+        });
+        let m = MosTransistor::new(MosfetModel::nmos_180nm(), 10e-6, 1e-6);
+        ckt.add(Element::Mosfet {
+            drain: out,
+            gate,
+            source: GROUND,
+            transistor: m,
+        });
+        let sol = DcAnalysis::new().solve(&ckt).unwrap();
+        let vout = sol.voltage(out);
+        assert!(vout > 0.1 && vout < 1.7, "output voltage {vout}");
+        // Current through the load equals the device current.
+        let i_load = (1.8 - vout) / 15e3;
+        assert!((i_load - sol.mosfet_params[0].ids).abs() < 1e-6);
+    }
+
+    #[test]
+    fn floating_node_reports_singular_or_converges_to_zero() {
+        // A node with only a capacitor to ground is floating in DC; gmin stepping
+        // defines it to 0 V instead of failing.
+        let mut ckt = Circuit::new();
+        let a = ckt.add_node();
+        let b = ckt.add_node();
+        ckt.add(Element::VoltageSource {
+            plus: a,
+            minus: GROUND,
+            volts: 1.0,
+        });
+        ckt.add(Element::Capacitor {
+            a: b,
+            b: GROUND,
+            farads: 1e-12,
+        });
+        ckt.add(Element::Resistor {
+            a,
+            b: GROUND,
+            ohms: 1e3,
+        });
+        let sol = DcAnalysis::new().solve(&ckt).unwrap();
+        assert!(sol.voltage(b).abs() < 1e-6);
+    }
+}

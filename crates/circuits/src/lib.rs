@@ -1,0 +1,58 @@
+//! Analog circuit simulation substrate for the `nnbo` workspace.
+//!
+//! The paper evaluates its optimizer on two real circuits simulated with HSPICE on
+//! SMIC 180nm/40nm PDKs.  Neither the simulator nor the PDKs are available here, so
+//! this crate implements the substrate from scratch:
+//!
+//! * [`Complex`] — complex arithmetic for AC (frequency-domain) analysis;
+//! * [`Circuit`] / [`Element`] — netlists of resistors, capacitors, sources,
+//!   voltage-controlled current sources and level-1 MOSFETs;
+//! * [`MnaSystem`] — modified nodal analysis stamping, real (DC) and complex (AC);
+//! * [`DcAnalysis`] — Newton–Raphson operating-point solver with gmin stepping;
+//! * [`AcAnalysis`] / [`BodeMetrics`] — small-signal frequency sweeps and the
+//!   gain / unity-gain-frequency / phase-margin metrics used by the op-amp spec;
+//! * [`MosfetModel`] / [`MosTransistor`] — square-law (level-1) MOSFET model with
+//!   channel-length modulation and small-signal extraction;
+//! * [`TransientAnalysis`] / [`Waveform`] — fixed-step backward-Euler time-domain
+//!   simulation with pulse/sine stimuli;
+//! * [`TwoStageOpAmp`] — the Table-I testbench (10 design variables → GAIN/UGF/PM);
+//! * [`ChargePump`] + [`PvtCorner`] — the Table-II testbench (36 design variables,
+//!   18 PVT corners → current-matching metrics and FOM).
+//!
+//! See `DESIGN.md` at the repository root for the substitution rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use nnbo_circuits::TwoStageOpAmp;
+//!
+//! let bench = TwoStageOpAmp::new();
+//! // A mid-range design point (normalised coordinates in [0,1]^10).
+//! let perf = bench.evaluate_normalized(&[0.5; 10]);
+//! assert!(perf.gain_db.is_finite());
+//! assert!(perf.ugf_hz > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod ac;
+mod chargepump;
+mod complex;
+mod dc;
+mod mna;
+mod mosfet;
+mod netlist;
+mod opamp;
+mod pvt;
+mod tran;
+
+pub use ac::{AcAnalysis, AcSweep, BodeMetrics, SmallSignalCircuit, SmallSignalElement};
+pub use chargepump::{ChargePump, ChargePumpPerformance, CHARGE_PUMP_DIM};
+pub use complex::Complex;
+pub use dc::{DcAnalysis, DcError, DcSolution};
+pub use mna::MnaSystem;
+pub use mosfet::{MosPolarity, MosTransistor, MosfetModel, OperatingRegion, SmallSignalParams};
+pub use netlist::{Circuit, Element, NodeId, GROUND};
+pub use opamp::{OpAmpPerformance, TwoStageOpAmp, OPAMP_DIM};
+pub use pvt::{Process, PvtCorner};
+pub use tran::{TransientAnalysis, TransientResult, Waveform};

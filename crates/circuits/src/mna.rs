@@ -1,0 +1,241 @@
+//! Modified nodal analysis (MNA) stamping.
+
+use nnbo_linalg::Matrix;
+
+use crate::netlist::{NodeId, GROUND};
+
+/// A real-valued MNA system `G · x = b`.
+///
+/// The unknown vector `x` contains the voltages of all non-ground nodes followed by
+/// the branch currents of the independent voltage sources.  Elements are added by
+/// *stamping* their contributions into the matrix and right-hand side, exactly as a
+/// SPICE-class simulator does.
+///
+/// # Example
+///
+/// ```
+/// use nnbo_circuits::MnaSystem;
+///
+/// // 1 V source driving two 1 kΩ resistors in series to ground.
+/// let mut mna = MnaSystem::new(3, 1);
+/// mna.stamp_conductance(1, 2, 1e-3);
+/// mna.stamp_conductance(2, 0, 1e-3);
+/// mna.stamp_voltage_source(0, 1, 0, 1.0);
+/// let x = mna.solve().expect("well-posed system");
+/// assert!((x[2] - 0.5).abs() < 1e-9); // node 2 sits at 0.5 V
+/// ```
+#[derive(Debug, Clone)]
+pub struct MnaSystem {
+    node_count: usize,
+    vsrc_count: usize,
+    matrix: Matrix,
+    rhs: Vec<f64>,
+}
+
+impl MnaSystem {
+    /// Creates an empty MNA system for a circuit with `node_count` nodes (including
+    /// ground) and `vsrc_count` independent voltage sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count` is zero.
+    pub fn new(node_count: usize, vsrc_count: usize) -> Self {
+        assert!(node_count >= 1, "a circuit has at least the ground node");
+        let dim = node_count - 1 + vsrc_count;
+        MnaSystem {
+            node_count,
+            vsrc_count,
+            matrix: Matrix::zeros(dim, dim),
+            rhs: vec![0.0; dim],
+        }
+    }
+
+    /// Dimension of the unknown vector.
+    pub fn dim(&self) -> usize {
+        self.node_count - 1 + self.vsrc_count
+    }
+
+    /// Borrow of the system matrix (for inspection in tests).
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// Borrow of the right-hand side.
+    pub fn rhs(&self) -> &[f64] {
+        &self.rhs
+    }
+
+    fn node_index(&self, node: NodeId) -> Option<usize> {
+        if node == GROUND {
+            None
+        } else {
+            assert!(node < self.node_count, "node {node} out of range");
+            Some(node - 1)
+        }
+    }
+
+    /// Row/column index of the branch-current unknown of voltage source `k`.
+    pub fn vsrc_index(&self, k: usize) -> usize {
+        assert!(k < self.vsrc_count, "voltage source index out of range");
+        self.node_count - 1 + k
+    }
+
+    /// Stamps a conductance `g` (siemens) between nodes `a` and `b`.
+    pub fn stamp_conductance(&mut self, a: NodeId, b: NodeId, g: f64) {
+        let ia = self.node_index(a);
+        let ib = self.node_index(b);
+        if let Some(i) = ia {
+            self.matrix[(i, i)] += g;
+        }
+        if let Some(j) = ib {
+            self.matrix[(j, j)] += g;
+        }
+        if let (Some(i), Some(j)) = (ia, ib) {
+            self.matrix[(i, j)] -= g;
+            self.matrix[(j, i)] -= g;
+        }
+    }
+
+    /// Stamps an independent current source pushing `amps` from node `from` into
+    /// node `to`.
+    pub fn stamp_current(&mut self, from: NodeId, to: NodeId, amps: f64) {
+        if let Some(i) = self.node_index(from) {
+            self.rhs[i] -= amps;
+        }
+        if let Some(j) = self.node_index(to) {
+            self.rhs[j] += amps;
+        }
+    }
+
+    /// Stamps a voltage-controlled current source: `gm · (V(cp) - V(cm))` flows from
+    /// `out_plus` to `out_minus` through the source (i.e. it is injected into
+    /// `out_minus`).
+    pub fn stamp_vccs(
+        &mut self,
+        out_plus: NodeId,
+        out_minus: NodeId,
+        ctrl_plus: NodeId,
+        ctrl_minus: NodeId,
+        gm: f64,
+    ) {
+        let op = self.node_index(out_plus);
+        let om = self.node_index(out_minus);
+        let cp = self.node_index(ctrl_plus);
+        let cm = self.node_index(ctrl_minus);
+        for (out, sign_out) in [(op, 1.0), (om, -1.0)] {
+            let Some(o) = out else { continue };
+            for (ctrl, sign_ctrl) in [(cp, 1.0), (cm, -1.0)] {
+                let Some(c) = ctrl else { continue };
+                self.matrix[(o, c)] += sign_out * sign_ctrl * gm;
+            }
+        }
+    }
+
+    /// Stamps independent voltage source number `k` (`V(plus) - V(minus) = volts`).
+    pub fn stamp_voltage_source(&mut self, k: usize, plus: NodeId, minus: NodeId, volts: f64) {
+        let row = self.vsrc_index(k);
+        if let Some(p) = self.node_index(plus) {
+            self.matrix[(p, row)] += 1.0;
+            self.matrix[(row, p)] += 1.0;
+        }
+        if let Some(m) = self.node_index(minus) {
+            self.matrix[(m, row)] -= 1.0;
+            self.matrix[(row, m)] -= 1.0;
+        }
+        self.rhs[row] += volts;
+    }
+
+    /// Adds `gmin` from every non-ground node to ground (used by the DC solver's
+    /// gmin stepping to aid convergence).
+    pub fn stamp_gmin(&mut self, gmin: f64) {
+        for i in 0..(self.node_count - 1) {
+            self.matrix[(i, i)] += gmin;
+        }
+    }
+
+    /// Solves the assembled system, returning the full circuit solution indexed by
+    /// node id (`result[0]` is ground = 0 V) followed by the voltage-source branch
+    /// currents.
+    ///
+    /// Returns `None` when the matrix is singular (floating nodes, missing ground
+    /// return paths, ...).
+    pub fn solve(&self) -> Option<Vec<f64>> {
+        let lu = nnbo_linalg::Lu::decompose(&self.matrix).ok()?;
+        let x = lu.solve_vec(&self.rhs);
+        if x.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let mut full = Vec::with_capacity(self.node_count + self.vsrc_count);
+        full.push(0.0);
+        full.extend_from_slice(&x);
+        Some(full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistive_divider() {
+        let mut mna = MnaSystem::new(3, 1);
+        mna.stamp_voltage_source(0, 1, GROUND, 2.0);
+        mna.stamp_conductance(1, 2, 1.0 / 1000.0);
+        mna.stamp_conductance(2, GROUND, 1.0 / 3000.0);
+        let x = mna.solve().unwrap();
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((x[2] - 1.5).abs() < 1e-9);
+        // Branch current of the source: V / Rtotal = 2 / 4k = 0.5 mA flowing out.
+        let i = x[3];
+        assert!((i + 0.5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut mna = MnaSystem::new(2, 0);
+        mna.stamp_current(GROUND, 1, 1e-3);
+        mna.stamp_conductance(1, GROUND, 1e-4);
+        let x = mna.solve().unwrap();
+        assert!((x[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vccs_acts_as_transconductance() {
+        // Node 1 driven to 1 V; VCCS pulls gm*V1 out of node 2 which has a load
+        // resistor to ground: V2 = -gm * R * V1.
+        let mut mna = MnaSystem::new(3, 1);
+        mna.stamp_voltage_source(0, 1, GROUND, 1.0);
+        mna.stamp_vccs(2, GROUND, 1, GROUND, 1e-3);
+        mna.stamp_conductance(2, GROUND, 1.0 / 10_000.0);
+        let x = mna.solve().unwrap();
+        assert!((x[2] + 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn floating_node_is_reported_as_singular() {
+        let mut mna = MnaSystem::new(3, 0);
+        // Node 2 is left floating: only node 1 has a path to ground.
+        mna.stamp_conductance(1, GROUND, 1e-3);
+        assert!(mna.solve().is_none());
+    }
+
+    #[test]
+    fn gmin_stamping_fixes_floating_nodes() {
+        let mut mna = MnaSystem::new(3, 0);
+        mna.stamp_conductance(1, GROUND, 1e-3);
+        mna.stamp_gmin(1e-12);
+        let x = mna.solve().unwrap();
+        assert!(x[2].abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_voltage_sources() {
+        let mut mna = MnaSystem::new(3, 2);
+        mna.stamp_voltage_source(0, 1, GROUND, 1.0);
+        mna.stamp_voltage_source(1, 2, GROUND, 3.0);
+        mna.stamp_conductance(1, 2, 1e-3);
+        let x = mna.solve().unwrap();
+        assert!((x[1] - 1.0).abs() < 1e-12);
+        assert!((x[2] - 3.0).abs() < 1e-12);
+    }
+}

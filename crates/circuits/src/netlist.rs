@@ -1,0 +1,269 @@
+//! Circuit netlists: nodes and elements.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mosfet::MosTransistor;
+
+/// Index of a circuit node.  Node [`GROUND`] (index 0) is the reference node.
+pub type NodeId = usize;
+
+/// The ground (reference) node.
+pub const GROUND: NodeId = 0;
+
+/// A circuit element.
+///
+/// Positive current through two-terminal elements flows from the first node to the
+/// second node through the element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Element {
+    /// Linear resistor between nodes `a` and `b`.
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance in ohms (must be positive).
+        ohms: f64,
+    },
+    /// Linear capacitor between nodes `a` and `b` (open circuit in DC).
+    Capacitor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance in farads (must be non-negative).
+        farads: f64,
+    },
+    /// Independent DC current source pushing `amps` from node `from` into node `to`
+    /// (current exits the source at `to`).
+    CurrentSource {
+        /// Node the current is drawn from.
+        from: NodeId,
+        /// Node the current is injected into.
+        to: NodeId,
+        /// Source current in amperes.
+        amps: f64,
+    },
+    /// Independent DC voltage source: `V(plus) - V(minus) = volts`.
+    VoltageSource {
+        /// Positive terminal.
+        plus: NodeId,
+        /// Negative terminal.
+        minus: NodeId,
+        /// Source voltage in volts.
+        volts: f64,
+    },
+    /// Voltage-controlled current source: a current `gm · (V(ctrl_plus) - V(ctrl_minus))`
+    /// flows from `out_plus` to `out_minus` through the source.
+    Vccs {
+        /// Output positive terminal (current leaves here into the circuit ... ).
+        out_plus: NodeId,
+        /// Output negative terminal.
+        out_minus: NodeId,
+        /// Positive controlling node.
+        ctrl_plus: NodeId,
+        /// Negative controlling node.
+        ctrl_minus: NodeId,
+        /// Transconductance in siemens.
+        gm: f64,
+    },
+    /// A level-1 MOSFET.
+    Mosfet {
+        /// Drain node.
+        drain: NodeId,
+        /// Gate node.
+        gate: NodeId,
+        /// Source node.
+        source: NodeId,
+        /// Device geometry and model.
+        transistor: MosTransistor,
+    },
+}
+
+/// A circuit netlist: a node count and a list of elements.
+///
+/// # Example
+///
+/// ```
+/// use nnbo_circuits::{Circuit, Element, GROUND};
+///
+/// // A 1 V source driving a 1 kΩ / 1 kΩ divider.
+/// let mut ckt = Circuit::new();
+/// let vin = ckt.add_node();
+/// let mid = ckt.add_node();
+/// ckt.add(Element::VoltageSource { plus: vin, minus: GROUND, volts: 1.0 });
+/// ckt.add(Element::Resistor { a: vin, b: mid, ohms: 1e3 });
+/// ckt.add(Element::Resistor { a: mid, b: GROUND, ohms: 1e3 });
+/// assert_eq!(ckt.node_count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Circuit {
+    node_count: usize,
+    elements: Vec<Element>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        Circuit {
+            node_count: 1,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Allocates a new node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = self.node_count;
+        self.node_count += 1;
+        id
+    }
+
+    /// Allocates `n` new nodes and returns their ids.
+    pub fn add_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node()).collect()
+    }
+
+    /// Adds an element to the netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element references a node that has not been allocated, if a
+    /// resistor has a non-positive resistance or a capacitor a negative capacitance.
+    pub fn add(&mut self, element: Element) {
+        let check = |n: NodeId| {
+            assert!(
+                n < self.node_count,
+                "element references unallocated node {n} (node count {})",
+                self.node_count
+            );
+        };
+        match &element {
+            Element::Resistor { a, b, ohms } => {
+                check(*a);
+                check(*b);
+                assert!(*ohms > 0.0, "resistance must be positive");
+            }
+            Element::Capacitor { a, b, farads } => {
+                check(*a);
+                check(*b);
+                assert!(*farads >= 0.0, "capacitance must be non-negative");
+            }
+            Element::CurrentSource { from, to, .. } => {
+                check(*from);
+                check(*to);
+            }
+            Element::VoltageSource { plus, minus, .. } => {
+                check(*plus);
+                check(*minus);
+            }
+            Element::Vccs {
+                out_plus,
+                out_minus,
+                ctrl_plus,
+                ctrl_minus,
+                ..
+            } => {
+                check(*out_plus);
+                check(*out_minus);
+                check(*ctrl_plus);
+                check(*ctrl_minus);
+            }
+            Element::Mosfet {
+                drain,
+                gate,
+                source,
+                ..
+            } => {
+                check(*drain);
+                check(*gate);
+                check(*source);
+            }
+        }
+        self.elements.push(element);
+    }
+
+    /// Total number of nodes, including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The elements of the netlist.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Number of independent voltage sources (each adds one branch-current unknown
+    /// to the MNA system).
+    pub fn voltage_source_count(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::VoltageSource { .. }))
+            .count()
+    }
+
+    /// Number of MOSFETs in the netlist.
+    pub fn mosfet_count(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::Mosfet { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_allocation_is_sequential() {
+        let mut ckt = Circuit::new();
+        assert_eq!(ckt.node_count(), 1);
+        let a = ckt.add_node();
+        let b = ckt.add_node();
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(ckt.add_nodes(3), vec![3, 4, 5]);
+        assert_eq!(ckt.node_count(), 6);
+    }
+
+    #[test]
+    fn counts_voltage_sources() {
+        let mut ckt = Circuit::new();
+        let a = ckt.add_node();
+        ckt.add(Element::VoltageSource {
+            plus: a,
+            minus: GROUND,
+            volts: 1.0,
+        });
+        ckt.add(Element::Resistor {
+            a,
+            b: GROUND,
+            ohms: 100.0,
+        });
+        assert_eq!(ckt.voltage_source_count(), 1);
+        assert_eq!(ckt.mosfet_count(), 0);
+        assert_eq!(ckt.elements().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated node")]
+    fn unallocated_node_is_rejected() {
+        let mut ckt = Circuit::new();
+        ckt.add(Element::Resistor {
+            a: 5,
+            b: GROUND,
+            ohms: 1.0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn non_positive_resistance_is_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.add_node();
+        ckt.add(Element::Resistor {
+            a,
+            b: GROUND,
+            ohms: 0.0,
+        });
+    }
+}

@@ -1,0 +1,171 @@
+//! Process / voltage / temperature corners.
+
+use serde::{Deserialize, Serialize};
+
+/// Process corner of a CMOS technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Process {
+    /// Slow NMOS / slow PMOS.
+    SlowSlow,
+    /// Typical / typical.
+    TypicalTypical,
+    /// Fast NMOS / fast PMOS.
+    FastFast,
+}
+
+impl Process {
+    /// Multiplicative shift of the process transconductance `kp` for this corner.
+    pub fn kp_factor(self) -> f64 {
+        match self {
+            Process::SlowSlow => 0.85,
+            Process::TypicalTypical => 1.0,
+            Process::FastFast => 1.15,
+        }
+    }
+
+    /// Additive shift of the threshold voltage in volts.
+    pub fn vth_shift(self) -> f64 {
+        match self {
+            Process::SlowSlow => 0.04,
+            Process::TypicalTypical => 0.0,
+            Process::FastFast => -0.04,
+        }
+    }
+
+    /// All three process corners.
+    pub fn all() -> [Process; 3] {
+        [
+            Process::SlowSlow,
+            Process::TypicalTypical,
+            Process::FastFast,
+        ]
+    }
+}
+
+impl std::fmt::Display for Process {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Process::SlowSlow => "SS",
+            Process::TypicalTypical => "TT",
+            Process::FastFast => "FF",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One process / voltage / temperature corner.
+///
+/// The charge-pump experiment of the paper (Table II) evaluates every design at 18
+/// PVT corners and optimizes the worst case; [`PvtCorner::standard_18`] reproduces
+/// that corner count as 3 process × 3 supply × 2 temperature combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PvtCorner {
+    /// Process corner.
+    pub process: Process,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Junction temperature in °C.
+    pub temperature: f64,
+}
+
+impl PvtCorner {
+    /// The nominal corner of a 1.1 V, 40 nm-like technology.
+    pub fn nominal() -> Self {
+        PvtCorner {
+            process: Process::TypicalTypical,
+            vdd: 1.1,
+            temperature: 27.0,
+        }
+    }
+
+    /// The standard 18-corner set used by the charge-pump experiment:
+    /// {SS, TT, FF} × {0.99 V, 1.10 V, 1.21 V} × {-40 °C, 125 °C}.
+    pub fn standard_18() -> Vec<PvtCorner> {
+        let mut corners = Vec::with_capacity(18);
+        for process in Process::all() {
+            for vdd in [0.99, 1.10, 1.21] {
+                for temperature in [-40.0, 125.0] {
+                    corners.push(PvtCorner {
+                        process,
+                        vdd,
+                        temperature,
+                    });
+                }
+            }
+        }
+        corners
+    }
+
+    /// Mobility degradation factor relative to 27 °C (`(T/300K)^-1.5`).
+    pub fn mobility_factor(&self) -> f64 {
+        let t_kelvin = self.temperature + 273.15;
+        (t_kelvin / 300.15).powf(-1.5)
+    }
+
+    /// Threshold-voltage shift relative to 27 °C (≈ -1 mV/°C) plus the process shift.
+    pub fn vth_shift(&self) -> f64 {
+        self.process.vth_shift() - 1e-3 * (self.temperature - 27.0)
+    }
+
+    /// Combined multiplicative factor on the process transconductance.
+    pub fn kp_factor(&self) -> f64 {
+        self.process.kp_factor() * self.mobility_factor()
+    }
+}
+
+impl std::fmt::Display for PvtCorner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{:.2}V/{:+.0}C",
+            self.process, self.vdd, self.temperature
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_exactly_18_standard_corners() {
+        let corners = PvtCorner::standard_18();
+        assert_eq!(corners.len(), 18);
+        for (i, a) in corners.iter().enumerate() {
+            for b in corners.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn hot_corner_degrades_mobility() {
+        let hot = PvtCorner {
+            process: Process::TypicalTypical,
+            vdd: 1.1,
+            temperature: 125.0,
+        };
+        let cold = PvtCorner {
+            process: Process::TypicalTypical,
+            vdd: 1.1,
+            temperature: -40.0,
+        };
+        assert!(hot.mobility_factor() < 1.0);
+        assert!(cold.mobility_factor() > 1.0);
+    }
+
+    #[test]
+    fn fast_corner_lowers_threshold_and_raises_kp() {
+        assert!(Process::FastFast.vth_shift() < 0.0);
+        assert!(Process::FastFast.kp_factor() > Process::SlowSlow.kp_factor());
+        let nominal = PvtCorner::nominal();
+        assert!((nominal.kp_factor() - 1.0).abs() < 0.01);
+        assert!(nominal.vth_shift().abs() < 1e-3);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let c = PvtCorner::nominal();
+        assert_eq!(format!("{c}"), "TT/1.10V/+27C");
+    }
+}

@@ -1,0 +1,535 @@
+//! Transient (time-domain) analysis with backward-Euler integration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dc::{DcAnalysis, DcError};
+use crate::mna::MnaSystem;
+use crate::netlist::{Circuit, Element, NodeId};
+
+/// A time-dependent stimulus applied to an independent voltage source.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// Trapezoidal pulse train (SPICE `PULSE` semantics).
+    Pulse {
+        /// Initial value.
+        v0: f64,
+        /// Pulsed value.
+        v1: f64,
+        /// Delay before the first edge, in seconds.
+        delay: f64,
+        /// Rise time, in seconds.
+        rise: f64,
+        /// Fall time, in seconds.
+        fall: f64,
+        /// Pulse width (time at `v1`), in seconds.
+        width: f64,
+        /// Period of the train, in seconds (0 or less means a single pulse).
+        period: f64,
+    },
+    /// Sinusoid `offset + amplitude·sin(2π·frequency·t)`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        amplitude: f64,
+        /// Frequency in hertz.
+        frequency: f64,
+    },
+}
+
+impl Waveform {
+    /// Value of the waveform at time `t` (seconds).
+    pub fn value(&self, t: f64) -> f64 {
+        match *self {
+            Waveform::Dc(v) => v,
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < delay {
+                    return v0;
+                }
+                let mut tau = t - delay;
+                if period > 0.0 {
+                    tau %= period;
+                }
+                let rise = rise.max(1e-15);
+                let fall = fall.max(1e-15);
+                if tau < rise {
+                    v0 + (v1 - v0) * tau / rise
+                } else if tau < rise + width {
+                    v1
+                } else if tau < rise + width + fall {
+                    v1 + (v0 - v1) * (tau - rise - width) / fall
+                } else {
+                    v0
+                }
+            }
+            Waveform::Sine {
+                offset,
+                amplitude,
+                frequency,
+            } => offset + amplitude * (2.0 * std::f64::consts::PI * frequency * t).sin(),
+        }
+    }
+}
+
+/// Result of a transient analysis: node voltages sampled at every accepted time
+/// point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransientResult {
+    /// The time points, in seconds.
+    pub times: Vec<f64>,
+    /// `voltages[k][node]` is the voltage of `node` at `times[k]`.
+    pub voltages: Vec<Vec<f64>>,
+}
+
+impl TransientResult {
+    /// The waveform of one node across the whole analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn node_waveform(&self, node: NodeId) -> Vec<f64> {
+        self.voltages.iter().map(|v| v[node]).collect()
+    }
+
+    /// The final voltage of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the analysis produced no points or the node id is out of range.
+    pub fn final_voltage(&self, node: NodeId) -> f64 {
+        self.voltages.last().expect("non-empty transient")[node]
+    }
+}
+
+/// Fixed-step transient analysis using backward-Euler integration and a Newton
+/// solve per time step.
+///
+/// Capacitors are replaced by their backward-Euler companion model
+/// (`G = C/Δt` in parallel with a history current source), nonlinear MOSFETs are
+/// linearised at every Newton iteration exactly as in [`DcAnalysis`], and the
+/// time-dependent stimuli override selected voltage sources.
+///
+/// # Example
+///
+/// ```
+/// use nnbo_circuits::{Circuit, Element, TransientAnalysis, Waveform, GROUND};
+///
+/// // A 1 kΩ / 1 µF low-pass driven by a 1 V step: after 5 time constants the
+/// // output has settled to ~1 V.
+/// let mut ckt = Circuit::new();
+/// let vin = ckt.add_node();
+/// let out = ckt.add_node();
+/// ckt.add(Element::VoltageSource { plus: vin, minus: GROUND, volts: 0.0 });
+/// ckt.add(Element::Resistor { a: vin, b: out, ohms: 1e3 });
+/// ckt.add(Element::Capacitor { a: out, b: GROUND, farads: 1e-6 });
+/// let step = Waveform::Pulse {
+///     v0: 0.0, v1: 1.0, delay: 0.0, rise: 1e-9, fall: 1e-9, width: 1.0, period: 0.0,
+/// };
+/// let tran = TransientAnalysis::new(5e-3, 10e-6);
+/// let result = tran.solve(&ckt, &[(0, step)]).expect("transient converges");
+/// assert!(result.node_waveform(out)[1] < 0.1);          // starts near 0 V
+/// assert!((result.final_voltage(out) - 1.0) .abs() < 1e-2); // settles at 1 V
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransientAnalysis {
+    /// Total simulated time, in seconds.
+    pub t_stop: f64,
+    /// Fixed time step, in seconds.
+    pub dt: f64,
+    /// Maximum Newton iterations per time step.
+    pub max_newton_iterations: usize,
+    /// Convergence tolerance on the largest node-voltage update per Newton
+    /// iteration, in volts.
+    pub tolerance: f64,
+}
+
+impl TransientAnalysis {
+    /// Creates an analysis with the given stop time and step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_stop` or `dt` is not strictly positive, or `dt > t_stop`.
+    pub fn new(t_stop: f64, dt: f64) -> Self {
+        assert!(t_stop > 0.0 && dt > 0.0, "times must be positive");
+        assert!(dt <= t_stop, "time step larger than the stop time");
+        TransientAnalysis {
+            t_stop,
+            dt,
+            max_newton_iterations: 60,
+            tolerance: 1e-9,
+        }
+    }
+
+    /// Runs the analysis.  `stimuli` maps voltage-source ordinals (the `k`-th
+    /// voltage source in netlist order) to time-dependent waveforms; sources without
+    /// a stimulus keep their DC value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcError`] when the initial operating point cannot be found or a
+    /// time step fails to converge.
+    pub fn solve(
+        &self,
+        circuit: &Circuit,
+        stimuli: &[(usize, Waveform)],
+    ) -> Result<TransientResult, DcError> {
+        // Initial condition: DC operating point with the stimuli at t = 0.
+        let dc_circuit = override_sources(circuit, stimuli, 0.0);
+        let dc = DcAnalysis::new().solve(&dc_circuit)?;
+        let n_nodes = circuit.node_count();
+        let mut times = vec![0.0];
+        let mut voltages = vec![dc.voltages.clone()];
+        let mut previous = dc.voltages;
+
+        let steps = (self.t_stop / self.dt).ceil() as usize;
+        for step in 1..=steps {
+            let t = (step as f64 * self.dt).min(self.t_stop);
+            let mut guess = previous.clone();
+            let mut converged = false;
+            for _ in 0..self.max_newton_iterations {
+                let solution = self
+                    .step_solve(circuit, stimuli, t, &previous, &guess)
+                    .ok_or(DcError::SingularSystem)?;
+                let mut delta: f64 = 0.0;
+                for (g, s) in guess.iter_mut().skip(1).zip(solution.iter().skip(1)) {
+                    delta = delta.max((s - *g).abs());
+                    *g = *s;
+                }
+                if delta < self.tolerance {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                return Err(DcError::NoConvergence {
+                    last_delta: f64::NAN,
+                });
+            }
+            previous = guess.clone();
+            times.push(t);
+            voltages.push(guess[..n_nodes].to_vec());
+        }
+        Ok(TransientResult { times, voltages })
+    }
+
+    /// One linearised backward-Euler solve at time `t` around the Newton guess.
+    fn step_solve(
+        &self,
+        circuit: &Circuit,
+        stimuli: &[(usize, Waveform)],
+        t: f64,
+        previous: &[f64],
+        guess: &[f64],
+    ) -> Option<Vec<f64>> {
+        let mut mna = MnaSystem::new(circuit.node_count(), circuit.voltage_source_count());
+        let mut vsrc_idx = 0;
+        for element in circuit.elements() {
+            match element {
+                Element::Resistor { a, b, ohms } => mna.stamp_conductance(*a, *b, 1.0 / ohms),
+                Element::Capacitor { a, b, farads } => {
+                    // Backward Euler: i = C/Δt·(v - v_prev) → conductance + history source.
+                    let g = farads / self.dt;
+                    mna.stamp_conductance(*a, *b, g);
+                    let v_prev = previous[*a] - previous[*b];
+                    // History current g·v_prev flows from b to a (it opposes the
+                    // conductance term evaluated at the previous voltage).
+                    mna.stamp_current(*b, *a, g * v_prev);
+                }
+                Element::CurrentSource { from, to, amps } => mna.stamp_current(*from, *to, *amps),
+                Element::VoltageSource { plus, minus, volts } => {
+                    let value = stimuli
+                        .iter()
+                        .find(|(k, _)| *k == vsrc_idx)
+                        .map(|(_, w)| w.value(t))
+                        .unwrap_or(*volts);
+                    mna.stamp_voltage_source(vsrc_idx, *plus, *minus, value);
+                    vsrc_idx += 1;
+                }
+                Element::Vccs {
+                    out_plus,
+                    out_minus,
+                    ctrl_plus,
+                    ctrl_minus,
+                    gm,
+                } => mna.stamp_vccs(*out_plus, *out_minus, *ctrl_plus, *ctrl_minus, *gm),
+                Element::Mosfet {
+                    drain,
+                    gate,
+                    source,
+                    transistor,
+                } => {
+                    let p = transistor.evaluate(guess[*gate], guess[*drain], guess[*source]);
+                    mna.stamp_conductance(*drain, *source, p.gds);
+                    mna.stamp_vccs(*drain, *source, *gate, *source, p.gm);
+                    let vgs = guess[*gate] - guess[*source];
+                    let vds = guess[*drain] - guess[*source];
+                    let i_eq = p.ids - p.gm * vgs - p.gds * vds;
+                    mna.stamp_current(*drain, *source, i_eq);
+                }
+            }
+        }
+        mna.stamp_gmin(1e-12);
+        mna.solve()
+    }
+}
+
+/// Clones the circuit with the stimulus values substituted at time `t` (used for
+/// the initial operating point).
+fn override_sources(circuit: &Circuit, stimuli: &[(usize, Waveform)], t: f64) -> Circuit {
+    let mut out = Circuit::new();
+    // Recreate the same node ids.
+    for _ in 1..circuit.node_count() {
+        out.add_node();
+    }
+    let mut vsrc_idx = 0;
+    for element in circuit.elements() {
+        match element {
+            Element::VoltageSource { plus, minus, volts } => {
+                let value = stimuli
+                    .iter()
+                    .find(|(k, _)| *k == vsrc_idx)
+                    .map(|(_, w)| w.value(t))
+                    .unwrap_or(*volts);
+                out.add(Element::VoltageSource {
+                    plus: *plus,
+                    minus: *minus,
+                    volts: value,
+                });
+                vsrc_idx += 1;
+            }
+            other => out.add(other.clone()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mosfet::{MosTransistor, MosfetModel};
+    use crate::netlist::GROUND;
+
+    fn rc_circuit(r: f64, c: f64) -> (Circuit, NodeId) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.add_node();
+        let out = ckt.add_node();
+        ckt.add(Element::VoltageSource {
+            plus: vin,
+            minus: GROUND,
+            volts: 0.0,
+        });
+        ckt.add(Element::Resistor { a: vin, b: out, ohms: r });
+        ckt.add(Element::Capacitor {
+            a: out,
+            b: GROUND,
+            farads: c,
+        });
+        (ckt, out)
+    }
+
+    /// An ideal step from 0 to `level` at t ≈ 0 (rise time much shorter than any
+    /// circuit time constant).
+    fn step(level: f64) -> Waveform {
+        Waveform::Pulse {
+            v0: 0.0,
+            v1: level,
+            delay: 0.0,
+            rise: 1e-12,
+            fall: 1e-12,
+            width: 1e3,
+            period: 0.0,
+        }
+    }
+
+    #[test]
+    fn rc_step_response_matches_the_exponential() {
+        let (r, c) = (1e3, 1e-6);
+        let (ckt, out) = rc_circuit(r, c);
+        let tau = r * c;
+        let tran = TransientAnalysis::new(3.0 * tau, tau / 200.0);
+        let result = tran.solve(&ckt, &[(0, step(1.0))]).unwrap();
+        for (t, v) in result.times.iter().zip(result.node_waveform(out).iter()) {
+            if *t == 0.0 {
+                continue;
+            }
+            let expected = 1.0 - (-t / tau).exp();
+            assert!(
+                (v - expected).abs() < 0.01,
+                "at t = {t:e}: simulated {v} vs analytic {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn rc_discharge_from_a_precharged_capacitor() {
+        // The source sits at 1 V in DC (pre-charging the capacitor) and is stepped
+        // down to 0 V at t ≈ 0: the output decays as exp(-t/τ).
+        let (r, c) = (2e3, 0.5e-6);
+        // Build with the source at 1 V so the initial operating point is charged.
+        let mut ckt = Circuit::new();
+        let vin = ckt.add_node();
+        let out = ckt.add_node();
+        ckt.add(Element::VoltageSource {
+            plus: vin,
+            minus: GROUND,
+            volts: 1.0,
+        });
+        ckt.add(Element::Resistor { a: vin, b: out, ohms: r });
+        ckt.add(Element::Capacitor {
+            a: out,
+            b: GROUND,
+            farads: c,
+        });
+        let tau = r * c;
+        let down_step = Waveform::Pulse {
+            v0: 1.0,
+            v1: 0.0,
+            delay: 0.0,
+            rise: 1e-12,
+            fall: 1e-12,
+            width: 1e3,
+            period: 0.0,
+        };
+        let tran = TransientAnalysis::new(2.0 * tau, tau / 100.0);
+        let result = tran.solve(&ckt, &[(0, down_step)]).unwrap();
+        for (t, v) in result.times.iter().zip(result.node_waveform(out).iter()) {
+            if *t == 0.0 {
+                continue;
+            }
+            let expected = (-t / tau).exp();
+            assert!(
+                (v - expected).abs() < 0.02,
+                "at t = {t:e}: simulated {v} vs analytic {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn pulse_waveform_shape() {
+        let w = Waveform::Pulse {
+            v0: 0.0,
+            v1: 1.8,
+            delay: 1e-9,
+            rise: 1e-9,
+            fall: 1e-9,
+            width: 5e-9,
+            period: 20e-9,
+        };
+        assert_eq!(w.value(0.0), 0.0);
+        assert!((w.value(1.5e-9) - 0.9).abs() < 1e-9); // mid-rise
+        assert_eq!(w.value(4e-9), 1.8); // flat top
+        assert_eq!(w.value(10e-9), 0.0); // back down
+        assert_eq!(w.value(24e-9), 1.8); // second period flat top
+    }
+
+    #[test]
+    fn sine_source_drives_the_rc_filter_with_attenuation() {
+        let (r, c) = (1e3, 1e-6);
+        let (ckt, out) = rc_circuit(r, c);
+        // Drive above the corner frequency (159 Hz) and simulate long enough for the
+        // start-up transient (τ = 1 ms) to die out before measuring the peak.
+        let freq = 1e3;
+        let tran = TransientAnalysis::new(10e-3, 2e-6);
+        let result = tran
+            .solve(
+                &ckt,
+                &[(
+                    0,
+                    Waveform::Sine {
+                        offset: 0.0,
+                        amplitude: 1.0,
+                        frequency: freq,
+                    },
+                )],
+            )
+            .unwrap();
+        // Peak of the output over the last quarter of the run (steady state).
+        let wave = result.node_waveform(out);
+        let peak = wave[3 * wave.len() / 4..]
+            .iter()
+            .fold(0.0_f64, |m, v| m.max(v.abs()));
+        let expected = 1.0 / (1.0 + (2.0 * std::f64::consts::PI * freq * r * c).powi(2)).sqrt();
+        assert!(
+            (peak - expected).abs() < 0.05 * expected,
+            "peak {peak} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn nmos_inverter_switches_during_a_transient() {
+        // Resistor-loaded NMOS inverter driven by a pulse on the gate.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.add_node();
+        let gate = ckt.add_node();
+        let out = ckt.add_node();
+        ckt.add(Element::VoltageSource {
+            plus: vdd,
+            minus: GROUND,
+            volts: 1.8,
+        });
+        ckt.add(Element::VoltageSource {
+            plus: gate,
+            minus: GROUND,
+            volts: 0.0,
+        });
+        ckt.add(Element::Resistor {
+            a: vdd,
+            b: out,
+            ohms: 10e3,
+        });
+        ckt.add(Element::Capacitor {
+            a: out,
+            b: GROUND,
+            farads: 50e-15,
+        });
+        ckt.add(Element::Mosfet {
+            drain: out,
+            gate,
+            source: GROUND,
+            transistor: MosTransistor::new(MosfetModel::nmos_180nm(), 10e-6, 0.5e-6),
+        });
+        let tran = TransientAnalysis::new(40e-9, 0.05e-9);
+        let result = tran
+            .solve(
+                &ckt,
+                &[(
+                    1,
+                    Waveform::Pulse {
+                        v0: 0.0,
+                        v1: 1.8,
+                        delay: 5e-9,
+                        rise: 0.5e-9,
+                        fall: 0.5e-9,
+                        width: 20e-9,
+                        period: 0.0,
+                    },
+                )],
+            )
+            .unwrap();
+        let wave = result.node_waveform(out);
+        // Before the pulse the output sits at VDD; well after the rising edge it is
+        // pulled low; after the falling edge it recovers towards VDD.
+        let before = wave[result.times.iter().position(|t| *t >= 4e-9).unwrap()];
+        let during = wave[result.times.iter().position(|t| *t >= 20e-9).unwrap()];
+        let after = *wave.last().unwrap();
+        assert!(before > 1.7, "output before pulse {before}");
+        assert!(during < 0.4, "output during pulse {during}");
+        assert!(after > 1.0, "output after pulse {after}");
+    }
+
+    #[test]
+    #[should_panic(expected = "time step larger")]
+    fn oversized_time_step_is_rejected() {
+        let _ = TransientAnalysis::new(1e-9, 1e-6);
+    }
+}

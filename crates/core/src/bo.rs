@@ -1,0 +1,487 @@
+//! The constrained single-objective Bayesian-optimization loop (Algorithm 1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::acquisition::{self, AcquisitionKind};
+use crate::ensemble::{EnsembleConfig, NeuralGpEnsembleTrainer};
+use crate::error::BoError;
+use crate::problems::{Evaluation, Problem};
+use crate::sampling::latin_hypercube;
+use crate::surrogate::{SurrogateModel, SurrogateTrainer};
+
+/// Configuration of a [`BayesOpt`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoConfig {
+    /// Number of initial (Latin-hypercube) samples before the model-guided phase
+    /// (30 for Table I, 100 for Table II in the paper).
+    pub initial_samples: usize,
+    /// Total evaluation budget, including the initial samples.
+    pub max_evaluations: usize,
+    /// Acquisition function (wEI by default, as in the paper).
+    pub acquisition: AcquisitionKind,
+    /// Number of uniformly random candidates considered when maximising the
+    /// acquisition function.
+    pub candidate_pool: usize,
+    /// Number of additional candidates drawn as Gaussian perturbations of the
+    /// incumbent (local refinement of the acquisition search).
+    pub local_candidates: usize,
+    /// Random seed; every stochastic component of the run derives from it.
+    pub seed: u64,
+}
+
+impl BoConfig {
+    /// Creates a configuration with the paper-style defaults for the candidate
+    /// search.
+    pub fn new(initial_samples: usize, max_evaluations: usize) -> Self {
+        BoConfig {
+            initial_samples,
+            max_evaluations,
+            acquisition: AcquisitionKind::WeightedExpectedImprovement,
+            candidate_pool: 1024,
+            local_candidates: 256,
+            seed: 0,
+        }
+    }
+
+    /// A cheaper configuration (smaller candidate pool) for tests and smoke runs.
+    pub fn fast(initial_samples: usize, max_evaluations: usize) -> Self {
+        BoConfig {
+            candidate_pool: 128,
+            local_candidates: 32,
+            ..BoConfig::new(initial_samples, max_evaluations)
+        }
+    }
+
+    /// Sets the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the acquisition function.
+    pub fn with_acquisition(mut self, acquisition: AcquisitionKind) -> Self {
+        self.acquisition = acquisition;
+        self
+    }
+}
+
+/// The result of one optimization run: every evaluated point in order, plus
+/// convenience accessors for the best feasible design and convergence statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationResult {
+    evaluations: Vec<(Vec<f64>, Evaluation)>,
+    initial_samples: usize,
+}
+
+impl OptimizationResult {
+    /// Builds a result from a raw evaluation history.
+    ///
+    /// This is how the non-Bayesian baselines (differential evolution, GASPAD,
+    /// random search) report their runs so that every algorithm is summarised by
+    /// the same statistics code.
+    pub fn from_history(
+        evaluations: Vec<(Vec<f64>, Evaluation)>,
+        initial_samples: usize,
+    ) -> Self {
+        OptimizationResult {
+            evaluations,
+            initial_samples,
+        }
+    }
+
+    /// All evaluated `(normalised point, evaluation)` pairs, in evaluation order.
+    pub fn evaluations(&self) -> &[(Vec<f64>, Evaluation)] {
+        &self.evaluations
+    }
+
+    /// Number of evaluations performed.
+    pub fn num_evaluations(&self) -> usize {
+        self.evaluations.len()
+    }
+
+    /// Number of initial (space-filling) samples.
+    pub fn initial_samples(&self) -> usize {
+        self.initial_samples
+    }
+
+    /// Index of the best feasible evaluation, if any point was feasible.
+    pub fn best_index(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, (_, e)) in self.evaluations.iter().enumerate() {
+            if e.is_feasible() && best.map_or(true, |(_, v)| e.objective < v) {
+                best = Some((i, e.objective));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// The best feasible point and its evaluation.
+    pub fn best(&self) -> Option<(&[f64], &Evaluation)> {
+        self.best_index()
+            .map(|i| (self.evaluations[i].0.as_slice(), &self.evaluations[i].1))
+    }
+
+    /// Objective value of the best feasible point.
+    pub fn best_objective(&self) -> Option<f64> {
+        self.best().map(|(_, e)| e.objective)
+    }
+
+    /// Index (1-based count of simulations) at which the first feasible point was
+    /// found.
+    pub fn first_feasible_at(&self) -> Option<usize> {
+        self.evaluations
+            .iter()
+            .position(|(_, e)| e.is_feasible())
+            .map(|i| i + 1)
+    }
+
+    /// Number of simulations needed to reach within `tolerance` of the final best
+    /// feasible objective (the "Avg. # Sim" statistic of the paper's tables).
+    pub fn simulations_to_converge(&self, tolerance: f64) -> Option<usize> {
+        let target = self.best_objective()? + tolerance;
+        let mut best_so_far = f64::INFINITY;
+        for (i, (_, e)) in self.evaluations.iter().enumerate() {
+            if e.is_feasible() && e.objective < best_so_far {
+                best_so_far = e.objective;
+            }
+            if best_so_far <= target {
+                return Some(i + 1);
+            }
+        }
+        None
+    }
+
+    /// Best feasible objective value after each evaluation (∞ before the first
+    /// feasible point) — the convergence curve of the run.
+    pub fn convergence_curve(&self) -> Vec<f64> {
+        let mut best = f64::INFINITY;
+        self.evaluations
+            .iter()
+            .map(|(_, e)| {
+                if e.is_feasible() && e.objective < best {
+                    best = e.objective;
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+/// The constrained Bayesian-optimization driver (Algorithm 1 of the paper),
+/// generic over the surrogate trainer so that both the paper's neural-GP ensemble
+/// and the classical-GP baselines can run through the same loop.
+#[derive(Debug, Clone)]
+pub struct BayesOpt<T: SurrogateTrainer> {
+    config: BoConfig,
+    trainer: T,
+}
+
+impl BayesOpt<NeuralGpEnsembleTrainer> {
+    /// Creates the paper's algorithm: neural-GP ensemble surrogate (K = 5) with the
+    /// wEI acquisition.
+    pub fn neural(config: BoConfig) -> Self {
+        BayesOpt {
+            config,
+            trainer: NeuralGpEnsembleTrainer::default(),
+        }
+    }
+
+    /// Creates the paper's algorithm with a custom ensemble configuration.
+    pub fn neural_with(config: BoConfig, ensemble: EnsembleConfig) -> Self {
+        BayesOpt {
+            config,
+            trainer: NeuralGpEnsembleTrainer::new(ensemble),
+        }
+    }
+}
+
+impl<T: SurrogateTrainer> BayesOpt<T> {
+    /// Creates a driver with an arbitrary surrogate trainer (used by the WEIBO
+    /// baseline, which plugs in the classical GP).
+    pub fn with_trainer(config: BoConfig, trainer: T) -> Self {
+        BayesOpt { config, trainer }
+    }
+
+    /// The configuration of this driver.
+    pub fn config(&self) -> &BoConfig {
+        &self.config
+    }
+
+    /// Runs the optimization on `problem`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoError::InvalidConfig`] / [`BoError::InvalidProblem`] for
+    /// inconsistent setups, and [`BoError::SurrogateTraining`] if the surrogate
+    /// cannot be trained repeatedly (isolated failures fall back to random
+    /// sampling for that iteration).
+    pub fn run(&self, problem: &dyn Problem) -> Result<OptimizationResult, BoError> {
+        self.validate(problem)?;
+        let dim = problem.dim();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        // Phase 1: space-filling initial design.
+        let mut history: Vec<(Vec<f64>, Evaluation)> = Vec::new();
+        for x in latin_hypercube(self.config.initial_samples, dim, &mut rng) {
+            let eval = problem.evaluate(&x);
+            history.push((x, eval));
+        }
+
+        // Phase 2: model-guided search.
+        let mut consecutive_failures = 0usize;
+        while history.len() < self.config.max_evaluations {
+            let candidate = match self.propose(problem, &history, &mut rng) {
+                Ok(x) => {
+                    consecutive_failures = 0;
+                    x
+                }
+                Err(reason) => {
+                    consecutive_failures += 1;
+                    if consecutive_failures > 5 {
+                        return Err(BoError::SurrogateTraining {
+                            target: "objective".to_string(),
+                            reason,
+                        });
+                    }
+                    // Robust fallback: a random point keeps the run going.
+                    (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect()
+                }
+            };
+            let eval = problem.evaluate(&candidate);
+            history.push((candidate, eval));
+        }
+
+        Ok(OptimizationResult {
+            evaluations: history,
+            initial_samples: self.config.initial_samples,
+        })
+    }
+
+    fn validate(&self, problem: &dyn Problem) -> Result<(), BoError> {
+        if problem.dim() == 0 {
+            return Err(BoError::InvalidProblem {
+                details: "zero-dimensional design space".to_string(),
+            });
+        }
+        if self.config.initial_samples < 2 {
+            return Err(BoError::InvalidConfig {
+                details: "need at least two initial samples".to_string(),
+            });
+        }
+        if self.config.max_evaluations < self.config.initial_samples {
+            return Err(BoError::InvalidConfig {
+                details: format!(
+                    "evaluation budget {} is smaller than the initial design {}",
+                    self.config.max_evaluations, self.config.initial_samples
+                ),
+            });
+        }
+        if self.config.candidate_pool == 0 {
+            return Err(BoError::InvalidConfig {
+                details: "candidate pool must not be empty".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Fits the surrogates and maximises the acquisition function over a candidate
+    /// set, returning the proposed next design point.
+    fn propose(
+        &self,
+        problem: &dyn Problem,
+        history: &[(Vec<f64>, Evaluation)],
+        rng: &mut StdRng,
+    ) -> Result<Vec<f64>, String> {
+        let dim = problem.dim();
+        let xs: Vec<Vec<f64>> = history.iter().map(|(x, _)| x.clone()).collect();
+        let objective_values: Vec<f64> = history.iter().map(|(_, e)| e.objective).collect();
+
+        let objective_model = self.trainer.fit(&xs, &objective_values, rng)?;
+        let mut constraint_models = Vec::with_capacity(problem.num_constraints());
+        for c in 0..problem.num_constraints() {
+            let values: Vec<f64> = history.iter().map(|(_, e)| e.constraints[c]).collect();
+            constraint_models.push(self.trainer.fit(&xs, &values, rng)?);
+        }
+
+        // Incumbent: best feasible objective, if any.
+        let tau = history
+            .iter()
+            .filter(|(_, e)| e.is_feasible())
+            .map(|(_, e)| e.objective)
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            });
+
+        // Anchor for the local candidates: best feasible point, or the point with
+        // the smallest constraint violation when nothing is feasible yet.
+        let anchor = history
+            .iter()
+            .min_by(|(_, a), (_, b)| {
+                let key = |e: &Evaluation| {
+                    if e.is_feasible() {
+                        (0.0, e.objective)
+                    } else {
+                        (e.violation(), f64::INFINITY)
+                    }
+                };
+                key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(x, _)| x.clone())
+            .unwrap_or_else(|| vec![0.5; dim]);
+
+        // Candidate set: global uniform samples + local Gaussian perturbations of
+        // the anchor at two scales.
+        let mut candidates: Vec<Vec<f64>> =
+            Vec::with_capacity(self.config.candidate_pool + self.config.local_candidates);
+        for _ in 0..self.config.candidate_pool {
+            candidates.push((0..dim).map(|_| rng.gen_range(0.0..1.0)).collect());
+        }
+        for i in 0..self.config.local_candidates {
+            let sigma = if i % 2 == 0 { 0.05 } else { 0.2 };
+            let mut x = anchor.clone();
+            for v in &mut x {
+                *v = (*v + sigma * standard_normal(rng)).clamp(0.0, 1.0);
+            }
+            candidates.push(x);
+        }
+
+        let mut best_score = f64::NEG_INFINITY;
+        let mut best_candidate = candidates[0].clone();
+        for x in &candidates {
+            let objective_pred = objective_model.predict(x);
+            let constraint_preds: Vec<_> =
+                constraint_models.iter().map(|m| m.predict(x)).collect();
+            let score =
+                acquisition::evaluate(self.config.acquisition, &objective_pred, &constraint_preds, tau);
+            if score > best_score {
+                best_score = score;
+                best_candidate = x.clone();
+            }
+        }
+        Ok(best_candidate)
+    }
+}
+
+/// Draws a standard-normal sample by the Box–Muller transform (avoids pulling in a
+/// distribution crate).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{ConstrainedBranin, Hartmann6};
+
+    fn fast_neural(config: BoConfig) -> BayesOpt<NeuralGpEnsembleTrainer> {
+        BayesOpt::neural_with(config, EnsembleConfig::fast())
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let problem = ConstrainedBranin::new();
+        let too_few_init = fast_neural(BoConfig::fast(1, 10));
+        assert!(matches!(
+            too_few_init.run(&problem),
+            Err(BoError::InvalidConfig { .. })
+        ));
+        let budget_too_small = fast_neural(BoConfig::fast(10, 5));
+        assert!(matches!(
+            budget_too_small.run(&problem),
+            Err(BoError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn respects_the_evaluation_budget() {
+        let problem = ConstrainedBranin::new();
+        let bo = fast_neural(BoConfig::fast(6, 10).with_seed(3));
+        let result = bo.run(&problem).unwrap();
+        assert_eq!(result.num_evaluations(), 10);
+        assert_eq!(result.initial_samples(), 6);
+    }
+
+    #[test]
+    fn finds_a_feasible_branin_point_and_improves_over_initial_design() {
+        let problem = ConstrainedBranin::new();
+        let bo = fast_neural(BoConfig::fast(10, 28).with_seed(11));
+        let result = bo.run(&problem).unwrap();
+        let best = result.best_objective().expect("a feasible point is found");
+        // The initial-design-only best (first 10 evaluations).
+        let initial_best = result.evaluations()[..10]
+            .iter()
+            .filter(|(_, e)| e.is_feasible())
+            .map(|(_, e)| e.objective)
+            .fold(f64::INFINITY, f64::min);
+        assert!(best <= initial_best, "BO best {best} vs initial {initial_best}");
+        assert!(best < 3.0, "best Branin value {best} is far from the optimum");
+    }
+
+    #[test]
+    fn unconstrained_problems_work_too() {
+        let problem = Hartmann6::new();
+        let bo = fast_neural(BoConfig::fast(12, 22).with_seed(5));
+        let result = bo.run(&problem).unwrap();
+        // Every evaluation of an unconstrained problem is feasible.
+        assert_eq!(result.first_feasible_at(), Some(1));
+        assert!(result.best_objective().unwrap() < -0.5);
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_a_fixed_seed() {
+        let problem = ConstrainedBranin::new();
+        let run = |seed| {
+            fast_neural(BoConfig::fast(6, 12).with_seed(seed))
+                .run(&problem)
+                .unwrap()
+                .evaluations()
+                .iter()
+                .map(|(_, e)| e.objective)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn convergence_curve_is_monotone_nonincreasing() {
+        let problem = ConstrainedBranin::new();
+        let bo = fast_neural(BoConfig::fast(8, 16).with_seed(7));
+        let result = bo.run(&problem).unwrap();
+        let curve = result.convergence_curve();
+        assert_eq!(curve.len(), result.num_evaluations());
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn simulations_to_converge_is_consistent_with_history() {
+        let problem = ConstrainedBranin::new();
+        let bo = fast_neural(BoConfig::fast(8, 16).with_seed(19));
+        let result = bo.run(&problem).unwrap();
+        if let Some(n) = result.simulations_to_converge(1e-9) {
+            assert!(n <= result.num_evaluations());
+            let curve = result.convergence_curve();
+            assert!((curve[n - 1] - result.best_objective().unwrap()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn alternative_acquisitions_run_end_to_end() {
+        let problem = ConstrainedBranin::new();
+        for kind in [
+            AcquisitionKind::ExpectedImprovement,
+            AcquisitionKind::LowerConfidenceBound { kappa: 2.0 },
+            AcquisitionKind::ProbabilityOfImprovement,
+        ] {
+            let bo = fast_neural(BoConfig::fast(6, 10).with_seed(2).with_acquisition(kind));
+            let result = bo.run(&problem).unwrap();
+            assert_eq!(result.num_evaluations(), 10);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The (box-constrained) design space of a sizing problem.
+
+use serde::{Deserialize, Serialize};
+
+/// A rectangular design space: per-dimension lower/upper bounds plus conversion to
+/// and from the normalised unit hypercube in which the surrogates and acquisition
+/// optimizers operate.
+///
+/// # Example
+///
+/// ```
+/// use nnbo_core::DesignSpace;
+///
+/// let space = DesignSpace::new(vec![(1.0, 3.0), (10.0, 30.0)]);
+/// let phys = space.denormalize(&[0.5, 0.25]);
+/// assert_eq!(phys, vec![2.0, 15.0]);
+/// assert_eq!(space.normalize(&phys), vec![0.5, 0.25]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    bounds: Vec<(f64, f64)>,
+}
+
+impl DesignSpace {
+    /// Creates a design space from per-dimension `(lower, upper)` bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bound pair has `upper <= lower` or a non-finite value.
+    pub fn new(bounds: Vec<(f64, f64)>) -> Self {
+        assert!(!bounds.is_empty(), "design space must have at least one dimension");
+        for (i, (lo, hi)) in bounds.iter().enumerate() {
+            assert!(
+                lo.is_finite() && hi.is_finite() && hi > lo,
+                "invalid bounds at dimension {i}: ({lo}, {hi})"
+            );
+        }
+        DesignSpace { bounds }
+    }
+
+    /// The unit hypercube `[0, 1]^dim`.
+    pub fn unit(dim: usize) -> Self {
+        DesignSpace::new(vec![(0.0, 1.0); dim])
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Per-dimension bounds.
+    pub fn bounds(&self) -> &[(f64, f64)] {
+        &self.bounds
+    }
+
+    /// Maps a normalised point in `[0, 1]^dim` to physical units (values outside the
+    /// unit cube are clamped first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn denormalize(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        x.iter()
+            .zip(self.bounds.iter())
+            .map(|(t, (lo, hi))| lo + t.clamp(0.0, 1.0) * (hi - lo))
+            .collect()
+    }
+
+    /// Maps a physical point to normalised coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn normalize(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        x.iter()
+            .zip(self.bounds.iter())
+            .map(|(v, (lo, hi))| (v - lo) / (hi - lo))
+            .collect()
+    }
+
+    /// Clamps a normalised point into the unit cube in place.
+    pub fn clamp_unit(x: &mut [f64]) {
+        for v in x {
+            *v = v.clamp(0.0, 1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_normalization() {
+        let space = DesignSpace::new(vec![(-1.0, 1.0), (0.0, 10.0), (5.0, 6.0)]);
+        let x = vec![0.25, 0.5, 1.0];
+        let phys = space.denormalize(&x);
+        assert_eq!(phys, vec![-0.5, 5.0, 6.0]);
+        let back = space.normalize(&phys);
+        for (a, b) in back.iter().zip(x.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn out_of_range_points_are_clamped() {
+        let space = DesignSpace::unit(2);
+        assert_eq!(space.denormalize(&[-0.5, 1.5]), vec![0.0, 1.0]);
+        let mut x = [1.2, -0.1];
+        DesignSpace::clamp_unit(&mut x);
+        assert_eq!(x, [1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bounds")]
+    fn inverted_bounds_are_rejected() {
+        let _ = DesignSpace::new(vec![(2.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_bounds_are_rejected() {
+        let _ = DesignSpace::new(vec![]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Model averaging over independently initialised neural GPs (eq. 13).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::neural_gp::{NeuralGp, NeuralGpConfig};
+use crate::surrogate::{Prediction, SurrogateModel, SurrogateTrainer};
+
+/// Configuration of a [`NeuralGpEnsemble`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleConfig {
+    /// Number of ensemble members `K` (5 in the paper).
+    pub members: usize,
+    /// Configuration of each member.
+    pub member_config: NeuralGpConfig,
+    /// Train the members on separate threads (the paper notes the ensemble can be
+    /// constructed in parallel).
+    pub parallel: bool,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        EnsembleConfig {
+            members: 5,
+            member_config: NeuralGpConfig::default(),
+            parallel: true,
+        }
+    }
+}
+
+impl EnsembleConfig {
+    /// A cheaper configuration (3 members, fast member settings) for tests.
+    pub fn fast() -> Self {
+        EnsembleConfig {
+            members: 3,
+            member_config: NeuralGpConfig::fast(),
+            parallel: false,
+        }
+    }
+}
+
+/// An ensemble of `K` independently initialised [`NeuralGp`] models whose
+/// predictions are combined by moment matching (eq. 13 of the paper):
+///
+/// ```text
+/// µ(x)  = (1/K) Σ µ_k(x)
+/// σ²(x) = (1/K) Σ (µ_k²(x) + σ_k²(x)) − µ²(x)
+/// ```
+///
+/// The ensemble both averages out the random fluctuations of individual trainings
+/// and widens the predicted uncertainty where the members disagree, which is what
+/// the acquisition function needs for reliable exploration.
+#[derive(Debug, Clone)]
+pub struct NeuralGpEnsemble {
+    members: Vec<NeuralGp>,
+}
+
+impl NeuralGpEnsemble {
+    /// Trains `config.members` neural GPs with different random initialisations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first member's error message if every member fails to train; as
+    /// long as at least one member trains the ensemble is usable.
+    pub fn fit(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        config: &EnsembleConfig,
+        rng: &mut StdRng,
+    ) -> Result<Self, String> {
+        assert!(config.members > 0, "ensemble needs at least one member");
+        let seeds: Vec<u64> = (0..config.members).map(|_| rng.gen()).collect();
+
+        let results: Vec<Result<NeuralGp, String>> = if config.parallel && config.members > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = seeds
+                    .iter()
+                    .map(|&seed| {
+                        let member_config = config.member_config.clone();
+                        scope.spawn(move || {
+                            let mut member_rng = StdRng::seed_from_u64(seed);
+                            NeuralGp::fit(xs, ys, &member_config, &mut member_rng)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|_| Err("member thread panicked".into())))
+                    .collect()
+            })
+        } else {
+            seeds
+                .iter()
+                .map(|&seed| {
+                    let mut member_rng = StdRng::seed_from_u64(seed);
+                    NeuralGp::fit(xs, ys, &config.member_config, &mut member_rng)
+                })
+                .collect()
+        };
+
+        let mut members = Vec::with_capacity(config.members);
+        let mut first_error = None;
+        for r in results {
+            match r {
+                Ok(m) => members.push(m),
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        if members.is_empty() {
+            return Err(first_error.unwrap_or_else(|| "no ensemble member trained".into()));
+        }
+        Ok(NeuralGpEnsemble { members })
+    }
+
+    /// Number of successfully trained members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the ensemble has no members (never the case after a successful
+    /// [`Self::fit`]).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The individual members.
+    pub fn members(&self) -> &[NeuralGp] {
+        &self.members
+    }
+}
+
+impl SurrogateModel for NeuralGpEnsemble {
+    fn predict(&self, x: &[f64]) -> Prediction {
+        let k = self.members.len() as f64;
+        let mut mean = 0.0;
+        let mut second_moment = 0.0;
+        for member in &self.members {
+            let p = member.predict(x);
+            mean += p.mean;
+            second_moment += p.mean * p.mean + p.variance;
+        }
+        mean /= k;
+        second_moment /= k;
+        Prediction::new(mean, second_moment - mean * mean)
+    }
+}
+
+/// Trainer producing [`NeuralGpEnsemble`] models (implements [`SurrogateTrainer`]).
+///
+/// This is the surrogate used by the paper's algorithm ("Ours" in Tables I and II).
+#[derive(Debug, Clone, Default)]
+pub struct NeuralGpEnsembleTrainer {
+    /// Configuration used for every fit.
+    pub config: EnsembleConfig,
+}
+
+impl NeuralGpEnsembleTrainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: EnsembleConfig) -> Self {
+        NeuralGpEnsembleTrainer { config }
+    }
+}
+
+impl SurrogateTrainer for NeuralGpEnsembleTrainer {
+    type Model = NeuralGpEnsemble;
+
+    fn fit(
+        &self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        rng: &mut StdRng,
+    ) -> Result<NeuralGpEnsemble, String> {
+        NeuralGpEnsemble::fit(xs, ys, &self.config, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (4.0 * x[0]).sin() + x[0]).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn ensemble_mean_is_average_of_member_means() {
+        let (xs, ys) = toy_data(20);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ens = NeuralGpEnsemble::fit(&xs, &ys, &EnsembleConfig::fast(), &mut rng).unwrap();
+        assert_eq!(ens.len(), 3);
+        let x = [0.37];
+        let expected: f64 =
+            ens.members().iter().map(|m| m.predict(&x).mean).sum::<f64>() / ens.len() as f64;
+        let p = ens.predict(&x);
+        assert!((p.mean - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ensemble_variance_includes_member_disagreement() {
+        let (xs, ys) = toy_data(20);
+        let mut rng = StdRng::seed_from_u64(2);
+        let ens = NeuralGpEnsemble::fit(&xs, &ys, &EnsembleConfig::fast(), &mut rng).unwrap();
+        // Far outside the data, the members disagree, so the combined variance must
+        // be at least as large as the average member variance.
+        let x = [3.0];
+        let avg_member_var: f64 =
+            ens.members().iter().map(|m| m.predict(&x).variance).sum::<f64>() / ens.len() as f64;
+        let p = ens.predict(&x);
+        assert!(p.variance >= avg_member_var - 1e-12);
+    }
+
+    #[test]
+    fn parallel_and_sequential_training_agree() {
+        let (xs, ys) = toy_data(16);
+        let config_seq = EnsembleConfig {
+            parallel: false,
+            ..EnsembleConfig::fast()
+        };
+        let config_par = EnsembleConfig {
+            parallel: true,
+            ..EnsembleConfig::fast()
+        };
+        let mut rng1 = StdRng::seed_from_u64(5);
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let a = NeuralGpEnsemble::fit(&xs, &ys, &config_seq, &mut rng1).unwrap();
+        let b = NeuralGpEnsemble::fit(&xs, &ys, &config_par, &mut rng2).unwrap();
+        let x = [0.61];
+        assert!((a.predict(&x).mean - b.predict(&x).mean).abs() < 1e-12);
+        assert!((a.predict(&x).variance - b.predict(&x).variance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_member_ensemble_matches_plain_neural_gp_variance_form() {
+        let (xs, ys) = toy_data(14);
+        let config = EnsembleConfig {
+            members: 1,
+            parallel: false,
+            ..EnsembleConfig::fast()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let ens = NeuralGpEnsemble::fit(&xs, &ys, &config, &mut rng).unwrap();
+        let x = [0.4];
+        let member = &ens.members()[0];
+        let pm = member.predict(&x);
+        let pe = ens.predict(&x);
+        assert!((pm.mean - pe.mean).abs() < 1e-12);
+        assert!((pm.variance - pe.variance).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type of the Bayesian-optimization loop.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the Bayesian-optimization components.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoError {
+    /// A surrogate model could not be trained (degenerate data, factorization
+    /// failure after retries, ...).
+    SurrogateTraining {
+        /// Which output the surrogate was modelling ("objective" or a constraint index).
+        target: String,
+        /// Underlying reason.
+        reason: String,
+    },
+    /// The configuration is inconsistent (e.g. more initial samples than the total
+    /// evaluation budget).
+    InvalidConfig {
+        /// Description of the inconsistency.
+        details: String,
+    },
+    /// The problem definition is inconsistent (e.g. zero-dimensional design space).
+    InvalidProblem {
+        /// Description of the inconsistency.
+        details: String,
+    },
+}
+
+impl fmt::Display for BoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoError::SurrogateTraining { target, reason } => {
+                write!(f, "failed to train surrogate for {target}: {reason}")
+            }
+            BoError::InvalidConfig { details } => write!(f, "invalid configuration: {details}"),
+            BoError::InvalidProblem { details } => write!(f, "invalid problem: {details}"),
+        }
+    }
+}
+
+impl Error for BoError {}

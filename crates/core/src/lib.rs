@@ -1,0 +1,61 @@
+//! # `nnbo-core` — Bayesian optimization with a neural-network Gaussian process
+//!
+//! This crate implements the primary contribution of *"Bayesian Optimization
+//! Approach for Analog Circuit Synthesis Using Neural Network"* (Zhang et al.,
+//! DATE 2019):
+//!
+//! * [`NeuralGp`] — a Gaussian-process surrogate whose kernel is defined implicitly
+//!   by a learned feature map: a fully-connected ReLU network maps the design point
+//!   to an `M`-dimensional feature vector and a Bayesian linear model on those
+//!   features is an exact GP (weight-space view, eqs. 8–10 of the paper).  The
+//!   network weights and the hyper-parameters `σn`, `σp` are trained jointly by
+//!   maximising the log marginal likelihood (eqs. 11–12) with Adam.  Training cost
+//!   is `O(N·M² + M³)` — linear in the number of observations — and prediction cost
+//!   is constant, versus `O(N³)`/`O(N²)` for the classical GP.
+//! * [`NeuralGpEnsemble`] — the model average of `K` randomly-initialised neural
+//!   GPs (eq. 13), improving the quality of the predicted uncertainty.
+//! * [`acquisition`] — expected improvement, the constraint-weighted expected
+//!   improvement (wEI, eq. 7) used by the paper, UCB and PI.
+//! * [`BayesOpt`] — the constrained single-objective Bayesian-optimization loop of
+//!   Algorithm 1, generic over the surrogate so the classic-GP baselines can reuse
+//!   it.
+//! * [`problems`] — ready-made [`Problem`] adapters for the paper's two circuits
+//!   (the two-stage op-amp of Table I and the charge pump of Table II, both
+//!   simulated by [`nnbo_circuits`]) plus synthetic constrained benchmarks.
+//!
+//! # Quick start
+//!
+//! ```
+//! use nnbo_core::{BayesOpt, BoConfig, problems::ConstrainedBranin};
+//!
+//! # fn main() -> Result<(), nnbo_core::BoError> {
+//! let problem = ConstrainedBranin::new();
+//! let config = BoConfig::fast(8, 12).with_seed(7);
+//! let result = BayesOpt::neural(config).run(&problem)?;
+//! assert!(result.evaluations().len() <= 12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod acquisition;
+mod bo;
+mod design_space;
+mod ensemble;
+mod error;
+mod neural_gp;
+pub mod problems;
+mod report;
+mod sampling;
+mod surrogate;
+
+pub use bo::{BayesOpt, BoConfig, OptimizationResult};
+pub use design_space::DesignSpace;
+pub use ensemble::{EnsembleConfig, NeuralGpEnsemble, NeuralGpEnsembleTrainer};
+pub use error::BoError;
+pub use neural_gp::{NeuralGp, NeuralGpConfig, NeuralGpTrainer};
+pub use problems::{Evaluation, Problem};
+pub use report::{RunStatistics, RunSummary};
+pub use sampling::{latin_hypercube, uniform_random};
+pub use surrogate::{Prediction, SurrogateModel, SurrogateTrainer};

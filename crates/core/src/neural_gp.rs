@@ -1,0 +1,468 @@
+//! The neural-network Gaussian process (weight-space view) — the paper's surrogate.
+
+use nnbo_linalg::{Cholesky, Matrix, Standardizer};
+use nnbo_nn::{Activation, Adam, Mlp, MlpConfig, Optimizer};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::surrogate::{Prediction, SurrogateModel, SurrogateTrainer};
+
+/// Configuration of a [`NeuralGp`] surrogate.
+///
+/// The defaults follow the paper's architecture (Fig. 1): a fully-connected network
+/// with two hidden ReLU layers feeding an `M`-dimensional linear feature layer, and
+/// joint maximum-likelihood training of the network weights with the prior scale
+/// `σp` and the noise level `σn`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeuralGpConfig {
+    /// Hidden-layer widths of the feature network (two hidden layers by default).
+    pub hidden_dims: Vec<usize>,
+    /// Feature dimension `M` (width of the network's output layer).
+    pub feature_dim: usize,
+    /// Number of Adam iterations on the negative log marginal likelihood.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Initial `log σn` (noise standard deviation, in standardised target units).
+    pub init_log_noise: f64,
+    /// Initial `log σp` (prior weight scale).
+    pub init_log_prior: f64,
+    /// Lower clamp for `log σn`, keeping the likelihood well conditioned.
+    pub min_log_noise: f64,
+    /// Whether targets are standardised before fitting.
+    pub standardize_targets: bool,
+    /// Jitter added to the feature Gram matrix when its Cholesky factorization
+    /// fails.
+    pub jitter: f64,
+}
+
+impl Default for NeuralGpConfig {
+    fn default() -> Self {
+        NeuralGpConfig {
+            hidden_dims: vec![50, 50],
+            feature_dim: 32,
+            epochs: 200,
+            learning_rate: 0.01,
+            init_log_noise: (0.1_f64).ln(),
+            init_log_prior: 0.0,
+            min_log_noise: (1e-3_f64).ln(),
+            standardize_targets: true,
+            jitter: 1e-8,
+        }
+    }
+}
+
+impl NeuralGpConfig {
+    /// A cheaper configuration for tests and smoke experiments.
+    pub fn fast() -> Self {
+        NeuralGpConfig {
+            hidden_dims: vec![32, 32],
+            feature_dim: 16,
+            epochs: 80,
+            ..NeuralGpConfig::default()
+        }
+    }
+}
+
+/// A fitted neural-network Gaussian process (eqs. 8–12 of the paper).
+///
+/// The model is `f(x) = wᵀ φ(x)` with `w ~ N(0, σp²/M · I)` and observation noise
+/// `σn²`; `φ` is the output of the feature network.  After training, prediction only
+/// needs the `M × M` factorization of `A = ΦΦᵀ + (Mσn²/σp²)·I` and the vector
+/// `A⁻¹Φy`, so its cost is independent of the number of training points.
+#[derive(Debug, Clone)]
+pub struct NeuralGp {
+    mlp: Mlp,
+    log_noise: f64,
+    chol: Cholesky,
+    alpha: Vec<f64>,
+    standardizer: Standardizer,
+    train_size: usize,
+    final_nll: f64,
+}
+
+impl NeuralGp {
+    /// Trains a neural GP on `(xs, ys)` where `xs` are normalised design points.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the failure when the training set is degenerate or
+    /// the feature Gram matrix cannot be factored even with jitter.
+    pub fn fit(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        config: &NeuralGpConfig,
+        rng: &mut StdRng,
+    ) -> Result<Self, String> {
+        validate(xs, ys)?;
+        let dim = xs[0].len();
+        let x = Matrix::from_rows(xs);
+        let (y, standardizer) = if config.standardize_targets {
+            let (v, s) = nnbo_linalg::standardize(ys);
+            (v, s)
+        } else {
+            (ys.to_vec(), Standardizer::identity())
+        };
+
+        let mlp_config = MlpConfig::new(dim, &config.hidden_dims, config.feature_dim)
+            .with_hidden_activation(Activation::ReLU);
+        let mut mlp = Mlp::new(&mlp_config, rng);
+        let mut log_noise = config.init_log_noise + rng.gen_range(-0.1..0.1);
+        let mut log_prior = config.init_log_prior + rng.gen_range(-0.1..0.1);
+
+        let mut adam = Adam::with_learning_rate(config.learning_rate);
+        let mut nn_params = mlp.flat_params();
+        let mut last_nll = f64::INFINITY;
+        for _ in 0..config.epochs {
+            mlp.set_flat_params(&nn_params);
+            let Some((nll, grad)) = loss_and_grad(&mlp, log_noise, log_prior, &x, &y, config)
+            else {
+                break;
+            };
+            last_nll = nll;
+            // Flat parameter vector: [log σn, log σp, network weights...].
+            let mut flat = Vec::with_capacity(2 + nn_params.len());
+            flat.push(log_noise);
+            flat.push(log_prior);
+            flat.extend_from_slice(&nn_params);
+            adam.step(&mut flat, &grad);
+            log_noise = flat[0].clamp(config.min_log_noise, (2.0_f64).ln());
+            log_prior = flat[1].clamp(-3.0, 3.0);
+            nn_params.copy_from_slice(&flat[2..]);
+        }
+        mlp.set_flat_params(&nn_params);
+
+        // Final factorization for prediction.
+        let (chol, alpha, nll) = factorize(&mlp, log_noise, log_prior, &x, &y, config)
+            .ok_or_else(|| "feature Gram matrix could not be factored".to_string())?;
+        Ok(NeuralGp {
+            mlp,
+            log_noise,
+            chol,
+            alpha,
+            standardizer,
+            train_size: xs.len(),
+            final_nll: if nll.is_finite() { nll } else { last_nll },
+        })
+    }
+
+    /// Number of training points the model was fitted on.
+    pub fn train_size(&self) -> usize {
+        self.train_size
+    }
+
+    /// Feature dimension `M`.
+    pub fn feature_dim(&self) -> usize {
+        self.mlp.output_dim()
+    }
+
+    /// Negative log marginal likelihood at the end of training (standardised units).
+    pub fn nll(&self) -> f64 {
+        self.final_nll
+    }
+
+    /// Fitted observation-noise standard deviation (standardised units).
+    pub fn noise_std(&self) -> f64 {
+        self.log_noise.exp()
+    }
+}
+
+impl SurrogateModel for NeuralGp {
+    fn predict(&self, x: &[f64]) -> Prediction {
+        let phi = self.mlp.forward(x);
+        let mean_std: f64 = phi.iter().zip(self.alpha.iter()).map(|(p, a)| p * a).sum();
+        let noise_var = (2.0 * self.log_noise).exp();
+        let var_std = noise_var * (1.0 + self.chol.quadratic_form(&phi));
+        Prediction::new(
+            self.standardizer.inverse(mean_std),
+            self.standardizer.inverse_variance(var_std),
+        )
+    }
+}
+
+/// Trainer for a single [`NeuralGp`] (implements [`SurrogateTrainer`]).
+#[derive(Debug, Clone, Default)]
+pub struct NeuralGpTrainer {
+    /// Configuration used for every fit.
+    pub config: NeuralGpConfig,
+}
+
+impl NeuralGpTrainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: NeuralGpConfig) -> Self {
+        NeuralGpTrainer { config }
+    }
+}
+
+impl SurrogateTrainer for NeuralGpTrainer {
+    type Model = NeuralGp;
+
+    fn fit(&self, xs: &[Vec<f64>], ys: &[f64], rng: &mut StdRng) -> Result<NeuralGp, String> {
+        NeuralGp::fit(xs, ys, &self.config, rng)
+    }
+}
+
+fn validate(xs: &[Vec<f64>], ys: &[f64]) -> Result<(), String> {
+    if xs.is_empty() {
+        return Err("training set is empty".to_string());
+    }
+    if xs.len() != ys.len() {
+        return Err(format!("{} inputs but {} targets", xs.len(), ys.len()));
+    }
+    let dim = xs[0].len();
+    if dim == 0 || xs.iter().any(|x| x.len() != dim) {
+        return Err("inconsistent input dimensions".to_string());
+    }
+    if xs.iter().flatten().any(|v| !v.is_finite()) || ys.iter().any(|v| !v.is_finite()) {
+        return Err("non-finite training values".to_string());
+    }
+    Ok(())
+}
+
+/// Builds `A = ΦΦᵀ + λI`, its Cholesky factor and `α = A⁻¹Φy` at the given
+/// parameters.  Returns `None` if the factorization fails.
+fn factorize(
+    mlp: &Mlp,
+    log_noise: f64,
+    log_prior: f64,
+    x: &Matrix,
+    y: &[f64],
+    config: &NeuralGpConfig,
+) -> Option<(Cholesky, Vec<f64>, f64)> {
+    let out = mlp.forward_batch(x);
+    let m = out.ncols();
+    let n = out.nrows();
+    let noise_var = (2.0 * log_noise).exp();
+    let prior_var = (2.0 * log_prior).exp();
+    let lambda = m as f64 * noise_var / prior_var;
+    let mut a = out.transpose_matmul(&out);
+    a.add_diag(lambda);
+    let (chol, _) = Cholesky::decompose_with_jitter(&a, config.jitter, 10).ok()?;
+    let v = out.vecmat(y);
+    let alpha = chol.solve_vec(&v);
+    // Negative log marginal likelihood (eq. 11, negated).
+    let yty: f64 = y.iter().map(|t| t * t).sum();
+    let v_alpha: f64 = v.iter().zip(alpha.iter()).map(|(a, b)| a * b).sum();
+    let nll = 0.5 / noise_var * (yty - v_alpha) + 0.5 * chol.log_det()
+        - 0.5 * m as f64 * lambda.ln()
+        + 0.5 * n as f64 * (2.0 * std::f64::consts::PI * noise_var).ln();
+    Some((chol, alpha, nll))
+}
+
+/// Negative log marginal likelihood (eq. 11, negated) and its gradient with respect
+/// to `[log σn, log σp, network parameters...]` (eq. 12 for the network part).
+pub(crate) fn loss_and_grad(
+    mlp: &Mlp,
+    log_noise: f64,
+    log_prior: f64,
+    x: &Matrix,
+    y: &[f64],
+    config: &NeuralGpConfig,
+) -> Option<(f64, Vec<f64>)> {
+    let cache = mlp.forward_cached(x);
+    let out = cache.output();
+    let n = out.nrows();
+    let m = out.ncols();
+    let noise_var = (2.0 * log_noise).exp();
+    let prior_var = (2.0 * log_prior).exp();
+    let lambda = m as f64 * noise_var / prior_var;
+
+    let mut a = out.transpose_matmul(out);
+    a.add_diag(lambda);
+    let (chol, _) = Cholesky::decompose_with_jitter(&a, config.jitter, 10).ok()?;
+    let v = out.vecmat(y);
+    let alpha = chol.solve_vec(&v);
+    let pred = out.matvec(&alpha);
+    let residual: Vec<f64> = y.iter().zip(pred.iter()).map(|(t, p)| t - p).collect();
+
+    let yty: f64 = y.iter().map(|t| t * t).sum();
+    let v_alpha: f64 = v.iter().zip(alpha.iter()).map(|(a, b)| a * b).sum();
+    let fit_term = 0.5 / noise_var * (yty - v_alpha);
+    let log_det = chol.log_det();
+    let nll = fit_term + 0.5 * log_det - 0.5 * m as f64 * lambda.ln()
+        + 0.5 * n as f64 * (2.0 * std::f64::consts::PI * noise_var).ln();
+    if !nll.is_finite() {
+        return None;
+    }
+
+    // Gradient with respect to the feature matrix (in N x M orientation):
+    //   ∂nll/∂Out = -(1/σn²)·r·αᵀ + Out·A⁻¹.
+    let b = chol.inverse();
+    let mut grad_out = out.matmul(&b);
+    for i in 0..n {
+        let scale = -residual[i] / noise_var;
+        let row = grad_out.row_mut(i);
+        for (g, a) in row.iter_mut().zip(alpha.iter()) {
+            *g += scale * a;
+        }
+    }
+    let (nn_grad, _) = mlp.backward(&cache, &grad_out);
+
+    // Gradients with respect to log σn and log σp.
+    let alpha_sq: f64 = alpha.iter().map(|a| a * a).sum();
+    let trace_b = b.trace().expect("A is square");
+    let lambda_sensitivity = alpha_sq / (2.0 * noise_var) + 0.5 * trace_b;
+    let d_log_noise =
+        -2.0 * fit_term + 2.0 * lambda * lambda_sensitivity - m as f64 + n as f64;
+    let d_log_prior = -2.0 * lambda * lambda_sensitivity + m as f64;
+
+    let mut grad = Vec::with_capacity(2 + mlp.num_params());
+    grad.push(d_log_noise);
+    grad.push(d_log_prior);
+    grad.extend_from_slice(&nn_grad.to_flat());
+    if grad.iter().any(|g| !g.is_finite()) {
+        return None;
+    }
+    Some((nll, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnbo_nn::finite_difference_gradient;
+    use rand::SeedableRng;
+
+    fn toy_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| (5.0 * x[0]).sin() + x[1] * x[1] - 0.5 * x[0] * x[1])
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn nll_gradient_matches_finite_differences() {
+        let (xs, ys) = toy_data(14, 1);
+        let x = Matrix::from_rows(&xs);
+        let (y, _) = nnbo_linalg::standardize(&ys);
+        let config = NeuralGpConfig {
+            hidden_dims: vec![6],
+            feature_dim: 5,
+            ..NeuralGpConfig::default()
+        };
+        let mlp_config = MlpConfig::new(2, &config.hidden_dims, config.feature_dim)
+            .with_hidden_activation(Activation::Tanh);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mlp = Mlp::new(&mlp_config, &mut rng);
+        let log_noise = (0.2_f64).ln();
+        let log_prior = 0.3;
+
+        let (_, analytic) = loss_and_grad(&mlp, log_noise, log_prior, &x, &y, &config).unwrap();
+
+        let nn_params = mlp.flat_params();
+        let mut flat = vec![log_noise, log_prior];
+        flat.extend_from_slice(&nn_params);
+        let f = |p: &[f64]| {
+            let mut m = mlp.clone();
+            m.set_flat_params(&p[2..]);
+            loss_and_grad(&m, p[0], p[1], &x, &y, &config).unwrap().0
+        };
+        let fd = finite_difference_gradient(&f, &flat, 1e-5);
+        let mut max_err = 0.0_f64;
+        for (a, b) in analytic.iter().zip(fd.iter()) {
+            max_err = max_err.max((a - b).abs() / (1.0 + b.abs()));
+        }
+        assert!(max_err < 1e-4, "max relative gradient error {max_err}");
+    }
+
+    #[test]
+    fn fit_learns_a_smooth_function() {
+        let (xs, ys) = toy_data(60, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = NeuralGpConfig {
+            epochs: 400,
+            ..NeuralGpConfig::default()
+        };
+        let model = NeuralGp::fit(&xs, &ys, &config, &mut rng).unwrap();
+        // In-sample accuracy: RMSE well below the target standard deviation.
+        let rmse = (xs
+            .iter()
+            .zip(ys.iter())
+            .map(|(x, y)| {
+                let p = model.predict(x);
+                (p.mean - y) * (p.mean - y)
+            })
+            .sum::<f64>()
+            / xs.len() as f64)
+            .sqrt();
+        let spread = nnbo_linalg::sample_std(&ys);
+        assert!(rmse < 0.35 * spread, "rmse {rmse} vs target spread {spread}");
+    }
+
+    #[test]
+    fn prediction_interpolates_and_uncertainty_grows_off_data() {
+        let xs: Vec<Vec<f64>> = (0..25).map(|i| vec![0.3 + 0.4 * i as f64 / 24.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (6.0 * x[0]).cos()).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = NeuralGpConfig {
+            epochs: 400,
+            ..NeuralGpConfig::default()
+        };
+        let model = NeuralGp::fit(&xs, &ys, &config, &mut rng).unwrap();
+        let inside = model.predict(&[0.5]);
+        assert!((inside.mean - (3.0_f64).cos()).abs() < 0.3);
+        let far = model.predict(&[0.95]);
+        assert!(far.variance > inside.variance);
+    }
+
+    #[test]
+    fn predictions_are_in_original_units() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 500.0 + 100.0 * x[0]).collect();
+        let mut rng = StdRng::seed_from_u64(6);
+        let model = NeuralGp::fit(&xs, &ys, &NeuralGpConfig::fast(), &mut rng).unwrap();
+        let p = model.predict(&[0.5]);
+        assert!((p.mean - 550.0).abs() < 30.0, "mean {}", p.mean);
+    }
+
+    #[test]
+    fn degenerate_training_sets_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(NeuralGp::fit(&[], &[], &NeuralGpConfig::fast(), &mut rng).is_err());
+        assert!(NeuralGp::fit(
+            &[vec![0.1], vec![0.2]],
+            &[1.0],
+            &NeuralGpConfig::fast(),
+            &mut rng
+        )
+        .is_err());
+        assert!(NeuralGp::fit(
+            &[vec![f64::NAN]],
+            &[1.0],
+            &NeuralGpConfig::fast(),
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let (xs, ys) = toy_data(20, 8);
+        let fit = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = NeuralGp::fit(&xs, &ys, &NeuralGpConfig::fast(), &mut rng).unwrap();
+            m.predict(&[0.3, 0.7]).mean
+        };
+        assert_eq!(fit(11), fit(11));
+        assert_ne!(fit(11), fit(12));
+    }
+
+    #[test]
+    fn prediction_cost_does_not_grow_with_training_set() {
+        // The feature dimension, not the training-set size, determines the size of
+        // the factorization used at prediction time.
+        let (xs_small, ys_small) = toy_data(15, 9);
+        let (xs_large, ys_large) = toy_data(120, 10);
+        let mut rng = StdRng::seed_from_u64(13);
+        let config = NeuralGpConfig::fast();
+        let small = NeuralGp::fit(&xs_small, &ys_small, &config, &mut rng).unwrap();
+        let large = NeuralGp::fit(&xs_large, &ys_large, &config, &mut rng).unwrap();
+        assert_eq!(small.feature_dim(), large.feature_dim());
+        assert_eq!(large.train_size(), 120);
+    }
+}

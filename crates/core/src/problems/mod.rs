@@ -1,0 +1,105 @@
+//! Optimization-problem abstraction and ready-made benchmark problems.
+//!
+//! A [`Problem`] is the constrained minimisation problem of eq. 1 of the paper:
+//!
+//! ```text
+//! minimize  f(x)
+//! s.t.      g_i(x) < 0,  i = 1..Nc
+//! ```
+//!
+//! over a normalised design space (the unit hypercube); the adapter types in this
+//! module translate the circuit testbenches of [`nnbo_circuits`] and a collection of
+//! synthetic benchmarks into that form.
+
+mod circuit;
+mod synthetic;
+
+pub use circuit::{ChargePumpProblem, OpAmpProblem};
+pub use synthetic::{
+    Ackley, ConstrainedBranin, GardnerSine, Hartmann6, Levy, Rosenbrock,
+};
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one (expensive) evaluation of a design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Objective value `f(x)` (to be minimised).
+    pub objective: f64,
+    /// Constraint values `g_i(x)`; the design is feasible when all are `< 0`.
+    pub constraints: Vec<f64>,
+}
+
+impl Evaluation {
+    /// Creates an evaluation from an objective and constraint values.
+    pub fn new(objective: f64, constraints: Vec<f64>) -> Self {
+        Evaluation {
+            objective,
+            constraints,
+        }
+    }
+
+    /// An unconstrained evaluation.
+    pub fn unconstrained(objective: f64) -> Self {
+        Evaluation {
+            objective,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// `true` when every constraint is satisfied (`g_i < 0`).
+    pub fn is_feasible(&self) -> bool {
+        self.constraints.iter().all(|g| *g < 0.0)
+    }
+
+    /// Total constraint violation `Σ max(g_i, 0)` — zero for feasible points.
+    pub fn violation(&self) -> f64 {
+        self.constraints.iter().map(|g| g.max(0.0)).sum()
+    }
+}
+
+/// A constrained, expensive black-box minimisation problem over the unit hypercube.
+///
+/// Implementations should be deterministic: the optimizer relies on re-evaluating
+/// the same point giving the same answer (the circuit simulators in this workspace
+/// are deterministic, and the paper's HSPICE runs are treated the same way).
+pub trait Problem: Sync {
+    /// Dimension of the design space.
+    fn dim(&self) -> usize;
+
+    /// Number of constraints.
+    fn num_constraints(&self) -> usize;
+
+    /// Evaluates a design point given in normalised `[0, 1]` coordinates.
+    fn evaluate(&self, x: &[f64]) -> Evaluation;
+
+    /// A short human-readable name used in reports.
+    fn name(&self) -> &str {
+        "problem"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasibility_and_violation() {
+        let ok = Evaluation::new(1.0, vec![-0.1, -2.0]);
+        assert!(ok.is_feasible());
+        assert_eq!(ok.violation(), 0.0);
+        let bad = Evaluation::new(1.0, vec![0.5, -1.0, 0.25]);
+        assert!(!bad.is_feasible());
+        assert!((bad.violation() - 0.75).abs() < 1e-12);
+        let unc = Evaluation::unconstrained(3.0);
+        assert!(unc.is_feasible());
+    }
+
+    #[test]
+    fn boundary_constraint_is_infeasible() {
+        // The paper formulates constraints strictly (`g < 0`), so exactly zero is
+        // not feasible.
+        let e = Evaluation::new(0.0, vec![0.0]);
+        assert!(!e.is_feasible());
+    }
+}

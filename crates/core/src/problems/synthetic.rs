@@ -1,0 +1,357 @@
+//! Synthetic benchmark problems used to validate the optimizer itself.
+//!
+//! These have known optima, are cheap to evaluate, and exercise the same code path
+//! as the circuit problems, which makes them ideal for the test-suite and for the
+//! acquisition-function ablation experiments.
+
+use super::{Evaluation, Problem};
+
+/// The Branin function on `[-5, 10] × [0, 15]` with the disk constraint
+/// `(x1 − 2.5)² + (x2 − 7.5)² ≤ 50` (a standard constrained-BO benchmark).
+///
+/// The unconstrained Branin has three global minima of value ≈ 0.397887; the disk
+/// keeps part of that set feasible, so the constrained optimum equals the
+/// unconstrained one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstrainedBranin;
+
+impl ConstrainedBranin {
+    /// Creates the problem.
+    pub fn new() -> Self {
+        ConstrainedBranin
+    }
+
+    /// The global minimum value of the (constrained) problem.
+    pub fn optimum(&self) -> f64 {
+        0.397887
+    }
+}
+
+impl Problem for ConstrainedBranin {
+    fn dim(&self) -> usize {
+        2
+    }
+
+    fn num_constraints(&self) -> usize {
+        1
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let x1 = -5.0 + 15.0 * x[0].clamp(0.0, 1.0);
+        let x2 = 15.0 * x[1].clamp(0.0, 1.0);
+        let a = 1.0;
+        let b = 5.1 / (4.0 * std::f64::consts::PI * std::f64::consts::PI);
+        let c = 5.0 / std::f64::consts::PI;
+        let r = 6.0;
+        let s = 10.0;
+        let t = 1.0 / (8.0 * std::f64::consts::PI);
+        let f = a * (x2 - b * x1 * x1 + c * x1 - r).powi(2) + s * (1.0 - t) * x1.cos() + s;
+        let g = (x1 - 2.5).powi(2) + (x2 - 7.5).powi(2) - 50.0;
+        Evaluation::new(f, vec![g])
+    }
+
+    fn name(&self) -> &str {
+        "constrained-branin"
+    }
+}
+
+/// The 6-dimensional Hartmann function (unconstrained), global minimum ≈ −3.32237.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hartmann6;
+
+impl Hartmann6 {
+    /// Creates the problem.
+    pub fn new() -> Self {
+        Hartmann6
+    }
+
+    /// The global minimum value.
+    pub fn optimum(&self) -> f64 {
+        -3.32237
+    }
+}
+
+impl Problem for Hartmann6 {
+    fn dim(&self) -> usize {
+        6
+    }
+
+    fn num_constraints(&self) -> usize {
+        0
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        const ALPHA: [f64; 4] = [1.0, 1.2, 3.0, 3.2];
+        const A: [[f64; 6]; 4] = [
+            [10.0, 3.0, 17.0, 3.5, 1.7, 8.0],
+            [0.05, 10.0, 17.0, 0.1, 8.0, 14.0],
+            [3.0, 3.5, 1.7, 10.0, 17.0, 8.0],
+            [17.0, 8.0, 0.05, 10.0, 0.1, 14.0],
+        ];
+        const P: [[f64; 6]; 4] = [
+            [0.1312, 0.1696, 0.5569, 0.0124, 0.8283, 0.5886],
+            [0.2329, 0.4135, 0.8307, 0.3736, 0.1004, 0.9991],
+            [0.2348, 0.1451, 0.3522, 0.2883, 0.3047, 0.6650],
+            [0.4047, 0.8828, 0.8732, 0.5743, 0.1091, 0.0381],
+        ];
+        let mut f = 0.0;
+        for i in 0..4 {
+            let mut inner = 0.0;
+            for j in 0..6 {
+                let xj = x[j].clamp(0.0, 1.0);
+                inner += A[i][j] * (xj - P[i][j]).powi(2);
+            }
+            f -= ALPHA[i] * (-inner).exp();
+        }
+        Evaluation::unconstrained(f)
+    }
+
+    fn name(&self) -> &str {
+        "hartmann6"
+    }
+}
+
+/// The Ackley function on `[-5, 5]^d` (unconstrained), global minimum 0 at the
+/// origin.  Highly multi-modal — a stress test for the surrogate.
+#[derive(Debug, Clone, Copy)]
+pub struct Ackley {
+    dim: usize,
+}
+
+impl Ackley {
+    /// Creates the problem in `dim` dimensions.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Ackley { dim }
+    }
+}
+
+impl Problem for Ackley {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_constraints(&self) -> usize {
+        0
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let d = self.dim as f64;
+        let mapped: Vec<f64> = x.iter().map(|v| -5.0 + 10.0 * v.clamp(0.0, 1.0)).collect();
+        let sum_sq: f64 = mapped.iter().map(|v| v * v).sum();
+        let sum_cos: f64 = mapped
+            .iter()
+            .map(|v| (2.0 * std::f64::consts::PI * v).cos())
+            .sum();
+        let f = -20.0 * (-0.2 * (sum_sq / d).sqrt()).exp() - (sum_cos / d).exp()
+            + 20.0
+            + std::f64::consts::E;
+        Evaluation::unconstrained(f)
+    }
+
+    fn name(&self) -> &str {
+        "ackley"
+    }
+}
+
+/// The Rosenbrock function on `[-2, 2]^d` (unconstrained), global minimum 0 at
+/// `(1, …, 1)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Rosenbrock {
+    dim: usize,
+}
+
+impl Rosenbrock {
+    /// Creates the problem in `dim` dimensions (`dim >= 2`).
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 2, "rosenbrock needs at least two dimensions");
+        Rosenbrock { dim }
+    }
+}
+
+impl Problem for Rosenbrock {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_constraints(&self) -> usize {
+        0
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let mapped: Vec<f64> = x.iter().map(|v| -2.0 + 4.0 * v.clamp(0.0, 1.0)).collect();
+        let mut f = 0.0;
+        for i in 0..self.dim - 1 {
+            f += 100.0 * (mapped[i + 1] - mapped[i] * mapped[i]).powi(2)
+                + (1.0 - mapped[i]).powi(2);
+        }
+        Evaluation::unconstrained(f)
+    }
+
+    fn name(&self) -> &str {
+        "rosenbrock"
+    }
+}
+
+/// The Levy function on `[-10, 10]^d` (unconstrained), global minimum 0 at
+/// `(1, …, 1)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Levy {
+    dim: usize,
+}
+
+impl Levy {
+    /// Creates the problem in `dim` dimensions.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Levy { dim }
+    }
+}
+
+impl Problem for Levy {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_constraints(&self) -> usize {
+        0
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        use std::f64::consts::PI;
+        let mapped: Vec<f64> = x.iter().map(|v| -10.0 + 20.0 * v.clamp(0.0, 1.0)).collect();
+        let w: Vec<f64> = mapped.iter().map(|v| 1.0 + (v - 1.0) / 4.0).collect();
+        let d = self.dim;
+        let mut f = (PI * w[0]).sin().powi(2);
+        for i in 0..d - 1 {
+            f += (w[i] - 1.0).powi(2) * (1.0 + 10.0 * (PI * w[i] + 1.0).sin().powi(2));
+        }
+        f += (w[d - 1] - 1.0).powi(2) * (1.0 + (2.0 * PI * w[d - 1]).sin().powi(2));
+        Evaluation::unconstrained(f)
+    }
+
+    fn name(&self) -> &str {
+        "levy"
+    }
+}
+
+/// The Gardner sine constrained problem on `[0, 6]²`:
+/// minimise `sin(x1) + x2` subject to `sin(x1)·sin(x2) < -0.95`
+/// (a tight, disconnected feasible region — a good stress test for wEI).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GardnerSine;
+
+impl GardnerSine {
+    /// Creates the problem.
+    pub fn new() -> Self {
+        GardnerSine
+    }
+}
+
+impl Problem for GardnerSine {
+    fn dim(&self) -> usize {
+        2
+    }
+
+    fn num_constraints(&self) -> usize {
+        1
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let x1 = 6.0 * x[0].clamp(0.0, 1.0);
+        let x2 = 6.0 * x[1].clamp(0.0, 1.0);
+        let f = x1.sin() + x2;
+        let g = x1.sin() * x2.sin() + 0.95;
+        Evaluation::new(f, vec![g])
+    }
+
+    fn name(&self) -> &str {
+        "gardner-sine"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branin_optimum_is_reached_at_known_minimiser() {
+        let p = ConstrainedBranin::new();
+        // (π, 2.275) is one of the Branin minima, inside the disk.
+        let x_norm = [(std::f64::consts::PI + 5.0) / 15.0, 2.275 / 15.0];
+        let eval = p.evaluate(&x_norm);
+        assert!((eval.objective - p.optimum()).abs() < 1e-3);
+        assert!(eval.is_feasible());
+    }
+
+    #[test]
+    fn branin_far_minimum_is_infeasible() {
+        // The minimiser near (9.42, 2.475) lies outside the disk constraint.
+        let p = ConstrainedBranin::new();
+        let x_norm = [(9.42478 + 5.0) / 15.0, 2.475 / 15.0];
+        let eval = p.evaluate(&x_norm);
+        assert!((eval.objective - p.optimum()).abs() < 1e-3);
+        assert!(!eval.is_feasible());
+    }
+
+    #[test]
+    fn hartmann6_known_minimum() {
+        let p = Hartmann6::new();
+        let x_star = [0.20169, 0.150011, 0.476874, 0.275332, 0.311652, 0.6573];
+        let eval = p.evaluate(&x_star);
+        assert!((eval.objective - p.optimum()).abs() < 1e-3);
+        // Any other point is worse.
+        assert!(p.evaluate(&[0.9; 6]).objective > eval.objective);
+    }
+
+    #[test]
+    fn ackley_minimum_at_centre() {
+        let p = Ackley::new(4);
+        // Origin maps to normalised 0.5.
+        let at_min = p.evaluate(&[0.5; 4]).objective;
+        assert!(at_min.abs() < 1e-6);
+        assert!(p.evaluate(&[0.9; 4]).objective > 1.0);
+    }
+
+    #[test]
+    fn rosenbrock_minimum_at_ones() {
+        let p = Rosenbrock::new(3);
+        // x = 1 maps to normalised 0.75 on [-2, 2].
+        let at_min = p.evaluate(&[0.75; 3]).objective;
+        assert!(at_min.abs() < 1e-9);
+        assert!(p.evaluate(&[0.2; 3]).objective > at_min);
+    }
+
+    #[test]
+    fn levy_minimum_at_ones() {
+        let p = Levy::new(5);
+        // x = 1 maps to normalised 0.55 on [-10, 10].
+        let at_min = p.evaluate(&[0.55; 5]).objective;
+        assert!(at_min.abs() < 1e-9);
+        assert!(p.evaluate(&[0.1; 5]).objective > 1.0);
+    }
+
+    #[test]
+    fn gardner_constraint_splits_the_space() {
+        let p = GardnerSine::new();
+        // x1 = x2 = 3π/2 → sin·sin = 1... need sin(x1)sin(x2) < -0.95: pick
+        // x1 = π/2 (sin=1), x2 = 3π/2 (sin=-1) → product -1 < -0.95: feasible.
+        let feasible = p.evaluate(&[
+            (std::f64::consts::FRAC_PI_2) / 6.0,
+            (1.5 * std::f64::consts::PI) / 6.0,
+        ]);
+        assert!(feasible.is_feasible());
+        let infeasible = p.evaluate(&[0.1, 0.1]);
+        assert!(!infeasible.is_feasible());
+    }
+
+    #[test]
+    fn problems_clamp_out_of_range_inputs() {
+        // Evaluating slightly outside the unit cube must not panic or return NaN.
+        let p = ConstrainedBranin::new();
+        let eval = p.evaluate(&[-0.1, 1.1]);
+        assert!(eval.objective.is_finite());
+        let h = Hartmann6::new();
+        assert!(h.evaluate(&[1.2; 6]).objective.is_finite());
+    }
+}

@@ -1,0 +1,170 @@
+//! Aggregation of repeated optimization runs into the statistics the paper reports.
+//!
+//! Tables I and II of the paper report, for each algorithm, the mean / median /
+//! best / worst of the final figure of merit over 10–12 repeated runs, the average
+//! number of simulations, and the number of successful (feasible) runs.  The types
+//! here compute exactly those rows from a set of [`crate::OptimizationResult`]s.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bo::OptimizationResult;
+
+/// Summary of a single optimization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Best feasible objective value (`None` if the run never found a feasible point).
+    pub best_objective: Option<f64>,
+    /// Best feasible design point in normalised coordinates.
+    pub best_point: Option<Vec<f64>>,
+    /// Total number of evaluations performed.
+    pub evaluations: usize,
+    /// Evaluation index at which the first feasible point appeared.
+    pub first_feasible_at: Option<usize>,
+    /// Number of simulations needed to get within 1 % of the final best value.
+    pub simulations_to_converge: Option<usize>,
+}
+
+impl RunSummary {
+    /// Builds the summary of one run.  `convergence_tolerance` is the absolute
+    /// objective tolerance used for the "simulations to converge" statistic.
+    pub fn from_result(result: &OptimizationResult, convergence_tolerance: f64) -> Self {
+        RunSummary {
+            best_objective: result.best_objective(),
+            best_point: result.best().map(|(x, _)| x.to_vec()),
+            evaluations: result.num_evaluations(),
+            first_feasible_at: result.first_feasible_at(),
+            simulations_to_converge: result.simulations_to_converge(convergence_tolerance),
+        }
+    }
+
+    /// `true` when the run found at least one feasible design.
+    pub fn succeeded(&self) -> bool {
+        self.best_objective.is_some()
+    }
+}
+
+/// Statistics of a set of repeated runs (one table row of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunStatistics {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Number of runs that found a feasible design.
+    pub successes: usize,
+    /// Mean of the best objective over successful runs.
+    pub mean: f64,
+    /// Median of the best objective over successful runs.
+    pub median: f64,
+    /// Best (minimum) objective over successful runs.
+    pub best: f64,
+    /// Worst (maximum) objective over successful runs.
+    pub worst: f64,
+    /// Standard deviation of the best objective over successful runs.
+    pub std: f64,
+    /// Average number of simulations to converge (over runs where it is defined).
+    pub avg_simulations: f64,
+}
+
+impl RunStatistics {
+    /// Aggregates a set of run summaries.
+    ///
+    /// Returns `None` when no run succeeded (there is then nothing to aggregate).
+    pub fn from_summaries(summaries: &[RunSummary]) -> Option<Self> {
+        let values: Vec<f64> = summaries.iter().filter_map(|s| s.best_objective).collect();
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            0.5 * (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2])
+        };
+        let sims: Vec<f64> = summaries
+            .iter()
+            .filter_map(|s| s.simulations_to_converge.map(|n| n as f64))
+            .collect();
+        let avg_simulations = if sims.is_empty() {
+            f64::NAN
+        } else {
+            nnbo_linalg::mean(&sims)
+        };
+        Some(RunStatistics {
+            runs: summaries.len(),
+            successes: values.len(),
+            mean: nnbo_linalg::mean(&values),
+            median,
+            best: *sorted.first().expect("non-empty"),
+            worst: *sorted.last().expect("non-empty"),
+            std: nnbo_linalg::sample_std(&values),
+            avg_simulations,
+        })
+    }
+
+    /// Formats the success rate as the paper does ("10/10").
+    pub fn success_rate(&self) -> String {
+        format!("{}/{}", self.successes, self.runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(best: Option<f64>, sims: Option<usize>) -> RunSummary {
+        RunSummary {
+            best_objective: best,
+            best_point: best.map(|_| vec![0.5]),
+            evaluations: 100,
+            first_feasible_at: best.map(|_| 10),
+            simulations_to_converge: sims,
+        }
+    }
+
+    #[test]
+    fn aggregates_mean_median_best_worst() {
+        let summaries = vec![
+            summary(Some(3.0), Some(50)),
+            summary(Some(1.0), Some(60)),
+            summary(Some(2.0), Some(70)),
+            summary(Some(4.0), Some(80)),
+        ];
+        let stats = RunStatistics::from_summaries(&summaries).unwrap();
+        assert_eq!(stats.runs, 4);
+        assert_eq!(stats.successes, 4);
+        assert!((stats.mean - 2.5).abs() < 1e-12);
+        assert!((stats.median - 2.5).abs() < 1e-12);
+        assert_eq!(stats.best, 1.0);
+        assert_eq!(stats.worst, 4.0);
+        assert!((stats.avg_simulations - 65.0).abs() < 1e-12);
+        assert_eq!(stats.success_rate(), "4/4");
+    }
+
+    #[test]
+    fn failed_runs_reduce_the_success_count() {
+        let summaries = vec![summary(Some(2.0), Some(40)), summary(None, None)];
+        let stats = RunStatistics::from_summaries(&summaries).unwrap();
+        assert_eq!(stats.successes, 1);
+        assert_eq!(stats.runs, 2);
+        assert_eq!(stats.success_rate(), "1/2");
+        assert!(!summary(None, None).succeeded());
+    }
+
+    #[test]
+    fn all_failed_runs_yield_no_statistics() {
+        let summaries = vec![summary(None, None), summary(None, None)];
+        assert!(RunStatistics::from_summaries(&summaries).is_none());
+    }
+
+    #[test]
+    fn odd_count_median_is_the_middle_value() {
+        let summaries = vec![
+            summary(Some(5.0), None),
+            summary(Some(1.0), None),
+            summary(Some(3.0), None),
+        ];
+        let stats = RunStatistics::from_summaries(&summaries).unwrap();
+        assert_eq!(stats.median, 3.0);
+        assert!(stats.avg_simulations.is_nan());
+    }
+}

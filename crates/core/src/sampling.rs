@@ -1,0 +1,107 @@
+//! Initial-design sampling: Latin hypercube and uniform random designs.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Draws `n` points uniformly at random from the unit hypercube `[0, 1]^dim`.
+///
+/// # Example
+///
+/// ```
+/// use nnbo_core::uniform_random;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let points = uniform_random(10, 3, &mut rng);
+/// assert_eq!(points.len(), 10);
+/// assert!(points.iter().flatten().all(|v| (0.0..=1.0).contains(v)));
+/// ```
+pub fn uniform_random<R: Rng + ?Sized>(n: usize, dim: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect()
+}
+
+/// Draws an `n`-point Latin hypercube sample in the unit hypercube `[0, 1]^dim`.
+///
+/// Each dimension is divided into `n` equal strata and each stratum is hit exactly
+/// once, which gives much better space-filling than plain uniform sampling for the
+/// small initial designs used by Bayesian optimization (30 points in Table I, 100 in
+/// Table II of the paper).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `dim == 0`.
+pub fn latin_hypercube<R: Rng + ?Sized>(n: usize, dim: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    assert!(n > 0, "sample count must be positive");
+    assert!(dim > 0, "dimension must be positive");
+    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        let mut strata: Vec<usize> = (0..n).collect();
+        strata.shuffle(rng);
+        let column: Vec<f64> = strata
+            .into_iter()
+            .map(|s| (s as f64 + rng.gen_range(0.0..1.0)) / n as f64)
+            .collect();
+        columns.push(column);
+    }
+    (0..n)
+        .map(|i| (0..dim).map(|d| columns[d][i]).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn latin_hypercube_has_one_point_per_stratum() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 16;
+        let dim = 4;
+        let points = latin_hypercube(n, dim, &mut rng);
+        assert_eq!(points.len(), n);
+        for d in 0..dim {
+            let mut counts = vec![0usize; n];
+            for p in &points {
+                let stratum = ((p[d] * n as f64).floor() as usize).min(n - 1);
+                counts[stratum] += 1;
+            }
+            assert!(
+                counts.iter().all(|&c| c == 1),
+                "dimension {d} strata counts {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_unit_cube() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for points in [
+            latin_hypercube(25, 7, &mut rng),
+            uniform_random(25, 7, &mut rng),
+        ] {
+            assert!(points
+                .iter()
+                .flatten()
+                .all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_seed() {
+        let a = latin_hypercube(10, 3, &mut StdRng::seed_from_u64(9));
+        let b = latin_hypercube(10, 3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = latin_hypercube(10, 3, &mut StdRng::seed_from_u64(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample count must be positive")]
+    fn zero_samples_panics() {
+        let _ = latin_hypercube(0, 2, &mut StdRng::seed_from_u64(0));
+    }
+}

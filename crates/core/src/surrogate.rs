@@ -1,0 +1,86 @@
+//! Surrogate-model abstraction shared by the neural GP and the classic-GP baselines.
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A Gaussian predictive distribution at one query point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Predictive mean.
+    pub mean: f64,
+    /// Predictive variance (never negative).
+    pub variance: f64,
+}
+
+impl Prediction {
+    /// Creates a prediction, clamping the variance at zero.
+    pub fn new(mean: f64, variance: f64) -> Self {
+        Prediction {
+            mean,
+            variance: variance.max(0.0),
+        }
+    }
+
+    /// Predictive standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// A trained probabilistic surrogate: predicts a Gaussian distribution over the
+/// modelled output at any normalised design point.
+pub trait SurrogateModel: Send + Sync {
+    /// Predicts the output distribution at `x` (normalised coordinates).
+    fn predict(&self, x: &[f64]) -> Prediction;
+
+    /// Predicts a batch of points (the default implementation simply loops).
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+/// A recipe for training a [`SurrogateModel`] from scratch on a data set.
+///
+/// The Bayesian-optimization loop retrains one surrogate per modelled output
+/// (objective plus every constraint) at every iteration, so trainers should be cheap
+/// to clone and deterministic given the supplied random source.
+pub trait SurrogateTrainer: Send + Sync {
+    /// The model type this trainer produces.
+    type Model: SurrogateModel;
+
+    /// Trains a surrogate on `(xs, ys)`, where `xs` are normalised design points.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the model cannot be trained (degenerate
+    /// data, factorization failure, ...).
+    fn fit(&self, xs: &[Vec<f64>], ys: &[f64], rng: &mut StdRng) -> Result<Self::Model, String>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ConstantModel(f64);
+
+    impl SurrogateModel for ConstantModel {
+        fn predict(&self, _x: &[f64]) -> Prediction {
+            Prediction::new(self.0, 1.0)
+        }
+    }
+
+    #[test]
+    fn prediction_clamps_negative_variance() {
+        let p = Prediction::new(1.0, -0.5);
+        assert_eq!(p.variance, 0.0);
+        assert_eq!(p.std(), 0.0);
+    }
+
+    #[test]
+    fn default_batch_prediction_loops() {
+        let m = ConstantModel(2.5);
+        let out = m.predict_batch(&[vec![0.0], vec![1.0]]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|p| p.mean == 2.5));
+    }
+}

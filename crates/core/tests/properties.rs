@@ -1,0 +1,156 @@
+//! Property-based tests of the optimizer building blocks: acquisition functions,
+//! sampling, design-space transforms and the surrogate abstraction.
+
+use nnbo_core::acquisition::{
+    expected_improvement, feasibility_probability, joint_feasibility, normal_cdf, normal_pdf,
+    probability_of_improvement, weighted_expected_improvement,
+};
+use nnbo_core::{latin_hypercube, uniform_random, DesignSpace, Prediction};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn prediction() -> impl Strategy<Value = Prediction> {
+    (-10.0..10.0f64, 0.0..25.0f64).prop_map(|(m, v)| Prediction::new(m, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn normal_cdf_is_monotone_and_bounded(a in -8.0..8.0f64, b in -8.0..8.0f64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (cl, ch) = (normal_cdf(lo), normal_cdf(hi));
+        prop_assert!(cl <= ch + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&cl) && (0.0..=1.0).contains(&ch));
+        // Symmetry: Φ(-x) = 1 - Φ(x).
+        prop_assert!((normal_cdf(-a) - (1.0 - normal_cdf(a))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_pdf_is_nonnegative_and_symmetric(x in -10.0..10.0f64) {
+        prop_assert!(normal_pdf(x) >= 0.0);
+        prop_assert!((normal_pdf(x) - normal_pdf(-x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_improvement_is_nonnegative(p in prediction(), tau in -10.0..10.0f64) {
+        prop_assert!(expected_improvement(&p, tau) >= 0.0);
+    }
+
+    #[test]
+    fn expected_improvement_grows_with_a_looser_incumbent(
+        p in prediction(),
+        tau in -5.0..5.0f64,
+        delta in 0.0..5.0f64,
+    ) {
+        // A larger (worse) incumbent can only make improvement easier.
+        let tight = expected_improvement(&p, tau);
+        let loose = expected_improvement(&p, tau + delta);
+        prop_assert!(loose + 1e-12 >= tight);
+    }
+
+    #[test]
+    fn ei_is_bounded_below_by_mean_improvement(p in prediction(), tau in -10.0..10.0f64) {
+        // EI >= max(tau - mu, 0) for any Gaussian (Jensen / convexity of max).
+        let lower = (tau - p.mean).max(0.0);
+        prop_assert!(expected_improvement(&p, tau) + 1e-9 >= lower);
+    }
+
+    #[test]
+    fn probability_of_improvement_is_a_probability(p in prediction(), tau in -10.0..10.0f64) {
+        let v = probability_of_improvement(&p, tau);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn feasibility_probability_decreases_with_the_constraint_mean(
+        mean in -5.0..5.0f64,
+        shift in 0.0..5.0f64,
+        var in 0.01..9.0f64,
+    ) {
+        let easier = feasibility_probability(&Prediction::new(mean, var));
+        let harder = feasibility_probability(&Prediction::new(mean + shift, var));
+        prop_assert!(harder <= easier + 1e-12);
+    }
+
+    #[test]
+    fn joint_feasibility_never_exceeds_any_single_factor(
+        preds in prop::collection::vec(prediction(), 1..5)
+    ) {
+        let joint = joint_feasibility(&preds);
+        prop_assert!((0.0..=1.0).contains(&joint));
+        for p in &preds {
+            prop_assert!(joint <= feasibility_probability(p) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn wei_is_bounded_by_unweighted_ei(
+        obj in prediction(),
+        cons in prop::collection::vec(prediction(), 0..4),
+        tau in -5.0..5.0f64,
+    ) {
+        let wei = weighted_expected_improvement(&obj, &cons, Some(tau));
+        let ei = expected_improvement(&obj, tau);
+        prop_assert!(wei <= ei + 1e-12);
+        prop_assert!(wei >= 0.0);
+    }
+
+    #[test]
+    fn latin_hypercube_is_stratified_in_every_dimension(
+        n in 2..30usize,
+        dim in 1..8usize,
+        seed in 0..1000u64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points = latin_hypercube(n, dim, &mut rng);
+        prop_assert_eq!(points.len(), n);
+        for d in 0..dim {
+            let mut counts = vec![0usize; n];
+            for p in &points {
+                prop_assert!((0.0..=1.0).contains(&p[d]));
+                let stratum = ((p[d] * n as f64).floor() as usize).min(n - 1);
+                counts[stratum] += 1;
+            }
+            prop_assert!(counts.iter().all(|&c| c == 1));
+        }
+    }
+
+    #[test]
+    fn uniform_samples_stay_inside_the_unit_cube(
+        n in 1..40usize,
+        dim in 1..10usize,
+        seed in 0..1000u64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points = uniform_random(n, dim, &mut rng);
+        prop_assert_eq!(points.len(), n);
+        prop_assert!(points.iter().flatten().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn design_space_roundtrip_is_identity(
+        bounds in prop::collection::vec((-100.0..100.0f64, 0.1..100.0f64), 1..8),
+        coords in prop::collection::vec(0.0..1.0f64, 8),
+    ) {
+        let bounds: Vec<(f64, f64)> = bounds.iter().map(|(lo, w)| (*lo, lo + w)).collect();
+        let dim = bounds.len();
+        let space = DesignSpace::new(bounds);
+        let x = &coords[..dim];
+        let phys = space.denormalize(x);
+        let back = space.normalize(&phys);
+        for (a, b) in back.iter().zip(x.iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        // Physical values respect the bounds.
+        for (v, (lo, hi)) in phys.iter().zip(space.bounds().iter()) {
+            prop_assert!(*v >= lo - 1e-12 && *v <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn prediction_std_is_sqrt_of_variance(p in prediction()) {
+        prop_assert!((p.std() * p.std() - p.variance).abs() < 1e-9);
+    }
+}

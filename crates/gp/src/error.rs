@@ -1,0 +1,52 @@
+//! Error type for GP fitting.
+
+use std::error::Error;
+use std::fmt;
+
+use nnbo_linalg::LinalgError;
+
+/// Error produced when building or fitting a Gaussian-process model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpError {
+    /// The training inputs and targets have inconsistent sizes, or are empty.
+    InvalidTrainingSet {
+        /// Human-readable description of the inconsistency.
+        details: String,
+    },
+    /// The kernel matrix could not be factored even after adding jitter.
+    KernelFactorization(LinalgError),
+    /// All restarts of the hyper-parameter optimization produced non-finite
+    /// likelihoods.
+    OptimizationFailed,
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::InvalidTrainingSet { details } => {
+                write!(f, "invalid training set: {details}")
+            }
+            GpError::KernelFactorization(e) => {
+                write!(f, "kernel matrix factorization failed: {e}")
+            }
+            GpError::OptimizationFailed => {
+                write!(f, "hyper-parameter optimization produced no finite likelihood")
+            }
+        }
+    }
+}
+
+impl Error for GpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GpError::KernelFactorization(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for GpError {
+    fn from(e: LinalgError) -> Self {
+        GpError::KernelFactorization(e)
+    }
+}

@@ -1,0 +1,170 @@
+//! GP hyper-parameters and fitting configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the constant-mean ARD-SE Gaussian process, stored in log
+/// space so that unconstrained gradient optimization keeps them positive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpHyperParams {
+    /// `log σf` (log of the signal standard deviation).
+    pub log_signal: f64,
+    /// `log l_d` per input dimension.
+    pub log_lengthscales: Vec<f64>,
+    /// `log σn` (log of the observation-noise standard deviation).
+    pub log_noise: f64,
+    /// Constant prior mean `µ0` (in standardised target units).
+    pub mean: f64,
+}
+
+impl GpHyperParams {
+    /// Default starting point for a `dim`-dimensional problem on standardised data:
+    /// unit signal, unit lengthscales, small noise, zero mean.
+    pub fn standard(dim: usize) -> Self {
+        GpHyperParams {
+            log_signal: 0.0,
+            log_lengthscales: vec![0.0; dim],
+            log_noise: (1e-3_f64).ln(),
+            mean: 0.0,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.log_lengthscales.len()
+    }
+
+    /// Signal variance `σf²`.
+    pub fn signal_variance(&self) -> f64 {
+        (2.0 * self.log_signal).exp()
+    }
+
+    /// Noise variance `σn²`.
+    pub fn noise_variance(&self) -> f64 {
+        (2.0 * self.log_noise).exp()
+    }
+
+    /// Lengthscales `l_d`.
+    pub fn lengthscales(&self) -> Vec<f64> {
+        self.log_lengthscales.iter().map(|l| l.exp()).collect()
+    }
+
+    /// Flattens to `[log_signal, log_l_1.., log_noise, mean]` for the optimizer.
+    pub fn to_flat(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.dim() + 3);
+        v.push(self.log_signal);
+        v.extend_from_slice(&self.log_lengthscales);
+        v.push(self.log_noise);
+        v.push(self.mean);
+        v
+    }
+
+    /// Rebuilds from the flat representation produced by [`Self::to_flat`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len() != dim + 3`.
+    pub fn from_flat(flat: &[f64], dim: usize) -> Self {
+        assert_eq!(flat.len(), dim + 3, "flat hyper-parameter length mismatch");
+        GpHyperParams {
+            log_signal: flat[0],
+            log_lengthscales: flat[1..1 + dim].to_vec(),
+            log_noise: flat[1 + dim],
+            mean: flat[2 + dim],
+        }
+    }
+
+    /// Clamps the log-parameters into numerically safe ranges.
+    pub fn clamp(&mut self, min_log_noise: f64) {
+        self.log_signal = self.log_signal.clamp(-6.0, 6.0);
+        for l in &mut self.log_lengthscales {
+            *l = l.clamp(-6.0, 8.0);
+        }
+        self.log_noise = self.log_noise.clamp(min_log_noise, 2.0);
+        self.mean = self.mean.clamp(-10.0, 10.0);
+    }
+}
+
+/// Configuration for fitting a [`crate::GpModel`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpConfig {
+    /// Number of random restarts of the hyper-parameter optimization.
+    pub restarts: usize,
+    /// Adam iterations per restart.
+    pub max_iters: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Lower bound on `log σn` (keeps the kernel matrix well conditioned).
+    pub min_log_noise: f64,
+    /// Jitter added to the kernel diagonal if the Cholesky factorization fails.
+    pub jitter: f64,
+    /// Whether the targets are standardised to zero mean / unit variance before
+    /// fitting (predictions are transformed back automatically).
+    pub standardize_targets: bool,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        GpConfig {
+            restarts: 2,
+            max_iters: 150,
+            learning_rate: 0.05,
+            min_log_noise: (1e-4_f64).ln(),
+            jitter: 1e-8,
+            standardize_targets: true,
+        }
+    }
+}
+
+impl GpConfig {
+    /// A cheaper configuration (single restart, fewer iterations) for tests and
+    /// quick experiments.
+    pub fn fast() -> Self {
+        GpConfig {
+            restarts: 1,
+            max_iters: 60,
+            ..GpConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_roundtrip() {
+        let hp = GpHyperParams {
+            log_signal: 0.3,
+            log_lengthscales: vec![-0.5, 0.2, 1.0],
+            log_noise: -3.0,
+            mean: 0.7,
+        };
+        let flat = hp.to_flat();
+        assert_eq!(flat.len(), 6);
+        let back = GpHyperParams::from_flat(&flat, 3);
+        assert_eq!(back, hp);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let hp = GpHyperParams::standard(2);
+        assert!((hp.signal_variance() - 1.0).abs() < 1e-12);
+        assert!((hp.noise_variance() - 1e-6).abs() < 1e-9);
+        assert_eq!(hp.lengthscales(), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn clamp_bounds_parameters() {
+        let mut hp = GpHyperParams {
+            log_signal: 100.0,
+            log_lengthscales: vec![-100.0],
+            log_noise: -100.0,
+            mean: 50.0,
+        };
+        hp.clamp((1e-4_f64).ln());
+        assert!(hp.log_signal <= 6.0);
+        assert!(hp.log_lengthscales[0] >= -6.0);
+        assert!(hp.log_noise >= (1e-4_f64).ln());
+        assert!(hp.mean <= 10.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! The ARD squared-exponential (Gaussian) kernel.
+
+use nnbo_linalg::{weighted_squared_distance, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Automatic-relevance-determination squared-exponential kernel,
+/// `k(x1, x2) = σf² exp(-½ Σ_d (x1_d - x2_d)² / l_d²)`.
+///
+/// This is the kernel used by the WEIBO baseline of the paper (section II.C), with
+/// one lengthscale per design variable.
+///
+/// # Example
+///
+/// ```
+/// use nnbo_gp::ArdSquaredExponential;
+///
+/// let k = ArdSquaredExponential::new(1.0, vec![0.5, 2.0]);
+/// let same = k.eval(&[0.0, 0.0], &[0.0, 0.0]);
+/// assert!((same - 1.0).abs() < 1e-12);
+/// assert!(k.eval(&[0.0, 0.0], &[1.0, 0.0]) < same);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArdSquaredExponential {
+    signal_variance: f64,
+    lengthscales: Vec<f64>,
+    /// Cached `1 / l_d²` weights.
+    inv_sq: Vec<f64>,
+}
+
+impl ArdSquaredExponential {
+    /// Creates the kernel from a signal *variance* `σf²` and per-dimension
+    /// lengthscales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal_variance` or any lengthscale is not strictly positive.
+    pub fn new(signal_variance: f64, lengthscales: Vec<f64>) -> Self {
+        assert!(signal_variance > 0.0, "signal variance must be positive");
+        assert!(
+            lengthscales.iter().all(|&l| l > 0.0),
+            "lengthscales must be positive"
+        );
+        let inv_sq = lengthscales.iter().map(|l| 1.0 / (l * l)).collect();
+        ArdSquaredExponential {
+            signal_variance,
+            lengthscales,
+            inv_sq,
+        }
+    }
+
+    /// Isotropic kernel: the same lengthscale for all `dim` dimensions.
+    pub fn isotropic(signal_variance: f64, lengthscale: f64, dim: usize) -> Self {
+        Self::new(signal_variance, vec![lengthscale; dim])
+    }
+
+    /// The signal variance `σf²`.
+    pub fn signal_variance(&self) -> f64 {
+        self.signal_variance
+    }
+
+    /// The per-dimension lengthscales.
+    pub fn lengthscales(&self) -> &[f64] {
+        &self.lengthscales
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.lengthscales.len()
+    }
+
+    /// Evaluates the kernel between two points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point dimensions do not match the kernel dimension.
+    pub fn eval(&self, x1: &[f64], x2: &[f64]) -> f64 {
+        let d2 = weighted_squared_distance(x1, x2, &self.inv_sq);
+        self.signal_variance * (-0.5 * d2).exp()
+    }
+
+    /// Kernel (Gram) matrix of a set of points given as rows of `x`.
+    pub fn gram(&self, x: &Matrix) -> Matrix {
+        let n = x.nrows();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            k[(i, i)] = self.signal_variance;
+            for j in (i + 1)..n {
+                let v = self.eval(x.row(i), x.row(j));
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k
+    }
+
+    /// Cross-covariance vector `k(x*, X)` between one point and the training rows.
+    pub fn cross(&self, x_star: &[f64], x: &Matrix) -> Vec<f64> {
+        (0..x.nrows()).map(|i| self.eval(x_star, x.row(i))).collect()
+    }
+
+    /// Partial derivative of the Gram matrix with respect to `log σf` (returns the
+    /// full matrix).
+    pub fn gram_grad_log_signal(&self, gram: &Matrix) -> Matrix {
+        // k = σf² e^{-...}; ∂k/∂ log σf = 2k.
+        gram.map(|v| 2.0 * v)
+    }
+
+    /// Partial derivative of the Gram matrix with respect to `log l_d` for
+    /// dimension `d`.
+    pub fn gram_grad_log_lengthscale(&self, x: &Matrix, gram: &Matrix, d: usize) -> Matrix {
+        // ∂k/∂ log l_d = k · (x1_d - x2_d)² / l_d².
+        let n = x.nrows();
+        let w = self.inv_sq[d];
+        let mut out = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let diff = x[(i, d)] - x[(j, d)];
+                let v = gram[(i, j)] * diff * diff * w;
+                out[(i, j)] = v;
+                out[(j, i)] = v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_is_one_at_zero_distance_and_decays() {
+        let k = ArdSquaredExponential::isotropic(2.0, 1.0, 3);
+        let x = [0.1, 0.2, 0.3];
+        assert!((k.eval(&x, &x) - 2.0).abs() < 1e-12);
+        let far = [5.0, 5.0, 5.0];
+        assert!(k.eval(&x, &far) < 1e-6);
+    }
+
+    #[test]
+    fn kernel_is_symmetric() {
+        let k = ArdSquaredExponential::new(1.5, vec![0.7, 1.3]);
+        let a = [0.2, -0.4];
+        let b = [1.0, 0.6];
+        assert!((k.eval(&a, &b) - k.eval(&b, &a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lengthscale_controls_decay_rate() {
+        let short = ArdSquaredExponential::isotropic(1.0, 0.1, 1);
+        let long = ArdSquaredExponential::isotropic(1.0, 10.0, 1);
+        let a = [0.0];
+        let b = [0.5];
+        assert!(short.eval(&a, &b) < long.eval(&a, &b));
+    }
+
+    #[test]
+    fn gram_matrix_is_symmetric_with_signal_variance_diagonal() {
+        let k = ArdSquaredExponential::new(3.0, vec![1.0, 2.0]);
+        let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0], vec![-1.0, 0.5]]);
+        let g = k.gram(&x);
+        assert!(g.is_symmetric(1e-14));
+        for i in 0..3 {
+            assert!((g[(i, i)] - 3.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn gram_gradients_match_finite_differences() {
+        let x = Matrix::from_rows(&[vec![0.1, 0.9], vec![0.8, 0.4], vec![-0.5, 0.2]]);
+        let sf2 = 1.7;
+        let ls = vec![0.6, 1.4];
+        let k = ArdSquaredExponential::new(sf2, ls.clone());
+        let g = k.gram(&x);
+
+        let h = 1e-6;
+        // log σf direction.
+        let kp = ArdSquaredExponential::new((sf2.ln() / 2.0 + h).exp().powi(2), ls.clone());
+        let km = ArdSquaredExponential::new((sf2.ln() / 2.0 - h).exp().powi(2), ls.clone());
+        let fd = &(&kp.gram(&x) - &km.gram(&x)) * (1.0 / (2.0 * h));
+        let analytic = k.gram_grad_log_signal(&g);
+        assert!((&fd - &analytic).max_abs() < 1e-5);
+
+        // log l_0 direction.
+        let mut lsp = ls.clone();
+        lsp[0] = (ls[0].ln() + h).exp();
+        let mut lsm = ls.clone();
+        lsm[0] = (ls[0].ln() - h).exp();
+        let fd0 = &(&ArdSquaredExponential::new(sf2, lsp).gram(&x)
+            - &ArdSquaredExponential::new(sf2, lsm).gram(&x))
+            * (1.0 / (2.0 * h));
+        let analytic0 = k.gram_grad_log_lengthscale(&x, &g, 0);
+        assert!((&fd0 - &analytic0).max_abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_lengthscale_is_rejected() {
+        let _ = ArdSquaredExponential::new(1.0, vec![0.0]);
+    }
+}

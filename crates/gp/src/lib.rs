@@ -1,0 +1,48 @@
+//! Classical Gaussian-process regression for the `nnbo` workspace.
+//!
+//! This crate implements the *explicit-kernel* GP of the paper's background section
+//! (section II.C): a constant mean, an ARD squared-exponential (Gaussian) kernel
+//!
+//! ```text
+//! k(xi, xj) = σf² · exp(-½ (xi - xj)ᵀ Λ⁻¹ (xi - xj)),   Λ = diag(l1², …, ld²)
+//! ```
+//!
+//! additive Gaussian observation noise, hyper-parameter fitting by maximising the
+//! log marginal likelihood (eq. 4), and the predictive mean/variance of eq. 3.
+//!
+//! It is the surrogate used by the WEIBO and GASPAD baselines that the paper
+//! compares against; the paper's own neural-network GP lives in `nnbo-core`.
+//!
+//! Training is O(N³) and prediction O(N²) per point, exactly the costs the paper's
+//! complexity analysis (section III.D) attributes to the traditional model — the
+//! scaling benchmark in `nnbo-bench` measures this contrast directly.
+//!
+//! # Example
+//!
+//! ```
+//! use nnbo_gp::{GpConfig, GpModel};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), nnbo_gp::GpError> {
+//! // Noisy observations of y = sin(3x).
+//! let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| (3.0 * x[0]).sin()).collect();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let model = GpModel::fit(&xs, &ys, &GpConfig::default(), &mut rng)?;
+//! let p = model.predict(&[0.5]);
+//! assert!((p.mean - (1.5_f64).sin()).abs() < 0.2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod hyper;
+mod kernel;
+mod model;
+
+pub use error::GpError;
+pub use hyper::{GpConfig, GpHyperParams};
+pub use kernel::ArdSquaredExponential;
+pub use model::{GpModel, GpPrediction};

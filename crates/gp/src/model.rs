@@ -1,0 +1,415 @@
+//! The Gaussian-process regression model (explicit kernel, eq. 3/4 of the paper).
+
+use nnbo_linalg::{Cholesky, Matrix, Standardizer};
+use nnbo_nn::{Adam, Optimizer};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{ArdSquaredExponential, GpConfig, GpError, GpHyperParams};
+
+/// Predictive distribution of the GP at one query point, in the original target
+/// units: `y ~ N(mean, variance)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpPrediction {
+    /// Predictive mean `µ(x)`.
+    pub mean: f64,
+    /// Predictive variance `σ²(x)` (includes the observation-noise term, as in eq. 3).
+    pub variance: f64,
+}
+
+impl GpPrediction {
+    /// Predictive standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance.max(0.0).sqrt()
+    }
+}
+
+/// A fitted constant-mean, ARD-squared-exponential Gaussian-process regression
+/// model.
+///
+/// Training follows section II.C of the paper: the hyper-parameters (signal
+/// variance, per-dimension lengthscales, noise variance and the constant mean) are
+/// found by maximising the log marginal likelihood of eq. 4 with a multi-restart
+/// Adam optimizer on the analytic gradient.  Prediction follows eq. 3.
+#[derive(Debug, Clone)]
+pub struct GpModel {
+    x: Matrix,
+    /// Standardised residual targets `y_std`.
+    y: Vec<f64>,
+    standardizer: Standardizer,
+    hyper: GpHyperParams,
+    kernel: ArdSquaredExponential,
+    chol: Cholesky,
+    /// `(K + σn² I)⁻¹ (y - µ0)` — the α vector of eq. 3.
+    alpha: Vec<f64>,
+    nll: f64,
+}
+
+impl GpModel {
+    /// Fits a GP to the training set `(xs, ys)`.
+    ///
+    /// `xs` is a slice of N points of identical dimension d (in the caller's design
+    /// space — typically already normalised to the unit cube by `nnbo-core`), and
+    /// `ys` the N observed scalar targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::InvalidTrainingSet`] for empty or ragged input,
+    /// [`GpError::OptimizationFailed`] if no restart produces a finite likelihood and
+    /// [`GpError::KernelFactorization`] if the final kernel matrix cannot be factored.
+    pub fn fit<R: Rng + ?Sized>(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        config: &GpConfig,
+        rng: &mut R,
+    ) -> Result<Self, GpError> {
+        validate_training_set(xs, ys)?;
+        let dim = xs[0].len();
+        let n = xs.len();
+        let x = Matrix::from_rows(xs);
+
+        let (y_std, standardizer) = if config.standardize_targets {
+            let (v, s) = nnbo_linalg::standardize(ys);
+            (v, s)
+        } else {
+            (ys.to_vec(), Standardizer::identity())
+        };
+
+        let mut best: Option<(f64, GpHyperParams)> = None;
+        for restart in 0..config.restarts.max(1) {
+            let mut hyper = initial_hyper(dim, restart, rng);
+            let mut adam = Adam::with_learning_rate(config.learning_rate);
+            let mut flat = hyper.to_flat();
+            for _ in 0..config.max_iters {
+                hyper = GpHyperParams::from_flat(&flat, dim);
+                hyper.clamp(config.min_log_noise);
+                flat = hyper.to_flat();
+                let Some((_nll, grad)) = nll_and_grad(&x, &y_std, &hyper, config.jitter) else {
+                    break;
+                };
+                adam.step(&mut flat, &grad);
+            }
+            hyper = GpHyperParams::from_flat(&flat, dim);
+            hyper.clamp(config.min_log_noise);
+            if let Some((nll, _)) = nll_and_grad(&x, &y_std, &hyper, config.jitter) {
+                if nll.is_finite() && best.as_ref().map_or(true, |(b, _)| nll < *b) {
+                    best = Some((nll, hyper.clone()));
+                }
+            }
+        }
+        let (nll, hyper) = best.ok_or(GpError::OptimizationFailed)?;
+
+        let kernel = ArdSquaredExponential::new(hyper.signal_variance(), hyper.lengthscales());
+        let mut k = kernel.gram(&x);
+        k.add_diag(hyper.noise_variance());
+        let (chol, _) = Cholesky::decompose_with_jitter(&k, config.jitter, 10)?;
+        let residual: Vec<f64> = y_std.iter().map(|v| v - hyper.mean).collect();
+        let alpha = chol.solve_vec(&residual);
+
+        let _ = n;
+        Ok(GpModel {
+            x,
+            y: y_std,
+            standardizer,
+            hyper,
+            kernel,
+            chol,
+            alpha,
+            nll,
+        })
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.x.nrows()
+    }
+
+    /// Returns `true` when the model has no training data (never the case for a
+    /// successfully fitted model).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.x.ncols()
+    }
+
+    /// The fitted hyper-parameters (in standardised target units).
+    pub fn hyper_params(&self) -> &GpHyperParams {
+        &self.hyper
+    }
+
+    /// Negative log marginal likelihood achieved by the fit (standardised units).
+    pub fn nll(&self) -> f64 {
+        self.nll
+    }
+
+    /// Target standardiser used internally (useful for diagnostics).
+    pub fn standardizer(&self) -> &Standardizer {
+        &self.standardizer
+    }
+
+    /// Predictive distribution at a query point, in original target units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn predict(&self, x: &[f64]) -> GpPrediction {
+        assert_eq!(x.len(), self.dim(), "query dimension mismatch");
+        let k_star = self.kernel.cross(x, &self.x);
+        let mean_std = self.hyper.mean
+            + k_star
+                .iter()
+                .zip(self.alpha.iter())
+                .map(|(k, a)| k * a)
+                .sum::<f64>();
+        let v = self.chol.solve_lower(&k_star);
+        let explained: f64 = v.iter().map(|u| u * u).sum();
+        let var_std =
+            (self.hyper.noise_variance() + self.kernel.eval(x, x) - explained).max(1e-12);
+        GpPrediction {
+            mean: self.standardizer.inverse(mean_std),
+            variance: self.standardizer.inverse_variance(var_std),
+        }
+    }
+
+    /// Predicts a batch of points.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<GpPrediction> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Leave-one-out style diagnostic: mean squared standardised residual on the
+    /// training data (useful as a sanity metric in tests and experiments).
+    pub fn training_mse(&self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.len() {
+            let p = self.predict(self.x.row(i));
+            let y = self.standardizer.inverse(self.y[i]);
+            acc += (p.mean - y) * (p.mean - y);
+        }
+        acc / self.len() as f64
+    }
+}
+
+fn validate_training_set(xs: &[Vec<f64>], ys: &[f64]) -> Result<(), GpError> {
+    if xs.is_empty() || ys.is_empty() {
+        return Err(GpError::InvalidTrainingSet {
+            details: "training set is empty".to_string(),
+        });
+    }
+    if xs.len() != ys.len() {
+        return Err(GpError::InvalidTrainingSet {
+            details: format!("{} inputs but {} targets", xs.len(), ys.len()),
+        });
+    }
+    let dim = xs[0].len();
+    if dim == 0 {
+        return Err(GpError::InvalidTrainingSet {
+            details: "zero-dimensional inputs".to_string(),
+        });
+    }
+    if xs.iter().any(|x| x.len() != dim) {
+        return Err(GpError::InvalidTrainingSet {
+            details: "ragged input dimensions".to_string(),
+        });
+    }
+    if xs.iter().flatten().any(|v| !v.is_finite()) || ys.iter().any(|v| !v.is_finite()) {
+        return Err(GpError::InvalidTrainingSet {
+            details: "non-finite values in training data".to_string(),
+        });
+    }
+    Ok(())
+}
+
+fn initial_hyper<R: Rng + ?Sized>(dim: usize, restart: usize, rng: &mut R) -> GpHyperParams {
+    if restart == 0 {
+        GpHyperParams::standard(dim)
+    } else {
+        GpHyperParams {
+            log_signal: rng.gen_range(-1.0..1.0),
+            log_lengthscales: (0..dim).map(|_| rng.gen_range(-1.5..1.5)).collect(),
+            log_noise: rng.gen_range(-6.0..-2.0),
+            mean: rng.gen_range(-0.5..0.5),
+        }
+    }
+}
+
+/// Negative log marginal likelihood (eq. 4) and its gradient with respect to the
+/// flat hyper-parameter vector `[log σf, log l_1.., log σn, µ0]`.
+///
+/// Returns `None` when the kernel matrix cannot be factored or the likelihood is not
+/// finite, which the optimizer treats as "stop this restart".
+pub(crate) fn nll_and_grad(
+    x: &Matrix,
+    y: &[f64],
+    hyper: &GpHyperParams,
+    jitter: f64,
+) -> Option<(f64, Vec<f64>)> {
+    let n = x.nrows();
+    let dim = x.ncols();
+    let kernel = ArdSquaredExponential::new(hyper.signal_variance(), hyper.lengthscales());
+    let gram = kernel.gram(x);
+    let mut k = gram.clone();
+    k.add_diag(hyper.noise_variance());
+    let (chol, _) = Cholesky::decompose_with_jitter(&k, jitter, 8).ok()?;
+
+    let residual: Vec<f64> = y.iter().map(|v| v - hyper.mean).collect();
+    let alpha = chol.solve_vec(&residual);
+    let fit_term: f64 = residual.iter().zip(alpha.iter()).map(|(r, a)| r * a).sum();
+    let log_det = chol.log_det();
+    let nll = 0.5 * (fit_term + log_det + n as f64 * (2.0 * std::f64::consts::PI).ln());
+    if !nll.is_finite() {
+        return None;
+    }
+
+    // Gradient: dL/dθ = ½ tr((K⁻¹ - α αᵀ) ∂K/∂θ).
+    let k_inv = chol.inverse();
+    let mut grad = Vec::with_capacity(dim + 3);
+
+    // Helper computing ½ Σ_ij (K⁻¹ - ααᵀ)_ij (∂K/∂θ)_ij for a dense symmetric ∂K/∂θ.
+    let trace_term = |dk: &Matrix| -> f64 {
+        let mut acc = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                acc += (k_inv[(i, j)] - alpha[i] * alpha[j]) * dk[(i, j)];
+            }
+        }
+        0.5 * acc
+    };
+
+    // log σf.
+    grad.push(trace_term(&kernel.gram_grad_log_signal(&gram)));
+    // log lengthscales.
+    for d in 0..dim {
+        grad.push(trace_term(&kernel.gram_grad_log_lengthscale(x, &gram, d)));
+    }
+    // log σn: ∂K/∂log σn = 2 σn² I.
+    let noise_var = hyper.noise_variance();
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += (k_inv[(i, i)] - alpha[i] * alpha[i]) * 2.0 * noise_var;
+    }
+    grad.push(0.5 * acc);
+    // Mean: dL/dµ0 = -Σ α_i.
+    grad.push(-alpha.iter().sum::<f64>());
+
+    if grad.iter().any(|g| !g.is_finite()) {
+        return None;
+    }
+    Some((nll, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnbo_nn::finite_difference_gradient;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| (3.0 * x[0]).sin() + 0.5 * x[1] * x[1])
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn nll_gradient_matches_finite_differences() {
+        let (xs, ys) = toy_data(12, 3);
+        let x = Matrix::from_rows(&xs);
+        let (y_std, _) = nnbo_linalg::standardize(&ys);
+        let hyper = GpHyperParams {
+            log_signal: 0.2,
+            log_lengthscales: vec![-0.3, 0.4],
+            log_noise: -2.0,
+            mean: 0.1,
+        };
+        let (_, analytic) = nll_and_grad(&x, &y_std, &hyper, 1e-10).unwrap();
+        let f = |flat: &[f64]| {
+            let hp = GpHyperParams::from_flat(flat, 2);
+            nll_and_grad(&x, &y_std, &hp, 1e-10).unwrap().0
+        };
+        let fd = finite_difference_gradient(&f, &hyper.to_flat(), 1e-5);
+        for (a, b) in analytic.iter().zip(fd.iter()) {
+            assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()), "analytic {a} vs fd {b}");
+        }
+    }
+
+    #[test]
+    fn fit_interpolates_training_data() {
+        let (xs, ys) = toy_data(25, 7);
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = GpModel::fit(&xs, &ys, &GpConfig::default(), &mut rng).unwrap();
+        assert!(model.training_mse() < 1e-2, "training MSE {}", model.training_mse());
+    }
+
+    #[test]
+    fn prediction_is_accurate_between_points() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 29.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (4.0 * x[0]).cos()).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = GpModel::fit(&xs, &ys, &GpConfig::default(), &mut rng).unwrap();
+        for &t in &[0.15, 0.35, 0.62, 0.81] {
+            let p = model.predict(&[t]);
+            assert!((p.mean - (4.0 * t).cos()).abs() < 0.05, "bad prediction at {t}");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![0.3 + 0.04 * i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = GpModel::fit(&xs, &ys, &GpConfig::fast(), &mut rng).unwrap();
+        let near = model.predict(&[0.45]);
+        let far = model.predict(&[3.0]);
+        assert!(far.variance > near.variance * 5.0);
+    }
+
+    #[test]
+    fn invalid_training_sets_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let err = GpModel::fit(&[], &[], &GpConfig::fast(), &mut rng).unwrap_err();
+        assert!(matches!(err, GpError::InvalidTrainingSet { .. }));
+        let err = GpModel::fit(&[vec![1.0]], &[1.0, 2.0], &GpConfig::fast(), &mut rng).unwrap_err();
+        assert!(matches!(err, GpError::InvalidTrainingSet { .. }));
+        let err = GpModel::fit(
+            &[vec![1.0], vec![1.0, 2.0]],
+            &[1.0, 2.0],
+            &GpConfig::fast(),
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GpError::InvalidTrainingSet { .. }));
+        let err = GpModel::fit(&[vec![f64::NAN]], &[1.0], &GpConfig::fast(), &mut rng).unwrap_err();
+        assert!(matches!(err, GpError::InvalidTrainingSet { .. }));
+    }
+
+    #[test]
+    fn constant_targets_do_not_break_fitting() {
+        let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
+        let ys = vec![2.5; 8];
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = GpModel::fit(&xs, &ys, &GpConfig::fast(), &mut rng).unwrap();
+        let p = model.predict(&[0.5]);
+        assert!((p.mean - 2.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn prediction_units_are_restored_after_standardisation() {
+        // Targets with a large offset and scale: predictions must come back in the
+        // original units, not the standardised ones.
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1000.0 + 50.0 * x[0]).collect();
+        let mut rng = StdRng::seed_from_u64(6);
+        let model = GpModel::fit(&xs, &ys, &GpConfig::default(), &mut rng).unwrap();
+        let p = model.predict(&[0.5]);
+        assert!((p.mean - 1025.0).abs() < 5.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests of the classical GP: kernel validity and model behaviour.
+
+use nnbo_gp::{ArdSquaredExponential, GpConfig, GpModel};
+use nnbo_linalg::{Cholesky, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn points(n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0..1.0f64, dim), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kernel_values_are_bounded_by_the_signal_variance(
+        sf2 in 0.1..5.0f64,
+        ls in prop::collection::vec(0.1..3.0f64, 3),
+        a in prop::collection::vec(-2.0..2.0f64, 3),
+        b in prop::collection::vec(-2.0..2.0f64, 3),
+    ) {
+        let k = ArdSquaredExponential::new(sf2, ls);
+        let v = k.eval(&a, &b);
+        prop_assert!(v > 0.0 && v <= sf2 + 1e-12);
+        prop_assert!((k.eval(&a, &a) - sf2).abs() < 1e-12);
+        prop_assert!((v - k.eval(&b, &a)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gram_matrix_plus_noise_is_positive_definite(
+        xs in points(8, 2),
+        sf2 in 0.2..3.0f64,
+        l in 0.2..2.0f64,
+    ) {
+        let k = ArdSquaredExponential::isotropic(sf2, l, 2);
+        let x = Matrix::from_rows(&xs);
+        let mut gram = k.gram(&x);
+        gram.add_diag(1e-6);
+        prop_assert!(gram.is_symmetric(1e-12));
+        prop_assert!(Cholesky::decompose(&gram).is_ok());
+    }
+
+    #[test]
+    fn fitted_gp_predictions_are_finite_and_variances_nonnegative(
+        seed in 0..200u64,
+        queries in prop::collection::vec(prop::collection::vec(0.0..1.0f64, 2), 1..6),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![(i as f64) / 11.0, ((i * 7) % 12) as f64 / 11.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (4.0 * x[0]).sin() + x[1]).collect();
+        let model = GpModel::fit(&xs, &ys, &GpConfig::fast(), &mut rng).unwrap();
+        for q in &queries {
+            let p = model.predict(q);
+            prop_assert!(p.mean.is_finite());
+            prop_assert!(p.variance.is_finite() && p.variance >= 0.0);
+        }
+    }
+
+    #[test]
+    fn gp_is_invariant_to_constant_target_shifts(
+        shift in -100.0..100.0f64,
+    ) {
+        // Standardisation makes the fit invariant (up to numerical noise) to adding
+        // a constant to all targets; predictions shift by exactly that constant.
+        let xs: Vec<Vec<f64>> = (0..15).map(|i| vec![i as f64 / 14.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (3.0 * x[0]).sin()).collect();
+        let ys_shifted: Vec<f64> = ys.iter().map(|y| y + shift).collect();
+        let mut rng1 = StdRng::seed_from_u64(3);
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let base = GpModel::fit(&xs, &ys, &GpConfig::fast(), &mut rng1).unwrap();
+        let shifted = GpModel::fit(&xs, &ys_shifted, &GpConfig::fast(), &mut rng2).unwrap();
+        let q = [0.4];
+        let a = base.predict(&q);
+        let b = shifted.predict(&q);
+        prop_assert!((b.mean - a.mean - shift).abs() < 1e-6 * (1.0 + shift.abs()));
+    }
+}

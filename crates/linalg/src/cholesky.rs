@@ -1,0 +1,298 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{LinalgError, Matrix};
+
+/// Lower-triangular Cholesky factor `L` of a symmetric positive-definite matrix
+/// `A = L Lᵀ`.
+///
+/// The factorization is the workhorse of both Gaussian-process regression (kernel
+/// matrix solves, log-determinants) and the weight-space neural GP (the `M x M`
+/// matrix `A = ΦΦᵀ + λI` of eq. 10 in the paper).
+///
+/// # Example
+///
+/// ```
+/// use nnbo_linalg::{Cholesky, Matrix};
+///
+/// # fn main() -> Result<(), nnbo_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+/// let chol = Cholesky::decompose(&a)?;
+/// assert!((chol.log_det() - (3.0_f64).ln()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Computes the Cholesky factorization of `a`.
+    ///
+    /// Only the lower triangle of `a` is read; the matrix is assumed symmetric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular input and
+    /// [`LinalgError::NotPositiveDefinite`] when a pivot is not strictly positive.
+    pub fn decompose(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
+        }
+        let n = a.nrows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite {
+                            pivot: i,
+                            value: sum,
+                        });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Computes the factorization, adding increasing diagonal jitter until it
+    /// succeeds.
+    ///
+    /// The jitter starts at `initial_jitter` and is multiplied by 10 up to
+    /// `max_attempts` times.  This is the standard trick for kernel matrices that are
+    /// positive definite in exact arithmetic but borderline in floating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last factorization error if every attempt fails.
+    pub fn decompose_with_jitter(
+        a: &Matrix,
+        initial_jitter: f64,
+        max_attempts: usize,
+    ) -> Result<(Self, f64), LinalgError> {
+        match Self::decompose(a) {
+            Ok(c) => return Ok((c, 0.0)),
+            Err(e) => {
+                let mut jitter = initial_jitter;
+                let mut last_err = e;
+                for _ in 0..max_attempts {
+                    let mut aj = a.clone();
+                    aj.add_diag(jitter);
+                    match Self::decompose(&aj) {
+                        Ok(c) => return Ok((c, jitter)),
+                        Err(e) => last_err = e,
+                    }
+                    jitter *= 10.0;
+                }
+                Err(last_err)
+            }
+        }
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// Borrow of the lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `L y = b` (forward substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "solve_lower dimension mismatch");
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Solves `Lᵀ x = y` (backward substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != dim()`.
+    pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(y.len(), n, "solve_upper dimension mismatch");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A x = b` where `A = L Lᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve_vec(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `B.nrows() != dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        let n = self.dim();
+        assert_eq!(b.nrows(), n, "solve_matrix dimension mismatch");
+        let mut out = Matrix::zeros(n, b.ncols());
+        for j in 0..b.ncols() {
+            let col = b.col(j);
+            let x = self.solve_vec(&col);
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        out
+    }
+
+    /// Explicit inverse of the factored matrix (use sparingly; prefer the solves).
+    pub fn inverse(&self) -> Matrix {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Log-determinant of the factored matrix: `2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Quadratic form `bᵀ A⁻¹ b` computed via a single triangular solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn quadratic_form(&self, b: &[f64]) -> f64 {
+        let y = self.solve_lower(b);
+        y.iter().map(|v| v * v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lu;
+
+    fn spd_example() -> Matrix {
+        Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 1.0],
+            vec![0.5, 1.0, 2.0],
+        ])
+    }
+
+    #[test]
+    fn reconstructs_original() {
+        let a = spd_example();
+        let c = Cholesky::decompose(&a).unwrap();
+        let l = c.factor();
+        let rec = l.matmul(&l.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_gives_residual_zero() {
+        let a = spd_example();
+        let c = Cholesky::decompose(&a).unwrap();
+        let b = vec![1.0, -2.0, 0.5];
+        let x = c.solve_vec(&b);
+        let r = a.matvec(&x);
+        for i in 0..3 {
+            assert!((r[i] - b[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_lu() {
+        let a = spd_example();
+        let c = Cholesky::decompose(&a).unwrap();
+        let lu = Lu::decompose(&a).unwrap();
+        assert!((c.log_det() - lu.log_det().unwrap()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_recovers_semi_definite() {
+        // Rank-deficient Gram matrix: jitter should make it factorable.
+        let v = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        let (c, jitter) = Cholesky::decompose_with_jitter(&v, 1e-10, 12).unwrap();
+        assert!(jitter > 0.0);
+        assert_eq!(c.dim(), 2);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = spd_example();
+        let c = Cholesky::decompose(&a).unwrap();
+        let inv = c.inverse();
+        let id = a.matmul(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((id[(i, j)] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_form_matches_solve() {
+        let a = spd_example();
+        let c = Cholesky::decompose(&a).unwrap();
+        let b = vec![0.3, 1.0, -0.7];
+        let x = c.solve_vec(&b);
+        let direct: f64 = b.iter().zip(x.iter()).map(|(u, v)| u * v).sum();
+        assert!((c.quadratic_form(&b) - direct).abs() < 1e-10);
+    }
+}

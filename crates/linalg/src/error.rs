@@ -1,0 +1,57 @@
+//! Error type shared by the factorization routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the linear-algebra routines of this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// A matrix had incompatible or unexpected dimensions.
+    DimensionMismatch {
+        /// Description of the operation that failed.
+        context: &'static str,
+        /// Dimensions that were supplied, formatted as `rows x cols` pairs.
+        details: String,
+    },
+    /// A Cholesky factorization was requested on a matrix that is not positive definite.
+    NotPositiveDefinite {
+        /// Index of the pivot where the factorization broke down.
+        pivot: usize,
+        /// Value of the offending pivot.
+        value: f64,
+    },
+    /// An LU factorization met a (numerically) singular pivot.
+    Singular {
+        /// Index of the singular pivot.
+        pivot: usize,
+    },
+    /// A routine that requires a square matrix received a rectangular one.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { context, details } => {
+                write!(f, "dimension mismatch in {context}: {details}")
+            }
+            LinalgError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite (pivot {pivot} has value {value:e})"
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "expected a square matrix, got {rows}x{cols}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}

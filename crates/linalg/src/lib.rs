@@ -1,0 +1,46 @@
+//! Dense linear algebra substrate for the `nnbo` workspace.
+//!
+//! The Gaussian-process models and the neural-network feature maps of the paper
+//! only need dense, moderate-size linear algebra: matrix products, Cholesky and LU
+//! factorizations, triangular solves and log-determinants.  This crate implements
+//! those primitives from scratch on top of a row-major [`Matrix`] type so that the
+//! workspace has no external numeric dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use nnbo_linalg::{Matrix, Cholesky};
+//!
+//! # fn main() -> Result<(), nnbo_linalg::LinalgError> {
+//! // A small symmetric positive-definite system A x = b.
+//! let a = Matrix::from_rows(&[
+//!     vec![4.0, 1.0, 0.0],
+//!     vec![1.0, 3.0, 1.0],
+//!     vec![0.0, 1.0, 2.0],
+//! ]);
+//! let b = vec![1.0, 2.0, 3.0];
+//! let chol = Cholesky::decompose(&a)?;
+//! let x = chol.solve_vec(&b);
+//! let r = a.matvec(&x);
+//! assert!((r[0] - b[0]).abs() < 1e-10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod cholesky;
+mod error;
+mod lu;
+mod matrix;
+mod stats;
+mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use stats::{mean, sample_std, standardize, Standardizer};
+pub use vector::{
+    add, add_scaled, dot, norm2, scale, squared_distance, sub, weighted_squared_distance,
+};

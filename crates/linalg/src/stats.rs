@@ -1,0 +1,139 @@
+//! Small statistical helpers (means, standard deviations, standardisation).
+//!
+//! The surrogate models standardise their training targets so that the neural
+//! network and the GP hyper-parameter optimizers work on O(1) quantities regardless
+//! of the raw figure-of-merit scale (gains in dB, currents in µA, ...).
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean of a slice (`0.0` for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation (denominator `n - 1`); returns `0.0` for fewer than two
+/// values.
+pub fn sample_std(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Standardises `values` to zero mean and unit standard deviation, returning the
+/// transformed values together with the fitted [`Standardizer`].
+pub fn standardize(values: &[f64]) -> (Vec<f64>, Standardizer) {
+    let s = Standardizer::fit(values);
+    (values.iter().map(|&v| s.transform(v)).collect(), s)
+}
+
+/// An affine transform `y ↦ (y - mean) / std` fitted from data.
+///
+/// The inverse transform maps surrogate predictions back to the original units.
+/// A degenerate (constant) data set gets `std = 1` so the transform stays invertible.
+///
+/// # Example
+///
+/// ```
+/// use nnbo_linalg::Standardizer;
+///
+/// let s = Standardizer::fit(&[10.0, 20.0, 30.0]);
+/// let z = s.transform(20.0);
+/// assert!(z.abs() < 1e-12);
+/// assert!((s.inverse(z) - 20.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    mean: f64,
+    std: f64,
+}
+
+impl Standardizer {
+    /// Fits the transform to the given values.
+    pub fn fit(values: &[f64]) -> Self {
+        let m = mean(values);
+        let mut s = sample_std(values);
+        if s <= 0.0 || !s.is_finite() {
+            s = 1.0;
+        }
+        Standardizer { mean: m, std: s }
+    }
+
+    /// Identity transform (mean 0, std 1).
+    pub fn identity() -> Self {
+        Standardizer { mean: 0.0, std: 1.0 }
+    }
+
+    /// Fitted mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Fitted standard deviation (never zero).
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Applies the forward transform.
+    pub fn transform(&self, value: f64) -> f64 {
+        (value - self.mean) / self.std
+    }
+
+    /// Applies the inverse transform.
+    pub fn inverse(&self, value: f64) -> f64 {
+        value * self.std + self.mean
+    }
+
+    /// Rescales a variance from standardised units back to original units.
+    pub fn inverse_variance(&self, variance: f64) -> f64 {
+        variance * self.std * self.std
+    }
+}
+
+impl Default for Standardizer {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(sample_std(&[5.0]), 0.0);
+        assert!((sample_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn standardize_roundtrip() {
+        let data = vec![1.0, 5.0, 9.0, -3.0];
+        let (z, s) = standardize(&data);
+        assert!(mean(&z).abs() < 1e-12);
+        for (orig, transformed) in data.iter().zip(z.iter()) {
+            assert!((s.inverse(*transformed) - orig).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_data_keeps_unit_std() {
+        let s = Standardizer::fit(&[3.0, 3.0, 3.0]);
+        assert_eq!(s.std(), 1.0);
+        assert_eq!(s.transform(3.0), 0.0);
+    }
+
+    #[test]
+    fn variance_rescaling() {
+        let s = Standardizer::fit(&[0.0, 10.0]);
+        let var_std_units = 2.0;
+        assert!((s.inverse_variance(var_std_units) - 2.0 * s.std() * s.std()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,125 @@
+//! Small free functions on `&[f64]` vectors.
+//!
+//! These are used pervasively by the kernels, the neural-network layers and the
+//! acquisition optimizers; keeping them as plain slice functions avoids forcing a
+//! vector newtype on every caller.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Elementwise sum `a + b`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vector addition length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+}
+
+/// Elementwise difference `a - b`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vector subtraction length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Scales a slice by a factor, returning a new vector.
+pub fn scale(a: &[f64], factor: f64) -> Vec<f64> {
+    a.iter().map(|x| x * factor).collect()
+}
+
+/// Returns `a + factor * b`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_scaled(a: &[f64], b: &[f64], factor: f64) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add_scaled length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x + factor * y).collect()
+}
+
+/// Squared Euclidean distance between two points.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "squared_distance length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Squared distance weighted per dimension: `Σ_d w_d (a_d - b_d)²`.
+///
+/// Used for the ARD squared-exponential kernel where `w_d = 1 / l_d²`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn weighted_squared_distance(a: &[f64], b: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "weighted_squared_distance length mismatch");
+    assert_eq!(a.len(), weights.len(), "weights length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .zip(weights.iter())
+        .map(|((x, y), w)| {
+            let d = x - y;
+            w * d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(sub(&[1.0, 2.0], &[3.0, 4.0]), vec![-2.0, -2.0]);
+        assert_eq!(scale(&[1.0, 2.0], 2.0), vec![2.0, 4.0]);
+        assert_eq!(add_scaled(&[1.0, 2.0], &[1.0, 1.0], 0.5), vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(
+            weighted_squared_distance(&[0.0, 0.0], &[2.0, 2.0], &[1.0, 0.25]),
+            5.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

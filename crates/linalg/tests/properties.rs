@@ -1,0 +1,120 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use nnbo_linalg::{dot, squared_distance, Cholesky, Lu, Matrix, Standardizer};
+use proptest::prelude::*;
+
+/// Strategy: a random square matrix of dimension 1..=6 with entries in [-5, 5].
+fn square_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim).prop_flat_map(|n| {
+        prop::collection::vec(-5.0..5.0_f64, n * n)
+            .prop_map(move |data| Matrix::from_vec(n, n, data))
+    })
+}
+
+/// Strategy: a random vector of a given length with entries in [-5, 5].
+fn vector(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-5.0..5.0_f64, len)
+}
+
+/// Builds a symmetric positive-definite matrix as `B Bᵀ + n·I` from a random `B`.
+fn make_spd(b: &Matrix) -> Matrix {
+    let mut a = b.matmul_transpose(b);
+    a.add_diag(b.nrows() as f64 + 1.0);
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(m in square_matrix(6)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(m in square_matrix(6)) {
+        let id = Matrix::identity(m.nrows());
+        let prod = m.matmul(&id);
+        for (a, b) in prod.as_slice().iter().zip(m.as_slice().iter()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_consistency(m in square_matrix(5)) {
+        let explicit = m.matmul(&m.transpose());
+        let fused = m.matmul_transpose(&m);
+        for (a, b) in explicit.as_slice().iter().zip(fused.as_slice().iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd(b in square_matrix(6)) {
+        let a = make_spd(&b);
+        let chol = Cholesky::decompose(&a).unwrap();
+        let l = chol.factor();
+        let rec = l.matmul(&l.transpose());
+        for (x, y) in rec.as_slice().iter().zip(a.as_slice().iter()) {
+            prop_assert!((x - y).abs() < 1e-8 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_residual_is_small(b in square_matrix(5)) {
+        let a = make_spd(&b);
+        let n = a.nrows();
+        let rhs: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0) * 0.37).collect();
+        let chol = Cholesky::decompose(&a).unwrap();
+        let x = chol.solve_vec(&rhs);
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(rhs.iter()) {
+            prop_assert!((ri - bi).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn cholesky_and_lu_logdet_agree(b in square_matrix(5)) {
+        let a = make_spd(&b);
+        let chol = Cholesky::decompose(&a).unwrap();
+        let lu = Lu::decompose(&a).unwrap();
+        let ld_lu = lu.log_det().unwrap();
+        prop_assert!((chol.log_det() - ld_lu).abs() < 1e-7 * (1.0 + ld_lu.abs()));
+    }
+
+    #[test]
+    fn lu_solve_residual_is_small(m in square_matrix(5)) {
+        // Make the system comfortably non-singular by boosting the diagonal.
+        let mut a = m.clone();
+        a.add_diag(12.0);
+        let n = a.nrows();
+        let rhs: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+        let lu = Lu::decompose(&a).unwrap();
+        let x = lu.solve_vec(&rhs);
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(rhs.iter()) {
+            prop_assert!((ri - bi).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn dot_is_symmetric(v in vector(8), w in vector(8)) {
+        prop_assert!((dot(&v, &w) - dot(&w, &v)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn squared_distance_is_nonnegative_and_symmetric(v in vector(6), w in vector(6)) {
+        let d = squared_distance(&v, &w);
+        prop_assert!(d >= 0.0);
+        prop_assert!((d - squared_distance(&w, &v)).abs() < 1e-10);
+        prop_assert!(squared_distance(&v, &v) < 1e-20);
+    }
+
+    #[test]
+    fn standardizer_roundtrip(v in prop::collection::vec(-100.0..100.0_f64, 2..32)) {
+        let s = Standardizer::fit(&v);
+        for &x in &v {
+            prop_assert!((s.inverse(s.transform(x)) - x).abs() < 1e-9 * (1.0 + x.abs()));
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! First-order optimizers on flat parameter vectors.
+//!
+//! The neural GP of the paper trains the network weights *and* the GP
+//! hyper-parameters `σn`, `σp` jointly by minimising the negative log marginal
+//! likelihood (eq. 11).  Representing the full parameter set as one flat `Vec<f64>`
+//! lets a single optimizer state drive all of them.
+
+use serde::{Deserialize, Serialize};
+
+/// A first-order optimizer that updates a flat parameter vector in place given the
+/// gradient of a scalar loss.
+pub trait Optimizer {
+    /// Performs one update step.  `params` and `grad` must have the same length on
+    /// every call, and that length must not change across calls.
+    fn step(&mut self, params: &mut [f64], grad: &[f64]);
+
+    /// Resets any internal state (moment estimates, step counters).
+    fn reset(&mut self);
+}
+
+/// Configuration for the [`Adam`] optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdamConfig {
+    /// Learning rate (default `1e-2`).
+    pub learning_rate: f64,
+    /// Exponential decay rate for the first moment (default `0.9`).
+    pub beta1: f64,
+    /// Exponential decay rate for the second moment (default `0.999`).
+    pub beta2: f64,
+    /// Numerical stabiliser added to the denominator (default `1e-8`).
+    pub epsilon: f64,
+    /// Maximum allowed gradient L2 norm; gradients are rescaled above it
+    /// (default `1e3`, which effectively disables clipping for well-scaled losses).
+    pub grad_clip: f64,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            learning_rate: 1e-2,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            grad_clip: 1e3,
+        }
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba) with optional gradient-norm clipping.
+///
+/// # Example
+///
+/// ```
+/// use nnbo_nn::{Adam, AdamConfig, Optimizer};
+///
+/// // Minimise f(x) = (x - 3)².
+/// let mut adam = Adam::new(AdamConfig { learning_rate: 0.1, ..AdamConfig::default() });
+/// let mut params = vec![0.0];
+/// for _ in 0..500 {
+///     let grad = vec![2.0 * (params[0] - 3.0)];
+///     adam.step(&mut params, &grad);
+/// }
+/// assert!((params[0] - 3.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    config: AdamConfig,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the given configuration.
+    pub fn new(config: AdamConfig) -> Self {
+        Adam {
+            config,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// Creates an Adam optimizer with default hyper-parameters and the given
+    /// learning rate.
+    pub fn with_learning_rate(learning_rate: f64) -> Self {
+        Adam::new(AdamConfig {
+            learning_rate,
+            ..AdamConfig::default()
+        })
+    }
+
+    /// The configuration of this optimizer.
+    pub fn config(&self) -> &AdamConfig {
+        &self.config
+    }
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Adam::new(AdamConfig::default())
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), grad.len(), "parameter/gradient length mismatch");
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let AdamConfig {
+            learning_rate,
+            beta1,
+            beta2,
+            epsilon,
+            grad_clip,
+        } = self.config;
+
+        let norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+        let scale = if norm > grad_clip && norm > 0.0 {
+            grad_clip / norm
+        } else {
+            1.0
+        };
+
+        let bc1 = 1.0 - beta1.powi(self.t as i32);
+        let bc2 = 1.0 - beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grad[i] * scale;
+            if !g.is_finite() {
+                // A non-finite component would poison the moment estimates forever;
+                // skip it and let the next evaluation recover.
+                continue;
+            }
+            self.m[i] = beta1 * self.m[i] + (1.0 - beta1) * g;
+            self.v[i] = beta2 * self.v[i] + (1.0 - beta2) * g * g;
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            params[i] -= learning_rate * m_hat / (v_hat.sqrt() + epsilon);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+}
+
+/// Configuration for plain stochastic gradient descent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GradientDescentConfig {
+    /// Learning rate (default `1e-3`).
+    pub learning_rate: f64,
+    /// Classical momentum coefficient (default `0.0`, i.e. no momentum).
+    pub momentum: f64,
+}
+
+impl Default for GradientDescentConfig {
+    fn default() -> Self {
+        GradientDescentConfig {
+            learning_rate: 1e-3,
+            momentum: 0.0,
+        }
+    }
+}
+
+/// Gradient descent with optional momentum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    config: GradientDescentConfig,
+    velocity: Vec<f64>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given configuration.
+    pub fn new(config: GradientDescentConfig) -> Self {
+        Sgd {
+            config,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Creates an SGD optimizer with the given learning rate and no momentum.
+    pub fn with_learning_rate(learning_rate: f64) -> Self {
+        Sgd::new(GradientDescentConfig {
+            learning_rate,
+            momentum: 0.0,
+        })
+    }
+}
+
+impl Default for Sgd {
+    fn default() -> Self {
+        Sgd::new(GradientDescentConfig::default())
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), grad.len(), "parameter/gradient length mismatch");
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for i in 0..params.len() {
+            if !grad[i].is_finite() {
+                continue;
+            }
+            self.velocity[i] =
+                self.config.momentum * self.velocity[i] - self.config.learning_rate * grad[i];
+            params[i] += self.velocity[i];
+        }
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rosenbrock function and gradient, a classic non-convex optimizer test.
+    fn rosenbrock(p: &[f64]) -> (f64, Vec<f64>) {
+        let (x, y) = (p[0], p[1]);
+        let f = (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2);
+        let gx = -2.0 * (1.0 - x) - 400.0 * x * (y - x * x);
+        let gy = 200.0 * (y - x * x);
+        (f, vec![gx, gy])
+    }
+
+    #[test]
+    fn adam_minimises_quadratic() {
+        let mut adam = Adam::with_learning_rate(0.05);
+        let mut p = vec![5.0, -4.0, 2.0];
+        for _ in 0..2000 {
+            let grad: Vec<f64> = p.iter().map(|x| 2.0 * x).collect();
+            adam.step(&mut p, &grad);
+        }
+        for x in &p {
+            assert!(x.abs() < 1e-3, "param {x} did not converge");
+        }
+    }
+
+    #[test]
+    fn adam_makes_progress_on_rosenbrock() {
+        let mut adam = Adam::with_learning_rate(0.02);
+        let mut p = vec![-1.0, 1.0];
+        let (f0, _) = rosenbrock(&p);
+        for _ in 0..5000 {
+            let (_, g) = rosenbrock(&p);
+            adam.step(&mut p, &g);
+        }
+        let (f1, _) = rosenbrock(&p);
+        assert!(f1 < f0 * 1e-3, "insufficient progress: {f0} -> {f1}");
+    }
+
+    #[test]
+    fn sgd_with_momentum_minimises_quadratic() {
+        let mut sgd = Sgd::new(GradientDescentConfig {
+            learning_rate: 0.05,
+            momentum: 0.5,
+        });
+        let mut p = vec![3.0];
+        for _ in 0..500 {
+            let grad = vec![2.0 * p[0]];
+            sgd.step(&mut p, &grad);
+        }
+        assert!(p[0].abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_clipping_limits_update_size() {
+        let mut adam = Adam::new(AdamConfig {
+            learning_rate: 0.1,
+            grad_clip: 1.0,
+            ..AdamConfig::default()
+        });
+        let mut p = vec![0.0, 0.0];
+        adam.step(&mut p, &[1e9, 1e9]);
+        // Even with a huge gradient the first Adam step is bounded by the LR.
+        for x in &p {
+            assert!(x.abs() <= 0.1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn non_finite_gradients_are_ignored() {
+        let mut adam = Adam::with_learning_rate(0.1);
+        let mut p = vec![1.0, 1.0];
+        adam.step(&mut p, &[f64::NAN, 0.5]);
+        assert!(p[0].is_finite());
+        assert!((p[0] - 1.0).abs() < 1e-12, "NaN gradient must not move the parameter");
+        assert!(p[1] < 1.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut adam = Adam::with_learning_rate(0.1);
+        let mut p = vec![1.0];
+        adam.step(&mut p, &[1.0]);
+        adam.reset();
+        let mut q = vec![1.0];
+        adam.step(&mut q, &[1.0]);
+        // After a reset the first step from the same state must be identical.
+        let mut adam2 = Adam::with_learning_rate(0.1);
+        let mut r = vec![1.0];
+        adam2.step(&mut r, &[1.0]);
+        assert_eq!(q, r);
+    }
+}

@@ -1,0 +1,88 @@
+//! Smoke tests of the reproduction harness itself (tiny protocols): the same entry
+//! points the `reproduce` binary uses for Tables I/II, the scaling study and the
+//! ablations.
+
+use nnbo_bench::{
+    format_table1, format_table2, run_ablation_ensemble, run_scaling, run_table1, run_table2,
+    Protocol,
+};
+
+/// A protocol small enough to finish in seconds.
+fn tiny(initial: usize, bo: usize, gaspad: usize, de: usize) -> Protocol {
+    Protocol {
+        runs: 1,
+        initial_samples: initial,
+        max_sims_bo: bo,
+        max_sims_gaspad: gaspad,
+        max_sims_de: de,
+        ensemble_members: 2,
+        epochs: 30,
+        candidate_pool: 48,
+        seed: 7,
+    }
+}
+
+#[test]
+fn table1_rows_cover_all_four_algorithms() {
+    let rows = run_table1(&tiny(8, 12, 14, 40));
+    assert_eq!(rows.len(), 4);
+    let names: Vec<_> = rows.iter().map(|r| r.algorithm.as_str()).collect();
+    assert_eq!(names, vec!["Ours", "WEIBO", "GASPAD", "DE"]);
+    for row in &rows {
+        // Gain statistics are plausible dB numbers whenever a run succeeded.
+        if !row.mean_gain.is_nan() {
+            assert!(row.mean_gain > 20.0 && row.mean_gain < 120.0, "{row:?}");
+            assert!(row.best_gain >= row.worst_gain);
+        }
+    }
+    let text = format_table1(&rows);
+    assert!(text.contains("Ours") && text.contains("DE"));
+}
+
+#[test]
+fn table2_rows_report_constraint_metrics() {
+    let rows = run_table2(&tiny(10, 14, 16, 40));
+    assert_eq!(rows.len(), 4);
+    for row in &rows {
+        if !row.mean_fom.is_nan() {
+            assert!(row.mean_fom > 0.0, "{row:?}");
+            assert!(row.diff1 >= 0.0 && row.deviation >= 0.0);
+        }
+    }
+    let text = format_table2(&rows);
+    assert!(text.contains("deviation"));
+}
+
+#[test]
+fn scaling_study_shows_gp_training_growing_faster_than_neural_gp() {
+    let points = run_scaling(&[40, 160], 20);
+    assert_eq!(points.len(), 2);
+    let gp_growth = points[1].gp_fit_ms / points[0].gp_fit_ms;
+    let nn_growth = points[1].neural_fit_ms / points[0].neural_fit_ms;
+    // 4x more data: the O(N³) GP should grow clearly faster than the O(N) neural GP.
+    assert!(
+        gp_growth > nn_growth,
+        "GP growth {gp_growth:.2}x vs neural GP growth {nn_growth:.2}x"
+    );
+}
+
+#[test]
+fn ensemble_ablation_produces_one_row_per_setting() {
+    let rows = run_ablation_ensemble(&tiny(8, 11, 12, 20), &[1, 2]);
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].setting, "K = 1");
+    assert!(rows.iter().any(|r| r.stats.is_some()));
+}
+
+#[test]
+fn environment_overrides_change_the_protocol() {
+    // NNBO_RUNS / NNBO_MAX_SIMS are read by `with_env_overrides`; simulate the
+    // override by setting the variables for the duration of this test.
+    std::env::set_var("NNBO_RUNS", "5");
+    std::env::set_var("NNBO_MAX_SIMS", "77");
+    let p = Protocol::table1_quick().with_env_overrides(Protocol::table1_paper());
+    std::env::remove_var("NNBO_RUNS");
+    std::env::remove_var("NNBO_MAX_SIMS");
+    assert_eq!(p.runs, 5);
+    assert_eq!(p.max_sims_bo, 77);
+}
