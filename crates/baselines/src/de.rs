@@ -74,7 +74,10 @@ impl DifferentialEvolution {
     /// Panics if the population is smaller than 4 (DE/rand/1 needs four distinct
     /// individuals) or the budget is smaller than the population.
     pub fn new(config: DeConfig) -> Self {
-        assert!(config.population >= 4, "DE needs a population of at least 4");
+        assert!(
+            config.population >= 4,
+            "DE needs a population of at least 4"
+        );
         assert!(
             config.max_evaluations >= config.population,
             "budget must cover the initial population"

@@ -76,7 +76,10 @@ impl Gaspad {
     ///
     /// Panics under the same conditions as [`Gaspad::new`].
     pub fn with_trainer(config: GaspadConfig, trainer: GpSurrogateTrainer) -> Self {
-        assert!(config.population >= 4, "GASPAD needs a population of at least 4");
+        assert!(
+            config.population >= 4,
+            "GASPAD needs a population of at least 4"
+        );
         assert!(
             config.max_evaluations >= config.population,
             "budget must cover the initial population"
@@ -133,12 +136,7 @@ impl Gaspad {
         OptimizationResult::from_history(history, np)
     }
 
-    fn make_offspring(
-        &self,
-        population: &[Vec<f64>],
-        dim: usize,
-        rng: &mut StdRng,
-    ) -> Vec<f64> {
+    fn make_offspring(&self, population: &[Vec<f64>], dim: usize, rng: &mut StdRng) -> Vec<f64> {
         let np = population.len();
         let target = rng.gen_range(0..np);
         let mut pick = || rng.gen_range(0..np);

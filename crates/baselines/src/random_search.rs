@@ -73,6 +73,9 @@ mod tests {
     fn is_deterministic_per_seed() {
         let a = RandomSearch::new(10, 3).run(&ConstrainedBranin::new());
         let b = RandomSearch::new(10, 3).run(&ConstrainedBranin::new());
-        assert_eq!(a.evaluations()[5].1.objective, b.evaluations()[5].1.objective);
+        assert_eq!(
+            a.evaluations()[5].1.objective,
+            b.evaluations()[5].1.objective
+        );
     }
 }

@@ -22,6 +22,17 @@ impl SurrogateModel for GpSurrogate {
         let p = self.model.predict(x);
         Prediction::new(p.mean, p.variance)
     }
+
+    /// Batched prediction through [`nnbo_gp::GpModel::predict_batch`]: one
+    /// blocked cross-kernel product and one batched triangular solve for the
+    /// whole candidate set.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
+        self.model
+            .predict_batch(xs)
+            .into_iter()
+            .map(|p| Prediction::new(p.mean, p.variance))
+            .collect()
+    }
 }
 
 /// Trainer producing classical-GP surrogates, used by the WEIBO and GASPAD
@@ -53,6 +64,24 @@ impl SurrogateTrainer for GpSurrogateTrainer {
         GpModel::fit(xs, ys, &self.config, rng)
             .map(|model| GpSurrogate { model })
             .map_err(|e| e.to_string())
+    }
+
+    /// Incremental single-observation refit through the bordered Cholesky
+    /// update ([`nnbo_gp::GpModel::append_observation`]), keeping the
+    /// hyper-parameters frozen between full refits.
+    fn update(
+        &self,
+        prev: &GpSurrogate,
+        x: &[f64],
+        y: f64,
+        _rng: &mut StdRng,
+    ) -> Option<Result<GpSurrogate, String>> {
+        Some(
+            prev.model
+                .append_observation(x, y)
+                .map(|model| GpSurrogate { model })
+                .map_err(|e| e.to_string()),
+        )
     }
 }
 
@@ -121,10 +150,40 @@ mod tests {
     }
 
     #[test]
+    fn gp_surrogate_batch_prediction_matches_per_point() {
+        let xs: Vec<Vec<f64>> = (0..18).map(|i| vec![i as f64 / 17.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (5.0 * x[0]).cos()).collect();
+        let trainer = GpSurrogateTrainer::fast();
+        let mut rng = StdRng::seed_from_u64(8);
+        let model = trainer.fit(&xs, &ys, &mut rng).unwrap();
+        let queries: Vec<Vec<f64>> = (0..25).map(|i| vec![(i as f64 * 0.41) % 1.0]).collect();
+        let batch = model.predict_batch(&queries);
+        for (q, b) in queries.iter().zip(batch.iter()) {
+            let single = model.predict(q);
+            assert_eq!(single.mean, b.mean);
+            assert_eq!(single.variance, b.variance);
+        }
+    }
+
+    #[test]
+    fn weibo_supports_incremental_refits() {
+        let problem = ConstrainedBranin::new();
+        let bo = BayesOpt::with_trainer(
+            BoConfig::fast(8, 18).with_seed(7).with_refit_every(5),
+            GpSurrogateTrainer::fast(),
+        );
+        let result = bo.run(&problem).unwrap();
+        assert_eq!(result.num_evaluations(), 18);
+        assert!(result.best_objective().is_some());
+    }
+
+    #[test]
     fn weibo_uses_the_requested_budget() {
         let problem = ConstrainedBranin::new();
         assert_eq!(problem.num_constraints(), 1);
-        let result = weibo(BoConfig::fast(6, 9).with_seed(5)).run(&problem).unwrap();
+        let result = weibo(BoConfig::fast(6, 9).with_seed(5))
+            .run(&problem)
+            .unwrap();
         assert_eq!(result.num_evaluations(), 9);
     }
 }

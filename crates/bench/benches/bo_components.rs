@@ -31,7 +31,10 @@ fn bench_ensemble_prediction(c: &mut Criterion) {
     let xs: Vec<Vec<f64>> = (0..60)
         .map(|_| (0..6).map(|_| rng.gen_range(0.0..1.0)).collect())
         .collect();
-    let ys: Vec<f64> = xs.iter().map(|x: &Vec<f64>| x.iter().sum::<f64>().sin()).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x: &Vec<f64>| x.iter().sum::<f64>().sin())
+        .collect();
     let config = EnsembleConfig {
         members: 5,
         member_config: NeuralGpConfig {
@@ -42,7 +45,9 @@ fn bench_ensemble_prediction(c: &mut Criterion) {
     };
     let ensemble = NeuralGpEnsemble::fit(&xs, &ys, &config, &mut rng).expect("ensemble fit");
     let query = vec![0.3; 6];
-    c.bench_function("ensemble_predict_k5", |b| b.iter(|| ensemble.predict(&query)));
+    c.bench_function("ensemble_predict_k5", |b| {
+        b.iter(|| ensemble.predict(&query))
+    });
 }
 
 fn bench_bo_iteration(c: &mut Criterion) {

@@ -1,0 +1,168 @@
+//! Criterion benchmark of the blocked/batched/incremental surrogate hot path
+//! against the reference implementations it replaced.
+//!
+//! Mirrors the comparisons of `reproduce linalg` (which additionally emits the
+//! machine-readable `BENCH_linalg.json`):
+//!
+//! * blocked vs naive `matmul` / `matmul_transpose` at N ∈ {64, 256, 1024}
+//! * blocked vs reference Cholesky at the same sizes
+//! * rank-1 bordered Cholesky append vs full refactorization at N = 512
+//! * batched vs per-point GP / neural-GP prediction of 512 candidates at 256
+//!   training points
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nnbo_core::{NeuralGp, NeuralGpConfig, SurrogateModel};
+use nnbo_gp::{GpConfig, GpModel};
+use nnbo_linalg::{Cholesky, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(n: usize, m: usize, rng: &mut StdRng) -> Matrix {
+    let data: Vec<f64> = (0..n * m).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Matrix::from_vec(n, m, data)
+}
+
+fn random_spd(n: usize, rng: &mut StdRng) -> Matrix {
+    let b = random_matrix(n, n, rng);
+    let mut a = b.matmul_transpose(&b);
+    a.add_diag(n as f64);
+    a
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for &n in &[64usize, 256, 1024] {
+        let a = random_matrix(n, n, &mut rng);
+        let b = random_matrix(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+            bench.iter(|| a.matmul_naive(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("transpose_naive", n), &n, |bench, _| {
+            bench.iter(|| a.matmul_transpose_naive(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("transpose_blocked", n), &n, |bench, _| {
+            bench.iter(|| a.matmul_transpose(&b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut group = c.benchmark_group("cholesky");
+    group.sample_size(10);
+    for &n in &[64usize, 256, 1024] {
+        let spd = random_spd(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |bench, _| {
+            bench.iter(|| Cholesky::decompose_reference(&spd).expect("SPD"))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
+            bench.iter(|| Cholesky::decompose(&spd).expect("SPD"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cholesky_append(c: &mut Criterion) {
+    let n = 512;
+    let mut rng = StdRng::seed_from_u64(17);
+    let spd = random_spd(n + 1, &mut rng);
+    let mut small = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            small[(i, j)] = spd[(i, j)];
+        }
+    }
+    let border: Vec<f64> = (0..=n).map(|j| spd[(n, j)]).collect();
+    let base = Cholesky::decompose(&small).expect("SPD");
+
+    let mut group = c.benchmark_group("cholesky_append_512");
+    group.sample_size(10);
+    group.bench_function("full_refactorization", |bench| {
+        bench.iter(|| Cholesky::decompose(&spd).expect("SPD"))
+    });
+    group.bench_function("rank1_append", |bench| {
+        bench.iter(|| {
+            let mut chol = base.clone();
+            chol.append_row(&border).expect("SPD border");
+            chol
+        })
+    });
+    group.finish();
+}
+
+fn bench_predict_batch(c: &mut Criterion) {
+    let (train_n, batch, dim) = (256usize, 512usize, 10usize);
+    let mut rng = StdRng::seed_from_u64(19);
+    let xs: Vec<Vec<f64>> = (0..train_n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| {
+            x.iter()
+                .enumerate()
+                .map(|(i, v)| ((i + 1) as f64 * v).sin())
+                .sum()
+        })
+        .collect();
+    let queries: Vec<Vec<f64>> = (0..batch)
+        .map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+
+    let gp_config = GpConfig {
+        restarts: 1,
+        max_iters: 10,
+        ..GpConfig::default()
+    };
+    let mut fit_rng = StdRng::seed_from_u64(1);
+    let gp = GpModel::fit(&xs, &ys, &gp_config, &mut fit_rng).expect("gp fit");
+    let nn_config = NeuralGpConfig {
+        epochs: 40,
+        ..NeuralGpConfig::default()
+    };
+    let mut fit_rng = StdRng::seed_from_u64(2);
+    let neural = NeuralGp::fit(&xs, &ys, &nn_config, &mut fit_rng).expect("neural gp fit");
+
+    let mut group = c.benchmark_group("predict_512_at_n256");
+    group.sample_size(10);
+    group.bench_function("gp_per_point", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for q in &queries {
+                acc += gp.predict(q).mean;
+            }
+            acc
+        })
+    });
+    group.bench_function("gp_batched", |bench| {
+        bench.iter(|| gp.predict_batch(&queries))
+    });
+    group.bench_function("neural_per_point", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for q in &queries {
+                acc += neural.predict(q).mean;
+            }
+            acc
+        })
+    });
+    group.bench_function("neural_batched", |bench| {
+        bench.iter(|| neural.predict_batch(&queries))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_cholesky,
+    bench_cholesky_append,
+    bench_predict_batch
+);
+criterion_main!(benches);

@@ -18,7 +18,12 @@ fn dataset(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
         .collect();
     let ys: Vec<f64> = xs
         .iter()
-        .map(|x: &Vec<f64>| x.iter().enumerate().map(|(i, v)| (i as f64 + 1.0) * v.sin()).sum())
+        .map(|x: &Vec<f64>| {
+            x.iter()
+                .enumerate()
+                .map(|(i, v)| (i as f64 + 1.0) * v.sin())
+                .sum()
+        })
         .collect();
     (xs, ys)
 }

@@ -1,0 +1,51 @@
+//! Quickstart: constrained Bayesian optimization with the neural-GP surrogate.
+//!
+//! Optimizes the constrained Branin benchmark with a tiny budget and prints the
+//! convergence history — a one-minute tour of the public API.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p nnbo-bench --example quickstart
+//! ```
+
+use nnbo_core::problems::ConstrainedBranin;
+use nnbo_core::{BayesOpt, BoConfig, BoError, EnsembleConfig};
+
+fn main() -> Result<(), BoError> {
+    // 1. Pick a problem: minimise Branin subject to a disk constraint.
+    let problem = ConstrainedBranin::new();
+
+    // 2. Configure the optimizer: 10 Latin-hypercube samples, 30 total simulations,
+    //    a 3-member neural-GP ensemble, and the paper's wEI acquisition.
+    let config = BoConfig::new(10, 30).with_seed(42);
+    let ensemble = EnsembleConfig {
+        members: 3,
+        ..EnsembleConfig::default()
+    };
+    let optimizer = BayesOpt::neural_with(config, ensemble);
+
+    // 3. Run.
+    let result = optimizer.run(&problem)?;
+
+    // 4. Inspect the outcome.
+    println!("evaluations used : {}", result.num_evaluations());
+    println!(
+        "first feasible at: {:?}",
+        result.first_feasible_at().unwrap_or(0)
+    );
+    if let Some((x, eval)) = result.best() {
+        println!(
+            "best objective   : {:.4} (true optimum 0.3979)",
+            eval.objective
+        );
+        println!("best point (norm): [{:.3}, {:.3}]", x[0], x[1]);
+    }
+    println!("\nconvergence curve (best feasible objective so far):");
+    for (i, v) in result.convergence_curve().iter().enumerate() {
+        if v.is_finite() {
+            println!("  sim {:>3}: {:.4}", i + 1, v);
+        }
+    }
+    Ok(())
+}

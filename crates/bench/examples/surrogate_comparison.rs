@@ -1,0 +1,88 @@
+//! Surrogate-model comparison: neural GP vs. classical GP.
+//!
+//! Fits both surrogates on the same op-amp simulation data and compares held-out
+//! prediction accuracy and wall-clock cost — the motivation of the paper's
+//! neural-network kernel (§III.A and §III.D).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p nnbo-bench --example surrogate_comparison
+//! ```
+
+use std::time::Instant;
+
+use nnbo_circuits::{TwoStageOpAmp, OPAMP_DIM};
+use nnbo_core::{latin_hypercube, NeuralGp, NeuralGpConfig, SurrogateModel};
+use nnbo_gp::{GpConfig, GpModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let bench = TwoStageOpAmp::new();
+    let mut rng = StdRng::seed_from_u64(17);
+
+    // Training and held-out sets of op-amp gain observations.
+    let train_x = latin_hypercube(120, OPAMP_DIM, &mut rng);
+    let train_y: Vec<f64> = train_x
+        .iter()
+        .map(|x| bench.evaluate_normalized(x).gain_db)
+        .collect();
+    let test_x = latin_hypercube(200, OPAMP_DIM, &mut rng);
+    let test_y: Vec<f64> = test_x
+        .iter()
+        .map(|x| bench.evaluate_normalized(x).gain_db)
+        .collect();
+
+    // Classical GP.
+    let t0 = Instant::now();
+    let gp = GpModel::fit(&train_x, &train_y, &GpConfig::default(), &mut rng)
+        .expect("GP training failed");
+    let gp_time = t0.elapsed();
+    let gp_rmse = rmse(test_x.iter().map(|x| gp.predict(x).mean), &test_y);
+
+    // Neural GP (the paper's surrogate).
+    let t0 = Instant::now();
+    let nngp = NeuralGp::fit(&train_x, &train_y, &NeuralGpConfig::default(), &mut rng)
+        .expect("neural GP training failed");
+    let nngp_time = t0.elapsed();
+    let nngp_rmse = rmse(test_x.iter().map(|x| nngp.predict(x).mean), &test_y);
+
+    println!(
+        "surrogate comparison on {} op-amp gain samples (held-out set of {}):",
+        train_x.len(),
+        test_x.len()
+    );
+    println!(
+        "  {:<12} {:>12} {:>16}",
+        "model", "RMSE (dB)", "training time"
+    );
+    println!(
+        "  {:<12} {:>12.3} {:>14.1?}",
+        "classic GP", gp_rmse, gp_time
+    );
+    println!(
+        "  {:<12} {:>12.3} {:>14.1?}",
+        "neural GP", nngp_rmse, nngp_time
+    );
+    println!();
+    println!(
+        "prediction cost: the neural GP factorizes an {}x{} matrix regardless of N,",
+        nngp.feature_dim(),
+        nngp.feature_dim()
+    );
+    println!(
+        "the classic GP back-solves against all {} training points.",
+        gp.len()
+    );
+}
+
+fn rmse(predictions: impl Iterator<Item = f64>, targets: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (p, t) in predictions.zip(targets.iter()) {
+        acc += (p - t) * (p - t);
+        n += 1;
+    }
+    (acc / n as f64).sqrt()
+}

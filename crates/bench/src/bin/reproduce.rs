@@ -3,70 +3,122 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce table1                 # Table I  (two-stage op-amp)
-//! reproduce table2                 # Table II (charge pump, 18 PVT corners)
-//! reproduce scaling                # §III.D complexity scaling study
-//! reproduce ablation-ensemble      # ensemble-size ablation (E4)
-//! reproduce ablation-acquisition   # acquisition-function ablation (E5)
-//! reproduce all                    # everything above
+//! reproduce [--quick] table1           # Table I  (two-stage op-amp)
+//! reproduce [--quick] table2           # Table II (charge pump, 18 PVT corners)
+//! reproduce [--quick] scaling          # §III.D complexity scaling study
+//! reproduce [--quick] linalg           # hot-path old-vs-new benchmark → BENCH_linalg.json
+//! reproduce [--quick] ablation-ensemble      # ensemble-size ablation (E4)
+//! reproduce [--quick] ablation-acquisition   # acquisition-function ablation (E5)
+//! reproduce [--quick] all              # everything above
 //! ```
 //!
-//! Environment variables: `NNBO_FULL=1` runs the paper-scale protocol,
-//! `NNBO_RUNS=<n>` overrides the repetition count, `NNBO_MAX_SIMS=<n>` the BO
-//! simulation budget.
+//! `--quick` shrinks every experiment to a smoke-test scale so CI can execute
+//! the whole harness in seconds.  Environment variables: `NNBO_FULL=1` runs
+//! the paper-scale protocol, `NNBO_RUNS=<n>` overrides the repetition count,
+//! `NNBO_MAX_SIMS=<n>` the BO simulation budget (ignored under `--quick`).
 
 use nnbo_bench::{
-    format_table1, format_table2, run_ablation_acquisition, run_ablation_ensemble, run_scaling,
-    run_table1, run_table2, Protocol,
+    format_linalg_json, format_linalg_table, format_table1, format_table2,
+    run_ablation_acquisition, run_ablation_ensemble, run_linalg_bench, run_scaling, run_table1,
+    run_table2, Protocol,
 };
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = if let Some(pos) = args.iter().position(|a| a == "--quick") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
     let command = args.first().map(String::as_str).unwrap_or("all");
     match command {
-        "table1" => table1(),
-        "table2" => table2(),
-        "scaling" => scaling(),
-        "ablation-ensemble" => ablation_ensemble(),
-        "ablation-acquisition" => ablation_acquisition(),
+        "table1" => table1(quick),
+        "table2" => table2(quick),
+        "scaling" => scaling(quick),
+        "linalg" => linalg(quick),
+        "ablation-ensemble" => ablation_ensemble(quick),
+        "ablation-acquisition" => ablation_acquisition(quick),
         "all" => {
-            table1();
-            table2();
-            scaling();
-            ablation_ensemble();
-            ablation_acquisition();
+            table1(quick);
+            table2(quick);
+            scaling(quick);
+            linalg(quick);
+            ablation_ensemble(quick);
+            ablation_acquisition(quick);
         }
         other => {
             eprintln!("unknown command `{other}`");
-            eprintln!("expected one of: table1 | table2 | scaling | ablation-ensemble | ablation-acquisition | all");
+            eprintln!(
+                "expected one of: table1 | table2 | scaling | linalg | ablation-ensemble | ablation-acquisition | all"
+            );
             std::process::exit(2);
         }
     }
 }
 
-fn table1() {
-    let protocol = Protocol::table1_quick().with_env_overrides(Protocol::table1_paper());
+/// Smallest protocol that still runs every algorithm end to end.
+fn smoke(mut protocol: Protocol) -> Protocol {
+    protocol.runs = 1;
+    protocol.initial_samples = protocol.initial_samples.min(8);
+    protocol.max_sims_bo = protocol.initial_samples + 4;
+    protocol.max_sims_gaspad = protocol.max_sims_bo + 4;
+    protocol.max_sims_de = 40;
+    protocol.ensemble_members = 2;
+    protocol.epochs = 20;
+    protocol.candidate_pool = 64;
+    protocol
+}
+
+fn table1_protocol(quick: bool) -> Protocol {
+    if quick {
+        smoke(Protocol::table1_quick())
+    } else {
+        Protocol::table1_quick().with_env_overrides(Protocol::table1_paper())
+    }
+}
+
+fn table2_protocol(quick: bool) -> Protocol {
+    if quick {
+        smoke(Protocol::table2_quick())
+    } else {
+        Protocol::table2_quick().with_env_overrides(Protocol::table2_paper())
+    }
+}
+
+fn table1(quick: bool) {
+    let protocol = table1_protocol(quick);
     println!("# Experiment E1 (Table I) — protocol: {protocol:?}\n");
     let rows = run_table1(&protocol);
     println!("{}", format_table1(&rows));
 }
 
-fn table2() {
-    let protocol = Protocol::table2_quick().with_env_overrides(Protocol::table2_paper());
+fn table2(quick: bool) {
+    let protocol = table2_protocol(quick);
     println!("# Experiment E2 (Table II) — protocol: {protocol:?}\n");
     let rows = run_table2(&protocol);
     println!("{}", format_table2(&rows));
 }
 
-fn scaling() {
+fn scaling(quick: bool) {
     println!("# Experiment E3 (section III.D) — surrogate cost vs. number of observations\n");
-    let full = std::env::var("NNBO_FULL").map(|v| v == "1").unwrap_or(false);
-    let sizes: &[usize] = if full {
+    let full = std::env::var("NNBO_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let sizes: &[usize] = if quick {
+        &[25, 50]
+    } else if full {
         &[50, 100, 200, 400, 800]
     } else {
         &[50, 100, 200, 400]
     };
-    let epochs = if full { 200 } else { 100 };
+    let epochs = if quick {
+        20
+    } else if full {
+        200
+    } else {
+        100
+    };
     let points = run_scaling(sizes, epochs);
     println!(
         "{:>6} {:>14} {:>16} {:>16} {:>18}",
@@ -81,18 +133,38 @@ fn scaling() {
     println!();
 }
 
-fn ablation_ensemble() {
-    let protocol = Protocol::table1_quick().with_env_overrides(Protocol::table1_paper());
-    println!("# Experiment E4 — ensemble-size ablation on the op-amp problem\n");
-    let rows = run_ablation_ensemble(&protocol, &[1, 3, 5]);
-    print_ablation(&rows, "GAIN (dB), higher is better (reported as -objective)");
+fn linalg(quick: bool) {
+    println!("# Hot-path benchmark — reference vs blocked/batched/incremental\n");
+    let entries = run_linalg_bench(quick);
+    print!("{}", format_linalg_table(&entries));
+    let json = format_linalg_json(&entries, quick);
+    let path = "BENCH_linalg.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+    println!();
 }
 
-fn ablation_acquisition() {
-    let protocol = Protocol::table1_quick().with_env_overrides(Protocol::table1_paper());
+fn ablation_ensemble(quick: bool) {
+    let protocol = table1_protocol(quick);
+    println!("# Experiment E4 — ensemble-size ablation on the op-amp problem\n");
+    let sizes: &[usize] = if quick { &[1, 2] } else { &[1, 3, 5] };
+    let rows = run_ablation_ensemble(&protocol, sizes);
+    print_ablation(
+        &rows,
+        "GAIN (dB), higher is better (reported as -objective)",
+    );
+}
+
+fn ablation_acquisition(quick: bool) {
+    let protocol = table1_protocol(quick);
     println!("# Experiment E5 — acquisition-function ablation on the op-amp problem\n");
     let rows = run_ablation_acquisition(&protocol);
-    print_ablation(&rows, "GAIN (dB), higher is better (reported as -objective)");
+    print_ablation(
+        &rows,
+        "GAIN (dB), higher is better (reported as -objective)",
+    );
 }
 
 fn print_ablation(rows: &[nnbo_bench::AblationRow], note: &str) {
@@ -105,7 +177,12 @@ fn print_ablation(rows: &[nnbo_bench::AblationRow], note: &str) {
         match &row.stats {
             Some(s) => println!(
                 "{:<14} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>10.1} {:>9}",
-                row.setting, -s.mean, -s.median, -s.best, -s.worst, s.avg_simulations,
+                row.setting,
+                -s.mean,
+                -s.median,
+                -s.best,
+                -s.worst,
+                s.avg_simulations,
                 s.success_rate()
             ),
             None => println!("{:<14} (no successful run)", row.setting),

@@ -8,13 +8,17 @@
 
 #![warn(missing_docs)]
 
+mod linalg_bench;
 mod protocol;
 mod scaling;
 mod tables;
 
+pub use linalg_bench::{
+    format_linalg_json, format_linalg_table, run_linalg_bench, LinalgBenchEntry,
+};
 pub use protocol::{Algorithm, Protocol};
 pub use scaling::{run_scaling, ScalingPoint};
 pub use tables::{
-    format_table1, format_table2, run_ablation_acquisition, run_ablation_ensemble,
-    run_algorithm, run_table1, run_table2, AblationRow, Table1Row, Table2Row,
+    format_table1, format_table2, run_ablation_acquisition, run_ablation_ensemble, run_algorithm,
+    run_table1, run_table2, AblationRow, Table1Row, Table2Row,
 };

@@ -1,0 +1,281 @@
+//! Old-vs-new timings of the surrogate hot path, emitted as
+//! `BENCH_linalg.json` so later PRs can track the performance trajectory.
+//!
+//! Every entry compares the pre-existing reference implementation (scalar
+//! loops, per-point predictions, from-scratch refactorizations) against the
+//! blocked / batched / incremental path that replaced it on the same inputs:
+//!
+//! * `matmul`, `matmul_transpose`, `cholesky` — blocked + threaded kernels vs
+//!   the naive loops, at N ∈ {64, 256, 1024}.
+//! * `cholesky_append` — rank-1 bordered update vs full refactorization when
+//!   one row/column is appended at N = 512.
+//! * `gp_predict_batch` / `neural_predict_batch` — one batched prediction of
+//!   512 candidates vs 512 per-point `predict` calls at 256 training points.
+
+use std::time::Instant;
+
+use nnbo_core::{NeuralGp, NeuralGpConfig, SurrogateModel};
+use nnbo_gp::{GpConfig, GpModel};
+use nnbo_linalg::{Cholesky, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One measured comparison: the reference path vs the optimized path on the
+/// same workload.
+#[derive(Debug, Clone)]
+pub struct LinalgBenchEntry {
+    /// Workload name (e.g. `matmul`).
+    pub name: &'static str,
+    /// Problem size N.
+    pub n: usize,
+    /// Wall-clock nanoseconds of the reference path (best of the repetitions).
+    pub baseline_ns: f64,
+    /// Wall-clock nanoseconds of the optimized path (best of the repetitions).
+    pub optimized_ns: f64,
+}
+
+impl LinalgBenchEntry {
+    /// Speed-up factor of the optimized path.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_ns / self.optimized_ns.max(1.0)
+    }
+}
+
+/// Times `f`, returning the best (minimum) wall-clock nanoseconds over `reps`
+/// repetitions.  The minimum is the standard choice for micro-benchmarks: it
+/// is the least noisy estimator of the true cost of the work itself.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn random_matrix(n: usize, m: usize, rng: &mut StdRng) -> Matrix {
+    let data: Vec<f64> = (0..n * m).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Matrix::from_vec(n, m, data)
+}
+
+fn random_spd(n: usize, rng: &mut StdRng) -> Matrix {
+    let b = random_matrix(n, n, rng);
+    let mut a = b.matmul_transpose(&b);
+    a.add_diag(n as f64);
+    a
+}
+
+fn dataset(n: usize, dim: usize, rng: &mut StdRng) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| {
+            x.iter()
+                .enumerate()
+                .map(|(i, v)| ((i + 1) as f64 * v).sin())
+                .sum()
+        })
+        .collect();
+    (xs, ys)
+}
+
+/// Runs the full comparison suite.  `quick` shrinks the sizes and repetition
+/// counts so CI can smoke-test the harness in seconds.
+pub fn run_linalg_bench(quick: bool) -> Vec<LinalgBenchEntry> {
+    let mut rng = StdRng::seed_from_u64(97);
+    let mut entries = Vec::new();
+    let matmul_sizes: &[usize] = if quick { &[64, 128] } else { &[64, 256, 1024] };
+    let reps = |n: usize| if quick || n >= 1024 { 3 } else { 7 };
+
+    for &n in matmul_sizes {
+        let a = random_matrix(n, n, &mut rng);
+        let b = random_matrix(n, n, &mut rng);
+        entries.push(LinalgBenchEntry {
+            name: "matmul",
+            n,
+            baseline_ns: time_best(reps(n), || {
+                std::hint::black_box(a.matmul_naive(&b));
+            }),
+            optimized_ns: time_best(reps(n), || {
+                std::hint::black_box(a.matmul(&b));
+            }),
+        });
+        entries.push(LinalgBenchEntry {
+            name: "matmul_transpose",
+            n,
+            baseline_ns: time_best(reps(n), || {
+                std::hint::black_box(a.matmul_transpose_naive(&b));
+            }),
+            optimized_ns: time_best(reps(n), || {
+                std::hint::black_box(a.matmul_transpose(&b));
+            }),
+        });
+        let spd = random_spd(n, &mut rng);
+        entries.push(LinalgBenchEntry {
+            name: "cholesky",
+            n,
+            baseline_ns: time_best(reps(n), || {
+                std::hint::black_box(Cholesky::decompose_reference(&spd).expect("SPD"));
+            }),
+            optimized_ns: time_best(reps(n), || {
+                std::hint::black_box(Cholesky::decompose(&spd).expect("SPD"));
+            }),
+        });
+    }
+
+    // Appending one observation: full refactorization vs rank-1 bordered update.
+    let append_n = if quick { 128 } else { 512 };
+    let spd = random_spd(append_n + 1, &mut rng);
+    let mut small = Matrix::zeros(append_n, append_n);
+    for i in 0..append_n {
+        for j in 0..append_n {
+            small[(i, j)] = spd[(i, j)];
+        }
+    }
+    let border: Vec<f64> = (0..=append_n).map(|j| spd[(append_n, j)]).collect();
+    let base = Cholesky::decompose(&small).expect("SPD");
+    // The update mutates, so each repetition needs a fresh factor; clone
+    // outside the timed window so only `append_row` itself is measured.
+    let append_reps = if quick { 3 } else { 5 };
+    let mut append_best = f64::INFINITY;
+    for _ in 0..append_reps {
+        let mut c = base.clone();
+        let start = Instant::now();
+        c.append_row(&border).expect("SPD border");
+        append_best = append_best.min(start.elapsed().as_nanos() as f64);
+        std::hint::black_box(c);
+    }
+    entries.push(LinalgBenchEntry {
+        name: "cholesky_append",
+        n: append_n,
+        baseline_ns: time_best(append_reps, || {
+            std::hint::black_box(Cholesky::decompose(&spd).expect("SPD"));
+        }),
+        optimized_ns: append_best,
+    });
+
+    // Batched candidate scoring vs per-point prediction, classic GP.
+    let train_n = if quick { 64 } else { 256 };
+    let batch = if quick { 128 } else { 512 };
+    let dim = 10;
+    let (xs, ys) = dataset(train_n, dim, &mut rng);
+    let queries: Vec<Vec<f64>> = (0..batch)
+        .map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let gp_config = GpConfig {
+        restarts: 1,
+        max_iters: 10,
+        ..GpConfig::default()
+    };
+    let mut fit_rng = StdRng::seed_from_u64(3);
+    let gp = GpModel::fit(&xs, &ys, &gp_config, &mut fit_rng).expect("gp fit");
+    entries.push(LinalgBenchEntry {
+        name: "gp_predict_batch",
+        n: train_n,
+        baseline_ns: time_best(if quick { 3 } else { 5 }, || {
+            for q in &queries {
+                std::hint::black_box(gp.predict(q));
+            }
+        }),
+        optimized_ns: time_best(if quick { 3 } else { 5 }, || {
+            std::hint::black_box(gp.predict_batch(&queries));
+        }),
+    });
+
+    // Batched candidate scoring vs per-point prediction, neural GP.
+    let nn_config = NeuralGpConfig {
+        epochs: 40,
+        ..NeuralGpConfig::default()
+    };
+    let mut fit_rng = StdRng::seed_from_u64(4);
+    let neural = NeuralGp::fit(&xs, &ys, &nn_config, &mut fit_rng).expect("neural gp fit");
+    entries.push(LinalgBenchEntry {
+        name: "neural_predict_batch",
+        n: train_n,
+        baseline_ns: time_best(if quick { 3 } else { 5 }, || {
+            for q in &queries {
+                std::hint::black_box(neural.predict(q));
+            }
+        }),
+        optimized_ns: time_best(if quick { 3 } else { 5 }, || {
+            std::hint::black_box(neural.predict_batch(&queries));
+        }),
+    });
+
+    entries
+}
+
+/// Serialises the entries as the `BENCH_linalg.json` document (JSON written by
+/// hand — the workspace's serde is an offline no-op stand-in).
+pub fn format_linalg_json(entries: &[LinalgBenchEntry], quick: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"nnbo-bench-linalg-v1\",\n");
+    out.push_str(
+        "  \"generated_by\": \"cargo run --release -p nnbo-bench --bin reproduce -- linalg\",\n",
+    );
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"baseline_ns\": {:.0}, \"optimized_ns\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            e.name,
+            e.n,
+            e.baseline_ns,
+            e.optimized_ns,
+            e.speedup(),
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders a human-readable table of the same entries for stdout.
+pub fn format_linalg_table(entries: &[LinalgBenchEntry]) -> String {
+    let mut out = format!(
+        "{:<22} {:>6} {:>16} {:>16} {:>9}\n",
+        "workload", "N", "baseline (ms)", "optimized (ms)", "speedup"
+    );
+    for e in entries {
+        out.push_str(&format!(
+            "{:<22} {:>6} {:>16.3} {:>16.3} {:>8.1}x\n",
+            e.name,
+            e.n,
+            e.baseline_ns / 1e6,
+            e.optimized_ns / 1e6,
+            e.speedup()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_produces_all_workloads_and_valid_json() {
+        let entries = run_linalg_bench(true);
+        let names: Vec<&str> = entries.iter().map(|e| e.name).collect();
+        for expected in [
+            "matmul",
+            "matmul_transpose",
+            "cholesky",
+            "cholesky_append",
+            "gp_predict_batch",
+            "neural_predict_batch",
+        ] {
+            assert!(names.contains(&expected), "missing workload {expected}");
+        }
+        let json = format_linalg_json(&entries, true);
+        assert!(json.contains("\"schema\": \"nnbo-bench-linalg-v1\""));
+        assert_eq!(json.matches("\"name\"").count(), entries.len());
+        // Crude structural validity: balanced braces/brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!format_linalg_table(&entries).is_empty());
+    }
+}

@@ -129,7 +129,10 @@ impl Protocol {
     /// `NNBO_FULL=1` switches to the paper protocol, `NNBO_RUNS` and
     /// `NNBO_MAX_SIMS` override the repetition count and the BO budget.
     pub fn with_env_overrides(mut self, paper: Self) -> Self {
-        if std::env::var("NNBO_FULL").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("NNBO_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             self = paper;
         }
         if let Ok(runs) = std::env::var("NNBO_RUNS") {
@@ -147,8 +150,8 @@ impl Protocol {
 
     /// The BO-loop configuration for run index `run`.
     pub fn bo_config(&self, run: usize) -> BoConfig {
-        let mut config = BoConfig::new(self.initial_samples, self.max_sims_bo)
-            .with_seed(self.seed + run as u64);
+        let mut config =
+            BoConfig::new(self.initial_samples, self.max_sims_bo).with_seed(self.seed + run as u64);
         config.candidate_pool = self.candidate_pool;
         config.local_candidates = (self.candidate_pool / 4).max(16);
         config

@@ -36,7 +36,12 @@ pub fn run_scaling(sizes: &[usize], epochs: usize) -> Vec<ScalingPoint> {
             .collect();
         let ys: Vec<f64> = xs
             .iter()
-            .map(|x: &Vec<f64>| x.iter().enumerate().map(|(i, v)| (i as f64 + 1.0) * v.sin()).sum())
+            .map(|x: &Vec<f64>| {
+                x.iter()
+                    .enumerate()
+                    .map(|(i, v)| (i as f64 + 1.0) * v.sin())
+                    .sum()
+            })
             .collect();
         let queries: Vec<Vec<f64>> = (0..200)
             .map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())

@@ -3,9 +3,7 @@
 use nnbo_baselines::{weibo, DeConfig, DifferentialEvolution, Gaspad, GaspadConfig};
 use nnbo_core::acquisition::AcquisitionKind;
 use nnbo_core::problems::{ChargePumpProblem, OpAmpProblem};
-use nnbo_core::{
-    BayesOpt, EnsembleConfig, OptimizationResult, Problem, RunStatistics, RunSummary,
-};
+use nnbo_core::{BayesOpt, EnsembleConfig, OptimizationResult, Problem, RunStatistics, RunSummary};
 use serde::{Deserialize, Serialize};
 
 use crate::protocol::{Algorithm, Protocol};
@@ -81,18 +79,18 @@ pub fn run_algorithm(
 ) -> OptimizationResult {
     let seed = protocol.seed + run as u64;
     match algorithm {
-        Algorithm::NeuralBo => BayesOpt::neural_with(protocol.bo_config(run), protocol.ensemble_config())
-            .run(problem)
-            .expect("neural BO run failed"),
+        Algorithm::NeuralBo => {
+            BayesOpt::neural_with(protocol.bo_config(run), protocol.ensemble_config())
+                .run(problem)
+                .expect("neural BO run failed")
+        }
         Algorithm::Weibo => weibo(protocol.bo_config(run))
             .run(problem)
             .expect("WEIBO run failed"),
         Algorithm::Gaspad => {
             let population = protocol.initial_samples.max(10);
-            Gaspad::new(
-                GaspadConfig::new(population, protocol.max_sims_gaspad).with_seed(seed),
-            )
-            .run(problem)
+            Gaspad::new(GaspadConfig::new(population, protocol.max_sims_gaspad).with_seed(seed))
+                .run(problem)
         }
         Algorithm::De => {
             let population = (protocol.max_sims_de / 20).clamp(10, 50);
@@ -309,8 +307,18 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
     s.push_str("Table II: charge pump over 18 PVT corners (all values in uA)\n");
     s.push_str(&format!(
         "{:<10} {:>7} {:>7} {:>7} {:>7} {:>9} {:>7} {:>8} {:>7} {:>7} {:>10} {:>8}\n",
-        "Alg", "diff1", "diff2", "diff3", "diff4", "deviation", "mean", "median", "best", "worst",
-        "Avg.#Sim", "Success"
+        "Alg",
+        "diff1",
+        "diff2",
+        "diff3",
+        "diff4",
+        "deviation",
+        "mean",
+        "median",
+        "best",
+        "worst",
+        "Avg.#Sim",
+        "Success"
     ));
     for r in rows {
         s.push_str(&format!(

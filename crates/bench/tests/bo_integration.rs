@@ -44,7 +44,9 @@ fn all_four_algorithms_complete_on_gardner_sine() {
     let ours = BayesOpt::neural_with(BoConfig::fast(8, 16).with_seed(1), fast_ensemble())
         .run(&problem)
         .expect("ours");
-    let wb = weibo(BoConfig::fast(8, 16).with_seed(1)).run(&problem).expect("weibo");
+    let wb = weibo(BoConfig::fast(8, 16).with_seed(1))
+        .run(&problem)
+        .expect("weibo");
     let gp = Gaspad::new(GaspadConfig::new(8, 16).with_seed(1)).run(&problem);
     let de = DifferentialEvolution::new(DeConfig::new(8, 40).with_seed(1)).run(&problem);
     for (name, result) in [("ours", &ours), ("weibo", &wb), ("gaspad", &gp)] {
@@ -58,17 +60,19 @@ fn statistics_aggregate_repeated_runs() {
     let problem = Hartmann6::new();
     let mut summaries = Vec::new();
     for seed in 0..3u64 {
-        let result =
-            BayesOpt::neural_with(BoConfig::fast(10, 18).with_seed(seed), fast_ensemble())
-                .run(&problem)
-                .expect("run");
+        let result = BayesOpt::neural_with(BoConfig::fast(10, 18).with_seed(seed), fast_ensemble())
+            .run(&problem)
+            .expect("run");
         summaries.push(RunSummary::from_result(&result, 1e-3));
     }
     let stats = RunStatistics::from_summaries(&summaries).expect("some run succeeded");
     assert_eq!(stats.runs, 3);
     assert_eq!(stats.successes, 3);
     assert!(stats.best <= stats.median && stats.median <= stats.worst);
-    assert!(stats.mean < 0.0, "Hartmann6 values are negative near the optimum");
+    assert!(
+        stats.mean < 0.0,
+        "Hartmann6 values are negative near the optimum"
+    );
 }
 
 #[test]

@@ -27,7 +27,11 @@ fn opamp_sizing_finds_a_feasible_high_gain_design() {
     let perf = problem.performances(x);
     assert!(perf.ugf_hz > 40e6, "UGF {} violates the spec", perf.ugf_hz);
     assert!(perf.pm_deg > 60.0, "PM {} violates the spec", perf.pm_deg);
-    assert!(-eval.objective > 60.0, "gain {} dB is implausibly low", -eval.objective);
+    assert!(
+        -eval.objective > 60.0,
+        "gain {} dB is implausibly low",
+        -eval.objective
+    );
 }
 
 #[test]
@@ -61,7 +65,11 @@ fn charge_pump_nominal_corner_sizing_reaches_feasibility() {
     let (x, eval) = result.best().expect("a feasible charge-pump design exists");
     let perf = problem.performances(x);
     assert!(perf.feasible());
-    assert!(eval.objective < 15.0, "FOM {} is implausibly high", eval.objective);
+    assert!(
+        eval.objective < 15.0,
+        "FOM {} is implausibly high",
+        eval.objective
+    );
 }
 
 #[test]

@@ -254,10 +254,18 @@ impl SmallSignalCircuit {
 
         for e in &self.elements {
             match e {
-                SmallSignalElement::Conductance { a: n1, b: n2, siemens } => {
+                SmallSignalElement::Conductance {
+                    a: n1,
+                    b: n2,
+                    siemens,
+                } => {
                     stamp_admittance(&mut a, *n1, *n2, Complex::real(*siemens));
                 }
-                SmallSignalElement::Capacitor { a: n1, b: n2, farads } => {
+                SmallSignalElement::Capacitor {
+                    a: n1,
+                    b: n2,
+                    farads,
+                } => {
                     stamp_admittance(&mut a, *n1, *n2, Complex::new(0.0, omega * farads));
                 }
                 SmallSignalElement::Vccs {
@@ -511,9 +519,13 @@ mod tests {
         assert!((h.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
         assert!((h.arg().to_degrees() + 45.0).abs() < 0.5);
         // Well below the corner the gain is ~1, far above it falls 20 dB/decade.
-        let low = ss.transfer_function(2.0 * std::f64::consts::PI * f_c / 1000.0).unwrap();
+        let low = ss
+            .transfer_function(2.0 * std::f64::consts::PI * f_c / 1000.0)
+            .unwrap();
         assert!((low.abs() - 1.0).abs() < 1e-3);
-        let hi = ss.transfer_function(2.0 * std::f64::consts::PI * f_c * 100.0).unwrap();
+        let hi = ss
+            .transfer_function(2.0 * std::f64::consts::PI * f_c * 100.0)
+            .unwrap();
         assert!((20.0 * hi.abs().log10() + 40.0).abs() < 0.5);
     }
 

@@ -156,7 +156,11 @@ impl ChargePump {
     ///
     /// Panics if `x.len() != 36`.
     pub fn denormalize(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), CHARGE_PUMP_DIM, "expected {CHARGE_PUMP_DIM} variables");
+        assert_eq!(
+            x.len(),
+            CHARGE_PUMP_DIM,
+            "expected {CHARGE_PUMP_DIM} variables"
+        );
         self.bounds()
             .iter()
             .zip(x.iter())
@@ -179,8 +183,15 @@ impl ChargePump {
     ///
     /// Panics if `x.len() != 36` or any variable is not strictly positive.
     pub fn evaluate(&self, x: &[f64]) -> ChargePumpPerformance {
-        assert_eq!(x.len(), CHARGE_PUMP_DIM, "expected {CHARGE_PUMP_DIM} variables");
-        assert!(x.iter().all(|v| *v > 0.0), "design variables must be positive");
+        assert_eq!(
+            x.len(),
+            CHARGE_PUMP_DIM,
+            "expected {CHARGE_PUMP_DIM} variables"
+        );
+        assert!(
+            x.iter().all(|v| *v > 0.0),
+            "design variables must be positive"
+        );
 
         let mut diff1: f64 = 0.0;
         let mut diff2: f64 = 0.0;
@@ -472,7 +483,11 @@ mod tests {
     #[test]
     fn evaluation_is_finite_everywhere() {
         let bench = ChargePump::new();
-        for x in [vec![0.01; CHARGE_PUMP_DIM], vec![0.5; CHARGE_PUMP_DIM], vec![0.99; CHARGE_PUMP_DIM]] {
+        for x in [
+            vec![0.01; CHARGE_PUMP_DIM],
+            vec![0.5; CHARGE_PUMP_DIM],
+            vec![0.99; CHARGE_PUMP_DIM],
+        ] {
             let p = bench.evaluate_normalized(&x);
             assert!(p.fom.is_finite() && p.fom >= 0.0);
             assert!(p.diff1.is_finite() && p.diff1 >= 0.0);
@@ -484,10 +499,7 @@ mod tests {
     fn a_good_design_is_feasible_with_small_fom() {
         let bench = ChargePump::new();
         let p = bench.evaluate_normalized(&decent_design());
-        assert!(
-            p.feasible(),
-            "expected a feasible design, got {p:?}"
-        );
+        assert!(p.feasible(), "expected a feasible design, got {p:?}");
         assert!(p.fom < 10.0, "FOM {} unexpectedly large", p.fom);
     }
 

@@ -147,6 +147,7 @@ impl Mul<f64> for Complex {
 
 impl Div for Complex {
     type Output = Complex;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via the reciprocal is intentional
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }

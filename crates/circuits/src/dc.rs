@@ -6,8 +6,8 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::mna::MnaSystem;
-use crate::netlist::{Circuit, Element, NodeId};
 use crate::mosfet::SmallSignalParams;
+use crate::netlist::{Circuit, Element, NodeId};
 
 /// Error produced by the DC solver.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,7 +26,10 @@ impl fmt::Display for DcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DcError::NoConvergence { last_delta } => {
-                write!(f, "newton iteration did not converge (last delta {last_delta:e} V)")
+                write!(
+                    f,
+                    "newton iteration did not converge (last delta {last_delta:e} V)"
+                )
             }
             DcError::SingularSystem => write!(f, "singular MNA system (check for floating nodes)"),
         }
@@ -150,7 +153,11 @@ impl DcAnalysis {
 
         // One final linearisation at the converged point to report device parameters.
         let (_, params) = self
-            .linearized_solve(circuit, &voltages, *self.gmin_steps.last().unwrap_or(&1e-12))
+            .linearized_solve(
+                circuit,
+                &voltages,
+                *self.gmin_steps.last().unwrap_or(&1e-12),
+            )
             .ok_or(DcError::SingularSystem)?;
         Ok(DcSolution {
             voltages,
@@ -282,7 +289,10 @@ mod tests {
         assert!(vd > 0.45 && vd < 1.0, "diode voltage {vd}");
         let id = (1.8 - vd) / 20e3;
         let expected_vgs = m.vgs_for_current(id);
-        assert!((vd - expected_vgs).abs() < 0.05, "vd {vd} vs expected {expected_vgs}");
+        assert!(
+            (vd - expected_vgs).abs() < 0.05,
+            "vd {vd} vs expected {expected_vgs}"
+        );
         assert_eq!(sol.mosfet_params[0].region, OperatingRegion::Saturation);
     }
 
@@ -326,7 +336,10 @@ mod tests {
         // Mirror output current ≈ 40 µA → drop across 10 kΩ ≈ 0.4 V.
         let vout = sol.voltage(out);
         let i_out = (1.8 - vout) / 10e3;
-        assert!((i_out - 40e-6).abs() / 40e-6 < 0.1, "mirrored current {i_out}");
+        assert!(
+            (i_out - 40e-6).abs() / 40e-6 < 0.1,
+            "mirrored current {i_out}"
+        );
     }
 
     #[test]

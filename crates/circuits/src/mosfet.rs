@@ -12,9 +12,10 @@ pub enum MosPolarity {
 }
 
 /// Operating region of a MOSFET at a given bias.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum OperatingRegion {
     /// `|Vgs| < |Vth|` — device is off.
+    #[default]
     Cutoff,
     /// `|Vds| < |Vgs - Vth|` — linear / triode region.
     Triode,
@@ -108,12 +109,6 @@ pub struct SmallSignalParams {
     pub region: OperatingRegion,
 }
 
-impl Default for OperatingRegion {
-    fn default() -> Self {
-        OperatingRegion::Cutoff
-    }
-}
-
 impl MosTransistor {
     /// Creates a sized device.
     ///
@@ -121,7 +116,10 @@ impl MosTransistor {
     ///
     /// Panics if width or length is not strictly positive.
     pub fn new(model: MosfetModel, width: f64, length: f64) -> Self {
-        assert!(width > 0.0 && length > 0.0, "device geometry must be positive");
+        assert!(
+            width > 0.0 && length > 0.0,
+            "device geometry must be positive"
+        );
         MosTransistor {
             model,
             width,

@@ -96,16 +96,16 @@ impl TwoStageOpAmp {
     /// `[W1, L1, W3, L3, W5, L5, W6, L6, Cc, Ibias]`.
     pub fn bounds(&self) -> [(f64, f64); OPAMP_DIM] {
         [
-            (1e-6, 100e-6),   // W1: differential pair width
-            (0.18e-6, 2e-6),  // L1
-            (1e-6, 100e-6),   // W3: mirror-load width
-            (0.18e-6, 2e-6),  // L3
-            (2e-6, 200e-6),   // W5: tail width
-            (0.18e-6, 2e-6),  // L5
-            (2e-6, 500e-6),   // W6: second-stage width
-            (0.18e-6, 2e-6),  // L6
+            (1e-6, 100e-6),    // W1: differential pair width
+            (0.18e-6, 2e-6),   // L1
+            (1e-6, 100e-6),    // W3: mirror-load width
+            (0.18e-6, 2e-6),   // L3
+            (2e-6, 200e-6),    // W5: tail width
+            (0.18e-6, 2e-6),   // L5
+            (2e-6, 500e-6),    // W6: second-stage width
+            (0.18e-6, 2e-6),   // L6
             (0.5e-12, 10e-12), // Cc
-            (2e-6, 50e-6),    // Ibias
+            (2e-6, 50e-6),     // Ibias
         ]
     }
 
@@ -145,20 +145,15 @@ impl TwoStageOpAmp {
             x.iter().all(|v| *v > 0.0),
             "design variables must be positive"
         );
-        let (w1, l1, w3, l3, w5, l5, w6, l6, cc, ibias) = (
-            x[0], x[1], x[2], x[3], x[4], x[5], x[6], x[7], x[8], x[9],
-        );
+        let (w1, l1, w3, l3, w5, l5, w6, l6, cc, ibias) =
+            (x[0], x[1], x[2], x[3], x[4], x[5], x[6], x[7], x[8], x[9]);
 
         // --- Bias point from the mirror topology (square-law). -----------------
         let m1 = MosTransistor::new(self.nmos, w1, l1);
         let m3 = MosTransistor::new(self.pmos, w3, l3);
         let m5 = MosTransistor::new(self.nmos, w5, l5);
         let m6 = MosTransistor::new(self.pmos, w6, l6);
-        let m7 = MosTransistor::new(
-            self.nmos,
-            w5 * self.output_stage_multiplier,
-            l5,
-        );
+        let m7 = MosTransistor::new(self.nmos, w5 * self.output_stage_multiplier, l5);
 
         // Tail current mirrored from the fixed diode reference (W8/L8 = bias_mirror_ratio).
         let i_tail = ibias * m5.aspect_ratio() / self.bias_mirror_ratio;
@@ -200,16 +195,8 @@ impl TwoStageOpAmp {
 
         // Device capacitances at the bias point (saturation expressions).
         let p1 = m1.evaluate(self.nmos.vth + vov1, self.vdd / 2.0, 0.0);
-        let p3 = m3.evaluate(
-            self.vdd - self.pmos.vth - vov3,
-            self.vdd / 2.0,
-            self.vdd,
-        );
-        let p6 = m6.evaluate(
-            self.vdd - self.pmos.vth - vov6,
-            self.vdd / 2.0,
-            self.vdd,
-        );
+        let p3 = m3.evaluate(self.vdd - self.pmos.vth - vov3, self.vdd / 2.0, self.vdd);
+        let p6 = m6.evaluate(self.vdd - self.pmos.vth - vov6, self.vdd / 2.0, self.vdd);
         let p7 = m7.evaluate(self.nmos.vth + vov7, self.vdd / 2.0, 0.0);
         let c_node1 = p1.cgd + p1.cdb + p3.cgd + p3.cdb + p6.cgs;
         let c_node2 = self.load_cap + p6.cdb + p7.cdb + p7.cgd;
@@ -274,12 +261,14 @@ impl TwoStageOpAmp {
             stop_hz: 10e9,
             points_per_decade: 24,
         });
-        let metrics = analysis.bode_metrics(&ss).unwrap_or(crate::ac::BodeMetrics {
-            dc_gain_db: -100.0,
-            unity_gain_freq_hz: 0.0,
-            phase_margin_deg: 0.0,
-            crossed_unity: false,
-        });
+        let metrics = analysis
+            .bode_metrics(&ss)
+            .unwrap_or(crate::ac::BodeMetrics {
+                dc_gain_db: -100.0,
+                unity_gain_freq_hz: 0.0,
+                phase_margin_deg: 0.0,
+                crossed_unity: false,
+            });
 
         let power_w = self.vdd * (ibias + i_tail + i_stage2);
         let area_m2 = w1 * l1 * 2.0
@@ -333,7 +322,11 @@ mod tests {
             "unity-gain frequency {}",
             p.ugf_hz
         );
-        assert!(p.pm_deg > 0.0 && p.pm_deg < 120.0, "phase margin {}", p.pm_deg);
+        assert!(
+            p.pm_deg > 0.0 && p.pm_deg < 120.0,
+            "phase margin {}",
+            p.pm_deg
+        );
         assert!(p.power_w > 0.0 && p.power_w < 10e-3);
     }
 

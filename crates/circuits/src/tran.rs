@@ -328,7 +328,11 @@ mod tests {
             minus: GROUND,
             volts: 0.0,
         });
-        ckt.add(Element::Resistor { a: vin, b: out, ohms: r });
+        ckt.add(Element::Resistor {
+            a: vin,
+            b: out,
+            ohms: r,
+        });
         ckt.add(Element::Capacitor {
             a: out,
             b: GROUND,
@@ -384,7 +388,11 @@ mod tests {
             minus: GROUND,
             volts: 1.0,
         });
-        ckt.add(Element::Resistor { a: vin, b: out, ohms: r });
+        ckt.add(Element::Resistor {
+            a: vin,
+            b: out,
+            ohms: r,
+        });
         ckt.add(Element::Capacitor {
             a: out,
             b: GROUND,

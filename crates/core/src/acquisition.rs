@@ -37,9 +37,10 @@ fn erf(x: f64) -> f64 {
 }
 
 /// Which acquisition function the optimizer maximises.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum AcquisitionKind {
     /// Constraint-weighted expected improvement (eq. 7) — the paper's choice.
+    #[default]
     WeightedExpectedImprovement,
     /// Plain expected improvement of the objective (constraints handled by a large
     /// penalty on the predicted mean).
@@ -52,12 +53,6 @@ pub enum AcquisitionKind {
     },
     /// Probability of improvement weighted by the feasibility probability.
     ProbabilityOfImprovement,
-}
-
-impl Default for AcquisitionKind {
-    fn default() -> Self {
-        AcquisitionKind::WeightedExpectedImprovement
-    }
 }
 
 /// Expected improvement (eq. 6) for a *minimisation* problem with incumbent `tau`.
@@ -179,7 +174,7 @@ mod tests {
     fn ei_is_nonnegative_and_increases_with_uncertainty() {
         let tau = 1.0;
         let certain = expected_improvement(&Prediction::new(1.5, 1e-8), tau);
-        assert!(certain >= 0.0 && certain < 1e-6);
+        assert!((0.0..1e-6).contains(&certain));
         let uncertain = expected_improvement(&Prediction::new(1.5, 4.0), tau);
         assert!(uncertain > certain);
         // With zero uncertainty EI reduces to max(tau - mean, 0).

@@ -27,6 +27,16 @@ pub struct BoConfig {
     /// Number of additional candidates drawn as Gaussian perturbations of the
     /// incumbent (local refinement of the acquisition search).
     pub local_candidates: usize,
+    /// How often the surrogates are refitted from scratch, in evaluations.
+    ///
+    /// `1` (the default) retrains at every iteration, exactly as the paper's
+    /// Algorithm 1 does.  With a larger value the loop performs the full
+    /// hyper-parameter fit only every `refit_every` evaluations and absorbs
+    /// the single observation appended in between through the trainers'
+    /// `O(N²)` incremental Cholesky updates
+    /// ([`crate::SurrogateTrainer::update`]) — the LinEasyBO-style trade of
+    /// hyper-parameter freshness for per-iteration cost.
+    pub refit_every: usize,
     /// Random seed; every stochastic component of the run derives from it.
     pub seed: u64,
 }
@@ -41,6 +51,7 @@ impl BoConfig {
             acquisition: AcquisitionKind::WeightedExpectedImprovement,
             candidate_pool: 1024,
             local_candidates: 256,
+            refit_every: 1,
             seed: 0,
         }
     }
@@ -65,6 +76,17 @@ impl BoConfig {
         self.acquisition = acquisition;
         self
     }
+
+    /// Sets the full-refit cadence (see [`BoConfig::refit_every`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refit_every` is zero.
+    pub fn with_refit_every(mut self, refit_every: usize) -> Self {
+        assert!(refit_every > 0, "refit_every must be at least 1");
+        self.refit_every = refit_every;
+        self
+    }
 }
 
 /// The result of one optimization run: every evaluated point in order, plus
@@ -81,10 +103,7 @@ impl OptimizationResult {
     /// This is how the non-Bayesian baselines (differential evolution, GASPAD,
     /// random search) report their runs so that every algorithm is summarised by
     /// the same statistics code.
-    pub fn from_history(
-        evaluations: Vec<(Vec<f64>, Evaluation)>,
-        initial_samples: usize,
-    ) -> Self {
+    pub fn from_history(evaluations: Vec<(Vec<f64>, Evaluation)>, initial_samples: usize) -> Self {
         OptimizationResult {
             evaluations,
             initial_samples,
@@ -110,7 +129,7 @@ impl OptimizationResult {
     pub fn best_index(&self) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
         for (i, (_, e)) in self.evaluations.iter().enumerate() {
-            if e.is_feasible() && best.map_or(true, |(_, v)| e.objective < v) {
+            if e.is_feasible() && best.is_none_or(|(_, v)| e.objective < v) {
                 best = Some((i, e.objective));
             }
         }
@@ -229,15 +248,20 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
             history.push((x, eval));
         }
 
-        // Phase 2: model-guided search.
+        // Phase 2: model-guided search.  The fitted surrogates persist across
+        // iterations so that, between full refits, the single observation
+        // appended per iteration can be absorbed through the trainers'
+        // incremental Cholesky updates instead of a from-scratch fit.
         let mut consecutive_failures = 0usize;
+        let mut models: Option<FittedModels<T::Model>> = None;
         while history.len() < self.config.max_evaluations {
-            let candidate = match self.propose(problem, &history, &mut rng) {
+            let candidate = match self.next_candidate(problem, &history, &mut models, &mut rng) {
                 Ok(x) => {
                     consecutive_failures = 0;
                     x
                 }
                 Err(reason) => {
+                    models = None;
                     consecutive_failures += 1;
                     if consecutive_failures > 5 {
                         return Err(BoError::SurrogateTraining {
@@ -257,6 +281,28 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
             evaluations: history,
             initial_samples: self.config.initial_samples,
         })
+    }
+
+    /// Fits fresh surrogates to `history` and returns the next design point
+    /// the acquisition function proposes.
+    ///
+    /// This is the stateless one-shot variant of the loop body — useful for
+    /// serving "give me the next point to simulate" requests against an
+    /// externally managed evaluation history.  [`BayesOpt::run`] uses the same
+    /// machinery but keeps the fitted surrogates alive across iterations so
+    /// incremental updates can kick in.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when surrogate training fails.
+    pub fn suggest(
+        &self,
+        problem: &dyn Problem,
+        history: &[(Vec<f64>, Evaluation)],
+        rng: &mut StdRng,
+    ) -> Result<Vec<f64>, String> {
+        let mut models: Option<FittedModels<T::Model>> = None;
+        self.next_candidate(problem, history, &mut models, rng)
     }
 
     fn validate(&self, problem: &dyn Problem) -> Result<(), BoError> {
@@ -286,24 +332,19 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
         Ok(())
     }
 
-    /// Fits the surrogates and maximises the acquisition function over a candidate
-    /// set, returning the proposed next design point.
-    fn propose(
+    /// Brings `models` up to date with `history` (full fit or incremental
+    /// update, per the `refit_every` cadence), then maximises the acquisition
+    /// function over a candidate set scored in one batch.
+    fn next_candidate(
         &self,
         problem: &dyn Problem,
         history: &[(Vec<f64>, Evaluation)],
+        models: &mut Option<FittedModels<T::Model>>,
         rng: &mut StdRng,
     ) -> Result<Vec<f64>, String> {
         let dim = problem.dim();
-        let xs: Vec<Vec<f64>> = history.iter().map(|(x, _)| x.clone()).collect();
-        let objective_values: Vec<f64> = history.iter().map(|(_, e)| e.objective).collect();
-
-        let objective_model = self.trainer.fit(&xs, &objective_values, rng)?;
-        let mut constraint_models = Vec::with_capacity(problem.num_constraints());
-        for c in 0..problem.num_constraints() {
-            let values: Vec<f64> = history.iter().map(|(_, e)| e.constraints[c]).collect();
-            constraint_models.push(self.trainer.fit(&xs, &values, rng)?);
-        }
+        self.refresh_models(problem, history, models, rng)?;
+        let fitted = models.as_ref().expect("refresh_models populated the slot");
 
         // Incumbent: best feasible objective, if any.
         let tau = history
@@ -326,7 +367,9 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
                         (e.violation(), f64::INFINITY)
                     }
                 };
-                key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal)
+                key(a)
+                    .partial_cmp(&key(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
             })
             .map(|(x, _)| x.clone())
             .unwrap_or_else(|| vec![0.5; dim]);
@@ -347,21 +390,127 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
             candidates.push(x);
         }
 
+        // Score the whole candidate set in one batch per surrogate: the
+        // cross-kernel / feature products and triangular solves amortise over
+        // all `candidate_pool + local_candidates` points at once.
+        let objective_preds = fitted.objective.predict_batch(&candidates);
+        let constraint_preds: Vec<Vec<_>> = fitted
+            .constraints
+            .iter()
+            .map(|m| m.predict_batch(&candidates))
+            .collect();
+
         let mut best_score = f64::NEG_INFINITY;
-        let mut best_candidate = candidates[0].clone();
-        for x in &candidates {
-            let objective_pred = objective_model.predict(x);
-            let constraint_preds: Vec<_> =
-                constraint_models.iter().map(|m| m.predict(x)).collect();
-            let score =
-                acquisition::evaluate(self.config.acquisition, &objective_pred, &constraint_preds, tau);
+        let mut best_index = 0;
+        let mut constraint_buf = Vec::with_capacity(constraint_preds.len());
+        for (idx, objective_pred) in objective_preds.iter().enumerate() {
+            constraint_buf.clear();
+            constraint_buf.extend(constraint_preds.iter().map(|preds| preds[idx]));
+            let score = acquisition::evaluate(
+                self.config.acquisition,
+                objective_pred,
+                &constraint_buf,
+                tau,
+            );
             if score > best_score {
                 best_score = score;
-                best_candidate = x.clone();
+                best_index = idx;
             }
         }
-        Ok(best_candidate)
+        Ok(candidates.swap_remove(best_index))
     }
+
+    /// Ensures `models` reflects `history`: a full fit when due (first call,
+    /// `refit_every` cadence reached, or the history did not grow by exactly
+    /// one point), otherwise the trainers' incremental single-observation
+    /// update, falling back to a full fit when a trainer does not support
+    /// updates or reports a failure.
+    fn refresh_models(
+        &self,
+        problem: &dyn Problem,
+        history: &[(Vec<f64>, Evaluation)],
+        models: &mut Option<FittedModels<T::Model>>,
+        rng: &mut StdRng,
+    ) -> Result<(), String> {
+        let n = history.len();
+        let refit_every = self.config.refit_every.max(1);
+
+        if let Some(fitted) = models.as_mut() {
+            let due_for_full_fit = n.saturating_sub(fitted.last_full_fit) >= refit_every;
+            let grew_by_one = n == fitted.trained_on + 1;
+            if !due_for_full_fit && grew_by_one {
+                let (x_new, eval) = &history[n - 1];
+                if let Some(updated) = self.try_incremental_update(fitted, x_new, eval, rng) {
+                    *fitted = updated;
+                    return Ok(());
+                }
+            } else if !due_for_full_fit && n == fitted.trained_on {
+                // Nothing new to learn (e.g. repeated suggest on a static history).
+                return Ok(());
+            }
+        }
+
+        let xs: Vec<Vec<f64>> = history.iter().map(|(x, _)| x.clone()).collect();
+        let objective_values: Vec<f64> = history.iter().map(|(_, e)| e.objective).collect();
+        let objective = self.trainer.fit(&xs, &objective_values, rng)?;
+        let mut constraints = Vec::with_capacity(problem.num_constraints());
+        for c in 0..problem.num_constraints() {
+            let values: Vec<f64> = history.iter().map(|(_, e)| e.constraints[c]).collect();
+            constraints.push(self.trainer.fit(&xs, &values, rng)?);
+        }
+        *models = Some(FittedModels {
+            objective,
+            constraints,
+            trained_on: n,
+            last_full_fit: n,
+        });
+        Ok(())
+    }
+
+    /// Applies the trainer's incremental update to the objective model and
+    /// every constraint model for one appended evaluation.  Returns `None`
+    /// (meaning "do a full fit instead") if the trainer does not support
+    /// updates or any individual update fails.
+    fn try_incremental_update(
+        &self,
+        fitted: &FittedModels<T::Model>,
+        x_new: &[f64],
+        eval: &Evaluation,
+        rng: &mut StdRng,
+    ) -> Option<FittedModels<T::Model>> {
+        let objective = match self
+            .trainer
+            .update(&fitted.objective, x_new, eval.objective, rng)?
+        {
+            Ok(m) => m,
+            Err(_) => return None,
+        };
+        let mut constraints = Vec::with_capacity(fitted.constraints.len());
+        for (model, &value) in fitted.constraints.iter().zip(eval.constraints.iter()) {
+            match self.trainer.update(model, x_new, value, rng)? {
+                Ok(m) => constraints.push(m),
+                Err(_) => return None,
+            }
+        }
+        Some(FittedModels {
+            objective,
+            constraints,
+            trained_on: fitted.trained_on + 1,
+            last_full_fit: fitted.last_full_fit,
+        })
+    }
+}
+
+/// Surrogates fitted to a prefix of the evaluation history, kept alive across
+/// loop iterations so incremental updates can replace full refits between
+/// `refit_every` boundaries.
+struct FittedModels<M> {
+    objective: M,
+    constraints: Vec<M>,
+    /// Number of history points the current models incorporate.
+    trained_on: usize,
+    /// History length at the last from-scratch fit.
+    last_full_fit: usize,
 }
 
 /// Draws a standard-normal sample by the Box–Muller transform (avoids pulling in a
@@ -417,8 +566,14 @@ mod tests {
             .filter(|(_, e)| e.is_feasible())
             .map(|(_, e)| e.objective)
             .fold(f64::INFINITY, f64::min);
-        assert!(best <= initial_best, "BO best {best} vs initial {initial_best}");
-        assert!(best < 3.0, "best Branin value {best} is far from the optimum");
+        assert!(
+            best <= initial_best,
+            "BO best {best} vs initial {initial_best}"
+        );
+        assert!(
+            best < 3.0,
+            "best Branin value {best} is far from the optimum"
+        );
     }
 
     #[test]
@@ -469,6 +624,60 @@ mod tests {
             let curve = result.convergence_curve();
             assert!((curve[n - 1] - result.best_objective().unwrap()).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn incremental_refit_cadence_runs_and_still_optimizes() {
+        let problem = ConstrainedBranin::new();
+        // Full hyper-parameter refit only every 4 evaluations; the iterations
+        // in between absorb their observation through rank-1 updates.
+        let bo = fast_neural(BoConfig::fast(10, 26).with_seed(11).with_refit_every(4));
+        let result = bo.run(&problem).unwrap();
+        assert_eq!(result.num_evaluations(), 26);
+        let best = result.best_objective().expect("a feasible point is found");
+        assert!(
+            best < 5.0,
+            "best Branin value {best} with incremental refits"
+        );
+    }
+
+    #[test]
+    fn refit_every_one_matches_the_always_refit_reference() {
+        // refit_every = 1 must reproduce the plain always-refit loop exactly:
+        // the incremental path never triggers and the rng stream is untouched.
+        let problem = ConstrainedBranin::new();
+        let base = fast_neural(BoConfig::fast(6, 12).with_seed(21))
+            .run(&problem)
+            .unwrap();
+        let explicit = fast_neural(BoConfig::fast(6, 12).with_seed(21).with_refit_every(1))
+            .run(&problem)
+            .unwrap();
+        assert_eq!(base.evaluations(), explicit.evaluations());
+    }
+
+    #[test]
+    fn suggest_returns_a_point_in_the_unit_cube() {
+        let problem = ConstrainedBranin::new();
+        let bo = fast_neural(BoConfig::fast(6, 12).with_seed(3));
+        let mut rng = StdRng::seed_from_u64(9);
+        let history: Vec<_> = latin_hypercube_history(&problem, 8, &mut rng);
+        let x = bo.suggest(&problem, &history, &mut rng).unwrap();
+        assert_eq!(x.len(), problem.dim());
+        assert!(x.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    fn latin_hypercube_history(
+        problem: &dyn crate::problems::Problem,
+        n: usize,
+        rng: &mut StdRng,
+    ) -> Vec<(Vec<f64>, crate::problems::Evaluation)> {
+        crate::sampling::latin_hypercube(n, problem.dim(), rng)
+            .into_iter()
+            .map(|x| {
+                let e = problem.evaluate(&x);
+                (x, e)
+            })
+            .collect()
     }
 
     #[test]

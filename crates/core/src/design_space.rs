@@ -28,7 +28,10 @@ impl DesignSpace {
     ///
     /// Panics if any bound pair has `upper <= lower` or a non-finite value.
     pub fn new(bounds: Vec<(f64, f64)>) -> Self {
-        assert!(!bounds.is_empty(), "design space must have at least one dimension");
+        assert!(
+            !bounds.is_empty(),
+            "design space must have at least one dimension"
+        );
         for (i, (lo, hi)) in bounds.iter().enumerate() {
             assert!(
                 lo.is_finite() && hi.is_finite() && hi > lo,

@@ -86,7 +86,10 @@ impl NeuralGpEnsemble {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().unwrap_or_else(|_| Err("member thread panicked".into())))
+                    .map(|h| {
+                        h.join()
+                            .unwrap_or_else(|_| Err("member thread panicked".into()))
+                    })
                     .collect()
             })
         } else {
@@ -132,21 +135,77 @@ impl NeuralGpEnsemble {
     pub fn members(&self) -> &[NeuralGp] {
         &self.members
     }
+
+    /// Incorporates one new observation into every member in `O(K·M²)` via
+    /// the members' rank-1 updates ([`NeuralGp::append_observation`]), without
+    /// retraining any feature network.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first member's error message if any member rejects the
+    /// observation (the ensemble is only replaced as a whole).
+    pub fn append_observation(&self, x: &[f64], y: f64) -> Result<NeuralGpEnsemble, String> {
+        let members = self
+            .members
+            .iter()
+            .map(|m| m.append_observation(x, y))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(NeuralGpEnsemble { members })
+    }
 }
+
+/// Batch size from which scoring the members on separate scoped threads pays
+/// for the spawn/join overhead.
+const PARALLEL_PREDICT_MIN_BATCH: usize = 256;
 
 impl SurrogateModel for NeuralGpEnsemble {
     fn predict(&self, x: &[f64]) -> Prediction {
-        let k = self.members.len() as f64;
-        let mut mean = 0.0;
-        let mut second_moment = 0.0;
-        for member in &self.members {
-            let p = member.predict(x);
-            mean += p.mean;
-            second_moment += p.mean * p.mean + p.variance;
+        self.predict_batch(std::slice::from_ref(&x.to_vec()))
+            .pop()
+            .expect("one query row yields one prediction")
+    }
+
+    /// Batched moment matching (eq. 13): every member scores the whole batch
+    /// through its own vectorised path, and large batches fan the members out
+    /// over scoped threads.  Combination runs in member order regardless of
+    /// thread scheduling, so the result is deterministic and identical to the
+    /// per-point path.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
+        if xs.is_empty() {
+            return Vec::new();
         }
-        mean /= k;
-        second_moment /= k;
-        Prediction::new(mean, second_moment - mean * mean)
+        let member_preds: Vec<Vec<Prediction>> =
+            if self.members.len() > 1 && xs.len() >= PARALLEL_PREDICT_MIN_BATCH {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .members
+                        .iter()
+                        .map(|m| scope.spawn(move || m.predict_batch(xs)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("member prediction panicked"))
+                        .collect()
+                })
+            } else {
+                self.members.iter().map(|m| m.predict_batch(xs)).collect()
+            };
+
+        let k = self.members.len() as f64;
+        let mut out = Vec::with_capacity(xs.len());
+        for i in 0..xs.len() {
+            let mut mean = 0.0;
+            let mut second_moment = 0.0;
+            for preds in &member_preds {
+                let p = preds[i];
+                mean += p.mean;
+                second_moment += p.mean * p.mean + p.variance;
+            }
+            mean /= k;
+            second_moment /= k;
+            out.push(Prediction::new(mean, second_moment - mean * mean));
+        }
+        out
     }
 }
 
@@ -177,6 +236,16 @@ impl SurrogateTrainer for NeuralGpEnsembleTrainer {
     ) -> Result<NeuralGpEnsemble, String> {
         NeuralGpEnsemble::fit(xs, ys, &self.config, rng)
     }
+
+    fn update(
+        &self,
+        prev: &NeuralGpEnsemble,
+        x: &[f64],
+        y: f64,
+        _rng: &mut StdRng,
+    ) -> Option<Result<NeuralGpEnsemble, String>> {
+        Some(prev.append_observation(x, y))
+    }
 }
 
 #[cfg(test)]
@@ -196,8 +265,12 @@ mod tests {
         let ens = NeuralGpEnsemble::fit(&xs, &ys, &EnsembleConfig::fast(), &mut rng).unwrap();
         assert_eq!(ens.len(), 3);
         let x = [0.37];
-        let expected: f64 =
-            ens.members().iter().map(|m| m.predict(&x).mean).sum::<f64>() / ens.len() as f64;
+        let expected: f64 = ens
+            .members()
+            .iter()
+            .map(|m| m.predict(&x).mean)
+            .sum::<f64>()
+            / ens.len() as f64;
         let p = ens.predict(&x);
         assert!((p.mean - expected).abs() < 1e-12);
     }
@@ -210,8 +283,12 @@ mod tests {
         // Far outside the data, the members disagree, so the combined variance must
         // be at least as large as the average member variance.
         let x = [3.0];
-        let avg_member_var: f64 =
-            ens.members().iter().map(|m| m.predict(&x).variance).sum::<f64>() / ens.len() as f64;
+        let avg_member_var: f64 = ens
+            .members()
+            .iter()
+            .map(|m| m.predict(&x).variance)
+            .sum::<f64>()
+            / ens.len() as f64;
         let p = ens.predict(&x);
         assert!(p.variance >= avg_member_var - 1e-12);
     }

@@ -77,6 +77,9 @@ pub struct NeuralGp {
     log_noise: f64,
     chol: Cholesky,
     alpha: Vec<f64>,
+    /// Projected targets `v = Φ y` (standardised units), kept so a single
+    /// appended observation can update `α = A⁻¹ v` in `O(M²)`.
+    v: Vec<f64>,
     standardizer: Standardizer,
     train_size: usize,
     final_nll: f64,
@@ -134,16 +137,58 @@ impl NeuralGp {
         mlp.set_flat_params(&nn_params);
 
         // Final factorization for prediction.
-        let (chol, alpha, nll) = factorize(&mlp, log_noise, log_prior, &x, &y, config)
+        let (chol, alpha, v, nll) = factorize(&mlp, log_noise, log_prior, &x, &y, config)
             .ok_or_else(|| "feature Gram matrix could not be factored".to_string())?;
         Ok(NeuralGp {
             mlp,
             log_noise,
             chol,
             alpha,
+            v,
             standardizer,
             train_size: xs.len(),
             final_nll: if nll.is_finite() { nll } else { last_nll },
+        })
+    }
+
+    /// Incorporates one new observation in `O(M²)` without retraining the
+    /// feature network: the weight-space normal matrix `A = ΦΦᵀ + λI` grows by
+    /// exactly `φ(x) φ(x)ᵀ`, which is a rank-1 Cholesky update, and
+    /// `α = A⁻¹ Φy` follows from one `O(M²)` solve.
+    ///
+    /// The network weights, noise level and target standardiser stay frozen at
+    /// their last trained values (the LinEasyBO-style trade); the stored
+    /// likelihood is left at its last trained value as well.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the appended observation is non-finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the network input dimension.
+    pub fn append_observation(&self, x: &[f64], y: f64) -> Result<NeuralGp, String> {
+        if x.iter().any(|v| !v.is_finite()) || !y.is_finite() {
+            return Err("non-finite values in appended observation".to_string());
+        }
+        let phi = self.mlp.forward(x);
+        let y_std = self.standardizer.transform(y);
+        let mut chol = self.chol.clone();
+        chol.rank_one_update(&phi);
+        let mut v = self.v.clone();
+        for (vi, p) in v.iter_mut().zip(phi.iter()) {
+            *vi += p * y_std;
+        }
+        let alpha = chol.solve_vec(&v);
+        Ok(NeuralGp {
+            mlp: self.mlp.clone(),
+            log_noise: self.log_noise,
+            chol,
+            alpha,
+            v,
+            standardizer: self.standardizer,
+            train_size: self.train_size + 1,
+            final_nll: self.final_nll,
         })
     }
 
@@ -169,15 +214,42 @@ impl NeuralGp {
 }
 
 impl SurrogateModel for NeuralGp {
+    /// Delegates to the batched path with a single row, so single-point and
+    /// batched predictions are arithmetically identical.
     fn predict(&self, x: &[f64]) -> Prediction {
-        let phi = self.mlp.forward(x);
-        let mean_std: f64 = phi.iter().zip(self.alpha.iter()).map(|(p, a)| p * a).sum();
+        self.predict_batch(std::slice::from_ref(&x.to_vec()))
+            .pop()
+            .expect("one query row yields one prediction")
+    }
+
+    /// Batched prediction: one feature-network forward pass over all queries,
+    /// one mean matvec against `α`, and one vectorised batched triangular
+    /// solve for the `M × M` weight-space system shared by the whole batch.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let phi = self.mlp.forward_batch(&Matrix::from_rows(xs)); // Q×M
+        let means = phi.matvec(&self.alpha);
+        let v = self.chol.solve_lower_matrix(&phi.transpose()); // M×Q
+        let mut quad = vec![0.0; xs.len()];
+        for row in v.rows_iter() {
+            for (q, u) in quad.iter_mut().zip(row.iter()) {
+                *q += u * u;
+            }
+        }
         let noise_var = (2.0 * self.log_noise).exp();
-        let var_std = noise_var * (1.0 + self.chol.quadratic_form(&phi));
-        Prediction::new(
-            self.standardizer.inverse(mean_std),
-            self.standardizer.inverse_variance(var_std),
-        )
+        means
+            .into_iter()
+            .zip(quad)
+            .map(|(mean_std, q)| {
+                let var_std = noise_var * (1.0 + q);
+                Prediction::new(
+                    self.standardizer.inverse(mean_std),
+                    self.standardizer.inverse_variance(var_std),
+                )
+            })
+            .collect()
     }
 }
 
@@ -200,6 +272,16 @@ impl SurrogateTrainer for NeuralGpTrainer {
 
     fn fit(&self, xs: &[Vec<f64>], ys: &[f64], rng: &mut StdRng) -> Result<NeuralGp, String> {
         NeuralGp::fit(xs, ys, &self.config, rng)
+    }
+
+    fn update(
+        &self,
+        prev: &NeuralGp,
+        x: &[f64],
+        y: f64,
+        _rng: &mut StdRng,
+    ) -> Option<Result<NeuralGp, String>> {
+        Some(prev.append_observation(x, y))
     }
 }
 
@@ -229,7 +311,7 @@ fn factorize(
     x: &Matrix,
     y: &[f64],
     config: &NeuralGpConfig,
-) -> Option<(Cholesky, Vec<f64>, f64)> {
+) -> Option<(Cholesky, Vec<f64>, Vec<f64>, f64)> {
     let out = mlp.forward_batch(x);
     let m = out.ncols();
     let n = out.nrows();
@@ -247,7 +329,7 @@ fn factorize(
     let nll = 0.5 / noise_var * (yty - v_alpha) + 0.5 * chol.log_det()
         - 0.5 * m as f64 * lambda.ln()
         + 0.5 * n as f64 * (2.0 * std::f64::consts::PI * noise_var).ln();
-    Some((chol, alpha, nll))
+    Some((chol, alpha, v, nll))
 }
 
 /// Negative log marginal likelihood (eq. 11, negated) and its gradient with respect
@@ -303,8 +385,7 @@ pub(crate) fn loss_and_grad(
     let alpha_sq: f64 = alpha.iter().map(|a| a * a).sum();
     let trace_b = b.trace().expect("A is square");
     let lambda_sensitivity = alpha_sq / (2.0 * noise_var) + 0.5 * trace_b;
-    let d_log_noise =
-        -2.0 * fit_term + 2.0 * lambda * lambda_sensitivity - m as f64 + n as f64;
+    let d_log_noise = -2.0 * fit_term + 2.0 * lambda * lambda_sensitivity - m as f64 + n as f64;
     let d_log_prior = -2.0 * lambda * lambda_sensitivity + m as f64;
 
     let mut grad = Vec::with_capacity(2 + mlp.num_params());
@@ -391,7 +472,10 @@ mod tests {
             / xs.len() as f64)
             .sqrt();
         let spread = nnbo_linalg::sample_std(&ys);
-        assert!(rmse < 0.35 * spread, "rmse {rmse} vs target spread {spread}");
+        assert!(
+            rmse < 0.35 * spread,
+            "rmse {rmse} vs target spread {spread}"
+        );
     }
 
     #[test]
@@ -431,13 +515,9 @@ mod tests {
             &mut rng
         )
         .is_err());
-        assert!(NeuralGp::fit(
-            &[vec![f64::NAN]],
-            &[1.0],
-            &NeuralGpConfig::fast(),
-            &mut rng
-        )
-        .is_err());
+        assert!(
+            NeuralGp::fit(&[vec![f64::NAN]], &[1.0], &NeuralGpConfig::fast(), &mut rng).is_err()
+        );
     }
 
     #[test]

@@ -15,9 +15,7 @@ mod circuit;
 mod synthetic;
 
 pub use circuit::{ChargePumpProblem, OpAmpProblem};
-pub use synthetic::{
-    Ackley, ConstrainedBranin, GardnerSine, Hartmann6, Levy, Rosenbrock,
-};
+pub use synthetic::{Ackley, ConstrainedBranin, GardnerSine, Hartmann6, Levy, Rosenbrock};
 
 use serde::{Deserialize, Serialize};
 

@@ -182,8 +182,8 @@ impl Problem for Rosenbrock {
         let mapped: Vec<f64> = x.iter().map(|v| -2.0 + 4.0 * v.clamp(0.0, 1.0)).collect();
         let mut f = 0.0;
         for i in 0..self.dim - 1 {
-            f += 100.0 * (mapped[i + 1] - mapped[i] * mapped[i]).powi(2)
-                + (1.0 - mapped[i]).powi(2);
+            f +=
+                100.0 * (mapped[i + 1] - mapped[i] * mapped[i]).powi(2) + (1.0 - mapped[i]).powi(2);
         }
         Evaluation::unconstrained(f)
     }

@@ -83,10 +83,7 @@ mod tests {
             latin_hypercube(25, 7, &mut rng),
             uniform_random(25, 7, &mut rng),
         ] {
-            assert!(points
-                .iter()
-                .flatten()
-                .all(|v| (0.0..=1.0).contains(v)));
+            assert!(points.iter().flatten().all(|v| (0.0..=1.0).contains(v)));
         }
     }
 

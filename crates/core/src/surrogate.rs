@@ -34,6 +34,12 @@ pub trait SurrogateModel: Send + Sync {
     fn predict(&self, x: &[f64]) -> Prediction;
 
     /// Predicts a batch of points (the default implementation simply loops).
+    ///
+    /// Implementations with a vectorisable hot path (the neural GP, the
+    /// classical GP, their ensembles) override this to amortise the linear
+    /// algebra over the whole batch; the acquisition maximiser scores its
+    /// entire candidate pool through this entry point.  Overrides must return
+    /// exactly what per-point [`SurrogateModel::predict`] calls would.
     fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
         xs.iter().map(|x| self.predict(x)).collect()
     }
@@ -55,6 +61,28 @@ pub trait SurrogateTrainer: Send + Sync {
     /// Returns a human-readable reason when the model cannot be trained (degenerate
     /// data, factorization failure, ...).
     fn fit(&self, xs: &[Vec<f64>], ys: &[f64], rng: &mut StdRng) -> Result<Self::Model, String>;
+
+    /// Attempts a cheap incremental refit of `prev` with one appended
+    /// observation `(x, y)`.
+    ///
+    /// Trainers whose models support an `O(N²)` update (rank-1 / bordered
+    /// Cholesky instead of a from-scratch refactorization) override this; the
+    /// Bayesian-optimization loop calls it between full refits (see
+    /// `BoConfig::refit_every`).  The default returns `None`, meaning
+    /// "unsupported — do a full fit".
+    ///
+    /// An implementation returning `Some(Err(..))` signals that the update was
+    /// attempted but failed (e.g. the appended point made the kernel matrix
+    /// numerically singular); callers should fall back to a full fit.
+    fn update(
+        &self,
+        _prev: &Self::Model,
+        _x: &[f64],
+        _y: f64,
+        _rng: &mut StdRng,
+    ) -> Option<Result<Self::Model, String>> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -5,10 +5,100 @@ use nnbo_core::acquisition::{
     expected_improvement, feasibility_probability, joint_feasibility, normal_cdf, normal_pdf,
     probability_of_improvement, weighted_expected_improvement,
 };
-use nnbo_core::{latin_hypercube, uniform_random, DesignSpace, Prediction};
+use nnbo_core::{
+    latin_hypercube, uniform_random, DesignSpace, EnsembleConfig, NeuralGp, NeuralGpConfig,
+    NeuralGpEnsemble, Prediction, SurrogateModel,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+fn surrogate_training_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|i| vec![i as f64 / (n - 1) as f64, ((i * 13) % n) as f64 / n as f64])
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| (5.0 * x[0]).sin() + x[1] * x[1] - 0.3 * x[0] * x[1])
+        .collect();
+    (xs, ys)
+}
+
+fn query_grid(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| vec![(i as f64 * 0.37) % 1.0, (i as f64 * 0.61 + 0.11) % 1.0])
+        .collect()
+}
+
+/// `predict_batch` must return exactly what per-point `predict` calls would —
+/// the acquisition maximiser depends on the two paths being interchangeable.
+#[test]
+fn neural_gp_predict_batch_matches_per_point_exactly() {
+    let (xs, ys) = surrogate_training_data(24);
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = NeuralGp::fit(&xs, &ys, &NeuralGpConfig::fast(), &mut rng).unwrap();
+    let queries = query_grid(33);
+    let batch = model.predict_batch(&queries);
+    assert_eq!(batch.len(), queries.len());
+    for (q, b) in queries.iter().zip(batch.iter()) {
+        let single = model.predict(q);
+        assert_eq!(single.mean, b.mean, "mean mismatch at {q:?}");
+        assert_eq!(single.variance, b.variance, "variance mismatch at {q:?}");
+    }
+    assert!(model.predict_batch(&[]).is_empty());
+}
+
+#[test]
+fn ensemble_predict_batch_matches_per_point_exactly() {
+    let (xs, ys) = surrogate_training_data(20);
+    let mut rng = StdRng::seed_from_u64(7);
+    let ensemble = NeuralGpEnsemble::fit(&xs, &ys, &EnsembleConfig::fast(), &mut rng).unwrap();
+    // Cross the parallel-prediction threshold to also exercise the threaded path.
+    let queries = query_grid(300);
+    let batch = ensemble.predict_batch(&queries);
+    for (q, b) in queries.iter().zip(batch.iter()) {
+        let single = ensemble.predict(q);
+        assert_eq!(single.mean, b.mean, "mean mismatch at {q:?}");
+        assert_eq!(single.variance, b.variance, "variance mismatch at {q:?}");
+    }
+}
+
+#[test]
+fn neural_gp_append_observation_absorbs_the_new_point() {
+    let (xs, ys) = surrogate_training_data(18);
+    let mut rng = StdRng::seed_from_u64(9);
+    let model = NeuralGp::fit(&xs, &ys, &NeuralGpConfig::fast(), &mut rng).unwrap();
+    let x_new = vec![0.45_f64, 0.55];
+    let y_new = (5.0 * x_new[0]).sin() + x_new[1] * x_new[1] - 0.3 * x_new[0] * x_new[1];
+    let updated = model.append_observation(&x_new, y_new).unwrap();
+    assert_eq!(updated.train_size(), model.train_size() + 1);
+    let before = model.predict(&x_new);
+    let after = updated.predict(&x_new);
+    assert!((after.mean - y_new).abs() <= (before.mean - y_new).abs() + 1e-9);
+    assert!(after.variance <= before.variance + 1e-12);
+    // Batched prediction stays consistent on the updated model too.
+    let queries = query_grid(10);
+    let batch = updated.predict_batch(&queries);
+    for (q, b) in queries.iter().zip(batch.iter()) {
+        let single = updated.predict(q);
+        assert_eq!(single.mean, b.mean);
+        assert_eq!(single.variance, b.variance);
+    }
+    assert!(model.append_observation(&[f64::NAN, 0.0], 0.0).is_err());
+}
+
+#[test]
+fn ensemble_append_observation_updates_every_member() {
+    let (xs, ys) = surrogate_training_data(16);
+    let mut rng = StdRng::seed_from_u64(11);
+    let ensemble = NeuralGpEnsemble::fit(&xs, &ys, &EnsembleConfig::fast(), &mut rng).unwrap();
+    let x_new = vec![0.3_f64, 0.7];
+    let updated = ensemble.append_observation(&x_new, 0.25).unwrap();
+    assert_eq!(updated.len(), ensemble.len());
+    for member in updated.members() {
+        assert_eq!(member.train_size(), xs.len() + 1);
+    }
+}
 
 fn prediction() -> impl Strategy<Value = Prediction> {
     (-10.0..10.0f64, 0.0..25.0f64).prop_map(|(m, v)| Prediction::new(m, v))

@@ -30,7 +30,10 @@ impl fmt::Display for GpError {
                 write!(f, "kernel matrix factorization failed: {e}")
             }
             GpError::OptimizationFailed => {
-                write!(f, "hyper-parameter optimization produced no finite likelihood")
+                write!(
+                    f,
+                    "hyper-parameter optimization produced no finite likelihood"
+                )
             }
         }
     }

@@ -78,24 +78,132 @@ impl ArdSquaredExponential {
         self.signal_variance * (-0.5 * d2).exp()
     }
 
-    /// Kernel (Gram) matrix of a set of points given as rows of `x`.
-    pub fn gram(&self, x: &Matrix) -> Matrix {
-        let n = x.nrows();
-        let mut k = Matrix::zeros(n, n);
-        for i in 0..n {
-            k[(i, i)] = self.signal_variance;
-            for j in (i + 1)..n {
-                let v = self.eval(x.row(i), x.row(j));
-                k[(i, j)] = v;
-                k[(j, i)] = v;
+    /// Rows of `x` scaled by the inverse lengthscales and shifted by `center`
+    /// (in scaled coordinates), so that the weighted squared distance becomes
+    /// a plain squared distance of the transformed rows.
+    ///
+    /// The shift is distance-preserving; centring on the training set keeps
+    /// the row norms small so the norm expansion used by
+    /// [`ArdSquaredExponential::gram`] does not lose precision when the raw
+    /// coordinates carry a large common offset (e.g. frequencies in Hz).
+    fn scaled_rows(&self, x: &Matrix, center: &[f64]) -> Matrix {
+        let mut s = x.clone();
+        let dim = self.inv_sq.len();
+        for row in 0..s.nrows() {
+            for ((v, &w), &c) in s.row_mut(row)[..dim]
+                .iter_mut()
+                .zip(self.inv_sq.iter())
+                .zip(center.iter())
+            {
+                *v = *v * w.sqrt() - c;
             }
         }
-        k
+        s
+    }
+
+    /// Column means of `x` in scaled coordinates — the centring shift shared
+    /// by a training set and every query scored against it.
+    fn scaled_center(&self, x: &Matrix) -> Vec<f64> {
+        let dim = self.inv_sq.len();
+        let mut center = vec![0.0; dim];
+        if x.nrows() == 0 {
+            return center;
+        }
+        for row in x.rows_iter() {
+            for ((c, &v), &w) in center.iter_mut().zip(row.iter()).zip(self.inv_sq.iter()) {
+                *c += v * w.sqrt();
+            }
+        }
+        let inv_n = 1.0 / x.nrows() as f64;
+        for c in &mut center {
+            *c *= inv_n;
+        }
+        center
+    }
+
+    /// Precomputes the scaled/centred representation of a fixed point set so
+    /// repeated cross-covariance products against it skip the per-call
+    /// rescaling (see [`ArdSquaredExponential::cross_with`]).
+    pub fn prepare(&self, x: &Matrix) -> ScaledRows {
+        let center = self.scaled_center(x);
+        let rows = self.scaled_rows(x, &center);
+        let norms: Vec<f64> = rows.rows_iter().map(row_norm_sq).collect();
+        ScaledRows {
+            rows,
+            norms,
+            center,
+        }
+    }
+
+    /// Kernel (Gram) matrix of a set of points given as rows of `x`.
+    ///
+    /// Computed through the norm expansion
+    /// `‖x'ᵢ − x'ⱼ‖² = ‖x'ᵢ‖² + ‖x'ⱼ‖² − 2 x'ᵢ·x'ⱼ` on lengthscale-scaled,
+    /// mean-centred rows, which turns the whole matrix into one blocked
+    /// (multi-threaded for large `N`) `X'X'ᵀ` product instead of `N²/2` scalar
+    /// kernel evaluations.  The result is exactly symmetric with `σf²` on the
+    /// diagonal, like the scalar-loop reference it replaces.
+    pub fn gram(&self, x: &Matrix) -> Matrix {
+        let center = self.scaled_center(x);
+        let scaled = self.scaled_rows(x, &center);
+        let mut g = scaled.matmul_transpose(&scaled);
+        let n = g.nrows();
+        let norms = g.diag();
+        for i in 0..n {
+            for j in 0..n {
+                // Cancellation can take d² a hair below zero; clamp, which also
+                // pins the diagonal at exactly σf².
+                let d2 = (norms[i] + norms[j] - 2.0 * g[(i, j)]).max(0.0);
+                g[(i, j)] = self.signal_variance * (-0.5 * d2).exp();
+            }
+        }
+        g
+    }
+
+    /// Cross-covariance matrix `K(Q, X)` between query rows `q` and training
+    /// rows `x` (shape `q.nrows() × x.nrows()`), via the same norm expansion
+    /// and blocked product as [`ArdSquaredExponential::gram`].
+    ///
+    /// When the same `x` is queried repeatedly, use
+    /// [`ArdSquaredExponential::prepare`] with
+    /// [`ArdSquaredExponential::cross_with`] to skip the per-call rescaling of
+    /// the training rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts of `q` and `x` differ.
+    pub fn cross_matrix(&self, q: &Matrix, x: &Matrix) -> Matrix {
+        assert_eq!(q.ncols(), x.ncols(), "cross_matrix dimension mismatch");
+        self.cross_with(q, &self.prepare(x))
+    }
+
+    /// Cross-covariance matrix `K(Q, X)` against a point set prepared with
+    /// [`ArdSquaredExponential::prepare`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q`'s dimension differs from the kernel dimension.
+    pub fn cross_with(&self, q: &Matrix, x: &ScaledRows) -> Matrix {
+        assert_eq!(q.ncols(), self.dim(), "cross_with dimension mismatch");
+        let qs = self.scaled_rows(q, &x.center);
+        let q_norms: Vec<f64> = qs.rows_iter().map(row_norm_sq).collect();
+        let mut g = qs.matmul_transpose(&x.rows);
+        for i in 0..g.nrows() {
+            let row = g.row_mut(i);
+            let qn = q_norms[i];
+            for (v, &xn) in row.iter_mut().zip(x.norms.iter()) {
+                let d2 = (qn + xn - 2.0 * *v).max(0.0);
+                *v = self.signal_variance * (-0.5 * d2).exp();
+            }
+        }
+        g
     }
 
     /// Cross-covariance vector `k(x*, X)` between one point and the training rows.
     pub fn cross(&self, x_star: &[f64], x: &Matrix) -> Vec<f64> {
-        (0..x.nrows()).map(|i| self.eval(x_star, x.row(i))).collect()
+        (0..x.nrows())
+            .map(|i| self.eval(x_star, x.row(i)))
+            .collect()
     }
 
     /// Partial derivative of the Gram matrix with respect to `log σf` (returns the
@@ -124,9 +232,87 @@ impl ArdSquaredExponential {
     }
 }
 
+/// Lengthscale-scaled, mean-centred copy of a fixed point set plus its row
+/// norms — the per-query-invariant half of the cross-covariance computation,
+/// built once by [`ArdSquaredExponential::prepare`] and reused by every
+/// [`ArdSquaredExponential::cross_with`] call (e.g. each batched prediction of
+/// a fitted GP).
+#[derive(Debug, Clone)]
+pub struct ScaledRows {
+    rows: Matrix,
+    norms: Vec<f64>,
+    center: Vec<f64>,
+}
+
+impl ScaledRows {
+    /// Number of prepared points.
+    pub fn len(&self) -> usize {
+        self.rows.nrows()
+    }
+
+    /// `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one point (raw coordinates) to the prepared set, scaling and
+    /// centring it with the set's frozen shift — the cache maintenance that
+    /// accompanies an incremental `append_observation`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`'s dimension differs from the kernel dimension.
+    pub fn append(&mut self, kernel: &ArdSquaredExponential, x: &[f64]) {
+        assert_eq!(x.len(), kernel.dim(), "append dimension mismatch");
+        let row: Vec<f64> = x
+            .iter()
+            .zip(kernel.inv_sq.iter())
+            .zip(self.center.iter())
+            .map(|((&v, &w), &c)| v * w.sqrt() - c)
+            .collect();
+        self.norms.push(row_norm_sq(&row));
+        self.rows = Matrix::vstack(&self.rows, &Matrix::from_rows(std::slice::from_ref(&row)));
+    }
+}
+
+fn row_norm_sq(row: &[f64]) -> f64 {
+    row.iter().map(|v| v * v).sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gram_and_cross_matrix_match_scalar_eval() {
+        let k = ArdSquaredExponential::new(1.7, vec![0.4, 1.2, 2.5]);
+        let x = Matrix::from_rows(
+            &(0..9)
+                .map(|i| {
+                    vec![
+                        i as f64 * 0.11,
+                        (i * i % 5) as f64 * 0.2,
+                        1.0 - i as f64 * 0.07,
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        let q = Matrix::from_rows(&[vec![0.3, 0.1, 0.9], vec![0.0, 0.8, 0.2]]);
+        let g = k.gram(&x);
+        for i in 0..x.nrows() {
+            for j in 0..x.nrows() {
+                let reference = k.eval(x.row(i), x.row(j));
+                assert!((g[(i, j)] - reference).abs() < 1e-10, "gram ({i},{j})");
+            }
+        }
+        let c = k.cross_matrix(&q, &x);
+        for i in 0..q.nrows() {
+            for j in 0..x.nrows() {
+                let reference = k.eval(q.row(i), x.row(j));
+                assert!((c[(i, j)] - reference).abs() < 1e-10, "cross ({i},{j})");
+            }
+        }
+    }
 
     #[test]
     fn kernel_is_one_at_zero_distance_and_decays() {

@@ -44,5 +44,5 @@ mod model;
 
 pub use error::GpError;
 pub use hyper::{GpConfig, GpHyperParams};
-pub use kernel::ArdSquaredExponential;
+pub use kernel::{ArdSquaredExponential, ScaledRows};
 pub use model::{GpModel, GpPrediction};

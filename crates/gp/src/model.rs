@@ -5,7 +5,7 @@ use nnbo_nn::{Adam, Optimizer};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::{ArdSquaredExponential, GpConfig, GpError, GpHyperParams};
+use crate::{ArdSquaredExponential, GpConfig, GpError, GpHyperParams, ScaledRows};
 
 /// Predictive distribution of the GP at one query point, in the original target
 /// units: `y ~ N(mean, variance)`.
@@ -39,9 +39,16 @@ pub struct GpModel {
     standardizer: Standardizer,
     hyper: GpHyperParams,
     kernel: ArdSquaredExponential,
+    /// Scaled/centred training rows, cached at fit time so every prediction
+    /// skips re-scaling the `N × D` training matrix.
+    scaled_x: ScaledRows,
     chol: Cholesky,
     /// `(K + σn² I)⁻¹ (y - µ0)` — the α vector of eq. 3.
     alpha: Vec<f64>,
+    /// Diagonal jitter that was needed to factor the kernel matrix (0 when the
+    /// plain factorization succeeded); incremental updates must add the same
+    /// amount to stay consistent with the stored factor.
+    jitter: f64,
     nll: f64,
 }
 
@@ -92,7 +99,7 @@ impl GpModel {
             hyper = GpHyperParams::from_flat(&flat, dim);
             hyper.clamp(config.min_log_noise);
             if let Some((nll, _)) = nll_and_grad(&x, &y_std, &hyper, config.jitter) {
-                if nll.is_finite() && best.as_ref().map_or(true, |(b, _)| nll < *b) {
+                if nll.is_finite() && best.as_ref().is_none_or(|(b, _)| nll < *b) {
                     best = Some((nll, hyper.clone()));
                 }
             }
@@ -102,9 +109,10 @@ impl GpModel {
         let kernel = ArdSquaredExponential::new(hyper.signal_variance(), hyper.lengthscales());
         let mut k = kernel.gram(&x);
         k.add_diag(hyper.noise_variance());
-        let (chol, _) = Cholesky::decompose_with_jitter(&k, config.jitter, 10)?;
+        let (chol, jitter) = Cholesky::decompose_with_jitter(&k, config.jitter, 10)?;
         let residual: Vec<f64> = y_std.iter().map(|v| v - hyper.mean).collect();
         let alpha = chol.solve_vec(&residual);
+        let scaled_x = kernel.prepare(&x);
 
         let _ = n;
         Ok(GpModel {
@@ -113,8 +121,10 @@ impl GpModel {
             standardizer,
             hyper,
             kernel,
+            scaled_x,
             chol,
             alpha,
+            jitter,
             nll,
         })
     }
@@ -152,31 +162,124 @@ impl GpModel {
 
     /// Predictive distribution at a query point, in original target units.
     ///
+    /// Delegates to the batched path with a single row, so single-point and
+    /// batched predictions are arithmetically identical.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != dim()`.
     pub fn predict(&self, x: &[f64]) -> GpPrediction {
         assert_eq!(x.len(), self.dim(), "query dimension mismatch");
-        let k_star = self.kernel.cross(x, &self.x);
-        let mean_std = self.hyper.mean
-            + k_star
-                .iter()
-                .zip(self.alpha.iter())
-                .map(|(k, a)| k * a)
-                .sum::<f64>();
-        let v = self.chol.solve_lower(&k_star);
-        let explained: f64 = v.iter().map(|u| u * u).sum();
-        let var_std =
-            (self.hyper.noise_variance() + self.kernel.eval(x, x) - explained).max(1e-12);
-        GpPrediction {
-            mean: self.standardizer.inverse(mean_std),
-            variance: self.standardizer.inverse_variance(var_std),
-        }
+        let q = Matrix::from_rows(&[x.to_vec()]);
+        self.predict_rows(&q)
+            .pop()
+            .expect("one query row yields one prediction")
     }
 
     /// Predicts a batch of points.
+    ///
+    /// The whole batch shares one blocked cross-kernel product `K(Q, X)`, one
+    /// mean matvec against `α`, and one vectorised batched triangular solve
+    /// for the variances — `O(QN)` memory traffic patterns instead of `Q`
+    /// independent `O(N²)` dependency chains.  Each returned prediction equals
+    /// the corresponding [`GpModel::predict`] result exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query's dimension differs from `dim()`.
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<GpPrediction> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        for x in xs {
+            assert_eq!(x.len(), self.dim(), "query dimension mismatch");
+        }
+        self.predict_rows(&Matrix::from_rows(xs))
+    }
+
+    /// Shared batched-prediction core: queries are the rows of `q`.
+    fn predict_rows(&self, q: &Matrix) -> Vec<GpPrediction> {
+        let n_q = q.nrows();
+        // Cross-kernel block K(Q, X), then means µ0 + K* α in one pass.
+        let k_star = self.kernel.cross_with(q, &self.scaled_x);
+        let weighted = k_star.matvec(&self.alpha);
+        // Variances: column norms of L⁻¹ K*ᵀ from one batched forward solve.
+        let v = self.chol.solve_lower_matrix(&k_star.transpose()); // N×Q
+        let mut explained = vec![0.0; n_q];
+        for row in v.rows_iter() {
+            for (e, u) in explained.iter_mut().zip(row.iter()) {
+                *e += u * u;
+            }
+        }
+        let prior = self.hyper.noise_variance() + self.kernel.signal_variance();
+        weighted
+            .into_iter()
+            .zip(explained)
+            .map(|(w, ex)| {
+                let mean_std = self.hyper.mean + w;
+                let var_std = (prior - ex).max(1e-12);
+                GpPrediction {
+                    mean: self.standardizer.inverse(mean_std),
+                    variance: self.standardizer.inverse_variance(var_std),
+                }
+            })
+            .collect()
+    }
+
+    /// Incorporates one new observation in `O(N²)` by bordering the stored
+    /// Cholesky factor ([`Cholesky::append_row`]) instead of refitting.
+    ///
+    /// The hyper-parameters, target standardiser and jitter stay frozen at
+    /// their last fitted values, which is the LinEasyBO-style trade the
+    /// Bayesian-optimization loop makes between hyper-parameter freshness and
+    /// per-iteration cost; the stored negative log likelihood is refreshed for
+    /// the extended data set under those frozen hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::InvalidTrainingSet`] for non-finite input and
+    /// [`GpError::KernelFactorization`] when the bordered kernel matrix is no
+    /// longer positive definite (e.g. a near-duplicate point); callers should
+    /// fall back to a full refit in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn append_observation(&self, x: &[f64], y: f64) -> Result<GpModel, GpError> {
+        assert_eq!(x.len(), self.dim(), "query dimension mismatch");
+        if x.iter().any(|v| !v.is_finite()) || !y.is_finite() {
+            return Err(GpError::InvalidTrainingSet {
+                details: "non-finite values in appended observation".to_string(),
+            });
+        }
+        let mut row = self.kernel.cross(x, &self.x);
+        row.push(self.kernel.signal_variance() + self.hyper.noise_variance() + self.jitter);
+        let mut chol = self.chol.clone();
+        chol.append_row(&row)?;
+
+        let x_mat = Matrix::vstack(&self.x, &Matrix::from_rows(&[x.to_vec()]));
+        let mut scaled_x = self.scaled_x.clone();
+        scaled_x.append(&self.kernel, x);
+        let mut y_std = self.y.clone();
+        y_std.push(self.standardizer.transform(y));
+        let residual: Vec<f64> = y_std.iter().map(|v| v - self.hyper.mean).collect();
+        let alpha = chol.solve_vec(&residual);
+        let n = y_std.len();
+        let fit_term: f64 = residual.iter().zip(alpha.iter()).map(|(r, a)| r * a).sum();
+        let nll = 0.5 * (fit_term + chol.log_det() + n as f64 * (2.0 * std::f64::consts::PI).ln());
+
+        Ok(GpModel {
+            x: x_mat,
+            y: y_std,
+            standardizer: self.standardizer,
+            hyper: self.hyper.clone(),
+            kernel: self.kernel.clone(),
+            scaled_x,
+            chol,
+            alpha,
+            jitter: self.jitter,
+            nll,
+        })
     }
 
     /// Leave-one-out style diagnostic: mean squared standardised residual on the
@@ -337,7 +440,10 @@ mod tests {
         };
         let fd = finite_difference_gradient(&f, &hyper.to_flat(), 1e-5);
         for (a, b) in analytic.iter().zip(fd.iter()) {
-            assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()), "analytic {a} vs fd {b}");
+            assert!(
+                (a - b).abs() < 1e-4 * (1.0 + b.abs()),
+                "analytic {a} vs fd {b}"
+            );
         }
     }
 
@@ -346,7 +452,11 @@ mod tests {
         let (xs, ys) = toy_data(25, 7);
         let mut rng = StdRng::seed_from_u64(1);
         let model = GpModel::fit(&xs, &ys, &GpConfig::default(), &mut rng).unwrap();
-        assert!(model.training_mse() < 1e-2, "training MSE {}", model.training_mse());
+        assert!(
+            model.training_mse() < 1e-2,
+            "training MSE {}",
+            model.training_mse()
+        );
     }
 
     #[test]
@@ -357,7 +467,10 @@ mod tests {
         let model = GpModel::fit(&xs, &ys, &GpConfig::default(), &mut rng).unwrap();
         for &t in &[0.15, 0.35, 0.62, 0.81] {
             let p = model.predict(&[t]);
-            assert!((p.mean - (4.0 * t).cos()).abs() < 0.05, "bad prediction at {t}");
+            assert!(
+                (p.mean - (4.0 * t).cos()).abs() < 0.05,
+                "bad prediction at {t}"
+            );
         }
     }
 
@@ -399,6 +512,45 @@ mod tests {
         let model = GpModel::fit(&xs, &ys, &GpConfig::fast(), &mut rng).unwrap();
         let p = model.predict(&[0.5]);
         assert!((p.mean - 2.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn predict_batch_matches_per_point_predict_exactly() {
+        let (xs, ys) = toy_data(30, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        let model = GpModel::fit(&xs, &ys, &GpConfig::fast(), &mut rng).unwrap();
+        let queries: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i as f64 * 0.37) % 1.0, (i as f64 * 0.61) % 1.0])
+            .collect();
+        let batch = model.predict_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (q, b) in queries.iter().zip(batch.iter()) {
+            let single = model.predict(q);
+            assert_eq!(single.mean, b.mean, "mean mismatch at {q:?}");
+            assert_eq!(single.variance, b.variance, "variance mismatch at {q:?}");
+        }
+        assert!(model.predict_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn append_observation_matches_frozen_hyper_refit() {
+        let (xs, ys) = toy_data(20, 31);
+        let mut rng = StdRng::seed_from_u64(32);
+        let model = GpModel::fit(&xs, &ys, &GpConfig::fast(), &mut rng).unwrap();
+        let x_new = vec![0.42_f64, 0.58];
+        let y_new = (3.0 * x_new[0]).sin() + 0.5 * x_new[1] * x_new[1];
+        let updated = model.append_observation(&x_new, y_new).unwrap();
+        assert_eq!(updated.len(), model.len() + 1);
+        assert_eq!(updated.hyper_params(), model.hyper_params());
+        // The updated model interpolates the appended point like a (frozen
+        // hyper-parameter) refit would: the prediction at x_new moves towards
+        // y_new and its uncertainty collapses towards the noise floor.
+        let before = model.predict(&x_new);
+        let after = updated.predict(&x_new);
+        assert!((after.mean - y_new).abs() <= (before.mean - y_new).abs() + 1e-9);
+        assert!(after.variance <= before.variance + 1e-12);
+        // Rejects nonsense input.
+        assert!(model.append_observation(&[f64::NAN, 0.0], 1.0).is_err());
     }
 
     #[test]

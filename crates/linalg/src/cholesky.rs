@@ -45,6 +45,102 @@ impl Cholesky {
             });
         }
         let n = a.nrows();
+        // Copy the lower triangle; the factorization then runs in place.
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            let (src, dst) = (&a.row(i)[..=i], &mut l.row_mut(i)[..=i]);
+            dst.copy_from_slice(src);
+        }
+        Self::factor_in_place(&mut l)?;
+        Ok(Cholesky { l })
+    }
+
+    /// Blocked right-looking in-place factorization of the lower triangle of
+    /// `l`.
+    ///
+    /// For each `PANEL`-wide panel the small diagonal block is factored
+    /// scalar-style, the sub-panel is solved against it, and the (dominant)
+    /// symmetric trailing update runs as a blocked rank-`PANEL` product over
+    /// contiguous panel rows — multi-threaded for large trailing blocks.
+    fn factor_in_place(l: &mut Matrix) -> Result<(), LinalgError> {
+        const PANEL: usize = 48;
+        let n = l.nrows();
+        let mut kb = 0;
+        while kb < n {
+            let kend = (kb + PANEL).min(n);
+            // 1. Factor the diagonal block (contributions of columns < kb are
+            //    already subtracted by earlier trailing updates).
+            for i in kb..kend {
+                for j in kb..=i {
+                    let sum = l[(i, j)]
+                        - crate::kernels::dot_unrolled(&l.row(i)[kb..j], &l.row(j)[kb..j]);
+                    if i == j {
+                        if sum <= 0.0 || !sum.is_finite() {
+                            return Err(LinalgError::NotPositiveDefinite {
+                                pivot: i,
+                                value: sum,
+                            });
+                        }
+                        l[(i, i)] = sum.sqrt();
+                    } else {
+                        l[(i, j)] = sum / l[(j, j)];
+                    }
+                }
+            }
+            // 2. Solve the sub-panel: L21 · L11ᵀ = A21.
+            for i in kend..n {
+                for j in kb..kend {
+                    let sum = l[(i, j)]
+                        - crate::kernels::dot_unrolled(&l.row(i)[kb..j], &l.row(j)[kb..j]);
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+            // 3. Trailing update: A22 -= L21 · L21ᵀ (lower triangle only).
+            //    The panel is copied into a contiguous scratch buffer so the
+            //    row bands below can be updated on independent threads while
+            //    sharing read access to it.
+            if kend < n {
+                let width = kend - kb;
+                let trailing = n - kend;
+                let mut panel = vec![0.0; trailing * width];
+                for (t, chunk) in panel.chunks_exact_mut(width).enumerate() {
+                    chunk.copy_from_slice(&l.row(kend + t)[kb..kend]);
+                }
+                let threads = crate::parallel::plan_threads(trailing, trailing * trailing * width);
+                let cols = l.ncols();
+                let tail = &mut l.as_mut_slice()[kend * cols..];
+                crate::parallel::for_each_row_band(tail, trailing, cols, threads, |first, band| {
+                    for (t, row) in band.chunks_exact_mut(cols).enumerate() {
+                        let i = first + t;
+                        let pi = &panel[i * width..(i + 1) * width];
+                        crate::kernels::syrk_row_update(
+                            pi,
+                            &panel,
+                            width,
+                            &mut row[kend..kend + i + 1],
+                        );
+                    }
+                });
+            }
+            kb = kend;
+        }
+        Ok(())
+    }
+
+    /// Reference (scalar, single-threaded) factorization, kept for property
+    /// tests and benchmarks of the blocked implementation.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Cholesky::decompose`].
+    pub fn decompose_reference(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
+        }
+        let n = a.nrows();
         let mut l = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..=i {
@@ -84,7 +180,7 @@ impl Cholesky {
         max_attempts: usize,
     ) -> Result<(Self, f64), LinalgError> {
         match Self::decompose(a) {
-            Ok(c) => return Ok((c, 0.0)),
+            Ok(c) => Ok((c, 0.0)),
             Err(e) => {
                 let mut jitter = initial_jitter;
                 let mut last_err = e;
@@ -159,23 +255,87 @@ impl Cholesky {
         self.solve_upper(&self.solve_lower(b))
     }
 
-    /// Solves `A X = B` column by column.
+    /// Solves `L Y = B` for a full right-hand-side matrix `B` (`n × m`).
+    ///
+    /// One forward sweep serves all `m` columns simultaneously: every inner
+    /// operation is a contiguous row `axpy` of width `m`, which vectorises —
+    /// unlike `m` independent [`Cholesky::solve_lower`] calls whose dot
+    /// products are serial dependency chains.  Column `j` of the result is
+    /// arithmetically identical to `solve_lower` of column `j` of `B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.nrows() != dim()`.
+    pub fn solve_lower_matrix(&self, b: &Matrix) -> Matrix {
+        let n = self.dim();
+        assert_eq!(b.nrows(), n, "solve_lower_matrix dimension mismatch");
+        let m = b.ncols();
+        let mut y = b.clone();
+        let data = y.as_mut_slice();
+        for i in 0..n {
+            let (head, tail) = data.split_at_mut(i * m);
+            let yi = &mut tail[..m];
+            for k in 0..i {
+                let lik = self.l[(i, k)];
+                if lik == 0.0 {
+                    continue;
+                }
+                let yk = &head[k * m..(k + 1) * m];
+                for (o, v) in yi.iter_mut().zip(yk.iter()) {
+                    *o -= lik * v;
+                }
+            }
+            // Divide (not multiply by a reciprocal) to stay bit-identical with
+            // the single-vector solve.
+            let lii = self.l[(i, i)];
+            for o in yi.iter_mut() {
+                *o /= lii;
+            }
+        }
+        y
+    }
+
+    /// Solves `Lᵀ X = Y` for a full right-hand-side matrix `Y` (`n × m`) with
+    /// one vectorised backward sweep (see [`Cholesky::solve_lower_matrix`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.nrows() != dim()`.
+    pub fn solve_upper_matrix(&self, y: &Matrix) -> Matrix {
+        let n = self.dim();
+        assert_eq!(y.nrows(), n, "solve_upper_matrix dimension mismatch");
+        let m = y.ncols();
+        let mut x = y.clone();
+        let data = x.as_mut_slice();
+        for i in (0..n).rev() {
+            let (head, tail) = data.split_at_mut((i + 1) * m);
+            let xi = &mut head[i * m..];
+            for k in (i + 1)..n {
+                let lki = self.l[(k, i)];
+                if lki == 0.0 {
+                    continue;
+                }
+                let xk = &tail[(k - i - 1) * m..(k - i) * m];
+                for (o, v) in xi.iter_mut().zip(xk.iter()) {
+                    *o -= lki * v;
+                }
+            }
+            let lii = self.l[(i, i)];
+            for o in xi.iter_mut() {
+                *o /= lii;
+            }
+        }
+        x
+    }
+
+    /// Solves `A X = B` where `A = L Lᵀ`, for all columns of `B` in two
+    /// vectorised triangular sweeps.
     ///
     /// # Panics
     ///
     /// Panics if `B.nrows() != dim()`.
     pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
-        let n = self.dim();
-        assert_eq!(b.nrows(), n, "solve_matrix dimension mismatch");
-        let mut out = Matrix::zeros(n, b.ncols());
-        for j in 0..b.ncols() {
-            let col = b.col(j);
-            let x = self.solve_vec(&col);
-            for i in 0..n {
-                out[(i, j)] = x[i];
-            }
-        }
-        out
+        self.solve_upper_matrix(&self.solve_lower_matrix(b))
     }
 
     /// Explicit inverse of the factored matrix (use sparingly; prefer the solves).
@@ -196,6 +356,79 @@ impl Cholesky {
     pub fn quadratic_form(&self, b: &[f64]) -> f64 {
         let y = self.solve_lower(b);
         y.iter().map(|v| v * v).sum()
+    }
+
+    /// Extends the factorization of `A` to the factorization of the bordered
+    /// matrix `[[A, b], [bᵀ, d]]` in `O(n²)` — without refactorizing.
+    ///
+    /// `row` is the new bordering row `[b₁ … bₙ, d]` (covariances to the
+    /// existing points followed by the new diagonal entry).  This is the
+    /// update the Bayesian-optimization loop applies when a single observation
+    /// is appended to a kernel matrix mid-run: the new factor row is
+    /// `w = L⁻¹ b` and the new pivot `√(d − wᵀw)`, versus `O(n³/3)` for a
+    /// fresh [`Cholesky::decompose`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] when the bordered matrix
+    /// is not positive definite (`d − wᵀw ≤ 0`); the factorization is left
+    /// unchanged in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != dim() + 1`.
+    pub fn append_row(&mut self, row: &[f64]) -> Result<(), LinalgError> {
+        let n = self.dim();
+        assert_eq!(row.len(), n + 1, "append_row expects dim()+1 entries");
+        let w = self.solve_lower(&row[..n]);
+        let pivot_sq = row[n] - w.iter().map(|v| v * v).sum::<f64>();
+        if pivot_sq <= 0.0 || !pivot_sq.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite {
+                pivot: n,
+                value: pivot_sq,
+            });
+        }
+        let mut l = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            l.row_mut(i)[..=i].copy_from_slice(&self.l.row(i)[..=i]);
+        }
+        l.row_mut(n)[..n].copy_from_slice(&w);
+        l[(n, n)] = pivot_sq.sqrt();
+        self.l = l;
+        Ok(())
+    }
+
+    /// Updates the factorization of `A` to the factorization of `A + v vᵀ` in
+    /// `O(n²)` (the classic hyperbolic-rotation rank-1 update).
+    ///
+    /// This is what the weight-space neural GP needs when one observation is
+    /// appended: its normal matrix `ΦΦᵀ + λI` grows by exactly `φ φᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim()`.
+    pub fn rank_one_update(&mut self, v: &[f64]) {
+        let n = self.dim();
+        assert_eq!(v.len(), n, "rank_one_update dimension mismatch");
+        let mut work = v.to_vec();
+        for k in 0..n {
+            let lkk = self.l[(k, k)];
+            let wk = work[k];
+            let r = (lkk * lkk + wk * wk).sqrt();
+            let c = r / lkk;
+            let s = wk / lkk;
+            self.l[(k, k)] = r;
+            if k + 1 < n {
+                let cols = self.l.ncols();
+                let data = self.l.as_mut_slice();
+                for i in (k + 1)..n {
+                    let lik = data[i * cols + k];
+                    let updated = (lik + s * work[i]) / c;
+                    data[i * cols + k] = updated;
+                    work[i] = c * work[i] - s * updated;
+                }
+            }
+        }
     }
 }
 
@@ -284,6 +517,94 @@ mod tests {
                 assert!((id[(i, j)] - expect).abs() < 1e-10);
             }
         }
+    }
+
+    #[test]
+    fn blocked_factorization_matches_reference_beyond_one_panel() {
+        // 120 > PANEL exercises the panel solve and the trailing update.
+        let n = 120;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+            }
+            a[(i, i)] += n as f64 * 0.05;
+        }
+        let blocked = Cholesky::decompose(&a).unwrap();
+        let reference = Cholesky::decompose_reference(&a).unwrap();
+        let diff = &(blocked.factor().clone()) - reference.factor();
+        assert!(diff.max_abs() < 1e-10, "max diff {}", diff.max_abs());
+    }
+
+    #[test]
+    fn solve_lower_matrix_matches_per_column_solves() {
+        let a = spd_example();
+        let c = Cholesky::decompose(&a).unwrap();
+        let b = Matrix::from_rows(&[
+            vec![1.0, -1.0, 0.5, 2.0],
+            vec![0.0, 2.0, -0.5, 1.0],
+            vec![3.0, 0.1, 0.0, -1.0],
+        ]);
+        let y = c.solve_lower_matrix(&b);
+        let x = c.solve_matrix(&b);
+        for j in 0..b.ncols() {
+            let col = b.col(j);
+            let y_ref = c.solve_lower(&col);
+            let x_ref = c.solve_vec(&col);
+            for i in 0..3 {
+                assert_eq!(y[(i, j)], y_ref[i], "solve_lower mismatch at ({i},{j})");
+                assert_eq!(x[(i, j)], x_ref[i], "solve mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn append_row_matches_fresh_factorization() {
+        let a = spd_example();
+        let mut c = Cholesky::decompose(&a).unwrap();
+        // Border the matrix with one extra row/column.
+        let border = [0.3, -0.2, 0.6, 3.0];
+        let mut big = Matrix::zeros(4, 4);
+        for i in 0..3 {
+            for j in 0..3 {
+                big[(i, j)] = a[(i, j)];
+            }
+            big[(3, i)] = border[i];
+            big[(i, 3)] = border[i];
+        }
+        big[(3, 3)] = border[3];
+        c.append_row(&border).unwrap();
+        let fresh = Cholesky::decompose(&big).unwrap();
+        let diff = &(c.factor().clone()) - fresh.factor();
+        assert!(diff.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn append_row_rejects_indefinite_border_and_keeps_state() {
+        let a = spd_example();
+        let mut c = Cholesky::decompose(&a).unwrap();
+        let before = c.factor().clone();
+        // A huge off-diagonal border with a tiny diagonal is not SPD.
+        let err = c.append_row(&[10.0, 10.0, 10.0, 0.1]).unwrap_err();
+        assert!(matches!(err, LinalgError::NotPositiveDefinite { .. }));
+        assert_eq!(c.factor(), &before);
+    }
+
+    #[test]
+    fn rank_one_update_matches_fresh_factorization() {
+        let a = spd_example();
+        let mut c = Cholesky::decompose(&a).unwrap();
+        let v = [0.7, -0.4, 1.2];
+        let mut bumped = a.clone();
+        for i in 0..3 {
+            for j in 0..3 {
+                bumped[(i, j)] += v[i] * v[j];
+            }
+        }
+        c.rank_one_update(&v);
+        let fresh = Cholesky::decompose(&bumped).unwrap();
+        let diff = &(c.factor().clone()) - fresh.factor();
+        assert!(diff.max_abs() < 1e-12, "max diff {}", diff.max_abs());
     }
 
     #[test]

@@ -31,8 +31,10 @@
 
 mod cholesky;
 mod error;
+mod kernels;
 mod lu;
 mod matrix;
+mod parallel;
 mod stats;
 mod vector;
 

@@ -180,7 +180,9 @@ impl Matrix {
 
     /// Returns the main diagonal as an owned vector.
     pub fn diag(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// Transpose.
@@ -200,17 +202,23 @@ impl Matrix {
     ///
     /// Panics if `v.len() != ncols()`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = self.row(i);
-            let mut acc = 0.0;
-            for (a, b) in row.iter().zip(v.iter()) {
-                acc += a * b;
-            }
-            out[i] = acc;
-        }
+        self.matvec_into(v, &mut out);
         out
+    }
+
+    /// Matrix-vector product `self * v` written into a caller-provided buffer
+    /// (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != ncols()` or `out.len() != nrows()`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(out.len(), self.rows, "matvec output length mismatch");
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols.max(1))) {
+            *o = crate::kernels::dot_unrolled(row, v);
+        }
     }
 
     /// Vector-matrix product `vᵀ * self`, returned as a vector of length `ncols()`.
@@ -233,15 +241,55 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
+    /// Computed by an internal cache-blocked kernel; large shapes
+    /// run on scoped threads.  See [`Matrix::matmul_naive`] for the reference
+    /// implementation.
+    ///
     /// # Panics
     ///
     /// Panics if the inner dimensions do not match.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product `self * other` written into a caller-provided output
+    /// matrix (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not match or `out` has the wrong
+    /// shape.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul output shape mismatch"
+        );
+        crate::kernels::matmul_blocked(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
+    }
+
+    /// Reference (unblocked, single-threaded) matrix product, kept for
+    /// property tests and benchmarks of the blocked kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not match.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
         // i-k-j loop order keeps the inner loop contiguous in both `other` and `out`.
         for i in 0..self.rows {
@@ -262,14 +310,49 @@ impl Matrix {
 
     /// Product `self * otherᵀ` without materialising the transpose.
     ///
+    /// Computed by an internal tiled multi-accumulator kernel;
+    /// large shapes run on scoped threads.
+    ///
     /// # Panics
     ///
     /// Panics if `self.ncols() != other.ncols()`.
     pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_transpose_into(other, &mut out);
+        out
+    }
+
+    /// Product `self * otherᵀ` written into a caller-provided output matrix
+    /// (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.ncols() != other.ncols()` or `out` has the wrong shape.
+    pub fn matmul_transpose_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.cols, "matmul_transpose dimension mismatch");
         assert_eq!(
-            self.cols, other.cols,
-            "matmul_transpose dimension mismatch"
+            out.shape(),
+            (self.rows, other.rows),
+            "matmul_transpose output shape mismatch"
         );
+        crate::kernels::matmul_transpose_blocked(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.rows,
+            &mut out.data,
+        );
+    }
+
+    /// Reference (untiled, single-threaded) `self * otherᵀ`, kept for property
+    /// tests and benchmarks of the blocked kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.ncols() != other.ncols()`.
+    pub fn matmul_transpose_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_transpose dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
             let a = self.row(i);
@@ -287,10 +370,48 @@ impl Matrix {
 
     /// Product `selfᵀ * other` without materialising the transpose.
     ///
+    /// Computed by an internal k-unrolled kernel; large shapes
+    /// run on scoped threads.
+    ///
     /// # Panics
     ///
     /// Panics if `self.nrows() != other.nrows()`.
     pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.transpose_matmul_into(other, &mut out);
+        out
+    }
+
+    /// Product `selfᵀ * other` written into a caller-provided output matrix
+    /// (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.nrows() != other.nrows()` or `out` has the wrong shape.
+    pub fn transpose_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "transpose_matmul dimension mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "transpose_matmul output shape mismatch"
+        );
+        crate::kernels::transpose_matmul_blocked(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
+    }
+
+    /// Reference (single-threaded) `selfᵀ * other`, kept for property tests
+    /// and benchmarks of the blocked kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.nrows() != other.nrows()`.
+    pub fn transpose_matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "transpose_matmul dimension mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
         for k in 0..self.rows {
@@ -471,7 +592,11 @@ impl Sub<&Matrix> for &Matrix {
     type Output = Matrix;
 
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix subtraction shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,

@@ -66,7 +66,10 @@ impl Standardizer {
 
     /// Identity transform (mean 0, std 1).
     pub fn identity() -> Self {
-        Standardizer { mean: 0.0, std: 1.0 }
+        Standardizer {
+            mean: 0.0,
+            std: 1.0,
+        }
     }
 
     /// Fitted mean.

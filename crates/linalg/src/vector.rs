@@ -51,7 +51,10 @@ pub fn scale(a: &[f64], factor: f64) -> Vec<f64> {
 /// Panics if the slices have different lengths.
 pub fn add_scaled(a: &[f64], b: &[f64], factor: f64) -> Vec<f64> {
     assert_eq!(a.len(), b.len(), "add_scaled length mismatch");
-    a.iter().zip(b.iter()).map(|(x, y)| x + factor * y).collect()
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| x + factor * y)
+        .collect()
 }
 
 /// Squared Euclidean distance between two points.
@@ -78,7 +81,11 @@ pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn weighted_squared_distance(a: &[f64], b: &[f64], weights: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "weighted_squared_distance length mismatch");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "weighted_squared_distance length mismatch"
+    );
     assert_eq!(a.len(), weights.len(), "weights length mismatch");
     a.iter()
         .zip(b.iter())

@@ -23,12 +23,130 @@ fn make_spd(b: &Matrix) -> Matrix {
     a
 }
 
+/// Strategy: a random rectangular matrix with dimensions 1..=max_dim.
+fn rect_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-5.0..5.0_f64, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn transpose_is_involution(m in square_matrix(6)) {
         prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn blocked_matmul_agrees_with_naive(a in rect_matrix(20, 12), b in rect_matrix(12, 16)) {
+        // Shapes must chain: rebuild b with matching inner dimension.
+        let k = a.ncols();
+        let b = Matrix::from_vec(k, b.ncols(), (0..k * b.ncols()).map(|i| b.as_slice()[i % b.as_slice().len()]).collect());
+        let blocked = a.matmul(&b);
+        let naive = a.matmul_naive(&b);
+        for (x, y) in blocked.as_slice().iter().zip(naive.as_slice().iter()) {
+            prop_assert!((x - y).abs() < 1e-10, "blocked {x} vs naive {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_transpose_agrees_with_naive(a in rect_matrix(16, 10), b in rect_matrix(14, 10)) {
+        let k = a.ncols();
+        let b = Matrix::from_vec(b.nrows(), k, (0..b.nrows() * k).map(|i| b.as_slice()[i % b.as_slice().len()]).collect());
+        let blocked = a.matmul_transpose(&b);
+        let naive = a.matmul_transpose_naive(&b);
+        for (x, y) in blocked.as_slice().iter().zip(naive.as_slice().iter()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn blocked_transpose_matmul_agrees_with_naive(a in rect_matrix(14, 9), b in rect_matrix(14, 11)) {
+        let r = a.nrows();
+        let b = Matrix::from_vec(r, b.ncols(), (0..r * b.ncols()).map(|i| b.as_slice()[i % b.as_slice().len()]).collect());
+        let blocked = a.transpose_matmul(&b);
+        let naive = a.transpose_matmul_naive(&b);
+        for (x, y) in blocked.as_slice().iter().zip(naive.as_slice().iter()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn blocked_cholesky_agrees_with_reference(b in square_matrix(6)) {
+        let a = make_spd(&b);
+        let blocked = Cholesky::decompose(&a).unwrap();
+        let reference = Cholesky::decompose_reference(&a).unwrap();
+        for (x, y) in blocked.factor().as_slice().iter().zip(reference.factor().as_slice().iter()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn append_row_agrees_with_fresh_factorization(b in square_matrix(6), border in vector(6), d in 0.5..4.0_f64) {
+        let a = make_spd(&b);
+        let n = a.nrows();
+        // Bordered SPD matrix: scale the border down and lift the diagonal so
+        // positive definiteness is preserved.
+        let border: Vec<f64> = border[..n].iter().map(|v| v * 0.1).collect();
+        let diag = d + n as f64 + 1.0;
+        let mut big = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            for j in 0..n {
+                big[(i, j)] = a[(i, j)];
+            }
+            big[(n, i)] = border[i];
+            big[(i, n)] = border[i];
+        }
+        big[(n, n)] = diag;
+        let mut row = border.clone();
+        row.push(diag);
+        let mut incremental = Cholesky::decompose(&a).unwrap();
+        incremental.append_row(&row).unwrap();
+        let fresh = Cholesky::decompose_reference(&big).unwrap();
+        for (x, y) in incremental.factor().as_slice().iter().zip(fresh.factor().as_slice().iter()) {
+            prop_assert!((x - y).abs() < 1e-10, "incremental {x} vs fresh {y}");
+        }
+    }
+
+    #[test]
+    fn rank_one_update_agrees_with_fresh_factorization(b in square_matrix(6), v in vector(6)) {
+        let a = make_spd(&b);
+        let n = a.nrows();
+        let v = &v[..n];
+        let mut bumped = a.clone();
+        for i in 0..n {
+            for j in 0..n {
+                bumped[(i, j)] += v[i] * v[j];
+            }
+        }
+        let mut updated = Cholesky::decompose(&a).unwrap();
+        updated.rank_one_update(v);
+        let fresh = Cholesky::decompose_reference(&bumped).unwrap();
+        for (x, y) in updated.factor().as_slice().iter().zip(fresh.factor().as_slice().iter()) {
+            prop_assert!((x - y).abs() < 1e-10, "updated {x} vs fresh {y}");
+        }
+    }
+
+    #[test]
+    fn batched_triangular_solve_matches_per_column(b in square_matrix(5), rhs in vector(20)) {
+        let a = make_spd(&b);
+        let n = a.nrows();
+        let cols = rhs.len() / n;
+        let rhs_mat = Matrix::from_vec(n, cols, rhs[..n * cols].to_vec());
+        let chol = Cholesky::decompose(&a).unwrap();
+        let y = chol.solve_lower_matrix(&rhs_mat);
+        let x = chol.solve_matrix(&rhs_mat);
+        for j in 0..rhs_mat.ncols() {
+            let col = rhs_mat.col(j);
+            let y_ref = chol.solve_lower(&col);
+            let x_ref = chol.solve_vec(&col);
+            for i in 0..n {
+                prop_assert_eq!(y[(i, j)], y_ref[i]);
+                prop_assert_eq!(x[(i, j)], x_ref[i]);
+            }
+        }
     }
 
     #[test]

@@ -7,9 +7,10 @@ use serde::{Deserialize, Serialize};
 /// The paper's feature network uses ReLU in the hidden layers (Fig. 1); the output
 /// layer is linear (identity) so that the features can take arbitrary sign, and Tanh
 /// is provided for experimentation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum Activation {
     /// Rectified linear unit: `max(0, x)`.
+    #[default]
     ReLU,
     /// Hyperbolic tangent.
     Tanh,
@@ -45,12 +46,6 @@ impl Activation {
             }
             Activation::Identity => 1.0,
         }
-    }
-}
-
-impl Default for Activation {
-    fn default() -> Self {
-        Activation::ReLU
     }
 }
 

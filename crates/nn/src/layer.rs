@@ -96,7 +96,10 @@ impl DenseLayer {
     /// Panics if the slice is shorter than [`Self::num_params`].
     pub fn load_params(&mut self, flat: &[f64]) -> usize {
         let nw = self.weights.nrows() * self.weights.ncols();
-        assert!(flat.len() >= nw + self.bias.len(), "parameter slice too short");
+        assert!(
+            flat.len() >= nw + self.bias.len(),
+            "parameter slice too short"
+        );
         let nb = self.bias.len();
         self.weights.as_mut_slice().copy_from_slice(&flat[..nw]);
         self.bias.copy_from_slice(&flat[nw..nw + nb]);

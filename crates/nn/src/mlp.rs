@@ -257,8 +257,7 @@ impl Mlp {
             cache.output.shape(),
             "gradient shape does not match cached output"
         );
-        let mut grads = vec![LayerGradient::zeros_like(&self.layers[0]); 0];
-        grads.reserve(self.layers.len());
+        let mut grads: Vec<LayerGradient> = Vec::with_capacity(self.layers.len());
         let mut grad = grad_output.clone();
         let mut per_layer: Vec<LayerGradient> = Vec::with_capacity(self.layers.len());
         for (idx, layer) in self.layers.iter().enumerate().rev() {
@@ -302,7 +301,7 @@ mod tests {
         let mlp = small_mlp(2);
         let x = vec![0.4, -0.9, 1.3];
         let single = mlp.forward(&x);
-        let batch = mlp.forward_batch(&Matrix::from_rows(&[x.clone()]));
+        let batch = mlp.forward_batch(&Matrix::from_rows(std::slice::from_ref(&x)));
         for j in 0..2 {
             assert!((single[j] - batch[(0, j)]).abs() < 1e-14);
         }

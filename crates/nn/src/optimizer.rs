@@ -104,7 +104,11 @@ impl Default for Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [f64], grad: &[f64]) {
-        assert_eq!(params.len(), grad.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            grad.len(),
+            "parameter/gradient length mismatch"
+        );
         if self.m.len() != params.len() {
             self.m = vec![0.0; params.len()];
             self.v = vec![0.0; params.len()];
@@ -201,7 +205,11 @@ impl Default for Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [f64], grad: &[f64]) {
-        assert_eq!(params.len(), grad.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            grad.len(),
+            "parameter/gradient length mismatch"
+        );
         if self.velocity.len() != params.len() {
             self.velocity = vec![0.0; params.len()];
         }
@@ -294,7 +302,10 @@ mod tests {
         let mut p = vec![1.0, 1.0];
         adam.step(&mut p, &[f64::NAN, 0.5]);
         assert!(p[0].is_finite());
-        assert!((p[0] - 1.0).abs() < 1e-12, "NaN gradient must not move the parameter");
+        assert!(
+            (p[0] - 1.0).abs() < 1e-12,
+            "NaN gradient must not move the parameter"
+        );
         assert!(p[1] < 1.0);
     }
 

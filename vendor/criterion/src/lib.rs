@@ -1,0 +1,244 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher`,
+//! `black_box` and the `criterion_group!` / `criterion_main!` macros with
+//! criterion-compatible signatures.  Measurement is a simple adaptive
+//! wall-clock loop: warm up, calibrate the iteration count to a target window,
+//! then report the mean, min and max time per iteration on stdout.  It has no
+//! statistical machinery, but it is plenty to compare implementations and to
+//! keep `cargo bench` runnable offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement window per benchmark (after warm-up).
+const MEASURE_WINDOW: Duration = Duration::from_millis(400);
+/// Warm-up window per benchmark.
+const WARMUP_WINDOW: Duration = Duration::from_millis(100);
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    /// Number of measurement samples per benchmark.
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Builder: sets the number of measurement samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Builder: accepted for criterion compatibility (this harness warms up
+    /// adaptively, so the duration is not used).
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Builder: accepted for criterion compatibility (this harness calibrates
+    /// its measurement window adaptively, so the duration is not used).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_benchmark(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(
+            &format!("{}/{}", self.name, id.id),
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterised by an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(
+            &format!("{}/{}", self.name, id.id),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finishes the group (markers only; measurements are printed eagerly).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`function_name/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Timing driver passed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    /// Mean nanoseconds per iteration of each sample.
+    sample_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures the mean time of `routine` over calibrated batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch size until one batch takes ≥ ~1/8 of the
+        // per-sample budget, so cheap routines are timed over many iterations.
+        let per_sample = MEASURE_WINDOW.div_f64(self.samples as f64);
+        let mut warmup_spent = Duration::ZERO;
+        while warmup_spent
+            < WARMUP_WINDOW
+                .div_f64(self.samples as f64)
+                .max(Duration::from_micros(200))
+        {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            warmup_spent += elapsed;
+            if elapsed < per_sample / 8 && self.iters_per_sample < u64::MAX / 2 {
+                self.iters_per_sample *= 2;
+            } else {
+                break;
+            }
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / self.iters_per_sample as f64;
+            self.sample_ns.push(ns);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples: samples.max(1),
+        sample_ns: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.sample_ns.is_empty() {
+        println!("{id:<50} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let n = bencher.sample_ns.len() as f64;
+    let mean = bencher.sample_ns.iter().sum::<f64>() / n;
+    let min = bencher
+        .sample_ns
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let max = bencher.sample_ns.iter().cloned().fold(0.0_f64, f64::max);
+    println!(
+        "{id:<50} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring `criterion_group!`
+/// (both the plain list form and the `name`/`config`/`targets` form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

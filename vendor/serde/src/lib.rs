@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]`
+//! annotations; no code path serializes a value.  This crate provides the two
+//! traits as empty markers and re-exports the no-op derive macros, so the
+//! annotated code compiles unchanged with no network access.  Swapping in the
+//! real serde later is a one-line change in the workspace manifest.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,53 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace vendors its (tiny) dependency surface so it builds with no
+//! network access.  Nothing in the workspace actually serializes values — the
+//! `#[derive(Serialize, Deserialize)]` attributes only need to produce valid
+//! marker-trait impls, which is exactly what this proc macro does.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the type a derive is attached to.
+///
+/// Walks the token stream past attributes and visibility until it sees the
+/// `struct` or `enum` keyword; the next identifier is the type name.  Generic
+/// types are not supported (the workspace has none).
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if matches!(tokens.next(), Some(TokenTree::Punct(p)) if p.as_char() == '<')
+                        {
+                            panic!("the vendored serde_derive does not support generic types");
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected a type name after `{word}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("derive input contained no struct or enum");
+}
+
+/// No-op `Serialize` derive: emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// No-op `Deserialize` derive: emits `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
