@@ -1,7 +1,7 @@
 //! WEIBO: constrained Bayesian optimization with a classical GP surrogate.
 
 use nnbo_core::{BayesOpt, BoConfig, Prediction, SurrogateModel, SurrogateTrainer};
-use nnbo_gp::{GpConfig, GpModel};
+use nnbo_gp::{GpConfig, GpHyperParams, GpModel};
 use rand::rngs::StdRng;
 
 /// A classical-GP surrogate model (adapter around [`nnbo_gp::GpModel`]).
@@ -63,6 +63,36 @@ impl SurrogateTrainer for GpSurrogateTrainer {
     fn fit(&self, xs: &[Vec<f64>], ys: &[f64], rng: &mut StdRng) -> Result<GpSurrogate, String> {
         GpModel::fit(xs, ys, &self.config, rng)
             .map(|model| GpSurrogate { model })
+            .map_err(|e| e.to_string())
+    }
+
+    /// Multi-output fitting through [`GpModel::fit_multi_warm`]: the
+    /// objective and every constraint share one fit context (pairwise
+    /// squared-distance tensor over the common design points), train on
+    /// scoped threads, and — when the previous refit's surrogates are
+    /// supplied — warm-start each output's hyper-parameter optimization from
+    /// its last optimum instead of rerunning the multi-restart schedule.
+    fn fit_many(
+        &self,
+        xs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        prev: Option<&[&GpSurrogate]>,
+        rng: &mut StdRng,
+    ) -> Result<Vec<GpSurrogate>, String> {
+        let warm: Vec<Option<GpHyperParams>> = match prev {
+            Some(models) if models.len() == targets.len() => models
+                .iter()
+                .map(|m| Some(m.model().hyper_params().clone()))
+                .collect(),
+            _ => vec![None; targets.len()],
+        };
+        GpModel::fit_multi_warm(xs, targets, &self.config, rng, &warm)
+            .map(|models| {
+                models
+                    .into_iter()
+                    .map(|model| GpSurrogate { model })
+                    .collect()
+            })
             .map_err(|e| e.to_string())
     }
 
@@ -163,6 +193,36 @@ mod tests {
             assert_eq!(single.mean, b.mean);
             assert_eq!(single.variance, b.variance);
         }
+    }
+
+    #[test]
+    fn fit_many_trains_every_output_and_warm_starts_from_previous_models() {
+        let xs: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64 / 15.0]).collect();
+        let targets = vec![
+            xs.iter().map(|x| (3.0 * x[0]).sin()).collect::<Vec<f64>>(),
+            xs.iter().map(|x| x[0] * x[0]).collect::<Vec<f64>>(),
+        ];
+        let trainer = GpSurrogateTrainer::fast();
+        let mut rng = StdRng::seed_from_u64(11);
+        let cold = trainer.fit_many(&xs, &targets, None, &mut rng).unwrap();
+        assert_eq!(cold.len(), 2);
+
+        // Warm refit over one more observation: models stay accurate.
+        let mut xs2 = xs.clone();
+        xs2.push(vec![0.42]);
+        let targets2 = vec![
+            xs2.iter().map(|x| (3.0 * x[0]).sin()).collect::<Vec<f64>>(),
+            xs2.iter().map(|x| x[0] * x[0]).collect::<Vec<f64>>(),
+        ];
+        let prev: Vec<&GpSurrogate> = cold.iter().collect();
+        let warm = trainer
+            .fit_many(&xs2, &targets2, Some(&prev), &mut rng)
+            .unwrap();
+        assert_eq!(warm.len(), 2);
+        let p = warm[0].predict(&[0.5]);
+        assert!((p.mean - (1.5_f64).sin()).abs() < 0.2, "mean {}", p.mean);
+        let p1 = warm[1].predict(&[0.5]);
+        assert!((p1.mean - 0.25).abs() < 0.1, "mean {}", p1.mean);
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Criterion benchmark for the GP fit path: cold multi-restart fits vs
+//! warm-started refits, and sequential per-output fits vs the shared-context
+//! multi-output `fit_multi` — the regression guard for the fit-path work
+//! pinned in `BENCH_fit.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nnbo_bench::fit_dataset;
+use nnbo_gp::{GpConfig, GpModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_config() -> GpConfig {
+    GpConfig {
+        restarts: 2,
+        max_iters: 30,
+        warm_iters: 10,
+        ..GpConfig::default()
+    }
+}
+
+fn bench_warm_vs_cold_refit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit_path_refit");
+    group.sample_size(10);
+    let config = bench_config();
+    for &n in &[64usize, 128] {
+        let (xs, targets) = fit_dataset(n, 10, 3);
+        let ys = &targets[0];
+        let mut rng = StdRng::seed_from_u64(5);
+        let prev = GpModel::fit(&xs, ys, &config, &mut rng).expect("initial fit");
+        group.bench_with_input(BenchmarkId::new("cold_refit", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(6);
+                GpModel::fit(&xs, ys, &config, &mut rng).expect("cold refit")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("warm_refit", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(6);
+                GpModel::fit_warm(&xs, ys, &config, &mut rng, Some(prev.hyper_params()))
+                    .expect("warm refit")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_output_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit_path_multi_output");
+    group.sample_size(10);
+    let config = bench_config();
+    let n = 96;
+    let (xs, targets) = fit_dataset(n, 10, 4);
+    group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            targets
+                .iter()
+                .map(|ys| GpModel::fit(&xs, ys, &config, &mut rng).expect("sequential fit"))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("shared_context", n), &n, |b, _| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            GpModel::fit_multi(&xs, &targets, &config, &mut rng).expect("fit_multi")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_warm_vs_cold_refit, bench_multi_output_fit);
+criterion_main!(benches);

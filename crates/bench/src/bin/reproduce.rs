@@ -3,10 +3,11 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [--quick] table1           # Table I  (two-stage op-amp)
-//! reproduce [--quick] table2           # Table II (charge pump, 18 PVT corners)
-//! reproduce [--quick] scaling          # §III.D complexity scaling study
-//! reproduce [--quick] linalg           # hot-path old-vs-new benchmark → BENCH_linalg.json
+//! reproduce [--quick] table1           # Table I  (two-stage op-amp) → BENCH_table1.json
+//! reproduce [--quick] table2           # Table II (charge pump, 18 PVT corners) → BENCH_table2.json
+//! reproduce [--quick] scaling          # §III.D complexity scaling study → BENCH_scaling.json
+//! reproduce [--quick] linalg           # prediction-path old-vs-new benchmark → BENCH_linalg.json
+//! reproduce [--quick] fit              # fit-path old-vs-new benchmark → BENCH_fit.json
 //! reproduce [--quick] ablation-ensemble      # ensemble-size ablation (E4)
 //! reproduce [--quick] ablation-acquisition   # acquisition-function ablation (E5)
 //! reproduce [--quick] all              # everything above
@@ -18,9 +19,10 @@
 //! `NNBO_MAX_SIMS=<n>` the BO simulation budget (ignored under `--quick`).
 
 use nnbo_bench::{
-    format_linalg_json, format_linalg_table, format_table1, format_table2,
-    run_ablation_acquisition, run_ablation_ensemble, run_linalg_bench, run_scaling, run_table1,
-    run_table2, Protocol,
+    format_fit_json, format_fit_table, format_linalg_json, format_linalg_table,
+    format_scaling_json, format_table1, format_table1_json, format_table2, format_table2_json,
+    run_ablation_acquisition, run_ablation_ensemble, run_fit_bench, run_linalg_bench, run_scaling,
+    run_table1, run_table2, Protocol,
 };
 
 fn main() {
@@ -37,6 +39,7 @@ fn main() {
         "table2" => table2(quick),
         "scaling" => scaling(quick),
         "linalg" => linalg(quick),
+        "fit" => fit(quick),
         "ablation-ensemble" => ablation_ensemble(quick),
         "ablation-acquisition" => ablation_acquisition(quick),
         "all" => {
@@ -44,13 +47,14 @@ fn main() {
             table2(quick);
             scaling(quick);
             linalg(quick);
+            fit(quick);
             ablation_ensemble(quick);
             ablation_acquisition(quick);
         }
         other => {
             eprintln!("unknown command `{other}`");
             eprintln!(
-                "expected one of: table1 | table2 | scaling | linalg | ablation-ensemble | ablation-acquisition | all"
+                "expected one of: table1 | table2 | scaling | linalg | fit | ablation-ensemble | ablation-acquisition | all"
             );
             std::process::exit(2);
         }
@@ -86,11 +90,22 @@ fn table2_protocol(quick: bool) -> Protocol {
     }
 }
 
+/// Writes a benchmark/result JSON document next to the working directory,
+/// reporting (but not failing on) IO errors.
+fn write_json(path: &str, json: &str) {
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 fn table1(quick: bool) {
     let protocol = table1_protocol(quick);
     println!("# Experiment E1 (Table I) — protocol: {protocol:?}\n");
     let rows = run_table1(&protocol);
     println!("{}", format_table1(&rows));
+    write_json("BENCH_table1.json", &format_table1_json(&rows, quick));
+    println!();
 }
 
 fn table2(quick: bool) {
@@ -98,6 +113,8 @@ fn table2(quick: bool) {
     println!("# Experiment E2 (Table II) — protocol: {protocol:?}\n");
     let rows = run_table2(&protocol);
     println!("{}", format_table2(&rows));
+    write_json("BENCH_table2.json", &format_table2_json(&rows, quick));
+    println!();
 }
 
 fn scaling(quick: bool) {
@@ -131,18 +148,25 @@ fn scaling(quick: bool) {
         );
     }
     println!();
+    write_json("BENCH_scaling.json", &format_scaling_json(&points, quick));
+    println!();
 }
 
 fn linalg(quick: bool) {
-    println!("# Hot-path benchmark — reference vs blocked/batched/incremental\n");
+    println!("# Prediction-path benchmark — reference vs blocked/batched/incremental\n");
     let entries = run_linalg_bench(quick);
     print!("{}", format_linalg_table(&entries));
-    let json = format_linalg_json(&entries, quick);
-    let path = "BENCH_linalg.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
-    }
+    println!();
+    write_json("BENCH_linalg.json", &format_linalg_json(&entries, quick));
+    println!();
+}
+
+fn fit(quick: bool) {
+    println!("# Fit-path benchmark — cold vs warm refits, sequential vs shared multi-output\n");
+    let entries = run_fit_bench(quick);
+    print!("{}", format_fit_table(&entries));
+    println!();
+    write_json("BENCH_fit.json", &format_fit_json(&entries, quick));
     println!();
 }
 

@@ -1,0 +1,312 @@
+//! Old-vs-new timings of the surrogate *fit* path, emitted as
+//! `BENCH_fit.json` so later PRs can track the performance trajectory
+//! (companion of the prediction-path benchmark in `BENCH_linalg.json`).
+//!
+//! Every entry compares a baseline fitting strategy against the optimized one
+//! on the same data, and records the achieved negative log marginal
+//! likelihood of both so the speedups are tied to fit quality:
+//!
+//! * `gp_fit_cold` — the pre-context reference fit (per-iteration Gram
+//!   rebuilds, materialised `∂K/∂θ` matrices) vs the shared-context cold fit.
+//! * `gp_refit_warm` — a cold multi-restart refit after one appended
+//!   observation vs the warm-started refit from the previous optimum.
+//! * `gp_fit_multi_cold` — sequential per-output cold fits vs the
+//!   shared-context `fit_multi` on a 1-objective + 2-constraint problem
+//!   (the threading only pays off on multi-core machines; the shared context
+//!   alone is a small constant saving).
+//! * `gp_fit_multi_warm` — the end-to-end BO-loop refresh contrast on the
+//!   same 3-output problem: sequential cold fits (what `refresh_models` did
+//!   before the multi-output path) vs `fit_multi_warm` seeded with the
+//!   previous refit's hyper-parameters (what it does now).
+
+use std::time::Instant;
+
+use nnbo_gp::{GpConfig, GpHyperParams, GpModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One measured comparison of the fit path, with the NLL both strategies
+/// reached (summed over outputs for the multi-output workloads).
+#[derive(Debug, Clone)]
+pub struct FitBenchEntry {
+    /// Workload name (e.g. `gp_refit_warm`).
+    pub name: &'static str,
+    /// Number of training points of the (re)fit being measured.
+    pub n: usize,
+    /// Number of outputs fitted over the shared design points.
+    pub outputs: usize,
+    /// Wall-clock nanoseconds of the baseline strategy (best of the reps).
+    pub baseline_ns: f64,
+    /// Wall-clock nanoseconds of the optimized strategy (best of the reps).
+    pub optimized_ns: f64,
+    /// NLL achieved by the baseline strategy (summed over outputs).
+    pub baseline_nll: f64,
+    /// NLL achieved by the optimized strategy (summed over outputs).
+    pub optimized_nll: f64,
+}
+
+impl FitBenchEntry {
+    /// Speed-up factor of the optimized strategy.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_ns / self.optimized_ns.max(1.0)
+    }
+}
+
+/// Shared design points and target columns (one objective plus two
+/// constraint-like outputs) for the fit-path measurements — used by both
+/// `reproduce fit` and the `fit_path` criterion bench so they exercise the
+/// same workload.
+pub fn fit_dataset(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let rng = &mut StdRng::seed_from_u64(seed);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    // Objective plus two constraint-like outputs over the same designs.
+    let targets = vec![
+        xs.iter()
+            .map(|x| {
+                x.iter()
+                    .enumerate()
+                    .map(|(i, v)| ((i + 1) as f64 * v).sin())
+                    .sum()
+            })
+            .collect(),
+        xs.iter()
+            .map(|x| x.iter().map(|v| v * v).sum::<f64>() - 2.0)
+            .collect(),
+        xs.iter()
+            .map(|x| (3.0 * x[0]).cos() + x[1] * x[2])
+            .collect(),
+    ];
+    (xs, targets)
+}
+
+/// Times `f`, returning `(best_ns, last_result)` over `reps` repetitions.
+fn time_best<T, F: FnMut() -> T>(reps: usize, mut f: F) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+        out = Some(r);
+    }
+    (best, out.expect("at least one repetition"))
+}
+
+/// Runs the fit-path comparison suite.  `quick` shrinks the training-set size
+/// and optimizer effort so CI can smoke-test the harness in seconds.
+pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
+    let n = if quick { 64 } else { 256 };
+    let dim = 10;
+    let config = if quick {
+        GpConfig {
+            max_iters: 30,
+            warm_iters: 10,
+            ..GpConfig::default()
+        }
+    } else {
+        GpConfig::default()
+    };
+    let reps = if quick { 2 } else { 3 };
+    let (xs, targets) = fit_dataset(n + 1, dim, 71);
+    let xs_base: Vec<Vec<f64>> = xs[..n].to_vec();
+    let targets_base: Vec<Vec<f64>> = targets.iter().map(|t| t[..n].to_vec()).collect();
+    let objective = &targets_base[0];
+    let mut entries = Vec::new();
+
+    // 1. Cold fit: reference implementation vs shared-context pipeline.
+    let (ref_ns, ref_model) = time_best(reps, || {
+        GpModel::fit_reference(&xs_base, objective, &config, &mut StdRng::seed_from_u64(5))
+            .expect("reference fit")
+    });
+    let (cold_ns, cold_model) = time_best(reps, || {
+        GpModel::fit(&xs_base, objective, &config, &mut StdRng::seed_from_u64(5)).expect("cold fit")
+    });
+    entries.push(FitBenchEntry {
+        name: "gp_fit_cold",
+        n,
+        outputs: 1,
+        baseline_ns: ref_ns,
+        optimized_ns: cold_ns,
+        baseline_nll: ref_model.nll(),
+        optimized_nll: cold_model.nll(),
+    });
+
+    // 2. Refit after one appended observation: cold restart schedule vs
+    //    warm start from the previous optimum.
+    let objective_ext = &targets[0];
+    let (refit_cold_ns, refit_cold) = time_best(reps, || {
+        GpModel::fit(&xs, objective_ext, &config, &mut StdRng::seed_from_u64(6))
+            .expect("cold refit")
+    });
+    let warm_hyper = cold_model.hyper_params().clone();
+    let (refit_warm_ns, refit_warm) = time_best(reps, || {
+        GpModel::fit_warm(
+            &xs,
+            objective_ext,
+            &config,
+            &mut StdRng::seed_from_u64(6),
+            Some(&warm_hyper),
+        )
+        .expect("warm refit")
+    });
+    entries.push(FitBenchEntry {
+        name: "gp_refit_warm",
+        n: n + 1,
+        outputs: 1,
+        baseline_ns: refit_cold_ns,
+        optimized_ns: refit_warm_ns,
+        baseline_nll: refit_cold.nll(),
+        optimized_nll: refit_warm.nll(),
+    });
+
+    // 3. Multi-output cold: sequential per-output fits vs one shared-context
+    //    fit_multi call (same cold optimizer schedule per output).
+    let multi_reps = if quick { 2 } else { 3 };
+    let nll_sum = |models: &[GpModel]| models.iter().map(GpModel::nll).sum::<f64>();
+    let (seq_cold_ns, seq_cold) = time_best(multi_reps, || {
+        let mut fit_rng = StdRng::seed_from_u64(7);
+        targets_base
+            .iter()
+            .map(|ys| {
+                let seed: u64 = fit_rng.gen();
+                GpModel::fit(&xs_base, ys, &config, &mut StdRng::seed_from_u64(seed))
+                    .expect("sequential cold fit")
+            })
+            .collect::<Vec<_>>()
+    });
+    let (multi_cold_ns, multi_cold) = time_best(multi_reps, || {
+        GpModel::fit_multi(
+            &xs_base,
+            &targets_base,
+            &config,
+            &mut StdRng::seed_from_u64(7),
+        )
+        .expect("fit_multi")
+    });
+    entries.push(FitBenchEntry {
+        name: "gp_fit_multi_cold",
+        n,
+        outputs: targets_base.len(),
+        baseline_ns: seq_cold_ns,
+        optimized_ns: multi_cold_ns,
+        baseline_nll: nll_sum(&seq_cold),
+        optimized_nll: nll_sum(&multi_cold),
+    });
+
+    // 4. The BO-loop refresh contrast: sequential cold fits over the extended
+    //    data (the pre-multi-output refresh_models path) vs fit_multi_warm
+    //    seeded with the previous refit's hyper-parameters.
+    let (refresh_cold_ns, refresh_cold) = time_best(multi_reps, || {
+        let mut fit_rng = StdRng::seed_from_u64(8);
+        targets
+            .iter()
+            .map(|ys| GpModel::fit(&xs, ys, &config, &mut fit_rng).expect("sequential cold refit"))
+            .collect::<Vec<_>>()
+    });
+    let warm_hypers: Vec<Option<GpHyperParams>> = multi_cold
+        .iter()
+        .map(|m| Some(m.hyper_params().clone()))
+        .collect();
+    let (refresh_warm_ns, refresh_warm) = time_best(multi_reps, || {
+        GpModel::fit_multi_warm(
+            &xs,
+            &targets,
+            &config,
+            &mut StdRng::seed_from_u64(8),
+            &warm_hypers,
+        )
+        .expect("fit_multi_warm")
+    });
+    entries.push(FitBenchEntry {
+        name: "gp_fit_multi_warm",
+        n: n + 1,
+        outputs: targets.len(),
+        baseline_ns: refresh_cold_ns,
+        optimized_ns: refresh_warm_ns,
+        baseline_nll: nll_sum(&refresh_cold),
+        optimized_nll: nll_sum(&refresh_warm),
+    });
+
+    entries
+}
+
+/// Serialises the entries as the `BENCH_fit.json` document (JSON written by
+/// hand — the workspace's serde is an offline no-op stand-in).
+pub fn format_fit_json(entries: &[FitBenchEntry], quick: bool) -> String {
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"name\": \"{}\", \"n\": {}, \"outputs\": {}, \"baseline_ns\": {:.0}, \"optimized_ns\": {:.0}, \"speedup\": {:.2}, \"baseline_nll\": {}, \"optimized_nll\": {}}}",
+                e.name,
+                e.n,
+                e.outputs,
+                e.baseline_ns,
+                e.optimized_ns,
+                e.speedup(),
+                crate::json::number(e.baseline_nll),
+                crate::json::number(e.optimized_nll),
+            )
+        })
+        .collect();
+    crate::json::document("nnbo-bench-fit-v1", "fit", quick, "entries", &rows)
+}
+
+/// Renders a human-readable table of the same entries for stdout.
+pub fn format_fit_table(entries: &[FitBenchEntry]) -> String {
+    let mut out = format!(
+        "{:<20} {:>6} {:>8} {:>15} {:>15} {:>9} {:>12} {:>12}\n",
+        "workload",
+        "N",
+        "outputs",
+        "baseline (ms)",
+        "optimized (ms)",
+        "speedup",
+        "base NLL",
+        "opt NLL"
+    );
+    for e in entries {
+        out.push_str(&format!(
+            "{:<20} {:>6} {:>8} {:>15.1} {:>15.1} {:>8.1}x {:>12.2} {:>12.2}\n",
+            e.name,
+            e.n,
+            e.outputs,
+            e.baseline_ns / 1e6,
+            e.optimized_ns / 1e6,
+            e.speedup(),
+            e.baseline_nll,
+            e.optimized_nll,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_produces_all_workloads_and_valid_json() {
+        let entries = run_fit_bench(true);
+        let names: Vec<&str> = entries.iter().map(|e| e.name).collect();
+        for expected in [
+            "gp_fit_cold",
+            "gp_refit_warm",
+            "gp_fit_multi_cold",
+            "gp_fit_multi_warm",
+        ] {
+            assert!(names.contains(&expected), "missing workload {expected}");
+        }
+        for e in &entries {
+            assert!(e.baseline_nll.is_finite() && e.optimized_nll.is_finite());
+        }
+        let json = format_fit_json(&entries, true);
+        assert!(json.contains("\"schema\": \"nnbo-bench-fit-v1\""));
+        assert_eq!(json.matches("\"name\"").count(), entries.len());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!format_fit_table(&entries).is_empty());
+    }
+}

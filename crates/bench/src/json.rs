@@ -1,0 +1,69 @@
+//! Shared framing for the hand-written `BENCH_*.json` documents (the
+//! workspace's serde is an offline no-op stand-in, so the emitters build the
+//! JSON text themselves; this module keeps the document skeleton in one
+//! place).
+
+/// Builds a `BENCH_*.json` document: a `schema` / `generated_by` / `quick`
+/// header plus one array named `array_name` whose elements are the
+/// pre-rendered `rows` (each a complete JSON value, no trailing comma).
+pub(crate) fn document(
+    schema: &str,
+    subcommand: &str,
+    quick: bool,
+    array_name: &str,
+    rows: &[String],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": \"{schema}\",\n"));
+    out.push_str(&format!(
+        "  \"generated_by\": \"cargo run --release -p nnbo-bench --bin reproduce -- {subcommand}\",\n"
+    ));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"{array_name}\": [\n"));
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(row);
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Formats a float as a JSON value (`null` for NaN/∞, which JSON cannot
+/// represent — the tables use NaN for "no successful run").
+pub(crate) fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_frames_rows_with_commas_between() {
+        let doc = document(
+            "s-v1",
+            "fit",
+            true,
+            "entries",
+            &["{\"a\": 1}".to_string(), "{\"a\": 2}".to_string()],
+        );
+        assert!(doc.contains("\"schema\": \"s-v1\""));
+        assert!(doc.contains("reproduce -- fit"));
+        assert!(doc.contains("{\"a\": 1},\n"));
+        assert!(doc.contains("{\"a\": 2}\n"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn number_encodes_non_finite_as_null() {
+        assert_eq!(number(1.25), "1.2500");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+}

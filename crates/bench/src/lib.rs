@@ -8,17 +8,21 @@
 
 #![warn(missing_docs)]
 
+mod fit_bench;
+mod json;
 mod linalg_bench;
 mod protocol;
 mod scaling;
 mod tables;
 
+pub use fit_bench::{fit_dataset, format_fit_json, format_fit_table, run_fit_bench, FitBenchEntry};
 pub use linalg_bench::{
     format_linalg_json, format_linalg_table, run_linalg_bench, LinalgBenchEntry,
 };
 pub use protocol::{Algorithm, Protocol};
-pub use scaling::{run_scaling, ScalingPoint};
+pub use scaling::{format_scaling_json, run_scaling, ScalingPoint};
 pub use tables::{
-    format_table1, format_table2, run_ablation_acquisition, run_ablation_ensemble, run_algorithm,
-    run_table1, run_table2, AblationRow, Table1Row, Table2Row,
+    format_table1, format_table1_json, format_table2, format_table2_json, run_ablation_acquisition,
+    run_ablation_ensemble, run_algorithm, run_table1, run_table2, AblationRow, Table1Row,
+    Table2Row,
 };

@@ -211,26 +211,20 @@ pub fn run_linalg_bench(quick: bool) -> Vec<LinalgBenchEntry> {
 /// Serialises the entries as the `BENCH_linalg.json` document (JSON written by
 /// hand — the workspace's serde is an offline no-op stand-in).
 pub fn format_linalg_json(entries: &[LinalgBenchEntry], quick: bool) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"nnbo-bench-linalg-v1\",\n");
-    out.push_str(
-        "  \"generated_by\": \"cargo run --release -p nnbo-bench --bin reproduce -- linalg\",\n",
-    );
-    out.push_str(&format!("  \"quick\": {quick},\n"));
-    out.push_str("  \"entries\": [\n");
-    for (i, e) in entries.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"n\": {}, \"baseline_ns\": {:.0}, \"optimized_ns\": {:.0}, \"speedup\": {:.2}}}{}\n",
-            e.name,
-            e.n,
-            e.baseline_ns,
-            e.optimized_ns,
-            e.speedup(),
-            if i + 1 == entries.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"name\": \"{}\", \"n\": {}, \"baseline_ns\": {:.0}, \"optimized_ns\": {:.0}, \"speedup\": {:.2}}}",
+                e.name,
+                e.n,
+                e.baseline_ns,
+                e.optimized_ns,
+                e.speedup(),
+            )
+        })
+        .collect();
+    crate::json::document("nnbo-bench-linalg-v1", "linalg", quick, "entries", &rows)
 }
 
 /// Renders a human-readable table of the same entries for stdout.

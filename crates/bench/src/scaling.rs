@@ -88,9 +88,44 @@ pub fn run_scaling(sizes: &[usize], epochs: usize) -> Vec<ScalingPoint> {
     out
 }
 
+/// Serialises the scaling points as the `BENCH_scaling.json` document so the
+/// complexity trajectory can be tracked across PRs (JSON written by hand —
+/// the workspace's serde is an offline no-op stand-in).
+pub fn format_scaling_json(points: &[ScalingPoint], quick: bool) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"n\": {}, \"gp_fit_ms\": {:.3}, \"gp_predict_us\": {:.3}, \"neural_fit_ms\": {:.3}, \"neural_predict_us\": {:.3}}}",
+                p.n,
+                p.gp_fit_ms,
+                p.gp_predict_us,
+                p.neural_fit_ms,
+                p.neural_predict_us,
+            )
+        })
+        .collect();
+    crate::json::document("nnbo-bench-scaling-v1", "scaling", quick, "points", &rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scaling_json_is_structurally_valid() {
+        let points = vec![ScalingPoint {
+            n: 50,
+            gp_fit_ms: 1.5,
+            gp_predict_us: 10.0,
+            neural_fit_ms: 2.0,
+            neural_predict_us: 3.0,
+        }];
+        let json = format_scaling_json(&points, true);
+        assert!(json.contains("\"schema\": \"nnbo-bench-scaling-v1\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
 
     #[test]
     fn scaling_runs_and_reports_every_size() {

@@ -6,6 +6,7 @@ use nnbo_core::problems::{ChargePumpProblem, OpAmpProblem};
 use nnbo_core::{BayesOpt, EnsembleConfig, OptimizationResult, Problem, RunStatistics, RunSummary};
 use serde::{Deserialize, Serialize};
 
+use crate::json::number as json_number;
 use crate::protocol::{Algorithm, Protocol};
 
 /// One row of the reproduced Table I (two-stage op-amp).
@@ -340,6 +341,56 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
     s
 }
 
+/// Serialises Table I rows as the `BENCH_table1.json` document so the result
+/// trajectory can be tracked across PRs (JSON written by hand — the
+/// workspace's serde is an offline no-op stand-in).
+pub fn format_table1_json(rows: &[Table1Row], quick: bool) -> String {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"algorithm\": \"{}\", \"ugf_mhz\": {}, \"pm_deg\": {}, \"mean_gain\": {}, \"median_gain\": {}, \"best_gain\": {}, \"worst_gain\": {}, \"avg_sims\": {}, \"success\": \"{}\"}}",
+                r.algorithm,
+                json_number(r.ugf_mhz),
+                json_number(r.pm_deg),
+                json_number(r.mean_gain),
+                json_number(r.median_gain),
+                json_number(r.best_gain),
+                json_number(r.worst_gain),
+                json_number(r.avg_sims),
+                r.success,
+            )
+        })
+        .collect();
+    crate::json::document("nnbo-bench-table1-v1", "table1", quick, "rows", &rendered)
+}
+
+/// Serialises Table II rows as the `BENCH_table2.json` document (see
+/// [`format_table1_json`]).
+pub fn format_table2_json(rows: &[Table2Row], quick: bool) -> String {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"algorithm\": \"{}\", \"diff1\": {}, \"diff2\": {}, \"diff3\": {}, \"diff4\": {}, \"deviation\": {}, \"mean_fom\": {}, \"median_fom\": {}, \"best_fom\": {}, \"worst_fom\": {}, \"avg_sims\": {}, \"success\": \"{}\"}}",
+                r.algorithm,
+                json_number(r.diff1),
+                json_number(r.diff2),
+                json_number(r.diff3),
+                json_number(r.diff4),
+                json_number(r.deviation),
+                json_number(r.mean_fom),
+                json_number(r.median_fom),
+                json_number(r.best_fom),
+                json_number(r.worst_fom),
+                json_number(r.avg_sims),
+                r.success,
+            )
+        })
+        .collect();
+    crate::json::document("nnbo-bench-table2-v1", "table2", quick, "rows", &rendered)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,5 +451,44 @@ mod tests {
             success: "12/12".into(),
         }];
         assert!(format_table2(&rows2).contains("WEIBO"));
+    }
+
+    #[test]
+    fn table_json_is_structurally_valid_and_encodes_nan_as_null() {
+        let rows = vec![Table1Row {
+            algorithm: "DE".into(),
+            ugf_mhz: f64::NAN,
+            pm_deg: 61.0,
+            mean_gain: 88.0,
+            median_gain: 88.2,
+            best_gain: 89.9,
+            worst_gain: 86.0,
+            avg_sims: 86.0,
+            success: "0/10".into(),
+        }];
+        let json = format_table1_json(&rows, true);
+        assert!(json.contains("\"schema\": \"nnbo-bench-table1-v1\""));
+        assert!(json.contains("\"ugf_mhz\": null"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+        let rows2 = vec![Table2Row {
+            algorithm: "Ours".into(),
+            diff1: 1.0,
+            diff2: 2.0,
+            diff3: 3.0,
+            diff4: 4.0,
+            deviation: 0.5,
+            mean_fom: 3.95,
+            median_fom: 3.97,
+            best_fom: 3.48,
+            worst_fom: 4.48,
+            avg_sims: 100.0,
+            success: "10/10".into(),
+        }];
+        let json2 = format_table2_json(&rows2, false);
+        assert!(json2.contains("\"schema\": \"nnbo-bench-table2-v1\""));
+        assert!(json2.contains("\"quick\": false"));
+        assert_eq!(json2.matches('{').count(), json2.matches('}').count());
     }
 }

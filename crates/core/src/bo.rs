@@ -425,6 +425,12 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
     /// one point), otherwise the trainers' incremental single-observation
     /// update, falling back to a full fit when a trainer does not support
     /// updates or reports a failure.
+    ///
+    /// Full fits go through [`SurrogateTrainer::fit_many`], handing the
+    /// trainer every output (objective plus constraints) in one call so
+    /// shareable fit structure is computed once and the per-output training
+    /// can run on scoped threads; the previous refit's surrogates are passed
+    /// along for trainers that warm-start.
     fn refresh_models(
         &self,
         problem: &dyn Problem,
@@ -451,13 +457,33 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
         }
 
         let xs: Vec<Vec<f64>> = history.iter().map(|(x, _)| x.clone()).collect();
-        let objective_values: Vec<f64> = history.iter().map(|(_, e)| e.objective).collect();
-        let objective = self.trainer.fit(&xs, &objective_values, rng)?;
-        let mut constraints = Vec::with_capacity(problem.num_constraints());
-        for c in 0..problem.num_constraints() {
-            let values: Vec<f64> = history.iter().map(|(_, e)| e.constraints[c]).collect();
-            constraints.push(self.trainer.fit(&xs, &values, rng)?);
+        let num_constraints = problem.num_constraints();
+        let mut targets: Vec<Vec<f64>> = Vec::with_capacity(1 + num_constraints);
+        targets.push(history.iter().map(|(_, e)| e.objective).collect());
+        for c in 0..num_constraints {
+            targets.push(history.iter().map(|(_, e)| e.constraints[c]).collect());
         }
+        // Previous surrogates (objective first, constraints in order) seed the
+        // trainers' warm starts when their shape matches the new fit.
+        let prev: Option<Vec<&T::Model>> = models.as_ref().and_then(|fitted| {
+            (fitted.constraints.len() == num_constraints).then(|| {
+                std::iter::once(&fitted.objective)
+                    .chain(fitted.constraints.iter())
+                    .collect()
+            })
+        });
+        let mut trained = self.trainer.fit_many(&xs, &targets, prev.as_deref(), rng)?;
+        if trained.len() != targets.len() {
+            return Err(format!(
+                "trainer returned {} models for {} targets",
+                trained.len(),
+                targets.len()
+            ));
+        }
+        let constraints = trained.split_off(1);
+        let objective = trained
+            .pop()
+            .expect("fit_many returned the objective model");
         *models = Some(FittedModels {
             objective,
             constraints,

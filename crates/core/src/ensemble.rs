@@ -71,38 +71,31 @@ impl NeuralGpEnsemble {
     ) -> Result<Self, String> {
         assert!(config.members > 0, "ensemble needs at least one member");
         let seeds: Vec<u64> = (0..config.members).map(|_| rng.gen()).collect();
+        Self::fit_with_seeds(xs, ys, config, &seeds)
+    }
 
-        let results: Vec<Result<NeuralGp, String>> = if config.parallel && config.members > 1 {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = seeds
-                    .iter()
-                    .map(|&seed| {
-                        let member_config = config.member_config.clone();
-                        scope.spawn(move || {
-                            let mut member_rng = StdRng::seed_from_u64(seed);
-                            NeuralGp::fit(xs, ys, &member_config, &mut member_rng)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        h.join()
-                            .unwrap_or_else(|_| Err("member thread panicked".into()))
-                    })
-                    .collect()
-            })
-        } else {
-            seeds
-                .iter()
-                .map(|&seed| {
-                    let mut member_rng = StdRng::seed_from_u64(seed);
-                    NeuralGp::fit(xs, ys, &config.member_config, &mut member_rng)
-                })
-                .collect()
-        };
+    /// Trains one member per seed (each member's rng derives solely from its
+    /// seed, so the result is deterministic and independent of scheduling).
+    /// This is the core [`NeuralGpEnsemble::fit`] delegates to, and what
+    /// [`NeuralGpEnsembleTrainer::fit_many`] uses to train several outputs'
+    /// ensembles concurrently from pre-drawn seeds.
+    pub(crate) fn fit_with_seeds(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        config: &EnsembleConfig,
+        seeds: &[u64],
+    ) -> Result<Self, String> {
+        assert!(!seeds.is_empty(), "ensemble needs at least one member");
+        let jobs: Vec<(&[f64], u64)> = seeds.iter().map(|&seed| (ys, seed)).collect();
+        let results = train_members(xs, &jobs, config);
+        Self::from_member_results(results)
+    }
 
-        let mut members = Vec::with_capacity(config.members);
+    /// Assembles an ensemble from per-member training results: the ensemble
+    /// is usable as long as at least one member trained, otherwise the first
+    /// member's error is reported.
+    fn from_member_results(results: Vec<Result<NeuralGp, String>>) -> Result<Self, String> {
+        let mut members = Vec::with_capacity(results.len());
         let mut first_error = None;
         for r in results {
             match r {
@@ -152,6 +145,50 @@ impl NeuralGpEnsemble {
             .collect::<Result<Vec<_>, _>>()?;
         Ok(NeuralGpEnsemble { members })
     }
+}
+
+/// Trains one [`NeuralGp`] per `(targets, seed)` job over the shared design
+/// points, in job order.
+///
+/// With `config.parallel` on a multi-core machine the flat job list is split
+/// into contiguous bands over at most `min(cores, 8, jobs)` scoped worker
+/// threads — one layer of parallelism regardless of how many outputs ×
+/// members the jobs span, so the thread count never exceeds the hardware.
+/// Every member's rng derives solely from its job seed, making the results
+/// bit-identical to the sequential loop.
+fn train_members(
+    xs: &[Vec<f64>],
+    jobs: &[(&[f64], u64)],
+    config: &EnsembleConfig,
+) -> Vec<Result<NeuralGp, String>> {
+    let fit_job = |&(ys, seed): &(&[f64], u64)| {
+        let mut member_rng = StdRng::seed_from_u64(seed);
+        NeuralGp::fit(xs, ys, &config.member_config, &mut member_rng)
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = cores.min(8).min(jobs.len());
+    if !config.parallel || workers <= 1 {
+        return jobs.iter().map(fit_job).collect();
+    }
+    let band = jobs.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .chunks(band)
+            .map(|band_jobs| scope.spawn(move || band_jobs.iter().map(fit_job).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .zip(jobs.chunks(band))
+            .flat_map(|(h, band_jobs)| {
+                h.join().unwrap_or_else(|_| {
+                    band_jobs
+                        .iter()
+                        .map(|_| Err("member thread panicked".into()))
+                        .collect()
+                })
+            })
+            .collect()
+    })
 }
 
 /// Batch size from which scoring the members on separate scoped threads pays
@@ -237,6 +274,40 @@ impl SurrogateTrainer for NeuralGpEnsembleTrainer {
         NeuralGpEnsemble::fit(xs, ys, &self.config, rng)
     }
 
+    /// Multi-output training with one flat scoped-thread fan-out: the member
+    /// seeds of every output are drawn from `rng` up front (in the same order
+    /// as sequential [`NeuralGpEnsemble::fit`] calls, so the rng stream and
+    /// every trained member are bit-identical to the sequential path), then
+    /// all `outputs × members` trainings run as one flat, core-capped job
+    /// list ([`train_members`]) — the constraint surrogates no longer wait
+    /// for the objective's ensemble to finish, and the thread count never
+    /// exceeds the hardware.
+    fn fit_many(
+        &self,
+        xs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        _prev: Option<&[&NeuralGpEnsemble]>,
+        rng: &mut StdRng,
+    ) -> Result<Vec<NeuralGpEnsemble>, String> {
+        let members = self.config.members;
+        assert!(members > 0, "ensemble needs at least one member");
+        let jobs: Vec<(&[f64], u64)> = targets
+            .iter()
+            .flat_map(|ys| {
+                (0..members)
+                    .map(|_| (ys.as_slice(), rng.gen()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut results = train_members(xs, &jobs, &self.config).into_iter();
+        targets
+            .iter()
+            .map(|_| {
+                NeuralGpEnsemble::from_member_results(results.by_ref().take(members).collect())
+            })
+            .collect()
+    }
+
     fn update(
         &self,
         prev: &NeuralGpEnsemble,
@@ -311,6 +382,37 @@ mod tests {
         let x = [0.61];
         assert!((a.predict(&x).mean - b.predict(&x).mean).abs() < 1e-12);
         assert!((a.predict(&x).variance - b.predict(&x).variance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_many_is_bit_identical_to_sequential_fits() {
+        use crate::surrogate::SurrogateTrainer;
+        let (xs, ys_a) = toy_data(16);
+        let ys_b: Vec<f64> = xs.iter().map(|x| x[0] * x[0]).collect();
+        let targets = vec![ys_a, ys_b];
+        for parallel in [false, true] {
+            let trainer = NeuralGpEnsembleTrainer::new(EnsembleConfig {
+                parallel,
+                ..EnsembleConfig::fast()
+            });
+            let mut rng_many = StdRng::seed_from_u64(9);
+            let many = trainer
+                .fit_many(&xs, &targets, None, &mut rng_many)
+                .unwrap();
+            let mut rng_seq = StdRng::seed_from_u64(9);
+            let sequential: Vec<_> = targets
+                .iter()
+                .map(|ys| trainer.fit(&xs, ys, &mut rng_seq).unwrap())
+                .collect();
+            // Same models *and* the same rng stream afterwards.
+            assert_eq!(rng_many.gen::<u64>(), rng_seq.gen::<u64>());
+            let q = [0.47];
+            for (a, b) in many.iter().zip(sequential.iter()) {
+                assert_eq!(a.len(), b.len());
+                assert_eq!(a.predict(&q).mean, b.predict(&q).mean);
+                assert_eq!(a.predict(&q).variance, b.predict(&q).variance);
+            }
+        }
     }
 
     #[test]

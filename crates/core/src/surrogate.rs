@@ -62,6 +62,35 @@ pub trait SurrogateTrainer: Send + Sync {
     /// data, factorization failure, ...).
     fn fit(&self, xs: &[Vec<f64>], ys: &[f64], rng: &mut StdRng) -> Result<Self::Model, String>;
 
+    /// Trains one surrogate per target column over the *same* design points —
+    /// the multi-output refit the Bayesian-optimization loop performs for the
+    /// objective plus every constraint.
+    ///
+    /// `prev`, when given with one model per target, holds the surrogates of
+    /// the previous refit so trainers can warm-start (e.g. the classical GP
+    /// reuses each output's fitted hyper-parameters as the optimizer's
+    /// starting point).  The default implementation ignores `prev` and fits
+    /// sequentially through [`SurrogateTrainer::fit`], consuming `rng`
+    /// exactly as the equivalent sequence of single fits would; trainers with
+    /// shareable fit structure (the classical GP's distance tensor, the
+    /// ensemble's independent members) override this to share that work and
+    /// fan the per-output training out over scoped threads.
+    ///
+    /// # Errors
+    ///
+    /// The first per-output error; either every output trains or the whole
+    /// call fails.
+    fn fit_many(
+        &self,
+        xs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        prev: Option<&[&Self::Model]>,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Self::Model>, String> {
+        let _ = prev;
+        targets.iter().map(|ys| self.fit(xs, ys, rng)).collect()
+    }
+
     /// Attempts a cheap incremental refit of `prev` with one appended
     /// observation `(x, y)`.
     ///

@@ -1,0 +1,427 @@
+//! The shared fit context and the warm/cold hyper-parameter optimizer.
+//!
+//! Refitting a GP during Bayesian optimization has two structural redundancies
+//! that this module removes:
+//!
+//! * **Within one fit** — every Adam iteration needs the kernel matrix and the
+//!   gradient of the log marginal likelihood with respect to each
+//!   log-lengthscale.  Both are functions of the *pairwise per-dimension
+//!   squared differences* of the training rows, which do not depend on the
+//!   hyper-parameters at all.  [`FitContext`] computes that `N × N × D` tensor
+//!   once per refit; every iteration then builds the Gram matrix by a weighted
+//!   reduction over it and accumulates all `D` lengthscale gradients in a
+//!   single fused pass — no per-iteration `∂K/∂θ` matrices are materialised.
+//! * **Across outputs** — the constrained BO loop fits one surrogate per
+//!   output (objective plus each constraint) over the *same* `X`, so one
+//!   [`FitContext`] serves every output of a
+//!   [`crate::GpModel::fit_multi`] call; only the per-output Adam state,
+//!   Cholesky factors and gradient scratch ([`FitScratch`]) are private.
+//!
+//! Warm starts remove a third redundancy *across refits*: once a model has
+//! been fitted, the next refit (one appended observation) starts Adam from the
+//! previous optimum and runs [`crate::GpConfig::warm_iters`] iterations instead
+//! of `restarts × max_iters`, with a cold-restart fallback when the warm
+//! path's NLL regresses past the standard initial point.
+
+use nnbo_linalg::{Cholesky, Matrix};
+use nnbo_nn::{Adam, Optimizer};
+use rand::Rng;
+
+use crate::{GpConfig, GpError, GpHyperParams};
+
+/// Hyper-parameter-independent structure shared by every output and every
+/// optimizer iteration of one refit: the pairwise per-dimension squared
+/// differences of the training rows.
+#[derive(Debug, Clone)]
+pub struct FitContext {
+    n: usize,
+    dim: usize,
+    /// `sqdiff[(i·n + j)·dim + d] = (x_i,d − x_j,d)²` — symmetric in `(i, j)`,
+    /// zero diagonal; laid out with `d` fastest so the fused gradient pass
+    /// reads one contiguous `D`-stripe per matrix entry.
+    sqdiff: Vec<f64>,
+}
+
+impl FitContext {
+    /// Builds the context for the training rows of `x` (`N × D`).
+    pub fn new(x: &Matrix) -> Self {
+        let n = x.nrows();
+        let dim = x.ncols();
+        let mut sqdiff = vec![0.0; n * n * dim];
+        for i in 0..n {
+            let xi = x.row(i);
+            for j in 0..i {
+                let xj = x.row(j);
+                let lower = (i * n + j) * dim;
+                let upper = (j * n + i) * dim;
+                for d in 0..dim {
+                    let diff = xi[d] - xj[d];
+                    let sq = diff * diff;
+                    sqdiff[lower + d] = sq;
+                    sqdiff[upper + d] = sq;
+                }
+            }
+        }
+        FitContext { n, dim, sqdiff }
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the context covers no points.
+    #[allow(dead_code)] // completes the len/is_empty pair; exercised in tests
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Writes the ARD-SE kernel matrix for inverse squared lengthscale weights
+    /// `inv_sq` and signal variance `sf2` into `out` (resized when needed).
+    ///
+    /// The direct distance evaluation is at least as accurate as the norm
+    /// expansion used on the prediction path (no cancellation of large common
+    /// offsets), and exactly symmetric with `σf²` on the diagonal.
+    pub(crate) fn gram_into(&self, inv_sq: &[f64], sf2: f64, out: &mut Matrix) {
+        debug_assert_eq!(inv_sq.len(), self.dim);
+        let n = self.n;
+        let dim = self.dim;
+        if out.shape() != (n, n) {
+            *out = Matrix::zeros(n, n);
+        }
+        for i in 0..n {
+            out[(i, i)] = sf2;
+            for j in 0..i {
+                let stripe = &self.sqdiff[(i * n + j) * dim..(i * n + j + 1) * dim];
+                let d2: f64 = stripe.iter().zip(inv_sq.iter()).map(|(&s, &w)| s * w).sum();
+                let v = sf2 * (-0.5 * d2).exp();
+                out[(i, j)] = v;
+                out[(j, i)] = v;
+            }
+        }
+    }
+}
+
+/// Per-output scratch buffers of the NLL/gradient evaluation, allocated once
+/// per output and reused across every Adam iteration of a fit.
+#[derive(Debug, Clone)]
+pub struct FitScratch {
+    /// Kernel matrix without noise (kept for the gradient pass).
+    gram: Matrix,
+    /// `K + σn² I`, the matrix handed to the Cholesky factorization.
+    k: Matrix,
+    /// Dense `(K + σn² I)⁻¹` for the trace terms.
+    k_inv: Matrix,
+    /// Centred targets `y − µ0`.
+    residual: Vec<f64>,
+    /// Inverse squared lengthscales of the current iterate.
+    inv_sq: Vec<f64>,
+    /// Per-dimension lengthscale trace-term accumulators.
+    ls_grad: Vec<f64>,
+    /// Gradient with respect to `[log σf, log l_1.., log σn, µ0]`.
+    pub(crate) grad: Vec<f64>,
+}
+
+impl FitScratch {
+    /// Allocates scratch for `n` training points in `dim` dimensions.
+    pub fn new(n: usize, dim: usize) -> Self {
+        FitScratch {
+            gram: Matrix::zeros(n, n),
+            k: Matrix::zeros(n, n),
+            k_inv: Matrix::zeros(n, n),
+            residual: vec![0.0; n],
+            inv_sq: vec![0.0; dim],
+            ls_grad: vec![0.0; dim],
+            grad: vec![0.0; dim + 3],
+        }
+    }
+}
+
+/// Negative log marginal likelihood (eq. 4) at `hyper`, with the gradient with
+/// respect to the flat hyper-parameter vector left in `scratch.grad`.
+///
+/// Returns `None` when the kernel matrix cannot be factored or the likelihood
+/// or gradient is not finite, which the optimizer treats as "stop here".
+/// Arithmetic notes: the Gram matrix comes from the context's distance tensor
+/// (one weighted reduction per entry), and all `D` lengthscale trace terms are
+/// accumulated in one fused pass over `(K⁻¹ − ααᵀ) ∘ K` — the only
+/// per-iteration allocations left are inside the Cholesky factorization
+/// itself.
+pub(crate) fn nll_and_grad_into(
+    ctx: &FitContext,
+    y: &[f64],
+    hyper: &GpHyperParams,
+    jitter: f64,
+    scratch: &mut FitScratch,
+) -> Option<f64> {
+    nll_into(ctx, y, hyper, jitter, scratch, true)
+}
+
+/// [`nll_and_grad_into`] with an optional gradient: `want_grad = false` stops
+/// after the likelihood (one factorization + one solve), skipping the dense
+/// `O(N³)` inverse and the fused trace pass — the mode used by warm-start
+/// anchor checks and end-of-descent evaluations, which only read the scalar.
+pub(crate) fn nll_into(
+    ctx: &FitContext,
+    y: &[f64],
+    hyper: &GpHyperParams,
+    jitter: f64,
+    scratch: &mut FitScratch,
+    want_grad: bool,
+) -> Option<f64> {
+    let n = ctx.len();
+    let dim = ctx.dim();
+    debug_assert_eq!(y.len(), n);
+    debug_assert_eq!(hyper.dim(), dim);
+    let FitScratch {
+        gram,
+        k,
+        k_inv,
+        residual,
+        inv_sq,
+        ls_grad,
+        grad,
+    } = scratch;
+
+    for (w, l) in inv_sq.iter_mut().zip(hyper.log_lengthscales.iter()) {
+        let ls = l.exp();
+        *w = 1.0 / (ls * ls);
+    }
+    let sf2 = hyper.signal_variance();
+    ctx.gram_into(inv_sq, sf2, gram);
+    k.clone_from(gram);
+    k.add_diag(hyper.noise_variance());
+    let (chol, _) = Cholesky::decompose_with_jitter(k, jitter, 8).ok()?;
+
+    for (r, v) in residual.iter_mut().zip(y.iter()) {
+        *r = v - hyper.mean;
+    }
+    let alpha = chol.solve_vec(residual);
+    let fit_term: f64 = residual.iter().zip(alpha.iter()).map(|(r, a)| r * a).sum();
+    let log_det = chol.log_det();
+    let nll = 0.5 * (fit_term + log_det + n as f64 * (2.0 * std::f64::consts::PI).ln());
+    if !nll.is_finite() {
+        return None;
+    }
+    if !want_grad {
+        return Some(nll);
+    }
+
+    // Gradient: dL/dθ = ½ tr((K⁻¹ - α αᵀ) ∂K/∂θ), with
+    //   ∂K/∂log σf = 2 K,   ∂K/∂log l_d = K ∘ sqdiff_d / l_d²,
+    //   ∂K/∂log σn = 2 σn² I,   dL/dµ0 = -Σ α.
+    chol.inverse_into(k_inv);
+    let mut g_signal = 0.0;
+    grad.fill(0.0);
+    ls_grad.fill(0.0);
+    for i in 0..n {
+        let kinv_row = k_inv.row(i);
+        let gram_row = gram.row(i);
+        let ai = alpha[i];
+        let stripes = &ctx.sqdiff[i * n * dim..(i + 1) * n * dim];
+        for j in 0..n {
+            let m = kinv_row[j] - ai * alpha[j];
+            let mg = m * gram_row[j];
+            g_signal += 2.0 * mg;
+            let stripe = &stripes[j * dim..(j + 1) * dim];
+            for ((g, &w), &s) in ls_grad.iter_mut().zip(inv_sq.iter()).zip(stripe.iter()) {
+                *g += mg * w * s;
+            }
+        }
+    }
+    let noise_var = hyper.noise_variance();
+    let mut g_noise = 0.0;
+    for i in 0..n {
+        g_noise += (k_inv[(i, i)] - alpha[i] * alpha[i]) * 2.0 * noise_var;
+    }
+    grad[0] = 0.5 * g_signal;
+    for (g, v) in grad[1..1 + dim].iter_mut().zip(ls_grad.iter()) {
+        *g = 0.5 * v;
+    }
+    grad[1 + dim] = 0.5 * g_noise;
+    grad[2 + dim] = -alpha.iter().sum::<f64>();
+
+    if grad.iter().any(|g| !g.is_finite()) {
+        return None;
+    }
+    Some(nll)
+}
+
+/// Runs `iters` Adam steps from `start` and returns the clamped end point with
+/// its NLL (`None` when no finite likelihood is ever reached).
+fn run_adam(
+    ctx: &FitContext,
+    y: &[f64],
+    config: &GpConfig,
+    start: GpHyperParams,
+    iters: usize,
+    scratch: &mut FitScratch,
+) -> Option<(f64, GpHyperParams)> {
+    let dim = ctx.dim();
+    let mut hyper = start;
+    let mut adam = Adam::with_learning_rate(config.learning_rate);
+    let mut flat = hyper.to_flat();
+    for _ in 0..iters {
+        hyper = GpHyperParams::from_flat(&flat, dim);
+        hyper.clamp(config.min_log_noise);
+        flat = hyper.to_flat();
+        if nll_and_grad_into(ctx, y, &hyper, config.jitter, scratch).is_none() {
+            break;
+        }
+        adam.step(&mut flat, &scratch.grad);
+    }
+    hyper = GpHyperParams::from_flat(&flat, dim);
+    hyper.clamp(config.min_log_noise);
+    nll_into(ctx, y, &hyper, config.jitter, scratch, false).map(|nll| (nll, hyper))
+}
+
+/// Cold path: multi-restart Adam from the standard initial point plus
+/// `config.restarts − 1` random initialisations drawn from `rng`.
+fn optimize_cold<R: Rng + ?Sized>(
+    ctx: &FitContext,
+    y: &[f64],
+    config: &GpConfig,
+    rng: &mut R,
+    scratch: &mut FitScratch,
+) -> Option<(f64, GpHyperParams)> {
+    let dim = ctx.dim();
+    let mut best: Option<(f64, GpHyperParams)> = None;
+    for restart in 0..config.restarts.max(1) {
+        let start = initial_hyper(dim, restart, rng);
+        if let Some((nll, hyper)) = run_adam(ctx, y, config, start, config.max_iters, scratch) {
+            if nll.is_finite() && best.as_ref().is_none_or(|(b, _)| nll < *b) {
+                best = Some((nll, hyper));
+            }
+        }
+    }
+    best
+}
+
+/// Finds hyper-parameters for one output: warm-started from `warm` when
+/// given, cold multi-restart otherwise.
+///
+/// The warm path runs a single Adam descent of `config.warm_iters` steps from
+/// the previous optimum and accepts the result as long as it does not regress
+/// past the likelihood of the *standard* initial point (evaluated, not
+/// optimized) — the cheap anchor that detects a stale or diverged warm start.
+/// On regression it falls back to the full cold path and keeps the better of
+/// the two, so a warm fit is never worse than that fallback anchor.  Only the
+/// fallback consumes `rng`.
+pub(crate) fn optimize_hypers<R: Rng + ?Sized>(
+    ctx: &FitContext,
+    y: &[f64],
+    config: &GpConfig,
+    rng: &mut R,
+    warm: Option<&GpHyperParams>,
+    scratch: &mut FitScratch,
+) -> Result<(f64, GpHyperParams), GpError> {
+    let dim = ctx.dim();
+    if let Some(prev) = warm {
+        if prev.dim() == dim {
+            let mut start = prev.clone();
+            start.clamp(config.min_log_noise);
+            let warm_result = run_adam(ctx, y, config, start, config.warm_iters, scratch);
+            let anchor = {
+                let standard = GpHyperParams::standard(dim);
+                nll_into(ctx, y, &standard, config.jitter, scratch, false)
+            };
+            match (&warm_result, anchor) {
+                (Some((warm_nll, _)), Some(anchor_nll)) if *warm_nll <= anchor_nll => {
+                    let (nll, hyper) = warm_result.expect("matched Some above");
+                    return Ok((nll, hyper));
+                }
+                (Some((warm_nll, _)), None) if warm_nll.is_finite() => {
+                    let (nll, hyper) = warm_result.expect("matched Some above");
+                    return Ok((nll, hyper));
+                }
+                _ => {
+                    // Warm path regressed (or died): cold-restart fallback,
+                    // keeping the warm result if it still wins.
+                    let cold = optimize_cold(ctx, y, config, rng, scratch);
+                    let best = match (warm_result, cold) {
+                        (Some(w), Some(c)) => Some(if w.0 <= c.0 { w } else { c }),
+                        (w, c) => w.or(c),
+                    };
+                    return best.ok_or(GpError::OptimizationFailed);
+                }
+            }
+        }
+    }
+    optimize_cold(ctx, y, config, rng, scratch).ok_or(GpError::OptimizationFailed)
+}
+
+/// Initial hyper-parameters of restart `restart` (the first restart uses the
+/// deterministic standard point; later ones draw from `rng`).
+pub(crate) fn initial_hyper<R: Rng + ?Sized>(
+    dim: usize,
+    restart: usize,
+    rng: &mut R,
+) -> GpHyperParams {
+    if restart == 0 {
+        GpHyperParams::standard(dim)
+    } else {
+        GpHyperParams {
+            log_signal: rng.gen_range(-1.0..1.0),
+            log_lengthscales: (0..dim).map(|_| rng.gen_range(-1.5..1.5)).collect(),
+            log_noise: rng.gen_range(-6.0..-2.0),
+            mean: rng.gen_range(-0.5..0.5),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_distance_tensor_is_symmetric_with_zero_diagonal() {
+        let x = Matrix::from_rows(&[vec![0.1, 0.9], vec![0.8, 0.4], vec![-0.5, 0.2]]);
+        let ctx = FitContext::new(&x);
+        assert_eq!(ctx.len(), 3);
+        assert_eq!(ctx.dim(), 2);
+        assert!(!ctx.is_empty());
+        for i in 0..3 {
+            for d in 0..2 {
+                assert_eq!(ctx.sqdiff[(i * 3 + i) * 2 + d], 0.0);
+            }
+            for j in 0..3 {
+                for d in 0..2 {
+                    let expect = (x[(i, d)] - x[(j, d)]) * (x[(i, d)] - x[(j, d)]);
+                    assert_eq!(ctx.sqdiff[(i * 3 + j) * 2 + d], expect);
+                    assert_eq!(ctx.sqdiff[(j * 3 + i) * 2 + d], expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn context_gram_matches_scalar_kernel_eval() {
+        let k = crate::ArdSquaredExponential::new(1.7, vec![0.4, 1.2, 2.5]);
+        let x = Matrix::from_rows(
+            &(0..7)
+                .map(|i| {
+                    vec![
+                        i as f64 * 0.11,
+                        (i * i % 5) as f64 * 0.2,
+                        1.0 - i as f64 * 0.07,
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        let ctx = FitContext::new(&x);
+        let inv_sq: Vec<f64> = k.lengthscales().iter().map(|l| 1.0 / (l * l)).collect();
+        let mut g = Matrix::zeros(1, 1);
+        ctx.gram_into(&inv_sq, k.signal_variance(), &mut g);
+        for i in 0..x.nrows() {
+            for j in 0..x.nrows() {
+                let reference = k.eval(x.row(i), x.row(j));
+                assert!((g[(i, j)] - reference).abs() < 1e-12, "gram ({i},{j})");
+            }
+        }
+    }
+}

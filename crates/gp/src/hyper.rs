@@ -91,6 +91,10 @@ pub struct GpConfig {
     pub restarts: usize,
     /// Adam iterations per restart.
     pub max_iters: usize,
+    /// Adam iterations of a *warm-started* refit (single descent from the
+    /// previous optimum instead of `restarts × max_iters` cold iterations;
+    /// see [`crate::GpModel::fit_warm`]).
+    pub warm_iters: usize,
     /// Adam learning rate.
     pub learning_rate: f64,
     /// Lower bound on `log σn` (keeps the kernel matrix well conditioned).
@@ -107,6 +111,7 @@ impl Default for GpConfig {
         GpConfig {
             restarts: 2,
             max_iters: 150,
+            warm_iters: 50,
             learning_rate: 0.05,
             min_log_noise: (1e-4_f64).ln(),
             jitter: 1e-8,
@@ -122,6 +127,7 @@ impl GpConfig {
         GpConfig {
             restarts: 1,
             max_iters: 60,
+            warm_iters: 25,
             ..GpConfig::default()
         }
     }

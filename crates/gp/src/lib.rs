@@ -17,6 +17,41 @@
 //! complexity analysis (section III.D) attributes to the traditional model — the
 //! scaling benchmark in `nnbo-bench` measures this contrast directly.
 //!
+//! # The fit pipeline: cold, warm, and multi-output
+//!
+//! Fitting maximises the log marginal likelihood with Adam; how the search is
+//! seeded and what is shared between searches is layered:
+//!
+//! * **Cold fit** ([`GpModel::fit`]) — multi-restart descent: the standard
+//!   initial point plus [`GpConfig::restarts`]` − 1` random initialisations,
+//!   [`GpConfig::max_iters`] Adam steps each, best NLL wins.  This is the
+//!   right tool for the *first* fit, when nothing is known about the surface.
+//! * **Warm refit** ([`GpModel::fit_warm`]) — inside a Bayesian-optimization
+//!   loop the training set grows by one point per refit, so the previous
+//!   optimum is an excellent initialisation: a single descent of
+//!   [`GpConfig::warm_iters`] steps replaces the whole restart schedule.  The
+//!   result is accepted unless its NLL regresses past the evaluated
+//!   likelihood of the standard initial point; then the cold path runs as a
+//!   fallback and the better fit is kept.
+//! * **Shared fit context** — every likelihood evaluation needs the pairwise
+//!   per-dimension squared differences of the training rows, which do not
+//!   depend on the hyper-parameters.  One refit computes that `N × N × D`
+//!   tensor once; each Adam iteration rebuilds the Gram matrix by a weighted
+//!   reduction over it and accumulates all lengthscale gradients in one fused
+//!   pass over `(K⁻¹ − ααᵀ) ∘ K`, into buffers allocated once per output.
+//! * **Multi-output fit** ([`GpModel::fit_multi`] /
+//!   [`GpModel::fit_multi_warm`]) — the constrained BO loop models the
+//!   objective and every constraint over the *same* designs, so the context
+//!   is shared across all outputs and the per-output optimizations (own Adam
+//!   state, Cholesky factors, scratch) run on scoped threads.  Per-output
+//!   seeds are drawn up front, making the result independent of thread
+//!   scheduling and bit-identical to per-output [`GpModel::fit_warm`] calls
+//!   with the derived seeds.
+//!
+//! The pre-context reference implementation survives as
+//! [`GpModel::fit_reference`] so `reproduce fit` can keep measuring the
+//! old-vs-new contrast on identical inputs.
+//!
 //! # Example
 //!
 //! ```
@@ -38,6 +73,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fit;
 mod hyper;
 mod kernel;
 mod model;

@@ -2,9 +2,13 @@
 
 use nnbo_linalg::{Cholesky, Matrix, Standardizer};
 use nnbo_nn::{Adam, Optimizer};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+#[cfg(test)]
+use crate::fit::nll_and_grad_into;
+use crate::fit::{optimize_hypers, FitContext, FitScratch};
 use crate::{ArdSquaredExponential, GpConfig, GpError, GpHyperParams, ScaledRows};
 
 /// Predictive distribution of the GP at one query point, in the original target
@@ -70,9 +74,199 @@ impl GpModel {
         config: &GpConfig,
         rng: &mut R,
     ) -> Result<Self, GpError> {
+        Self::fit_warm(xs, ys, config, rng, None)
+    }
+
+    /// Fits a GP, optionally warm-starting the hyper-parameter optimization
+    /// from a previous fit's optimum (see the crate-level docs for the fit
+    /// pipeline).
+    ///
+    /// With `warm = None` this is exactly [`GpModel::fit`]: cold multi-restart
+    /// Adam.  With `warm = Some(h)` (dimension matching; mismatches fall back
+    /// to the cold path) a single descent of [`GpConfig::warm_iters`] steps
+    /// runs from `h` — the dominant cost of a refit drops from
+    /// `restarts × max_iters` likelihood evaluations to `warm_iters + 1`.  The
+    /// warm result is accepted unless its NLL regresses past the evaluated
+    /// likelihood of the standard initial point, in which case the full cold
+    /// path runs as a fallback and the better of the two is kept; `rng` is
+    /// only consumed by cold restarts.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`GpModel::fit`].
+    pub fn fit_warm<R: Rng + ?Sized>(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        config: &GpConfig,
+        rng: &mut R,
+        warm: Option<&GpHyperParams>,
+    ) -> Result<Self, GpError> {
+        validate_training_set(xs, ys)?;
+        let x = Matrix::from_rows(xs);
+        let ctx = FitContext::new(&x);
+        Self::fit_prepared(&x, &ctx, ys, config, rng, warm)
+    }
+
+    /// Fits one GP per target column over the *same* design matrix, sharing
+    /// one [`FitContext`] (pairwise squared-distance tensor) across all
+    /// outputs — the multi-output refit the constrained BO loop performs for
+    /// the objective plus every constraint.
+    ///
+    /// Equivalent to [`GpModel::fit_multi_warm`] with every warm slot empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-output error (same contract as [`GpModel::fit`]);
+    /// either every output fits or the whole call fails.
+    pub fn fit_multi<R: Rng + ?Sized>(
+        xs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        config: &GpConfig,
+        rng: &mut R,
+    ) -> Result<Vec<Self>, GpError> {
+        let warm = vec![None; targets.len()];
+        Self::fit_multi_warm(xs, targets, config, rng, &warm)
+    }
+
+    /// Multi-output fitting with per-output warm starts.
+    ///
+    /// The shared fit context is built once; each output then runs its own
+    /// hyper-parameter optimization (warm-started where `warm[i]` is given,
+    /// cold otherwise) with per-output Adam state, Cholesky factors and
+    /// gradient buffers.  When more than one output is requested and the
+    /// machine has more than one core, the per-output optimizations run on
+    /// scoped threads.
+    ///
+    /// **Determinism:** one seed per output is drawn from `rng` up front (in
+    /// target order) and output `i` is fitted with an [`StdRng`] seeded from
+    /// it, so the result is independent of thread scheduling and bit-identical
+    /// to calling [`GpModel::fit_warm`] per output with those derived seeds —
+    /// the property tests pin this equivalence.
+    ///
+    /// # Errors
+    ///
+    /// The first per-output error, with [`GpError::InvalidTrainingSet`] when
+    /// `warm.len() != targets.len()`.
+    pub fn fit_multi_warm<R: Rng + ?Sized>(
+        xs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        config: &GpConfig,
+        rng: &mut R,
+        warm: &[Option<GpHyperParams>],
+    ) -> Result<Vec<Self>, GpError> {
+        if warm.len() != targets.len() {
+            return Err(GpError::InvalidTrainingSet {
+                details: format!(
+                    "{} targets but {} warm-start slots",
+                    targets.len(),
+                    warm.len()
+                ),
+            });
+        }
+        if targets.is_empty() {
+            return Ok(Vec::new());
+        }
+        for ys in targets {
+            validate_training_set(xs, ys)?;
+        }
+        let x = Matrix::from_rows(xs);
+        let ctx = FitContext::new(&x);
+        let seeds: Vec<u64> = targets.iter().map(|_| rng.gen()).collect();
+
+        let fit_one = |&(ys, seed, prev): &(&Vec<f64>, u64, &Option<GpHyperParams>)| {
+            let mut output_rng = StdRng::seed_from_u64(seed);
+            Self::fit_prepared(&x, &ctx, ys, config, &mut output_rng, prev.as_ref())
+        };
+        let jobs: Vec<(&Vec<f64>, u64, &Option<GpHyperParams>)> = targets
+            .iter()
+            .zip(seeds.iter().zip(warm.iter()))
+            .map(|(ys, (&seed, prev))| (ys, seed, prev))
+            .collect();
+        // One layer of core-capped parallelism: each scoped worker owns a
+        // contiguous band of outputs (and their FitScratch buffers), so the
+        // thread count and peak memory never exceed the hardware even for
+        // problems with many constraints.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let workers = cores.min(8).min(jobs.len());
+        let results: Vec<Result<Self, GpError>> = if workers > 1 {
+            let band = jobs.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .chunks(band)
+                    .map(|band_jobs| {
+                        scope.spawn(move || band_jobs.iter().map(fit_one).collect::<Vec<_>>())
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("fit thread panicked"))
+                    .collect()
+            })
+        } else {
+            jobs.iter().map(fit_one).collect()
+        };
+        results.into_iter().collect()
+    }
+
+    /// The per-output fit core shared by the single- and multi-output entry
+    /// points: standardise, optimize hyper-parameters against the shared
+    /// context, factor the final kernel matrix.
+    fn fit_prepared<R: Rng + ?Sized>(
+        x: &Matrix,
+        ctx: &FitContext,
+        ys: &[f64],
+        config: &GpConfig,
+        rng: &mut R,
+        warm: Option<&GpHyperParams>,
+    ) -> Result<Self, GpError> {
+        let (y_std, standardizer) = if config.standardize_targets {
+            let (v, s) = nnbo_linalg::standardize(ys);
+            (v, s)
+        } else {
+            (ys.to_vec(), Standardizer::identity())
+        };
+        let mut scratch = FitScratch::new(ctx.len(), ctx.dim());
+        let (nll, hyper) = optimize_hypers(ctx, &y_std, config, rng, warm, &mut scratch)?;
+
+        let kernel = ArdSquaredExponential::new(hyper.signal_variance(), hyper.lengthscales());
+        let mut k = kernel.gram(x);
+        k.add_diag(hyper.noise_variance());
+        let (chol, jitter) = Cholesky::decompose_with_jitter(&k, config.jitter, 10)?;
+        let residual: Vec<f64> = y_std.iter().map(|v| v - hyper.mean).collect();
+        let alpha = chol.solve_vec(&residual);
+        let scaled_x = kernel.prepare(x);
+
+        Ok(GpModel {
+            x: x.clone(),
+            y: y_std,
+            standardizer,
+            hyper,
+            kernel,
+            scaled_x,
+            chol,
+            alpha,
+            jitter,
+            nll,
+        })
+    }
+
+    /// The pre-context reference fit (scalar per-iteration Gram rebuilds and
+    /// materialised `∂K/∂θ` matrices), kept — like
+    /// [`nnbo_linalg::Cholesky::decompose_reference`] — so property tests and
+    /// the `reproduce fit` benchmark can compare the optimized pipeline
+    /// against the path it replaced on identical inputs.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`GpModel::fit`].
+    pub fn fit_reference<R: Rng + ?Sized>(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        config: &GpConfig,
+        rng: &mut R,
+    ) -> Result<Self, GpError> {
         validate_training_set(xs, ys)?;
         let dim = xs[0].len();
-        let n = xs.len();
         let x = Matrix::from_rows(xs);
 
         let (y_std, standardizer) = if config.standardize_targets {
@@ -84,21 +278,22 @@ impl GpModel {
 
         let mut best: Option<(f64, GpHyperParams)> = None;
         for restart in 0..config.restarts.max(1) {
-            let mut hyper = initial_hyper(dim, restart, rng);
+            let mut hyper = crate::fit::initial_hyper(dim, restart, rng);
             let mut adam = Adam::with_learning_rate(config.learning_rate);
             let mut flat = hyper.to_flat();
             for _ in 0..config.max_iters {
                 hyper = GpHyperParams::from_flat(&flat, dim);
                 hyper.clamp(config.min_log_noise);
                 flat = hyper.to_flat();
-                let Some((_nll, grad)) = nll_and_grad(&x, &y_std, &hyper, config.jitter) else {
+                let Some((_nll, grad)) = nll_and_grad_reference(&x, &y_std, &hyper, config.jitter)
+                else {
                     break;
                 };
                 adam.step(&mut flat, &grad);
             }
             hyper = GpHyperParams::from_flat(&flat, dim);
             hyper.clamp(config.min_log_noise);
-            if let Some((nll, _)) = nll_and_grad(&x, &y_std, &hyper, config.jitter) {
+            if let Some((nll, _)) = nll_and_grad_reference(&x, &y_std, &hyper, config.jitter) {
                 if nll.is_finite() && best.as_ref().is_none_or(|(b, _)| nll < *b) {
                     best = Some((nll, hyper.clone()));
                 }
@@ -114,7 +309,6 @@ impl GpModel {
         let alpha = chol.solve_vec(&residual);
         let scaled_x = kernel.prepare(&x);
 
-        let _ = n;
         Ok(GpModel {
             x,
             y: y_std,
@@ -325,25 +519,30 @@ fn validate_training_set(xs: &[Vec<f64>], ys: &[f64]) -> Result<(), GpError> {
     Ok(())
 }
 
-fn initial_hyper<R: Rng + ?Sized>(dim: usize, restart: usize, rng: &mut R) -> GpHyperParams {
-    if restart == 0 {
-        GpHyperParams::standard(dim)
-    } else {
-        GpHyperParams {
-            log_signal: rng.gen_range(-1.0..1.0),
-            log_lengthscales: (0..dim).map(|_| rng.gen_range(-1.5..1.5)).collect(),
-            log_noise: rng.gen_range(-6.0..-2.0),
-            mean: rng.gen_range(-0.5..0.5),
-        }
-    }
+/// Negative log marginal likelihood (eq. 4) and its gradient with respect to
+/// the flat hyper-parameter vector, through the shared-context path the fit
+/// pipeline uses (exposed for the finite-difference tests).
+#[cfg(test)]
+pub(crate) fn nll_and_grad(
+    x: &Matrix,
+    y: &[f64],
+    hyper: &GpHyperParams,
+    jitter: f64,
+) -> Option<(f64, Vec<f64>)> {
+    let ctx = FitContext::new(x);
+    let mut scratch = FitScratch::new(x.nrows(), x.ncols());
+    nll_and_grad_into(&ctx, y, hyper, jitter, &mut scratch).map(|nll| (nll, scratch.grad.clone()))
 }
 
-/// Negative log marginal likelihood (eq. 4) and its gradient with respect to the
-/// flat hyper-parameter vector `[log σf, log l_1.., log σn, µ0]`.
+/// Negative log marginal likelihood (eq. 4) and its gradient, as computed by
+/// the pre-context reference path: the Gram matrix is rebuilt with the
+/// norm-expansion kernel and every `∂K/∂θ` is materialised as a dense matrix.
+/// Kept for [`GpModel::fit_reference`] and the equivalence tests against the
+/// fused shared-context evaluation.
 ///
 /// Returns `None` when the kernel matrix cannot be factored or the likelihood is not
 /// finite, which the optimizer treats as "stop this restart".
-pub(crate) fn nll_and_grad(
+pub(crate) fn nll_and_grad_reference(
     x: &Matrix,
     y: &[f64],
     hyper: &GpHyperParams,
@@ -445,6 +644,104 @@ mod tests {
                 "analytic {a} vs fd {b}"
             );
         }
+    }
+
+    #[test]
+    fn shared_context_nll_matches_reference_path() {
+        let (xs, ys) = toy_data(15, 9);
+        let x = Matrix::from_rows(&xs);
+        let (y_std, _) = nnbo_linalg::standardize(&ys);
+        let hyper = GpHyperParams {
+            log_signal: 0.4,
+            log_lengthscales: vec![-0.6, 0.2],
+            log_noise: -2.5,
+            mean: -0.2,
+        };
+        let (nll_ctx, grad_ctx) = nll_and_grad(&x, &y_std, &hyper, 1e-10).unwrap();
+        let (nll_ref, grad_ref) = nll_and_grad_reference(&x, &y_std, &hyper, 1e-10).unwrap();
+        assert!(
+            (nll_ctx - nll_ref).abs() < 1e-8 * (1.0 + nll_ref.abs()),
+            "nll {nll_ctx} vs reference {nll_ref}"
+        );
+        for (a, b) in grad_ctx.iter().zip(grad_ref.iter()) {
+            assert!(
+                (a - b).abs() < 1e-7 * (1.0 + b.abs()),
+                "grad {a} vs reference {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_fit_tracks_cold_fit_quality_and_skips_restarts() {
+        let (xs, ys) = toy_data(30, 41);
+        let config = GpConfig::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        let cold = GpModel::fit(&xs, &ys, &config, &mut rng).unwrap();
+
+        // One more observation, refit warm from the previous optimum.
+        let mut xs2 = xs.clone();
+        let mut ys2 = ys.clone();
+        xs2.push(vec![0.21, 0.77]);
+        ys2.push((3.0 * 0.21_f64).sin() + 0.5 * 0.77 * 0.77);
+        let mut warm_rng = StdRng::seed_from_u64(43);
+        let warm = GpModel::fit_warm(
+            &xs2,
+            &ys2,
+            &config,
+            &mut warm_rng,
+            Some(cold.hyper_params()),
+        )
+        .unwrap();
+        let mut cold_rng = StdRng::seed_from_u64(43);
+        let cold2 = GpModel::fit(&xs2, &ys2, &config, &mut cold_rng).unwrap();
+        assert!(
+            warm.nll() <= cold2.nll() + 0.5 * (1.0 + cold2.nll().abs()),
+            "warm NLL {} vs cold NLL {}",
+            warm.nll(),
+            cold2.nll()
+        );
+        // The accepted warm path never touches the rng (no random restarts).
+        assert_eq!(
+            warm_rng.gen::<u64>(),
+            StdRng::seed_from_u64(43).gen::<u64>()
+        );
+    }
+
+    #[test]
+    fn fit_multi_matches_per_output_fits_with_derived_seeds() {
+        let (xs, ys_a) = toy_data(18, 51);
+        let ys_b: Vec<f64> = xs.iter().map(|x| x[0] * x[0] - x[1]).collect();
+        let config = GpConfig::fast();
+        let mut rng = StdRng::seed_from_u64(7);
+        let models =
+            GpModel::fit_multi(&xs, &[ys_a.clone(), ys_b.clone()], &config, &mut rng).unwrap();
+        assert_eq!(models.len(), 2);
+
+        // Replay the documented seed-derivation scheme.
+        let mut seed_rng = StdRng::seed_from_u64(7);
+        let seeds: Vec<u64> = (0..2).map(|_| seed_rng.gen()).collect();
+        for (model, (ys, seed)) in models.iter().zip([ys_a, ys_b].iter().zip(seeds.iter())) {
+            let mut output_rng = StdRng::seed_from_u64(*seed);
+            let reference = GpModel::fit(&xs, ys, &config, &mut output_rng).unwrap();
+            assert_eq!(model.hyper_params(), reference.hyper_params());
+            assert_eq!(model.nll(), reference.nll());
+            let q = [0.31, 0.64];
+            assert_eq!(model.predict(&q).mean, reference.predict(&q).mean);
+            assert_eq!(model.predict(&q).variance, reference.predict(&q).variance);
+        }
+    }
+
+    #[test]
+    fn fit_multi_warm_rejects_mismatched_slots_and_handles_empty() {
+        let (xs, ys) = toy_data(8, 61);
+        let mut rng = StdRng::seed_from_u64(1);
+        let err =
+            GpModel::fit_multi_warm(&xs, &[ys], &GpConfig::fast(), &mut rng, &[]).unwrap_err();
+        assert!(matches!(err, GpError::InvalidTrainingSet { .. }));
+        let none: Vec<Vec<f64>> = Vec::new();
+        assert!(GpModel::fit_multi(&xs, &none, &GpConfig::fast(), &mut rng)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

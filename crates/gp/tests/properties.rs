@@ -4,7 +4,7 @@ use nnbo_gp::{ArdSquaredExponential, GpConfig, GpModel};
 use nnbo_linalg::{Cholesky, Matrix};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn points(n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     prop::collection::vec(prop::collection::vec(0.0..1.0f64, dim), n)
@@ -60,6 +60,40 @@ proptest! {
     }
 
     #[test]
+    fn fit_multi_is_exactly_per_output_fit_with_derived_seeds(
+        seed in 0..60u64,
+        q in prop::collection::vec(0.0..1.0f64, 2),
+    ) {
+        // fit_multi draws one sub-seed per output from the supplied rng (in
+        // target order); output i must be bit-identical to a plain fit with a
+        // StdRng seeded from sub-seed i.
+        let xs: Vec<Vec<f64>> = (0..14)
+            .map(|i| vec![(i as f64) / 13.0, ((i * 5) % 14) as f64 / 13.0])
+            .collect();
+        let targets: Vec<Vec<f64>> = vec![
+            xs.iter().map(|x| (3.0 * x[0]).sin() + x[1]).collect(),
+            xs.iter().map(|x| x[0] * x[0] - 0.5 * x[1]).collect(),
+            xs.iter().map(|x| (2.0 * x[1]).cos()).collect(),
+        ];
+        let config = GpConfig::fast();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let models = GpModel::fit_multi(&xs, &targets, &config, &mut rng).unwrap();
+        prop_assert!(models.len() == targets.len());
+
+        let mut seed_rng = StdRng::seed_from_u64(seed);
+        for (model, ys) in models.iter().zip(targets.iter()) {
+            let sub_seed: u64 = seed_rng.gen();
+            let mut output_rng = StdRng::seed_from_u64(sub_seed);
+            let reference = GpModel::fit(&xs, ys, &config, &mut output_rng).unwrap();
+            prop_assert_eq!(model.hyper_params(), reference.hyper_params());
+            prop_assert!(model.nll() == reference.nll());
+            let a = model.predict(&q);
+            let b = reference.predict(&q);
+            prop_assert!(a.mean == b.mean && a.variance == b.variance);
+        }
+    }
+
+    #[test]
     fn gp_is_invariant_to_constant_target_shifts(
         shift in -100.0..100.0f64,
     ) {
@@ -76,5 +110,47 @@ proptest! {
         let a = base.predict(&q);
         let b = shifted.predict(&q);
         prop_assert!((b.mean - a.mean - shift).abs() < 1e-6 * (1.0 + shift.abs()));
+    }
+}
+
+// The warm-start quality property runs each case at the full production Adam
+// budget (a warm descent needs its full `warm_iters` to track the cold
+// optimum), so it gets its own block with fewer sampled cases.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn warm_started_refit_matches_cold_fit_quality(
+        seed in 0..40u64,
+    ) {
+        // Fit cold on N points, append one observation, then refit both ways:
+        // warm from the previous optimum must land within tolerance of (or
+        // beat) the cold multi-restart fit on the extended data.
+        let mut data_rng = StdRng::seed_from_u64(1000 + seed);
+        let n = 24;
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![data_rng.gen_range(0.0..1.0), data_rng.gen_range(0.0..1.0)])
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| (4.0 * x[0]).sin() + x[1] * x[1] + 0.1 * data_rng.gen_range(-1.0..1.0))
+            .collect();
+        let config = GpConfig::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let first = GpModel::fit(&xs, &ys, &config, &mut rng).unwrap();
+
+        let mut xs2 = xs;
+        let mut ys2 = ys;
+        xs2.push(vec![data_rng.gen_range(0.0..1.0), data_rng.gen_range(0.0..1.0)]);
+        ys2.push((4.0 * xs2[n][0]).sin() + xs2[n][1] * xs2[n][1]);
+        let mut warm_rng = StdRng::seed_from_u64(seed + 1);
+        let warm = GpModel::fit_warm(&xs2, &ys2, &config, &mut warm_rng, Some(first.hyper_params()))
+            .unwrap();
+        let mut cold_rng = StdRng::seed_from_u64(seed + 1);
+        let cold = GpModel::fit(&xs2, &ys2, &config, &mut cold_rng).unwrap();
+        prop_assert!(
+            warm.nll() <= cold.nll() + 0.5 * (1.0 + cold.nll().abs()),
+            "warm NLL {} vs cold NLL {}", warm.nll(), cold.nll()
+        );
     }
 }

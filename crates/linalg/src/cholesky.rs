@@ -28,6 +28,17 @@ pub struct Cholesky {
     l: Matrix,
 }
 
+/// Direction of a batched triangular sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sweep {
+    Lower,
+    Upper,
+}
+
+/// Minimum columns per thread block of a batched triangular solve; below this
+/// the gather/scatter traffic outweighs the shared sweep work.
+const COL_BLOCK_MIN: usize = 64;
+
 impl Cholesky {
     /// Computes the Cholesky factorization of `a`.
     ///
@@ -260,71 +271,31 @@ impl Cholesky {
     /// One forward sweep serves all `m` columns simultaneously: every inner
     /// operation is a contiguous row `axpy` of width `m`, which vectorises —
     /// unlike `m` independent [`Cholesky::solve_lower`] calls whose dot
-    /// products are serial dependency chains.  Column `j` of the result is
-    /// arithmetically identical to `solve_lower` of column `j` of `B`.
+    /// products are serial dependency chains.  Wide right-hand sides are
+    /// additionally split into contiguous column blocks solved on scoped
+    /// threads (the columns are independent, so the arithmetic per column is
+    /// unchanged).  Column `j` of the result is arithmetically identical to
+    /// `solve_lower` of column `j` of `B`.
     ///
     /// # Panics
     ///
     /// Panics if `b.nrows() != dim()`.
     pub fn solve_lower_matrix(&self, b: &Matrix) -> Matrix {
-        let n = self.dim();
-        assert_eq!(b.nrows(), n, "solve_lower_matrix dimension mismatch");
-        let m = b.ncols();
         let mut y = b.clone();
-        let data = y.as_mut_slice();
-        for i in 0..n {
-            let (head, tail) = data.split_at_mut(i * m);
-            let yi = &mut tail[..m];
-            for k in 0..i {
-                let lik = self.l[(i, k)];
-                if lik == 0.0 {
-                    continue;
-                }
-                let yk = &head[k * m..(k + 1) * m];
-                for (o, v) in yi.iter_mut().zip(yk.iter()) {
-                    *o -= lik * v;
-                }
-            }
-            // Divide (not multiply by a reciprocal) to stay bit-identical with
-            // the single-vector solve.
-            let lii = self.l[(i, i)];
-            for o in yi.iter_mut() {
-                *o /= lii;
-            }
-        }
+        self.sweep_matrix_in_place(&mut y, Sweep::Lower);
         y
     }
 
     /// Solves `Lᵀ X = Y` for a full right-hand-side matrix `Y` (`n × m`) with
-    /// one vectorised backward sweep (see [`Cholesky::solve_lower_matrix`]).
+    /// one vectorised backward sweep (see [`Cholesky::solve_lower_matrix`],
+    /// including its column-blocked threading for wide right-hand sides).
     ///
     /// # Panics
     ///
     /// Panics if `y.nrows() != dim()`.
     pub fn solve_upper_matrix(&self, y: &Matrix) -> Matrix {
-        let n = self.dim();
-        assert_eq!(y.nrows(), n, "solve_upper_matrix dimension mismatch");
-        let m = y.ncols();
         let mut x = y.clone();
-        let data = x.as_mut_slice();
-        for i in (0..n).rev() {
-            let (head, tail) = data.split_at_mut((i + 1) * m);
-            let xi = &mut head[i * m..];
-            for k in (i + 1)..n {
-                let lki = self.l[(k, i)];
-                if lki == 0.0 {
-                    continue;
-                }
-                let xk = &tail[(k - i - 1) * m..(k - i) * m];
-                for (o, v) in xi.iter_mut().zip(xk.iter()) {
-                    *o -= lki * v;
-                }
-            }
-            let lii = self.l[(i, i)];
-            for o in xi.iter_mut() {
-                *o /= lii;
-            }
-        }
+        self.sweep_matrix_in_place(&mut x, Sweep::Upper);
         x
     }
 
@@ -335,12 +306,140 @@ impl Cholesky {
     ///
     /// Panics if `B.nrows() != dim()`.
     pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
-        self.solve_upper_matrix(&self.solve_lower_matrix(b))
+        let mut x = b.clone();
+        self.sweep_matrix_in_place(&mut x, Sweep::Lower);
+        self.sweep_matrix_in_place(&mut x, Sweep::Upper);
+        x
     }
 
     /// Explicit inverse of the factored matrix (use sparingly; prefer the solves).
     pub fn inverse(&self) -> Matrix {
-        self.solve_matrix(&Matrix::identity(self.dim()))
+        let mut out = Matrix::identity(self.dim());
+        self.inverse_in_place(&mut out);
+        out
+    }
+
+    /// Writes `A⁻¹` into a caller-provided buffer, reusing its allocation when
+    /// the shape already matches — the NLL gradient of a Gaussian-process fit
+    /// needs the dense inverse every Adam iteration, and this keeps that loop
+    /// free of `O(N²)` allocations.
+    pub fn inverse_into(&self, out: &mut Matrix) {
+        let n = self.dim();
+        if out.shape() != (n, n) {
+            *out = Matrix::identity(n);
+        } else {
+            let data = out.as_mut_slice();
+            data.fill(0.0);
+            for i in 0..n {
+                data[i * n + i] = 1.0;
+            }
+        }
+        self.inverse_in_place(out);
+    }
+
+    fn inverse_in_place(&self, out: &mut Matrix) {
+        self.sweep_matrix_in_place(out, Sweep::Lower);
+        self.sweep_matrix_in_place(out, Sweep::Upper);
+    }
+
+    /// Runs one triangular sweep over all columns of `y` in place, fanning
+    /// wide right-hand sides out over contiguous column blocks on scoped
+    /// threads.  Each block is gathered into a dense thread-local buffer,
+    /// swept, and scattered back; since every column's arithmetic is
+    /// independent of the others, the result is bit-identical to the
+    /// sequential sweep.
+    fn sweep_matrix_in_place(&self, y: &mut Matrix, sweep: Sweep) {
+        let n = self.dim();
+        assert_eq!(y.nrows(), n, "triangular solve dimension mismatch");
+        let m = y.ncols();
+        let threads = crate::parallel::plan_threads(m, n * n * m / 2);
+        self.sweep_matrix_with_threads(y, sweep, threads);
+    }
+
+    /// Sweep with an explicit thread count (separated out so tests can force
+    /// the banded path on single-core machines).
+    fn sweep_matrix_with_threads(&self, y: &mut Matrix, sweep: Sweep, threads: usize) {
+        let n = self.dim();
+        let m = y.ncols();
+        if threads <= 1 || m < 2 * COL_BLOCK_MIN {
+            self.sweep_in_place(y.as_mut_slice(), m, sweep);
+            return;
+        }
+        let blocks = threads.min(m / COL_BLOCK_MIN).max(1);
+        let block_cols = m.div_ceil(blocks);
+        // Gather contiguous column bands into dense thread-local buffers.
+        let mut locals: Vec<(usize, Matrix)> = Vec::with_capacity(blocks);
+        let mut c0 = 0;
+        while c0 < m {
+            let bc = block_cols.min(m - c0);
+            let mut local = Matrix::zeros(n, bc);
+            for i in 0..n {
+                local.row_mut(i).copy_from_slice(&y.row(i)[c0..c0 + bc]);
+            }
+            locals.push((c0, local));
+            c0 += bc;
+        }
+        std::thread::scope(|scope| {
+            for (_, local) in locals.iter_mut() {
+                let cols = local.ncols();
+                let data = local.as_mut_slice();
+                scope.spawn(move || self.sweep_in_place(data, cols, sweep));
+            }
+        });
+        for (c0, local) in &locals {
+            for i in 0..n {
+                y.row_mut(i)[*c0..*c0 + local.ncols()].copy_from_slice(local.row(i));
+            }
+        }
+    }
+
+    /// The sequential sweep kernel over a row-major `dim() × m` buffer.
+    fn sweep_in_place(&self, data: &mut [f64], m: usize, sweep: Sweep) {
+        let n = self.dim();
+        match sweep {
+            Sweep::Lower => {
+                for i in 0..n {
+                    let (head, tail) = data.split_at_mut(i * m);
+                    let yi = &mut tail[..m];
+                    for k in 0..i {
+                        let lik = self.l[(i, k)];
+                        if lik == 0.0 {
+                            continue;
+                        }
+                        let yk = &head[k * m..(k + 1) * m];
+                        for (o, v) in yi.iter_mut().zip(yk.iter()) {
+                            *o -= lik * v;
+                        }
+                    }
+                    // Divide (not multiply by a reciprocal) to stay bit-identical
+                    // with the single-vector solve.
+                    let lii = self.l[(i, i)];
+                    for o in yi.iter_mut() {
+                        *o /= lii;
+                    }
+                }
+            }
+            Sweep::Upper => {
+                for i in (0..n).rev() {
+                    let (head, tail) = data.split_at_mut((i + 1) * m);
+                    let xi = &mut head[i * m..];
+                    for k in (i + 1)..n {
+                        let lki = self.l[(k, i)];
+                        if lki == 0.0 {
+                            continue;
+                        }
+                        let xk = &tail[(k - i - 1) * m..(k - i) * m];
+                        for (o, v) in xi.iter_mut().zip(xk.iter()) {
+                            *o -= lki * v;
+                        }
+                    }
+                    let lii = self.l[(i, i)];
+                    for o in xi.iter_mut() {
+                        *o /= lii;
+                    }
+                }
+            }
+        }
     }
 
     /// Log-determinant of the factored matrix: `2 Σ log L_ii`.
@@ -556,6 +655,57 @@ mod tests {
                 assert_eq!(x[(i, j)], x_ref[i], "solve mismatch at ({i},{j})");
             }
         }
+    }
+
+    #[test]
+    fn column_banded_sweeps_match_sequential_exactly() {
+        // Force the threaded column-block path (the planner would stay
+        // sequential at this size and on single-core machines) and check it is
+        // bit-identical to the sequential sweep.
+        let n = 24;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+            }
+            a[(i, i)] += 2.0;
+        }
+        let c = Cholesky::decompose(&a).unwrap();
+        let m = 3 * COL_BLOCK_MIN + 7;
+        let mut b = Matrix::zeros(n, m);
+        for i in 0..n {
+            for j in 0..m {
+                b[(i, j)] = ((i * 31 + j * 17) % 23) as f64 / 11.0 - 1.0;
+            }
+        }
+        for sweep in [Sweep::Lower, Sweep::Upper] {
+            let mut sequential = b.clone();
+            c.sweep_matrix_with_threads(&mut sequential, sweep, 1);
+            for threads in [2, 3, 5] {
+                let mut banded = b.clone();
+                c.sweep_matrix_with_threads(&mut banded, sweep, threads);
+                assert_eq!(
+                    sequential.as_slice(),
+                    banded.as_slice(),
+                    "{sweep:?} with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_into_matches_inverse_and_reuses_buffers() {
+        let a = spd_example();
+        let c = Cholesky::decompose(&a).unwrap();
+        let reference = c.inverse();
+        // Wrong shape: reallocated.
+        let mut out = Matrix::zeros(1, 5);
+        c.inverse_into(&mut out);
+        assert_eq!(out.as_slice(), reference.as_slice());
+        // Right shape with stale contents: overwritten in place.
+        let mut stale = Matrix::filled(3, 3, 7.5);
+        c.inverse_into(&mut stale);
+        assert_eq!(stale.as_slice(), reference.as_slice());
     }
 
     #[test]

@@ -22,11 +22,31 @@ use crate::LinalgError;
 /// let c = a.matmul(&b);
 /// assert_eq!(c[(1, 0)], 3.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Reuses `self`'s buffer when its capacity suffices (`Vec::clone_from`),
+    /// so hot loops that repeatedly `clone_from` a same-shaped matrix — e.g.
+    /// the per-iteration `K + σn²I` copy of a GP fit — stay allocation-free.
+    /// (The derived impl would fall back to `*self = source.clone()`.)
+    fn clone_from(&mut self, source: &Self) {
+        self.rows = source.rows;
+        self.cols = source.cols;
+        self.data.clone_from(&source.data);
+    }
 }
 
 impl Matrix {
@@ -651,6 +671,24 @@ mod tests {
         assert_eq!(i[(0, 0)], 1.0);
         assert_eq!(i[(0, 1)], 0.0);
         assert_eq!(i.trace().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn clone_from_reuses_the_buffer_for_matching_capacity() {
+        let source = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let mut target = Matrix::zeros(2, 2);
+        let buffer_before = target.as_slice().as_ptr();
+        target.clone_from(&source);
+        assert_eq!(target, source);
+        assert_eq!(
+            target.as_slice().as_ptr(),
+            buffer_before,
+            "same-capacity clone_from must not reallocate"
+        );
+        // Shape changes still work (may reallocate).
+        let wide = Matrix::filled(1, 7, 2.5);
+        target.clone_from(&wide);
+        assert_eq!(target, wide);
     }
 
     #[test]
