@@ -1,10 +1,12 @@
-//! Criterion benchmark for the GP fit path: cold multi-restart fits vs
-//! warm-started refits, and sequential per-output fits vs the shared-context
-//! multi-output `fit_multi` — the regression guard for the fit-path work
-//! pinned in `BENCH_fit.json`.
+//! Criterion benchmark for the fit path: cold multi-restart GP fits vs
+//! warm-started refits, sequential per-output fits vs the shared-context
+//! multi-output `fit_multi`, and cold vs warm-started neural-GP ensemble
+//! refits — the regression guard for the fit-path work pinned in
+//! `BENCH_fit.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nnbo_bench::fit_dataset;
+use nnbo_core::{EnsembleConfig, NeuralGpConfig, NeuralGpEnsemble};
 use nnbo_gp::{GpConfig, GpModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -68,5 +70,49 @@ fn bench_multi_output_fit(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_warm_vs_cold_refit, bench_multi_output_fit);
+fn bench_ensemble_warm_refit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit_path_ensemble");
+    group.sample_size(10);
+    let config = EnsembleConfig {
+        members: 2,
+        member_config: NeuralGpConfig {
+            epochs: 30,
+            warm_epochs: 10,
+            ..NeuralGpConfig::fast()
+        },
+        parallel: false,
+    };
+    // prev is trained on n−1 points and the refit sees one appended
+    // observation, mirroring the BO loop's refresh (refitting on identical
+    // data would let the gradient-RMS early stop fire immediately and
+    // overstate the warm speedup).
+    let n = 48;
+    let (xs, targets) = fit_dataset(n, 10, 9);
+    let ys = &targets[0];
+    let xs_base: Vec<Vec<f64>> = xs[..n - 1].to_vec();
+    let ys_base: Vec<f64> = ys[..n - 1].to_vec();
+    let mut rng = StdRng::seed_from_u64(5);
+    let prev =
+        NeuralGpEnsemble::fit(&xs_base, &ys_base, &config, &mut rng).expect("initial ensemble fit");
+    group.bench_with_input(BenchmarkId::new("cold_refit", n), &n, |b, _| {
+        b.iter(|| {
+            NeuralGpEnsemble::fit(&xs, ys, &config, &mut StdRng::seed_from_u64(6))
+                .expect("cold ensemble refit")
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("warm_refit", n), &n, |b, _| {
+        b.iter(|| {
+            NeuralGpEnsemble::fit_warm(&xs, ys, &config, &mut StdRng::seed_from_u64(6), Some(&prev))
+                .expect("warm ensemble refit")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_warm_vs_cold_refit,
+    bench_multi_output_fit,
+    bench_ensemble_warm_refit
+);
 criterion_main!(benches);

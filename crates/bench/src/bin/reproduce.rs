@@ -92,11 +92,64 @@ fn table2_protocol(quick: bool) -> Protocol {
 
 /// Writes a benchmark/result JSON document next to the working directory,
 /// reporting (but not failing on) IO errors.
+///
+/// JSON has no representation for non-finite floats, so a bare `NaN` / `inf`
+/// / `Infinity` value token means an emitter leaked an unguarded float (the
+/// emitters encode those as `null`).  Such a document would silently break
+/// every downstream consumer; refuse to write it and fail the run instead so
+/// CI catches the regression.
 fn write_json(path: &str, json: &str) {
+    for token in ["NaN", "inf", "Infinity"] {
+        if contains_bare_token(json, token) {
+            eprintln!("refusing to write {path}: document contains non-finite token `{token}`");
+            std::process::exit(1);
+        }
+    }
     match std::fs::write(path, json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
+}
+
+/// `true` when `token` occurs in `text` as a bare value token.  Everything
+/// inside double-quoted JSON strings is skipped (a workload named
+/// `"ngp_inference"` or a note mentioning `NaN` is fine), and outside strings
+/// the match must be word-bounded — so `: inf,` or `[-inf]` is flagged while
+/// valid documents never are.
+fn contains_bare_token(text: &str, token: &str) -> bool {
+    let bytes = text.as_bytes();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut in_string = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_string {
+            if b == b'\\' {
+                i += 2;
+                continue;
+            }
+            if b == b'"' {
+                in_string = false;
+            }
+            i += 1;
+            continue;
+        }
+        if b == b'"' {
+            in_string = true;
+            i += 1;
+            continue;
+        }
+        if text[i..].starts_with(token) {
+            let end = i + token.len();
+            let open = i == 0 || !is_word(bytes[i - 1]);
+            let close = end == bytes.len() || !is_word(bytes[end]);
+            if open && close {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
 }
 
 fn table1(quick: bool) {
@@ -213,4 +266,38 @@ fn print_ablation(rows: &[nnbo_bench::AblationRow], note: &str) {
         }
     }
     println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::contains_bare_token;
+
+    #[test]
+    fn bare_tokens_are_flagged_only_outside_identifiers_and_strings() {
+        for bad in [
+            "{\"a\": inf}",
+            "{\"a\": -inf}",
+            "[1.0, NaN]",
+            "{\"b\": Infinity,",
+        ] {
+            let token = ["NaN", "inf", "Infinity"]
+                .iter()
+                .find(|t| contains_bare_token(bad, t));
+            assert!(token.is_some(), "missed non-finite value in {bad}");
+        }
+        for good in [
+            "{\"name\": \"ngp_inference_warm\"}",
+            "{\"info\": 1}",
+            "{\"name\": \"inf\"}",
+            "{\"note\": \"non-finite (NaN / Infinity) values are encoded as null\"}",
+            "{\"a\": null}",
+        ] {
+            for t in ["NaN", "inf", "Infinity"] {
+                assert!(
+                    !contains_bare_token(good, t),
+                    "false positive `{t}` in {good}"
+                );
+            }
+        }
+    }
 }

@@ -18,9 +18,18 @@
 //!   same 3-output problem: sequential cold fits (what `refresh_models` did
 //!   before the multi-output path) vs `fit_multi_warm` seeded with the
 //!   previous refit's hyper-parameters (what it does now).
+//! * `ngp_refit_warm` — the paper's surrogate: a neural-GP refit after one
+//!   appended observation, cold (full retraining of the feature network from
+//!   random initialisation) vs warm-started continuation from the previous
+//!   fit's flat parameters (`NeuralGp::fit_warm`).
+//! * `ngp_ensemble_refit_warm` — the same contrast for the full K-member
+//!   ensemble, every member continuing from its predecessor's weights
+//!   (`NeuralGpEnsemble::fit_warm`); the NLL columns sum the members' final
+//!   likelihoods.
 
 use std::time::Instant;
 
+use nnbo_core::{EnsembleConfig, NeuralGp, NeuralGpConfig, NeuralGpEnsemble};
 use nnbo_gp::{GpConfig, GpHyperParams, GpModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -229,6 +238,93 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
         optimized_nll: nll_sum(&refresh_warm),
     });
 
+    // 5. The paper's surrogate: neural-GP refit after one appended
+    //    observation — cold retraining from random initialisation vs the
+    //    warm-started continuation of the previous network.
+    let ngp_config = if quick {
+        NeuralGpConfig {
+            epochs: 40,
+            warm_epochs: 12,
+            ..NeuralGpConfig::fast()
+        }
+    } else {
+        NeuralGpConfig::default()
+    };
+    let ngp_n = if quick { 32 } else { n };
+    let (nxs, ntargets) = fit_dataset(ngp_n + 1, dim, 91);
+    let nys = &ntargets[0];
+    let nxs_base: Vec<Vec<f64>> = nxs[..ngp_n].to_vec();
+    let nys_base: Vec<f64> = nys[..ngp_n].to_vec();
+    let prev_single = NeuralGp::fit(
+        &nxs_base,
+        &nys_base,
+        &ngp_config,
+        &mut StdRng::seed_from_u64(17),
+    )
+    .expect("previous neural-GP fit");
+    let (ngp_cold_ns, ngp_cold) = time_best(reps, || {
+        NeuralGp::fit(&nxs, nys, &ngp_config, &mut StdRng::seed_from_u64(18))
+            .expect("cold neural-GP refit")
+    });
+    let (ngp_warm_ns, ngp_warm) = time_best(reps, || {
+        NeuralGp::fit_warm(
+            &nxs,
+            nys,
+            &ngp_config,
+            &mut StdRng::seed_from_u64(18),
+            Some(&prev_single),
+        )
+        .expect("warm neural-GP refit")
+    });
+    entries.push(FitBenchEntry {
+        name: "ngp_refit_warm",
+        n: ngp_n + 1,
+        outputs: 1,
+        baseline_ns: ngp_cold_ns,
+        optimized_ns: ngp_warm_ns,
+        baseline_nll: ngp_cold.nll(),
+        optimized_nll: ngp_warm.nll(),
+    });
+
+    // 6. The same contrast for the K-member ensemble (eq. 13), every member
+    //    continuing Adam from its predecessor's weights.
+    let ens_config = EnsembleConfig {
+        members: if quick { 2 } else { 3 },
+        member_config: ngp_config.clone(),
+        parallel: true,
+    };
+    let member_nll_sum = |e: &NeuralGpEnsemble| e.members().iter().map(NeuralGp::nll).sum::<f64>();
+    let prev_ens = NeuralGpEnsemble::fit(
+        &nxs_base,
+        &nys_base,
+        &ens_config,
+        &mut StdRng::seed_from_u64(19),
+    )
+    .expect("previous ensemble fit");
+    let (ens_cold_ns, ens_cold) = time_best(reps, || {
+        NeuralGpEnsemble::fit(&nxs, nys, &ens_config, &mut StdRng::seed_from_u64(20))
+            .expect("cold ensemble refit")
+    });
+    let (ens_warm_ns, ens_warm) = time_best(reps, || {
+        NeuralGpEnsemble::fit_warm(
+            &nxs,
+            nys,
+            &ens_config,
+            &mut StdRng::seed_from_u64(20),
+            Some(&prev_ens),
+        )
+        .expect("warm ensemble refit")
+    });
+    entries.push(FitBenchEntry {
+        name: "ngp_ensemble_refit_warm",
+        n: ngp_n + 1,
+        outputs: 1,
+        baseline_ns: ens_cold_ns,
+        optimized_ns: ens_warm_ns,
+        baseline_nll: member_nll_sum(&ens_cold),
+        optimized_nll: member_nll_sum(&ens_warm),
+    });
+
     entries
 }
 
@@ -296,6 +392,8 @@ mod tests {
             "gp_refit_warm",
             "gp_fit_multi_cold",
             "gp_fit_multi_warm",
+            "ngp_refit_warm",
+            "ngp_ensemble_refit_warm",
         ] {
             assert!(names.contains(&expected), "missing workload {expected}");
         }

@@ -430,7 +430,8 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
     /// trainer every output (objective plus constraints) in one call so
     /// shareable fit structure is computed once and the per-output training
     /// can run on scoped threads; the previous refit's surrogates are passed
-    /// along for trainers that warm-start.
+    /// along for trainers that warm-start (the classical GP's
+    /// hyper-parameters, the neural ensemble's member networks).
     fn refresh_models(
         &self,
         problem: &dyn Problem,

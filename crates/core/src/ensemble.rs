@@ -69,14 +69,39 @@ impl NeuralGpEnsemble {
         config: &EnsembleConfig,
         rng: &mut StdRng,
     ) -> Result<Self, String> {
+        Self::fit_warm(xs, ys, config, rng, None)
+    }
+
+    /// Trains the ensemble, warm-starting member `k` from `prev`'s member `k`
+    /// where available ([`NeuralGp::fit_warm`]): each member continues Adam
+    /// from its predecessor's network weights and hyper-parameters for the
+    /// reduced [`crate::NeuralGpConfig::warm_epochs`] budget, with the
+    /// per-member cold-fallback guarantee that its final NLL never exceeds the
+    /// cold initial point's.  Members without a predecessor (a previously
+    /// failed member, a grown ensemble, an architecture change) train cold.
+    ///
+    /// With `prev = None` this is exactly [`NeuralGpEnsemble::fit`], drawing
+    /// the same member seeds from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`NeuralGpEnsemble::fit`].
+    pub fn fit_warm(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        config: &EnsembleConfig,
+        rng: &mut StdRng,
+        prev: Option<&NeuralGpEnsemble>,
+    ) -> Result<Self, String> {
         assert!(config.members > 0, "ensemble needs at least one member");
         let seeds: Vec<u64> = (0..config.members).map(|_| rng.gen()).collect();
-        Self::fit_with_seeds(xs, ys, config, &seeds)
+        Self::fit_with_seeds(xs, ys, config, &seeds, prev)
     }
 
     /// Trains one member per seed (each member's rng derives solely from its
-    /// seed, so the result is deterministic and independent of scheduling).
-    /// This is the core [`NeuralGpEnsemble::fit`] delegates to, and what
+    /// seed, so the result is deterministic and independent of scheduling),
+    /// warm-starting member `k` from `prev`'s member `k` when given.
+    /// This is the core [`NeuralGpEnsemble::fit_warm`] delegates to, and what
     /// [`NeuralGpEnsembleTrainer::fit_many`] uses to train several outputs'
     /// ensembles concurrently from pre-drawn seeds.
     pub(crate) fn fit_with_seeds(
@@ -84,9 +109,18 @@ impl NeuralGpEnsemble {
         ys: &[f64],
         config: &EnsembleConfig,
         seeds: &[u64],
+        prev: Option<&NeuralGpEnsemble>,
     ) -> Result<Self, String> {
         assert!(!seeds.is_empty(), "ensemble needs at least one member");
-        let jobs: Vec<(&[f64], u64)> = seeds.iter().map(|&seed| (ys, seed)).collect();
+        let jobs: Vec<MemberJob<'_>> = seeds
+            .iter()
+            .enumerate()
+            .map(|(k, &seed)| MemberJob {
+                ys,
+                seed,
+                prev: prev.and_then(|e| e.members().get(k)),
+            })
+            .collect();
         let results = train_members(xs, &jobs, config);
         Self::from_member_results(results)
     }
@@ -147,8 +181,17 @@ impl NeuralGpEnsemble {
     }
 }
 
-/// Trains one [`NeuralGp`] per `(targets, seed)` job over the shared design
-/// points, in job order.
+/// One member training of a flat outputs × members fan-out: the target
+/// column, the seed its rng derives from, and (for warm-started refits) the
+/// previous refit's corresponding member.
+struct MemberJob<'a> {
+    ys: &'a [f64],
+    seed: u64,
+    prev: Option<&'a NeuralGp>,
+}
+
+/// Trains one [`NeuralGp`] per job over the shared design points, in job
+/// order, warm-starting from each job's previous member when present.
 ///
 /// With `config.parallel` on a multi-core machine the flat job list is split
 /// into contiguous bands over at most `min(cores, 8, jobs)` scoped worker
@@ -158,16 +201,31 @@ impl NeuralGpEnsemble {
 /// bit-identical to the sequential loop.
 fn train_members(
     xs: &[Vec<f64>],
-    jobs: &[(&[f64], u64)],
+    jobs: &[MemberJob<'_>],
     config: &EnsembleConfig,
 ) -> Vec<Result<NeuralGp, String>> {
-    let fit_job = |&(ys, seed): &(&[f64], u64)| {
-        let mut member_rng = StdRng::seed_from_u64(seed);
-        NeuralGp::fit(xs, ys, &config.member_config, &mut member_rng)
-    };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let workers = cores.min(8).min(jobs.len());
-    if !config.parallel || workers <= 1 {
+    let workers = if config.parallel {
+        cores.min(8).min(jobs.len())
+    } else {
+        1
+    };
+    train_members_with_workers(xs, jobs, config, workers)
+}
+
+/// [`train_members`] with an explicit worker count, so tests can force the
+/// banded scoped-thread path (and its panic handling) on any machine.
+fn train_members_with_workers(
+    xs: &[Vec<f64>],
+    jobs: &[MemberJob<'_>],
+    config: &EnsembleConfig,
+    workers: usize,
+) -> Vec<Result<NeuralGp, String>> {
+    let fit_job = |job: &MemberJob<'_>| {
+        let mut member_rng = StdRng::seed_from_u64(job.seed);
+        NeuralGp::fit_warm(xs, job.ys, &config.member_config, &mut member_rng, job.prev)
+    };
+    if workers <= 1 {
         return jobs.iter().map(fit_job).collect();
     }
     let band = jobs.len().div_ceil(workers);
@@ -180,15 +238,30 @@ fn train_members(
             .into_iter()
             .zip(jobs.chunks(band))
             .flat_map(|(h, band_jobs)| {
-                h.join().unwrap_or_else(|_| {
+                h.join().unwrap_or_else(|payload| {
+                    // Surface the panic message itself so a CI failure names
+                    // the actual assertion instead of a generic placeholder.
+                    let reason = panic_message(payload.as_ref());
                     band_jobs
                         .iter()
-                        .map(|_| Err("member thread panicked".into()))
+                        .map(|_| Err(format!("member thread panicked: {reason}")))
                         .collect()
                 })
             })
             .collect()
     })
+}
+
+/// Best-effort extraction of a thread panic payload's message (`panic!` with a
+/// literal yields `&str`, with a format string `String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Batch size from which scoring the members on separate scoped threads pays
@@ -276,26 +349,41 @@ impl SurrogateTrainer for NeuralGpEnsembleTrainer {
 
     /// Multi-output training with one flat scoped-thread fan-out: the member
     /// seeds of every output are drawn from `rng` up front (in the same order
-    /// as sequential [`NeuralGpEnsemble::fit`] calls, so the rng stream and
-    /// every trained member are bit-identical to the sequential path), then
-    /// all `outputs × members` trainings run as one flat, core-capped job
-    /// list ([`train_members`]) — the constraint surrogates no longer wait
-    /// for the objective's ensemble to finish, and the thread count never
-    /// exceeds the hardware.
+    /// as sequential [`NeuralGpEnsemble::fit`] calls, so the rng stream and —
+    /// without previous models — every trained member are bit-identical to
+    /// the sequential path), then all `outputs × members` trainings run as
+    /// one flat, core-capped job list ([`train_members`]) — the constraint
+    /// surrogates no longer wait for the objective's ensemble to finish, and
+    /// the thread count never exceeds the hardware.
+    ///
+    /// When `prev` carries the previous refit's ensembles (one per target, as
+    /// `BayesOpt::refresh_models` passes them), output `t`'s member `k`
+    /// warm-starts from `prev[t]`'s member `k` ([`NeuralGp::fit_warm`]):
+    /// the feature networks continue Adam from their previous weights for
+    /// the reduced warm budget instead of retraining from random
+    /// initialisation, with a per-member cold fallback when the warm descent
+    /// regresses.
     fn fit_many(
         &self,
         xs: &[Vec<f64>],
         targets: &[Vec<f64>],
-        _prev: Option<&[&NeuralGpEnsemble]>,
+        prev: Option<&[&NeuralGpEnsemble]>,
         rng: &mut StdRng,
     ) -> Result<Vec<NeuralGpEnsemble>, String> {
         let members = self.config.members;
         assert!(members > 0, "ensemble needs at least one member");
-        let jobs: Vec<(&[f64], u64)> = targets
+        let jobs: Vec<MemberJob<'_>> = targets
             .iter()
-            .flat_map(|ys| {
+            .enumerate()
+            .flat_map(|(t, ys)| {
                 (0..members)
-                    .map(|_| (ys.as_slice(), rng.gen()))
+                    .map(|k| MemberJob {
+                        ys: ys.as_slice(),
+                        seed: rng.gen(),
+                        prev: prev
+                            .and_then(|ensembles| ensembles.get(t))
+                            .and_then(|e| e.members().get(k)),
+                    })
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -412,6 +500,128 @@ mod tests {
                 assert_eq!(a.predict(&q).mean, b.predict(&q).mean);
                 assert_eq!(a.predict(&q).variance, b.predict(&q).variance);
             }
+        }
+    }
+
+    #[test]
+    fn warm_members_never_regress_past_their_cold_anchors() {
+        use crate::neural_gp::loss_and_grad;
+        use nnbo_linalg::Matrix;
+        use nnbo_nn::{Activation, Mlp, MlpConfig};
+
+        let (xs, ys) = toy_data(18);
+        let config = EnsembleConfig {
+            parallel: false,
+            ..EnsembleConfig::fast()
+        };
+        let mut rng = StdRng::seed_from_u64(31);
+        let prev = NeuralGpEnsemble::fit(&xs, &ys, &config, &mut rng).unwrap();
+
+        let mut xs2 = xs.clone();
+        let mut ys2 = ys.clone();
+        xs2.push(vec![0.123]);
+        ys2.push((4.0 * 0.123_f64).sin() + 0.123);
+        let master_seed = 77u64;
+        let mut warm_rng = StdRng::seed_from_u64(master_seed);
+        let warm =
+            NeuralGpEnsemble::fit_warm(&xs2, &ys2, &config, &mut warm_rng, Some(&prev)).unwrap();
+        assert_eq!(warm.len(), config.members);
+
+        // Replay each member's seed and cold initial draw, and evaluate (not
+        // train) the likelihood at that initial point: the per-member
+        // regression fallback guarantees no warm member ends above it.
+        let mut seed_rng = StdRng::seed_from_u64(master_seed);
+        let seeds: Vec<u64> = (0..config.members).map(|_| seed_rng.gen()).collect();
+        let (y_std, _) = nnbo_linalg::standardize(&ys2);
+        let x = Matrix::from_rows(&xs2);
+        let mc = &config.member_config;
+        let mlp_config = MlpConfig::new(1, &mc.hidden_dims, mc.feature_dim)
+            .with_hidden_activation(Activation::ReLU);
+        for (member, &seed) in warm.members().iter().zip(seeds.iter()) {
+            let mut member_rng = StdRng::seed_from_u64(seed);
+            let cold_mlp = Mlp::new(&mlp_config, &mut member_rng);
+            let ln = mc.init_log_noise + member_rng.gen_range(-0.1..0.1);
+            let lp = mc.init_log_prior + member_rng.gen_range(-0.1..0.1);
+            let (anchor, _) = loss_and_grad(&cold_mlp, ln, lp, &x, &y_std, mc).unwrap();
+            assert!(
+                member.nll() <= anchor + 1e-9,
+                "member NLL {} regressed past its cold anchor {anchor}",
+                member.nll()
+            );
+        }
+    }
+
+    #[test]
+    fn fit_many_warm_matches_sequential_fit_warm_calls() {
+        use crate::surrogate::SurrogateTrainer;
+        let (xs, ys_a) = toy_data(16);
+        let ys_b: Vec<f64> = xs.iter().map(|x| x[0] * x[0]).collect();
+        let targets = vec![ys_a, ys_b];
+        for parallel in [false, true] {
+            let config = EnsembleConfig {
+                parallel,
+                ..EnsembleConfig::fast()
+            };
+            let trainer = NeuralGpEnsembleTrainer::new(config.clone());
+            let mut prev_rng = StdRng::seed_from_u64(3);
+            let prev: Vec<NeuralGpEnsemble> = targets
+                .iter()
+                .map(|ys| NeuralGpEnsemble::fit(&xs, ys, &config, &mut prev_rng).unwrap())
+                .collect();
+            let prev_refs: Vec<&NeuralGpEnsemble> = prev.iter().collect();
+
+            let mut rng_many = StdRng::seed_from_u64(4);
+            let many = trainer
+                .fit_many(&xs, &targets, Some(&prev_refs), &mut rng_many)
+                .unwrap();
+            let mut rng_seq = StdRng::seed_from_u64(4);
+            let sequential: Vec<_> = targets
+                .iter()
+                .zip(prev.iter())
+                .map(|(ys, p)| {
+                    NeuralGpEnsemble::fit_warm(&xs, ys, &config, &mut rng_seq, Some(p)).unwrap()
+                })
+                .collect();
+            // Same models *and* the same rng stream afterwards.
+            assert_eq!(rng_many.gen::<u64>(), rng_seq.gen::<u64>());
+            let q = [0.47];
+            for (a, b) in many.iter().zip(sequential.iter()) {
+                assert_eq!(a.len(), b.len());
+                assert_eq!(a.predict(&q).mean, b.predict(&q).mean);
+                assert_eq!(a.predict(&q).variance, b.predict(&q).variance);
+            }
+        }
+    }
+
+    #[test]
+    fn member_thread_panics_propagate_their_message() {
+        // feature_dim = 0 makes MlpConfig::new panic inside the member
+        // threads; the banded fan-out must surface that assertion text, not a
+        // generic placeholder.  The worker count is forced so the threaded
+        // path runs even on a single-core machine.
+        let (xs, ys) = toy_data(10);
+        let config = EnsembleConfig {
+            members: 2,
+            member_config: NeuralGpConfig {
+                feature_dim: 0,
+                ..NeuralGpConfig::fast()
+            },
+            parallel: true,
+        };
+        let jobs: Vec<MemberJob<'_>> = [1u64, 2]
+            .iter()
+            .map(|&seed| MemberJob {
+                ys: &ys,
+                seed,
+                prev: None,
+            })
+            .collect();
+        let results = train_members_with_workers(&xs, &jobs, &config, 2);
+        assert_eq!(results.len(), 2);
+        for r in results {
+            let err = r.unwrap_err();
+            assert!(err.contains("member thread panicked"), "{err}");
+            assert!(err.contains("output dimension must be positive"), "{err}");
         }
     }
 

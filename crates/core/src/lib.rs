@@ -23,6 +23,26 @@
 //!   (the two-stage op-amp of Table I and the charge pump of Table II, both
 //!   simulated by [`nnbo_circuits`]) plus synthetic constrained benchmarks.
 //!
+//! # Warm refits
+//!
+//! The Bayesian-optimization loop refits its surrogates every
+//! `BoConfig::refit_every` evaluations, and both surrogate families amortize
+//! those refits instead of starting from scratch:
+//!
+//! * [`NeuralGp::fit_warm`] continues Adam from the previous fit's flat
+//!   parameters (`log σn`, `log σp`, network weights) for the reduced
+//!   [`NeuralGpConfig::warm_epochs`] budget with a gradient-norm early stop,
+//!   falling back to the full cold training when the warm descent's final
+//!   likelihood regresses past the cold initial point — so a warm refit is
+//!   never worse than not training at all.
+//! * [`NeuralGpEnsemble::fit_warm`] applies that member-by-member: member `k`
+//!   continues from the previous ensemble's member `k` (DNN-Opt-style
+//!   amortized retraining), and `NeuralGpEnsembleTrainer`'s
+//!   [`SurrogateTrainer::fit_many`] pairs the previous ensembles that
+//!   [`BayesOpt`] passes with the flat outputs × members job list.
+//! * Between full refits, `append_observation` on either surrogate absorbs a
+//!   single observation in `O(M²)` / `O(K·M²)` with everything else frozen.
+//!
 //! # Quick start
 //!
 //! ```

@@ -22,6 +22,14 @@ pub struct NeuralGpConfig {
     pub feature_dim: usize,
     /// Number of Adam iterations on the negative log marginal likelihood.
     pub epochs: usize,
+    /// Adam iterations of a warm-started refit ([`NeuralGp::fit_warm`]): the
+    /// descent continues from the previous fit's parameters, so it needs far
+    /// fewer steps than a cold training run.
+    pub warm_epochs: usize,
+    /// Gradient-RMS threshold below which a warm descent stops early (the
+    /// continuation has already converged; spending the remaining
+    /// [`NeuralGpConfig::warm_epochs`] would be wasted work).
+    pub warm_grad_tol: f64,
     /// Adam learning rate.
     pub learning_rate: f64,
     /// Initial `log σn` (noise standard deviation, in standardised target units).
@@ -30,6 +38,13 @@ pub struct NeuralGpConfig {
     pub init_log_prior: f64,
     /// Lower clamp for `log σn`, keeping the likelihood well conditioned.
     pub min_log_noise: f64,
+    /// Upper clamp for `log σn` during training (in standardised target units;
+    /// the default `ln 2` was previously hard-coded in the training loop).
+    pub max_log_noise: f64,
+    /// Symmetric clamp for `log σp`: the prior scale is kept inside
+    /// `[-prior_log_clamp, prior_log_clamp]` during training (the default `3`
+    /// was previously hard-coded).
+    pub prior_log_clamp: f64,
     /// Whether targets are standardised before fitting.
     pub standardize_targets: bool,
     /// Jitter added to the feature Gram matrix when its Cholesky factorization
@@ -43,10 +58,14 @@ impl Default for NeuralGpConfig {
             hidden_dims: vec![50, 50],
             feature_dim: 32,
             epochs: 200,
+            warm_epochs: 60,
+            warm_grad_tol: 1e-4,
             learning_rate: 0.01,
             init_log_noise: (0.1_f64).ln(),
             init_log_prior: 0.0,
             min_log_noise: (1e-3_f64).ln(),
+            max_log_noise: (2.0_f64).ln(),
+            prior_log_clamp: 3.0,
             standardize_targets: true,
             jitter: 1e-8,
         }
@@ -60,6 +79,7 @@ impl NeuralGpConfig {
             hidden_dims: vec![32, 32],
             feature_dim: 16,
             epochs: 80,
+            warm_epochs: 25,
             ..NeuralGpConfig::default()
         }
     }
@@ -75,6 +95,10 @@ impl NeuralGpConfig {
 pub struct NeuralGp {
     mlp: Mlp,
     log_noise: f64,
+    /// `log σp` of the joint optimum, kept so a warm-started refit
+    /// ([`NeuralGp::fit_warm`]) can continue the descent from the full flat
+    /// parameter vector `[log σn, log σp, network weights...]`.
+    log_prior: f64,
     chol: Cholesky,
     alpha: Vec<f64>,
     /// Projected targets `v = Φ y` (standardised units), kept so a single
@@ -85,20 +109,100 @@ pub struct NeuralGp {
     final_nll: f64,
 }
 
+/// Reusable buffers of one training descent: the flat `[log σn, log σp,
+/// weights...]` parameter vector handed to Adam and the matching gradient.
+/// Allocated once per fit and reused across every epoch, so the warm loop's
+/// per-epoch cost is the likelihood evaluation alone.
+struct TrainScratch {
+    flat: Vec<f64>,
+    grad: Vec<f64>,
+}
+
+impl TrainScratch {
+    fn new(num_params: usize) -> Self {
+        TrainScratch {
+            flat: Vec::with_capacity(num_params),
+            grad: Vec::with_capacity(num_params),
+        }
+    }
+}
+
+/// End state of one Adam descent on the joint NLL: the clamped
+/// hyper-parameters (the network weights are left in the `Mlp` itself).
+struct Descent {
+    log_noise: f64,
+    log_prior: f64,
+}
+
 impl NeuralGp {
     /// Trains a neural GP on `(xs, ys)` where `xs` are normalised design points.
     ///
     /// # Errors
     ///
-    /// Returns a description of the failure when the training set is degenerate or
-    /// the feature Gram matrix cannot be factored even with jitter.
+    /// Returns a description of the failure when the training set is
+    /// degenerate, the feature Gram matrix cannot be factored even with
+    /// jitter, or no finite likelihood is ever reached.
     pub fn fit(
         xs: &[Vec<f64>],
         ys: &[f64],
         config: &NeuralGpConfig,
         rng: &mut StdRng,
     ) -> Result<Self, String> {
+        Self::fit_warm(xs, ys, config, rng, None)
+    }
+
+    /// Trains a neural GP, optionally continuing Adam from a previous fit's
+    /// parameters (the DNN-Opt-style amortized retraining of the ensemble
+    /// members, mirroring `GpModel::fit_warm` for the classical GP).
+    ///
+    /// With `prev = None` this is exactly [`NeuralGp::fit`]: a cold training
+    /// run of [`NeuralGpConfig::epochs`] Adam steps from a random network
+    /// initialisation.  With `prev = Some(m)` (matching architecture;
+    /// mismatches fall back to the cold path) the descent continues from `m`'s
+    /// flat parameters `[log σn, log σp, network weights...]` for at most
+    /// [`NeuralGpConfig::warm_epochs`] steps, stopping early once the gradient
+    /// RMS drops below [`NeuralGpConfig::warm_grad_tol`].  The warm result is
+    /// accepted unless its final NLL regresses past the evaluated likelihood
+    /// of the cold initial point (the same random initialisation a cold fit
+    /// would have started from), in which case the full cold training runs as
+    /// a fallback and the best of warm, cold and the initial point itself is
+    /// kept — so the returned NLL never exceeds the cold initial NLL.
+    ///
+    /// The rng is consumed identically on both paths (the cold initial state
+    /// is always drawn, warm start taken or not), so a `fit_warm` call leaves
+    /// the rng stream exactly where a `fit` call would.
+    ///
+    /// Targets are re-standardised on the data passed here; `prev` only seeds
+    /// the optimizer, so it may come from [`NeuralGp::append_observation`]
+    /// (whose standardiser is frozen at its own fit-time statistics) without
+    /// affecting the new model's units.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`NeuralGp::fit`].
+    pub fn fit_warm(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        config: &NeuralGpConfig,
+        rng: &mut StdRng,
+        prev: Option<&NeuralGp>,
+    ) -> Result<Self, String> {
         validate(xs, ys)?;
+        if config.max_log_noise.is_nan()
+            || config.min_log_noise.is_nan()
+            || config.max_log_noise < config.min_log_noise
+        {
+            return Err(format!(
+                "invalid log-noise clamp band [{}, {}]",
+                config.min_log_noise, config.max_log_noise
+            ));
+        }
+        if config.prior_log_clamp.is_nan() || config.prior_log_clamp < 0.0 {
+            return Err(format!(
+                "prior_log_clamp must be non-negative, got {}",
+                config.prior_log_clamp
+            ));
+        }
         let dim = xs[0].len();
         let x = Matrix::from_rows(xs);
         let (y, standardizer) = if config.standardize_targets {
@@ -110,45 +214,99 @@ impl NeuralGp {
 
         let mlp_config = MlpConfig::new(dim, &config.hidden_dims, config.feature_dim)
             .with_hidden_activation(Activation::ReLU);
-        let mut mlp = Mlp::new(&mlp_config, rng);
-        let mut log_noise = config.init_log_noise + rng.gen_range(-0.1..0.1);
-        let mut log_prior = config.init_log_prior + rng.gen_range(-0.1..0.1);
+        // Cold initial state — always drawn, in the same order as a cold fit,
+        // so the rng stream is identical whether or not a warm start is taken.
+        let cold_mlp = Mlp::new(&mlp_config, rng);
+        let cold_log_noise = config.init_log_noise + rng.gen_range(-0.1..0.1);
+        let cold_log_prior = config.init_log_prior + rng.gen_range(-0.1..0.1);
+        let mut scratch = TrainScratch::new(2 + cold_mlp.num_params());
 
-        let mut adam = Adam::with_learning_rate(config.learning_rate);
-        let mut nn_params = mlp.flat_params();
-        let mut last_nll = f64::INFINITY;
-        for _ in 0..config.epochs {
-            mlp.set_flat_params(&nn_params);
-            let Some((nll, grad)) = loss_and_grad(&mlp, log_noise, log_prior, &x, &y, config)
-            else {
-                break;
-            };
-            last_nll = nll;
-            // Flat parameter vector: [log σn, log σp, network weights...].
-            let mut flat = Vec::with_capacity(2 + nn_params.len());
-            flat.push(log_noise);
-            flat.push(log_prior);
-            flat.extend_from_slice(&nn_params);
-            adam.step(&mut flat, &grad);
-            log_noise = flat[0].clamp(config.min_log_noise, (2.0_f64).ln());
-            log_prior = flat[1].clamp(-3.0, 3.0);
-            nn_params.copy_from_slice(&flat[2..]);
+        let warm_prev = prev.filter(|p| p.mlp.config() == &mlp_config);
+        let Some(prev) = warm_prev else {
+            let mut mlp = cold_mlp;
+            let descent = run_adam(
+                &mut mlp,
+                cold_log_noise,
+                cold_log_prior,
+                &x,
+                &y,
+                config,
+                config.epochs,
+                None,
+                &mut scratch,
+            );
+            return finalize(mlp, descent, &x, &y, config, standardizer);
+        };
+
+        // Warm descent: continue Adam from the previous fit's parameters for
+        // a reduced budget with a gradient-norm early stop.
+        let mut warm_mlp = prev.mlp.clone();
+        let warm_descent = run_adam(
+            &mut warm_mlp,
+            prev.log_noise
+                .clamp(config.min_log_noise, config.max_log_noise),
+            prev.log_prior
+                .clamp(-config.prior_log_clamp, config.prior_log_clamp),
+            &x,
+            &y,
+            config,
+            config.warm_epochs,
+            Some(config.warm_grad_tol),
+            &mut scratch,
+        );
+        let warm_model = finalize(warm_mlp, warm_descent, &x, &y, config, standardizer);
+
+        // Anchor: the likelihood of the *untrained* cold initial point — the
+        // cheap reference that detects a stale or diverged warm start.
+        let anchor_model = factorize(&cold_mlp, cold_log_noise, cold_log_prior, &x, &y, config)
+            .and_then(|(chol, alpha, v, nll)| {
+                nll.is_finite().then(|| NeuralGp {
+                    mlp: cold_mlp.clone(),
+                    log_noise: cold_log_noise,
+                    log_prior: cold_log_prior,
+                    chol,
+                    alpha,
+                    v,
+                    standardizer,
+                    train_size: xs.len(),
+                    final_nll: nll,
+                })
+            });
+        match (&warm_model, &anchor_model) {
+            (Ok(w), Some(a)) if w.final_nll <= a.final_nll => return warm_model,
+            (Ok(_), None) => return warm_model,
+            _ => {}
         }
-        mlp.set_flat_params(&nn_params);
 
-        // Final factorization for prediction.
-        let (chol, alpha, v, nll) = factorize(&mlp, log_noise, log_prior, &x, &y, config)
-            .ok_or_else(|| "feature Gram matrix could not be factored".to_string())?;
-        Ok(NeuralGp {
-            mlp,
-            log_noise,
-            chol,
-            alpha,
-            v,
-            standardizer,
-            train_size: xs.len(),
-            final_nll: if nll.is_finite() { nll } else { last_nll },
-        })
+        // Regression fallback: the warm continuation is worse than not
+        // training at all (or failed) — run the full cold training and keep
+        // the best of warm, cold and the cold initial point itself.
+        let mut cold_trained = cold_mlp;
+        let cold_descent = run_adam(
+            &mut cold_trained,
+            cold_log_noise,
+            cold_log_prior,
+            &x,
+            &y,
+            config,
+            config.epochs,
+            None,
+            &mut scratch,
+        );
+        let cold_model = finalize(cold_trained, cold_descent, &x, &y, config, standardizer);
+        let first_error = warm_model.as_ref().err().cloned();
+        let candidates = [warm_model.ok(), cold_model.ok(), anchor_model];
+        candidates
+            .into_iter()
+            .flatten()
+            .min_by(|a, b| {
+                a.final_nll
+                    .partial_cmp(&b.final_nll)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .ok_or_else(|| {
+                first_error.unwrap_or_else(|| "no finite fit candidate survived".to_string())
+            })
     }
 
     /// Incorporates one new observation in `O(M²)` without retraining the
@@ -183,6 +341,7 @@ impl NeuralGp {
         Ok(NeuralGp {
             mlp: self.mlp.clone(),
             log_noise: self.log_noise,
+            log_prior: self.log_prior,
             chol,
             alpha,
             v,
@@ -202,7 +361,10 @@ impl NeuralGp {
         self.mlp.output_dim()
     }
 
-    /// Negative log marginal likelihood at the end of training (standardised units).
+    /// Negative log marginal likelihood at the end of training (standardised
+    /// units).  Always finite: fits that never reach a finite likelihood are
+    /// rejected with an error instead of storing `∞`, so warm-start regression
+    /// comparisons are always meaningful.
     pub fn nll(&self) -> f64 {
         self.final_nll
     }
@@ -302,6 +464,87 @@ fn validate(xs: &[Vec<f64>], ys: &[f64]) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs up to `epochs` Adam steps on the joint NLL from the given network and
+/// hyper-parameter state, mutating `mlp` in place.  With `grad_tol = Some(t)`
+/// the descent stops early once the gradient RMS drops below `t` (the
+/// warm-continuation mode); `None` reproduces the cold training loop exactly.
+/// All per-epoch buffers live in `scratch`.
+#[allow(clippy::too_many_arguments)] // internal descent core; one call site per mode
+fn run_adam(
+    mlp: &mut Mlp,
+    mut log_noise: f64,
+    mut log_prior: f64,
+    x: &Matrix,
+    y: &[f64],
+    config: &NeuralGpConfig,
+    epochs: usize,
+    grad_tol: Option<f64>,
+    scratch: &mut TrainScratch,
+) -> Descent {
+    let mut adam = Adam::with_learning_rate(config.learning_rate);
+    let mut nn_params = mlp.flat_params();
+    for _ in 0..epochs {
+        mlp.set_flat_params(&nn_params);
+        if loss_and_grad_into(mlp, log_noise, log_prior, x, y, config, &mut scratch.grad).is_none()
+        {
+            break;
+        }
+        if let Some(tol) = grad_tol {
+            let rms = (scratch.grad.iter().map(|g| g * g).sum::<f64>() / scratch.grad.len() as f64)
+                .sqrt();
+            if rms <= tol {
+                break;
+            }
+        }
+        // Flat parameter vector: [log σn, log σp, network weights...].
+        let flat = &mut scratch.flat;
+        flat.clear();
+        flat.push(log_noise);
+        flat.push(log_prior);
+        flat.extend_from_slice(&nn_params);
+        adam.step(flat, &scratch.grad);
+        log_noise = flat[0].clamp(config.min_log_noise, config.max_log_noise);
+        log_prior = flat[1].clamp(-config.prior_log_clamp, config.prior_log_clamp);
+        nn_params.copy_from_slice(&flat[2..]);
+    }
+    mlp.set_flat_params(&nn_params);
+    Descent {
+        log_noise,
+        log_prior,
+    }
+}
+
+/// Final factorization after a descent: builds the prediction state and
+/// stores the likelihood *at the final parameters*.  A descent whose end
+/// point has no finite likelihood is an error, never a model carrying `∞` or
+/// a stale earlier-epoch value — the warm-start regression comparison depends
+/// on `nll()` describing exactly the parameters the model predicts with.
+fn finalize(
+    mlp: Mlp,
+    descent: Descent,
+    x: &Matrix,
+    y: &[f64],
+    config: &NeuralGpConfig,
+    standardizer: Standardizer,
+) -> Result<NeuralGp, String> {
+    let (chol, alpha, v, nll) = factorize(&mlp, descent.log_noise, descent.log_prior, x, y, config)
+        .ok_or_else(|| "feature Gram matrix could not be factored".to_string())?;
+    if !nll.is_finite() {
+        return Err("no finite likelihood at the final parameters".to_string());
+    }
+    Ok(NeuralGp {
+        mlp,
+        log_noise: descent.log_noise,
+        log_prior: descent.log_prior,
+        chol,
+        alpha,
+        v,
+        standardizer,
+        train_size: x.nrows(),
+        final_nll: nll,
+    })
+}
+
 /// Builds `A = ΦΦᵀ + λI`, its Cholesky factor and `α = A⁻¹Φy` at the given
 /// parameters.  Returns `None` if the factorization fails.
 fn factorize(
@@ -334,6 +577,9 @@ fn factorize(
 
 /// Negative log marginal likelihood (eq. 11, negated) and its gradient with respect
 /// to `[log σn, log σp, network parameters...]` (eq. 12 for the network part).
+/// Exposed for the finite-difference and warm-anchor tests; the training loop
+/// itself goes through the buffer-reusing [`loss_and_grad_into`].
+#[cfg(test)]
 pub(crate) fn loss_and_grad(
     mlp: &Mlp,
     log_noise: f64,
@@ -342,6 +588,21 @@ pub(crate) fn loss_and_grad(
     y: &[f64],
     config: &NeuralGpConfig,
 ) -> Option<(f64, Vec<f64>)> {
+    let mut grad = Vec::new();
+    loss_and_grad_into(mlp, log_noise, log_prior, x, y, config, &mut grad).map(|nll| (nll, grad))
+}
+
+/// [`loss_and_grad`] writing the gradient into a caller-owned buffer, so the
+/// training loop reuses one allocation across every epoch.
+fn loss_and_grad_into(
+    mlp: &Mlp,
+    log_noise: f64,
+    log_prior: f64,
+    x: &Matrix,
+    y: &[f64],
+    config: &NeuralGpConfig,
+    grad: &mut Vec<f64>,
+) -> Option<f64> {
     let cache = mlp.forward_cached(x);
     let out = cache.output();
     let n = out.nrows();
@@ -388,14 +649,15 @@ pub(crate) fn loss_and_grad(
     let d_log_noise = -2.0 * fit_term + 2.0 * lambda * lambda_sensitivity - m as f64 + n as f64;
     let d_log_prior = -2.0 * lambda * lambda_sensitivity + m as f64;
 
-    let mut grad = Vec::with_capacity(2 + mlp.num_params());
+    grad.clear();
+    grad.reserve(2 + mlp.num_params());
     grad.push(d_log_noise);
     grad.push(d_log_prior);
-    grad.extend_from_slice(&nn_grad.to_flat());
+    nn_grad.append_flat(grad);
     if grad.iter().any(|g| !g.is_finite()) {
         return None;
     }
-    Some((nll, grad))
+    Some(nll)
 }
 
 #[cfg(test)]
@@ -518,6 +780,155 @@ mod tests {
         assert!(
             NeuralGp::fit(&[vec![f64::NAN]], &[1.0], &NeuralGpConfig::fast(), &mut rng).is_err()
         );
+    }
+
+    #[test]
+    fn warm_refit_never_regresses_past_the_cold_initial_point() {
+        // The regression-fallback contract: whatever the warm continuation
+        // does, the returned NLL never exceeds the likelihood of the cold
+        // initial point the same rng would have started a cold fit from.
+        let config = NeuralGpConfig {
+            hidden_dims: vec![16, 16],
+            feature_dim: 8,
+            epochs: 60,
+            warm_epochs: 15,
+            ..NeuralGpConfig::default()
+        };
+        for seed in [1u64, 2, 3, 4, 5] {
+            let (xs, ys) = toy_data(22, seed);
+            let mut rng = StdRng::seed_from_u64(seed * 10 + 1);
+            let prev = NeuralGp::fit(&xs, &ys, &config, &mut rng).unwrap();
+
+            let mut xs2 = xs.clone();
+            let mut ys2 = ys.clone();
+            xs2.push(vec![0.51, 0.49]);
+            ys2.push((5.0 * 0.51_f64).sin() + 0.49 * 0.49 - 0.5 * 0.51 * 0.49);
+            let warm_seed = seed * 10 + 2;
+            let mut warm_rng = StdRng::seed_from_u64(warm_seed);
+            let warm = NeuralGp::fit_warm(&xs2, &ys2, &config, &mut warm_rng, Some(&prev)).unwrap();
+            assert!(warm.nll().is_finite());
+
+            // Replay the cold initial point the same seed would draw and
+            // evaluate (not train) its likelihood.
+            let mut replay = StdRng::seed_from_u64(warm_seed);
+            let mlp_config = MlpConfig::new(2, &config.hidden_dims, config.feature_dim)
+                .with_hidden_activation(Activation::ReLU);
+            let cold_mlp = Mlp::new(&mlp_config, &mut replay);
+            let ln = config.init_log_noise + replay.gen_range(-0.1..0.1);
+            let lp = config.init_log_prior + replay.gen_range(-0.1..0.1);
+            let (y_std, _) = nnbo_linalg::standardize(&ys2);
+            let x = Matrix::from_rows(&xs2);
+            let (_, _, _, anchor) = factorize(&cold_mlp, ln, lp, &x, &y_std, &config).unwrap();
+            assert!(
+                warm.nll() <= anchor + 1e-9,
+                "warm NLL {} regressed past the cold initial NLL {anchor}",
+                warm.nll()
+            );
+
+            // The rng stream ends exactly where a cold fit's would.
+            let mut cold_rng = StdRng::seed_from_u64(warm_seed);
+            let _ = NeuralGp::fit(&xs2, &ys2, &config, &mut cold_rng).unwrap();
+            assert_eq!(warm_rng.gen::<u64>(), cold_rng.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn warm_refit_is_deterministic() {
+        let (xs, ys) = toy_data(20, 14);
+        let config = NeuralGpConfig::fast();
+        let mut rng = StdRng::seed_from_u64(15);
+        let prev = NeuralGp::fit(&xs, &ys, &config, &mut rng).unwrap();
+        let refit = |seed: u64| {
+            let mut r = StdRng::seed_from_u64(seed);
+            let m = NeuralGp::fit_warm(&xs, &ys, &config, &mut r, Some(&prev)).unwrap();
+            (m.nll(), m.predict(&[0.3, 0.7]).mean)
+        };
+        assert_eq!(refit(16), refit(16));
+    }
+
+    #[test]
+    fn architecture_mismatch_falls_back_to_the_cold_path() {
+        let (xs, ys) = toy_data(18, 6);
+        let small = NeuralGpConfig {
+            hidden_dims: vec![8],
+            feature_dim: 4,
+            epochs: 20,
+            ..NeuralGpConfig::default()
+        };
+        let big = NeuralGpConfig {
+            hidden_dims: vec![12],
+            feature_dim: 6,
+            epochs: 20,
+            ..NeuralGpConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let prev = NeuralGp::fit(&xs, &ys, &small, &mut rng).unwrap();
+        let warm =
+            NeuralGp::fit_warm(&xs, &ys, &big, &mut StdRng::seed_from_u64(3), Some(&prev)).unwrap();
+        let cold = NeuralGp::fit(&xs, &ys, &big, &mut StdRng::seed_from_u64(3)).unwrap();
+        assert_eq!(warm.nll(), cold.nll());
+        let q = [0.3, 0.7];
+        assert_eq!(warm.predict(&q).mean, cold.predict(&q).mean);
+        assert_eq!(warm.predict(&q).variance, cold.predict(&q).variance);
+    }
+
+    #[test]
+    fn noise_and_prior_clamps_come_from_config() {
+        // The defaults reproduce the previously hard-coded training bounds.
+        let defaults = NeuralGpConfig::default();
+        assert_eq!(defaults.max_log_noise, (2.0_f64).ln());
+        assert_eq!(defaults.prior_log_clamp, 3.0);
+        // A degenerate clamp band pins the fitted noise to the configured value.
+        let pinned = (0.05_f64).ln();
+        let config = NeuralGpConfig {
+            min_log_noise: pinned,
+            max_log_noise: pinned,
+            epochs: 30,
+            ..NeuralGpConfig::fast()
+        };
+        let (xs, ys) = toy_data(16, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = NeuralGp::fit(&xs, &ys, &config, &mut rng).unwrap();
+        assert!(
+            (model.noise_std() - 0.05).abs() < 1e-12,
+            "noise {} escaped the configured clamp",
+            model.noise_std()
+        );
+    }
+
+    #[test]
+    fn inverted_clamp_bands_are_rejected_not_panicking() {
+        let (xs, ys) = toy_data(10, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let inverted = NeuralGpConfig {
+            max_log_noise: -10.0, // below the default min_log_noise
+            ..NeuralGpConfig::fast()
+        };
+        assert!(NeuralGp::fit(&xs, &ys, &inverted, &mut rng).is_err());
+        let negative_prior = NeuralGpConfig {
+            prior_log_clamp: -1.0,
+            ..NeuralGpConfig::fast()
+        };
+        assert!(NeuralGp::fit(&xs, &ys, &negative_prior, &mut rng).is_err());
+    }
+
+    #[test]
+    fn unreachable_likelihood_is_an_error_not_an_infinite_model() {
+        // Unstandardised astronomically-scaled targets overflow yᵀy, so no
+        // epoch (and no final factorization) ever yields a finite likelihood;
+        // the fit must fail instead of storing final_nll = ∞, which would
+        // poison every warm-start regression comparison downstream.
+        let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 11.0]).collect();
+        let ys: Vec<f64> = (0..12)
+            .map(|i| if i % 2 == 0 { 1e160 } else { -1e160 })
+            .collect();
+        let config = NeuralGpConfig {
+            standardize_targets: false,
+            ..NeuralGpConfig::fast()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let err = NeuralGp::fit(&xs, &ys, &config, &mut rng).unwrap_err();
+        assert!(err.contains("finite"), "unexpected error: {err}");
     }
 
     #[test]

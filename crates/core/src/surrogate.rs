@@ -67,9 +67,11 @@ pub trait SurrogateTrainer: Send + Sync {
     /// objective plus every constraint.
     ///
     /// `prev`, when given with one model per target, holds the surrogates of
-    /// the previous refit so trainers can warm-start (e.g. the classical GP
+    /// the previous refit so trainers can warm-start: the classical GP
     /// reuses each output's fitted hyper-parameters as the optimizer's
-    /// starting point).  The default implementation ignores `prev` and fits
+    /// starting point, and the neural-GP ensemble continues every member's
+    /// feature network from its predecessor's weights instead of retraining
+    /// from random initialisation.  The default implementation ignores `prev` and fits
     /// sequentially through [`SurrogateTrainer::fit`], consuming `rng`
     /// exactly as the equivalent sequence of single fits would; trainers with
     /// shareable fit structure (the classical GP's distance tensor, the

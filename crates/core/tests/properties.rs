@@ -87,6 +87,59 @@ fn neural_gp_append_observation_absorbs_the_new_point() {
     assert!(model.append_observation(&[f64::NAN, 0.0], 0.0).is_err());
 }
 
+/// The warm-start plumbing must leave the cold path untouched: `fit` and
+/// `fit_warm` without a previous model are the same code path, bit for bit.
+#[test]
+fn neural_gp_cold_path_is_unchanged_by_the_warm_plumbing() {
+    let (xs, ys) = surrogate_training_data(16);
+    let config = NeuralGpConfig::fast();
+    let a = NeuralGp::fit(&xs, &ys, &config, &mut StdRng::seed_from_u64(33)).unwrap();
+    let b = NeuralGp::fit_warm(&xs, &ys, &config, &mut StdRng::seed_from_u64(33), None).unwrap();
+    assert_eq!(a.nll(), b.nll());
+    let q = [0.4, 0.2];
+    assert_eq!(a.predict(&q).mean, b.predict(&q).mean);
+    assert_eq!(a.predict(&q).variance, b.predict(&q).variance);
+}
+
+/// `append_observation` freezes the standardiser at fit-time statistics; a
+/// later warm refit re-standardises on the extended data while continuing
+/// from the appended model's network, and must still report in original units.
+#[test]
+fn warm_refit_after_append_respects_the_frozen_standardizer_contract() {
+    let xs: Vec<Vec<f64>> = (0..20)
+        .map(|i| vec![i as f64 / 19.0, (i % 5) as f64 / 4.0])
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| 500.0 + 40.0 * x[0] + 10.0 * x[1])
+        .collect();
+    let config = NeuralGpConfig::fast();
+    let mut rng = StdRng::seed_from_u64(21);
+    let fitted = NeuralGp::fit(&xs, &ys, &config, &mut rng).unwrap();
+
+    let x_new = vec![0.5, 0.5];
+    let y_new = 500.0 + 40.0 * 0.5 + 10.0 * 0.5;
+    let appended = fitted.append_observation(&x_new, y_new).unwrap();
+
+    let mut xs2 = xs.clone();
+    xs2.push(x_new.clone());
+    let mut ys2 = ys.clone();
+    ys2.push(y_new);
+    let warm = NeuralGp::fit_warm(
+        &xs2,
+        &ys2,
+        &config,
+        &mut StdRng::seed_from_u64(22),
+        Some(&appended),
+    )
+    .unwrap();
+    assert_eq!(warm.train_size(), 21);
+    assert!(warm.nll().is_finite());
+    // Predictions come back in original units despite the re-standardisation.
+    let p = warm.predict(&x_new);
+    assert!((p.mean - y_new).abs() < 30.0, "mean {}", p.mean);
+}
+
 #[test]
 fn ensemble_append_observation_updates_every_member() {
     let (xs, ys) = surrogate_training_data(16);
@@ -242,5 +295,43 @@ proptest! {
     #[test]
     fn prediction_std_is_sqrt_of_variance(p in prediction()) {
         prop_assert!((p.std() * p.std() - p.variance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ensemble_warm_fit_is_deterministic_and_never_non_finite(seed in 0..200u64) {
+        let config = EnsembleConfig {
+            members: 2,
+            parallel: false,
+            member_config: NeuralGpConfig {
+                hidden_dims: vec![6],
+                feature_dim: 4,
+                epochs: 12,
+                warm_epochs: 5,
+                ..NeuralGpConfig::fast()
+            },
+        };
+        let (xs, ys) = surrogate_training_data(12);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prev = NeuralGpEnsemble::fit(&xs, &ys, &config, &mut rng).unwrap();
+        let warm_fit = || {
+            NeuralGpEnsemble::fit_warm(
+                &xs,
+                &ys,
+                &config,
+                &mut StdRng::seed_from_u64(seed + 1),
+                Some(&prev),
+            )
+            .unwrap()
+        };
+        let warm1 = warm_fit();
+        let warm2 = warm_fit();
+        prop_assert_eq!(warm1.len(), warm2.len());
+        for (a, b) in warm1.members().iter().zip(warm2.members().iter()) {
+            prop_assert!(a.nll().is_finite());
+            prop_assert_eq!(a.nll(), b.nll());
+        }
+        let q = [0.3, 0.6];
+        prop_assert_eq!(warm1.predict(&q).mean, warm2.predict(&q).mean);
+        prop_assert_eq!(warm1.predict(&q).variance, warm2.predict(&q).variance);
     }
 }

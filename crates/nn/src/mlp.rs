@@ -99,10 +99,17 @@ impl MlpGradient {
     /// Flattens the gradient in the same ordering as [`Mlp::flat_params`].
     pub fn to_flat(&self) -> Vec<f64> {
         let mut out = Vec::new();
-        for l in &self.layers {
-            l.append_flat(&mut out);
-        }
+        self.append_flat(&mut out);
         out
+    }
+
+    /// Appends the flattened gradient (same ordering as [`Mlp::flat_params`])
+    /// to `out` without allocating a fresh vector — training loops that reuse
+    /// one gradient buffer across epochs clear and refill it through this.
+    pub fn append_flat(&self, out: &mut Vec<f64>) {
+        for l in &self.layers {
+            l.append_flat(out);
+        }
     }
 
     /// Per-layer gradients.
@@ -318,6 +325,19 @@ mod tests {
         assert_eq!(copy.flat_params(), flat);
         let x = [0.3, 0.1, -0.2];
         assert_eq!(copy.forward(&x), mlp.forward(&x));
+    }
+
+    #[test]
+    fn gradient_append_flat_reuses_the_buffer() {
+        let mlp = small_mlp(8);
+        let x = Matrix::from_rows(&[vec![0.2, -0.5, 0.8]]);
+        let cache = mlp.forward_cached(&x);
+        let grad_out = Matrix::filled(1, 2, 1.0);
+        let (grad, _) = mlp.backward(&cache, &grad_out);
+        let mut buf = vec![42.0; 3];
+        buf.clear();
+        grad.append_flat(&mut buf);
+        assert_eq!(buf, grad.to_flat());
     }
 
     #[test]
