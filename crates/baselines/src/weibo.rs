@@ -1,7 +1,9 @@
 //! WEIBO: constrained Bayesian optimization with a classical GP surrogate.
 
+use std::sync::Mutex;
+
 use nnbo_core::{BayesOpt, BoConfig, Prediction, SurrogateModel, SurrogateTrainer};
-use nnbo_gp::{GpConfig, GpHyperParams, GpModel};
+use nnbo_gp::{FitContext, GpConfig, GpHyperParams, GpModel};
 use rand::rngs::StdRng;
 
 /// A classical-GP surrogate model (adapter around [`nnbo_gp::GpModel`]).
@@ -37,23 +39,44 @@ impl SurrogateModel for GpSurrogate {
 
 /// Trainer producing classical-GP surrogates, used by the WEIBO and GASPAD
 /// baselines.
-#[derive(Debug, Clone, Default)]
+///
+/// Across the refits of one Bayesian-optimization run the trainer keeps the
+/// previous [`FitContext`] (the `N × N × D` pairwise squared-distance tensor)
+/// in a cache slot: since the BO history grows append-only, each refit
+/// extends the tensor by one row/column in `O(N·D)` instead of rebuilding it
+/// in `O(N²·D)`.  The cache never changes results — an incrementally grown
+/// context is bit-identical to a fresh one, and a history that does not
+/// extend the cached rows triggers a rebuild.  A clone starts with an empty
+/// slot of its own: two trainers driving different BO runs would only evict
+/// each other's context (and contend on the lock) if they shared one.
+#[derive(Debug, Default)]
 pub struct GpSurrogateTrainer {
     /// GP fitting configuration.
     pub config: GpConfig,
+    ctx_cache: Mutex<Option<FitContext>>,
+}
+
+impl Clone for GpSurrogateTrainer {
+    fn clone(&self) -> Self {
+        GpSurrogateTrainer {
+            config: self.config.clone(),
+            ctx_cache: Mutex::new(None),
+        }
+    }
 }
 
 impl GpSurrogateTrainer {
     /// Creates a trainer with the given GP configuration.
     pub fn new(config: GpConfig) -> Self {
-        GpSurrogateTrainer { config }
+        GpSurrogateTrainer {
+            config,
+            ctx_cache: Mutex::new(None),
+        }
     }
 
     /// A cheaper trainer for tests and smoke experiments.
     pub fn fast() -> Self {
-        GpSurrogateTrainer {
-            config: GpConfig::fast(),
-        }
+        Self::new(GpConfig::fast())
     }
 }
 
@@ -66,9 +89,10 @@ impl SurrogateTrainer for GpSurrogateTrainer {
             .map_err(|e| e.to_string())
     }
 
-    /// Multi-output fitting through [`GpModel::fit_multi_warm`]: the
+    /// Multi-output fitting through [`GpModel::fit_multi_warm_cached`]: the
     /// objective and every constraint share one fit context (pairwise
-    /// squared-distance tensor over the common design points), train on
+    /// squared-distance tensor over the common design points, grown
+    /// incrementally across refits through the trainer's cache), train on
     /// scoped threads, and — when the previous refit's surrogates are
     /// supplied — warm-start each output's hyper-parameter optimization from
     /// its last optimum instead of rerunning the multi-restart schedule.
@@ -86,7 +110,11 @@ impl SurrogateTrainer for GpSurrogateTrainer {
                 .collect(),
             _ => vec![None; targets.len()],
         };
-        GpModel::fit_multi_warm(xs, targets, &self.config, rng, &warm)
+        let mut cache = self
+            .ctx_cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        GpModel::fit_multi_warm_cached(xs, targets, &self.config, rng, &warm, &mut cache)
             .map(|models| {
                 models
                     .into_iter()
@@ -223,6 +251,41 @@ mod tests {
         assert!((p.mean - (1.5_f64).sin()).abs() < 0.2, "mean {}", p.mean);
         let p1 = warm[1].predict(&[0.5]);
         assert!((p1.mean - 0.25).abs() < 0.1, "mean {}", p1.mean);
+    }
+
+    #[test]
+    fn cached_fit_context_is_bit_identical_to_fresh_fits() {
+        // One trainer reused across a growing history (its context cache
+        // appends rows) must produce exactly the models a fresh trainer
+        // (fresh context every call) produces.
+        let grow = |n: usize| -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+            let xs: Vec<Vec<f64>> = (0..n)
+                .map(|i| vec![i as f64 / 24.0, ((i * i) % 7) as f64 / 7.0])
+                .collect();
+            let targets = vec![
+                xs.iter().map(|x| (3.0 * x[0]).sin() + x[1]).collect(),
+                xs.iter().map(|x| x[0] * x[0] - x[1]).collect(),
+            ];
+            (xs, targets)
+        };
+        let cached = GpSurrogateTrainer::fast();
+        for n in [12, 13, 14] {
+            let (xs, targets) = grow(n);
+            let mut rng_cached = StdRng::seed_from_u64(n as u64);
+            let with_cache = cached
+                .fit_many(&xs, &targets, None, &mut rng_cached)
+                .unwrap();
+            let fresh = GpSurrogateTrainer::fast();
+            let mut rng_fresh = StdRng::seed_from_u64(n as u64);
+            let without_cache = fresh.fit_many(&xs, &targets, None, &mut rng_fresh).unwrap();
+            for (a, b) in with_cache.iter().zip(without_cache.iter()) {
+                assert_eq!(a.model().hyper_params(), b.model().hyper_params());
+                assert_eq!(a.model().nll(), b.model().nll());
+                let q = [0.37, 0.81];
+                assert_eq!(a.predict(&q).mean, b.predict(&q).mean);
+                assert_eq!(a.predict(&q).variance, b.predict(&q).variance);
+            }
+        }
     }
 
     #[test]

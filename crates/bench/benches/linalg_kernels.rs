@@ -5,6 +5,9 @@
 //! machine-readable `BENCH_linalg.json`):
 //!
 //! * blocked vs naive `matmul` / `matmul_transpose` at N ∈ {64, 256, 1024}
+//! * packed AVX2+FMA micro-kernels vs the portable blocked-scalar kernels
+//!   (`micro_kernels` group: matmul, SYRK, symmetric inverse) at the same
+//!   sizes, toggled through the runtime dispatch
 //! * blocked vs reference Cholesky at the same sizes
 //! * rank-1 bordered Cholesky append vs full refactorization at N = 512
 //! * batched vs per-point GP / neural-GP prediction of 512 candidates at 256
@@ -47,6 +50,43 @@ fn bench_matmul(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("transpose_blocked", n), &n, |bench, _| {
             bench.iter(|| a.matmul_transpose(&b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_micro_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut group = c.benchmark_group("micro_kernels");
+    group.sample_size(10);
+    for &n in &[256usize, 512, 1024] {
+        let a = random_matrix(n, n, &mut rng);
+        let b = random_matrix(n, n, &mut rng);
+        let spd = random_spd(n, &mut rng);
+        let chol = Cholesky::decompose(&spd).expect("SPD");
+        let mut inv = Matrix::zeros(n, n);
+        let mut work = Matrix::zeros(n, n);
+        group.bench_with_input(BenchmarkId::new("matmul_portable", n), &n, |bench, _| {
+            nnbo_linalg::force_portable_kernels(true);
+            bench.iter(|| a.matmul(&b));
+            nnbo_linalg::force_portable_kernels(false);
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_dispatch", n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("syrk_portable", n), &n, |bench, _| {
+            nnbo_linalg::force_portable_kernels(true);
+            bench.iter(|| a.transpose_matmul_self());
+            nnbo_linalg::force_portable_kernels(false);
+        });
+        group.bench_with_input(BenchmarkId::new("syrk_dispatch", n), &n, |bench, _| {
+            bench.iter(|| a.transpose_matmul_self())
+        });
+        group.bench_with_input(BenchmarkId::new("inverse_dense", n), &n, |bench, _| {
+            bench.iter(|| chol.inverse_into(&mut inv))
+        });
+        group.bench_with_input(BenchmarkId::new("inverse_symmetric", n), &n, |bench, _| {
+            bench.iter(|| chol.symmetric_inverse_into(&mut inv, &mut work))
         });
     }
     group.finish();
@@ -161,6 +201,7 @@ fn bench_predict_batch(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul,
+    bench_micro_kernels,
     bench_cholesky,
     bench_cholesky_append,
     bench_predict_batch

@@ -18,6 +18,13 @@
 //!   same 3-output problem: sequential cold fits (what `refresh_models` did
 //!   before the multi-output path) vs `fit_multi_warm` seeded with the
 //!   previous refit's hyper-parameters (what it does now).
+//! * `symmetric_inverse` — one NLL-gradient evaluation (the body of every
+//!   Adam iteration of a GP fit) with the dense-sweep `(K + σn²I)⁻¹`
+//!   ([`nnbo_gp::InverseStrategy::DenseSweeps`]) vs the dpotri-style
+//!   triangle-only inverse and trace pass
+//!   ([`nnbo_gp::InverseStrategy::Symmetric`]); the NLL columns record both
+//!   strategies' likelihoods at the same hyper-parameters (bit-close by the
+//!   equivalence property tests).
 //! * `ngp_refit_warm` — the paper's surrogate: a neural-GP refit after one
 //!   appended observation, cold (full retraining of the feature network from
 //!   random initialisation) vs warm-started continuation from the previous
@@ -238,7 +245,56 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
         optimized_nll: nll_sum(&refresh_warm),
     });
 
-    // 5. The paper's surrogate: neural-GP refit after one appended
+    // 5. The per-iteration core of every fit above: one NLL-gradient
+    //    evaluation with the dense-sweep inverse vs the dpotri-style
+    //    symmetric inverse + triangle-only trace pass.
+    {
+        use nnbo_gp::{nll_and_grad_with, FitContext, FitScratch, GpHyperParams, InverseStrategy};
+        let x = nnbo_linalg::Matrix::from_rows(&xs_base);
+        let (y_std, _) = nnbo_linalg::standardize(objective);
+        let ctx = FitContext::new(&x);
+        let mut scratch = FitScratch::new(n, dim);
+        let hyper = GpHyperParams {
+            log_signal: 0.2,
+            log_lengthscales: vec![0.0; dim],
+            log_noise: -2.5,
+            mean: 0.0,
+        };
+        let grad_reps = if quick { 3 } else { 5 };
+        let (dense_ns, dense_nll) = time_best(grad_reps, || {
+            nll_and_grad_with(
+                &ctx,
+                &y_std,
+                &hyper,
+                config.jitter,
+                &mut scratch,
+                InverseStrategy::DenseSweeps,
+            )
+            .expect("finite NLL")
+        });
+        let (sym_ns, sym_nll) = time_best(grad_reps, || {
+            nll_and_grad_with(
+                &ctx,
+                &y_std,
+                &hyper,
+                config.jitter,
+                &mut scratch,
+                InverseStrategy::Symmetric,
+            )
+            .expect("finite NLL")
+        });
+        entries.push(FitBenchEntry {
+            name: "symmetric_inverse",
+            n,
+            outputs: 1,
+            baseline_ns: dense_ns,
+            optimized_ns: sym_ns,
+            baseline_nll: dense_nll,
+            optimized_nll: sym_nll,
+        });
+    }
+
+    // 6. The paper's surrogate: neural-GP refit after one appended
     //    observation — cold retraining from random initialisation vs the
     //    warm-started continuation of the previous network.
     let ngp_config = if quick {
@@ -286,7 +342,7 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
         optimized_nll: ngp_warm.nll(),
     });
 
-    // 6. The same contrast for the K-member ensemble (eq. 13), every member
+    // 7. The same contrast for the K-member ensemble (eq. 13), every member
     //    continuing Adam from its predecessor's weights.
     let ens_config = EnsembleConfig {
         members: if quick { 2 } else { 3 },
@@ -392,6 +448,7 @@ mod tests {
             "gp_refit_warm",
             "gp_fit_multi_cold",
             "gp_fit_multi_warm",
+            "symmetric_inverse",
             "ngp_refit_warm",
             "ngp_ensemble_refit_warm",
         ] {

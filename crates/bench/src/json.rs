@@ -3,9 +3,16 @@
 //! JSON text themselves; this module keeps the document skeleton in one
 //! place).
 
-/// Builds a `BENCH_*.json` document: a `schema` / `generated_by` / `quick`
-/// header plus one array named `array_name` whose elements are the
-/// pre-rendered `rows` (each a complete JSON value, no trailing comma).
+/// Builds a `BENCH_*.json` document: a `schema` / `generated_by` / `quick` /
+/// `isa` / `cores` header plus one array named `array_name` whose elements
+/// are the pre-rendered `rows` (each a complete JSON value, no trailing
+/// comma).
+///
+/// `isa` is the kernel path the runtime dispatch selected
+/// ([`nnbo_linalg::kernel_isa`]) and `cores` the hardware parallelism — the
+/// two facts needed to interpret a benchmark trajectory across machines
+/// (single-core boxes cannot show threading wins; non-AVX2 boxes cannot show
+/// micro-kernel wins).
 pub(crate) fn document(
     schema: &str,
     subcommand: &str,
@@ -13,12 +20,15 @@ pub(crate) fn document(
     array_name: &str,
     rows: &[String],
 ) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"schema\": \"{schema}\",\n"));
     out.push_str(&format!(
         "  \"generated_by\": \"cargo run --release -p nnbo-bench --bin reproduce -- {subcommand}\",\n"
     ));
     out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"isa\": \"{}\",\n", nnbo_linalg::kernel_isa()));
+    out.push_str(&format!("  \"cores\": {cores},\n"));
     out.push_str(&format!("  \"{array_name}\": [\n"));
     for (i, row) in rows.iter().enumerate() {
         out.push_str("    ");
@@ -54,6 +64,8 @@ mod tests {
         );
         assert!(doc.contains("\"schema\": \"s-v1\""));
         assert!(doc.contains("reproduce -- fit"));
+        assert!(doc.contains("\"isa\": \""));
+        assert!(doc.contains("\"cores\": "));
         assert!(doc.contains("{\"a\": 1},\n"));
         assert!(doc.contains("{\"a\": 2}\n"));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());

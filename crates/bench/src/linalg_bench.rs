@@ -7,6 +7,12 @@
 //!
 //! * `matmul`, `matmul_transpose`, `cholesky` — blocked + threaded kernels vs
 //!   the naive loops, at N ∈ {64, 256, 1024}.
+//! * `matmul_kernel`, `syrk`, `symmetric_inverse` — the packed-panel
+//!   AVX2+FMA micro-kernels vs the portable blocked-scalar kernels on the
+//!   same shapes (forced through [`nnbo_linalg::force_portable_kernels`]),
+//!   at N ∈ {256, 512, 1024}.  On machines without AVX2 both sides run the
+//!   portable path and the speedup reads ≈ 1 — the document's `isa` header
+//!   says which case applies.
 //! * `cholesky_append` — rank-1 bordered update vs full refactorization when
 //!   one row/column is appended at N = 512.
 //! * `gp_predict_batch` / `neural_predict_batch` — one batched prediction of
@@ -123,6 +129,71 @@ pub fn run_linalg_bench(quick: bool) -> Vec<LinalgBenchEntry> {
             optimized_ns: time_best(reps(n), || {
                 std::hint::black_box(Cholesky::decompose(&spd).expect("SPD"));
             }),
+        });
+    }
+
+    // Micro-kernel vs blocked-scalar: the same public entry points with the
+    // dispatch forced portable (baseline) and automatic (optimized).
+    let kernel_sizes: &[usize] = if quick { &[64, 128] } else { &[256, 512, 1024] };
+    for &n in kernel_sizes {
+        let a = random_matrix(n, n, &mut rng);
+        let b = random_matrix(n, n, &mut rng);
+        nnbo_linalg::force_portable_kernels(true);
+        let portable_matmul = time_best(reps(n), || {
+            std::hint::black_box(a.matmul(&b));
+        });
+        let portable_syrk = time_best(reps(n), || {
+            std::hint::black_box(a.transpose_matmul_self());
+        });
+        let spd = random_spd(n, &mut rng);
+        let chol = Cholesky::decompose(&spd).expect("SPD");
+        let mut inv = nnbo_linalg::Matrix::zeros(n, n);
+        let mut work = nnbo_linalg::Matrix::zeros(n, n);
+        let portable_syminv = time_best(reps(n), || {
+            chol.symmetric_inverse_into(&mut inv, &mut work);
+            std::hint::black_box(&inv);
+        });
+        nnbo_linalg::force_portable_kernels(false);
+        let auto_matmul = time_best(reps(n), || {
+            std::hint::black_box(a.matmul(&b));
+        });
+        let auto_syrk = time_best(reps(n), || {
+            std::hint::black_box(a.transpose_matmul_self());
+        });
+        let dense_inverse = time_best(reps(n), || {
+            chol.inverse_into(&mut inv);
+            std::hint::black_box(&inv);
+        });
+        let auto_syminv = time_best(reps(n), || {
+            chol.symmetric_inverse_into(&mut inv, &mut work);
+            std::hint::black_box(&inv);
+        });
+        entries.push(LinalgBenchEntry {
+            name: "matmul_kernel",
+            n,
+            baseline_ns: portable_matmul,
+            optimized_ns: auto_matmul,
+        });
+        entries.push(LinalgBenchEntry {
+            name: "syrk",
+            n,
+            baseline_ns: portable_syrk,
+            optimized_ns: auto_syrk,
+        });
+        // Two contrasts for the dpotri-style inverse: vs the dense-sweep
+        // inverse on the same (auto) dispatch path, and vs its own portable
+        // fallback.
+        entries.push(LinalgBenchEntry {
+            name: "symmetric_inverse",
+            n,
+            baseline_ns: dense_inverse,
+            optimized_ns: auto_syminv,
+        });
+        entries.push(LinalgBenchEntry {
+            name: "symmetric_inverse_kernel",
+            n,
+            baseline_ns: portable_syminv,
+            optimized_ns: auto_syminv,
         });
     }
 
@@ -258,6 +329,10 @@ mod tests {
             "matmul",
             "matmul_transpose",
             "cholesky",
+            "matmul_kernel",
+            "syrk",
+            "symmetric_inverse",
+            "symmetric_inverse_kernel",
             "cholesky_append",
             "gp_predict_batch",
             "neural_predict_batch",

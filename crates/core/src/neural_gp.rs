@@ -110,12 +110,15 @@ pub struct NeuralGp {
 }
 
 /// Reusable buffers of one training descent: the flat `[log σn, log σp,
-/// weights...]` parameter vector handed to Adam and the matching gradient.
+/// weights...]` parameter vector handed to Adam, the matching gradient, and
+/// the `M × M` matrices of the per-epoch symmetric inverse `A⁻¹`.
 /// Allocated once per fit and reused across every epoch, so the warm loop's
 /// per-epoch cost is the likelihood evaluation alone.
 struct TrainScratch {
     flat: Vec<f64>,
     grad: Vec<f64>,
+    inv: Matrix,
+    inv_work: Matrix,
 }
 
 impl TrainScratch {
@@ -123,6 +126,8 @@ impl TrainScratch {
         TrainScratch {
             flat: Vec::with_capacity(num_params),
             grad: Vec::with_capacity(num_params),
+            inv: Matrix::zeros(0, 0),
+            inv_work: Matrix::zeros(0, 0),
         }
     }
 }
@@ -485,7 +490,18 @@ fn run_adam(
     let mut nn_params = mlp.flat_params();
     for _ in 0..epochs {
         mlp.set_flat_params(&nn_params);
-        if loss_and_grad_into(mlp, log_noise, log_prior, x, y, config, &mut scratch.grad).is_none()
+        if loss_and_grad_into(
+            mlp,
+            log_noise,
+            log_prior,
+            x,
+            y,
+            config,
+            &mut scratch.grad,
+            &mut scratch.inv,
+            &mut scratch.inv_work,
+        )
+        .is_none()
         {
             break;
         }
@@ -561,7 +577,7 @@ fn factorize(
     let noise_var = (2.0 * log_noise).exp();
     let prior_var = (2.0 * log_prior).exp();
     let lambda = m as f64 * noise_var / prior_var;
-    let mut a = out.transpose_matmul(&out);
+    let mut a = out.transpose_matmul_self();
     a.add_diag(lambda);
     let (chol, _) = Cholesky::decompose_with_jitter(&a, config.jitter, 10).ok()?;
     let v = out.vecmat(y);
@@ -589,11 +605,26 @@ pub(crate) fn loss_and_grad(
     config: &NeuralGpConfig,
 ) -> Option<(f64, Vec<f64>)> {
     let mut grad = Vec::new();
-    loss_and_grad_into(mlp, log_noise, log_prior, x, y, config, &mut grad).map(|nll| (nll, grad))
+    let mut inv = Matrix::zeros(0, 0);
+    let mut inv_work = Matrix::zeros(0, 0);
+    loss_and_grad_into(
+        mlp,
+        log_noise,
+        log_prior,
+        x,
+        y,
+        config,
+        &mut grad,
+        &mut inv,
+        &mut inv_work,
+    )
+    .map(|nll| (nll, grad))
 }
 
-/// [`loss_and_grad`] writing the gradient into a caller-owned buffer, so the
-/// training loop reuses one allocation across every epoch.
+/// [`loss_and_grad`] writing the gradient into a caller-owned buffer and the
+/// symmetric inverse into caller-owned matrices, so the training loop reuses
+/// one set of allocations across every epoch.
+#[allow(clippy::too_many_arguments)]
 fn loss_and_grad_into(
     mlp: &Mlp,
     log_noise: f64,
@@ -602,6 +633,8 @@ fn loss_and_grad_into(
     y: &[f64],
     config: &NeuralGpConfig,
     grad: &mut Vec<f64>,
+    inv: &mut Matrix,
+    inv_work: &mut Matrix,
 ) -> Option<f64> {
     let cache = mlp.forward_cached(x);
     let out = cache.output();
@@ -611,7 +644,7 @@ fn loss_and_grad_into(
     let prior_var = (2.0 * log_prior).exp();
     let lambda = m as f64 * noise_var / prior_var;
 
-    let mut a = out.transpose_matmul(out);
+    let mut a = out.transpose_matmul_self();
     a.add_diag(lambda);
     let (chol, _) = Cholesky::decompose_with_jitter(&a, config.jitter, 10).ok()?;
     let v = out.vecmat(y);
@@ -631,8 +664,9 @@ fn loss_and_grad_into(
 
     // Gradient with respect to the feature matrix (in N x M orientation):
     //   ∂nll/∂Out = -(1/σn²)·r·αᵀ + Out·A⁻¹.
-    let b = chol.inverse();
-    let mut grad_out = out.matmul(&b);
+    chol.symmetric_inverse_into(inv, inv_work);
+    let b = &*inv;
+    let mut grad_out = out.matmul(b);
     for i in 0..n {
         let scale = -residual[i] / noise_var;
         let row = grad_out.row_mut(i);

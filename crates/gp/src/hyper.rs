@@ -95,6 +95,10 @@ pub struct GpConfig {
     /// previous optimum instead of `restarts × max_iters` cold iterations;
     /// see [`crate::GpModel::fit_warm`]).
     pub warm_iters: usize,
+    /// Gradient-RMS threshold below which a warm descent stops early (the
+    /// adaptive-`warm_iters` check: a warm start sitting at the optimum has
+    /// nothing to descend).  `0.0` disables the early stop.
+    pub warm_grad_tol: f64,
     /// Adam learning rate.
     pub learning_rate: f64,
     /// Lower bound on `log σn` (keeps the kernel matrix well conditioned).
@@ -112,6 +116,7 @@ impl Default for GpConfig {
             restarts: 2,
             max_iters: 150,
             warm_iters: 50,
+            warm_grad_tol: 1e-4,
             learning_rate: 0.05,
             min_log_noise: (1e-4_f64).ln(),
             jitter: 1e-8,

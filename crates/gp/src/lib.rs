@@ -28,17 +28,32 @@
 //!   right tool for the *first* fit, when nothing is known about the surface.
 //! * **Warm refit** ([`GpModel::fit_warm`]) — inside a Bayesian-optimization
 //!   loop the training set grows by one point per refit, so the previous
-//!   optimum is an excellent initialisation: a single descent of
-//!   [`GpConfig::warm_iters`] steps replaces the whole restart schedule.  The
-//!   result is accepted unless its NLL regresses past the evaluated
-//!   likelihood of the standard initial point; then the cold path runs as a
-//!   fallback and the better fit is kept.
+//!   optimum is an excellent initialisation: a single descent of *at most*
+//!   [`GpConfig::warm_iters`] steps replaces the whole restart schedule, and
+//!   stops early once the gradient RMS drops to
+//!   [`GpConfig::warm_grad_tol`] (a warm start already at the optimum has
+//!   nothing to descend).  The result is accepted unless its NLL regresses
+//!   past the evaluated likelihood of the standard initial point; then the
+//!   cold path runs as a fallback and the better fit is kept.
 //! * **Shared fit context** — every likelihood evaluation needs the pairwise
 //!   per-dimension squared differences of the training rows, which do not
 //!   depend on the hyper-parameters.  One refit computes that `N × N × D`
-//!   tensor once; each Adam iteration rebuilds the Gram matrix by a weighted
-//!   reduction over it and accumulates all lengthscale gradients in one fused
-//!   pass over `(K⁻¹ − ααᵀ) ∘ K`, into buffers allocated once per output.
+//!   tensor ([`FitContext`]) once; each Adam iteration rebuilds the Gram
+//!   matrix by a weighted reduction over it and accumulates all lengthscale
+//!   gradients in one fused pass over `(K⁻¹ − ααᵀ) ∘ K`, into buffers
+//!   allocated once per output.  Across refits the tensor can grow
+//!   *incrementally*: a BO history is append-only, so
+//!   [`FitContext::update_to`] adds one `O(N·D)` row/column per new
+//!   observation instead of rebuilding (`GpModel::fit_multi_warm_cached`
+//!   exposes the cache slot; results are bit-identical either way).
+//! * **Symmetric inverse** — the dominant per-iteration cost is the dense
+//!   `(K + σn²I)⁻¹` the gradient traces against.  It is computed
+//!   dpotri-style ([`nnbo_linalg::Cholesky::symmetric_inverse_into`]:
+//!   triangular inverse, then `WᵀW` on the lower triangle) and the fused
+//!   trace pass mirrors that triangle (off-diagonal terms doubled) — about
+//!   half the work of the dense two-sweep inverse it replaced, which
+//!   survives as [`InverseStrategy::DenseSweeps`] for the
+//!   `reproduce fit` comparison and the equivalence property tests.
 //! * **Multi-output fit** ([`GpModel::fit_multi`] /
 //!   [`GpModel::fit_multi_warm`]) — the constrained BO loop models the
 //!   objective and every constraint over the *same* designs, so the context
@@ -79,6 +94,7 @@ mod kernel;
 mod model;
 
 pub use error::GpError;
+pub use fit::{nll_and_grad_with, FitContext, FitScratch, InverseStrategy};
 pub use hyper::{GpConfig, GpHyperParams};
 pub use kernel::{ArdSquaredExponential, ScaledRows};
 pub use model::{GpModel, GpPrediction};

@@ -154,6 +154,32 @@ impl GpModel {
         rng: &mut R,
         warm: &[Option<GpHyperParams>],
     ) -> Result<Vec<Self>, GpError> {
+        Self::fit_multi_warm_cached(xs, targets, config, rng, warm, &mut None)
+    }
+
+    /// [`GpModel::fit_multi_warm`] with a caller-held [`FitContext`] cache.
+    ///
+    /// A Bayesian-optimization loop grows its design matrix append-only, so
+    /// the `N × N × D` squared-distance tensor of refit `t+1` is the tensor
+    /// of refit `t` plus one row/column.  Passing the same `cache` slot
+    /// across refits lets the context grow incrementally
+    /// ([`FitContext::update_to`], `O(N·D)` per appended point) instead of
+    /// being rebuilt from scratch (`O(N²·D)`); an incrementally grown
+    /// context is bit-identical to a fresh one, so the fitted models do not
+    /// depend on the cache.  An empty slot (or a slot whose rows do not
+    /// prefix `xs`) is (re)built in place.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`GpModel::fit_multi_warm`].
+    pub fn fit_multi_warm_cached<R: Rng + ?Sized>(
+        xs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        config: &GpConfig,
+        rng: &mut R,
+        warm: &[Option<GpHyperParams>],
+        cache: &mut Option<FitContext>,
+    ) -> Result<Vec<Self>, GpError> {
         if warm.len() != targets.len() {
             return Err(GpError::InvalidTrainingSet {
                 details: format!(
@@ -170,12 +196,18 @@ impl GpModel {
             validate_training_set(xs, ys)?;
         }
         let x = Matrix::from_rows(xs);
-        let ctx = FitContext::new(&x);
+        match cache {
+            Some(ctx) => {
+                ctx.update_to(&x);
+            }
+            None => *cache = Some(FitContext::new(&x)),
+        }
+        let ctx = cache.as_ref().expect("cache slot filled above");
         let seeds: Vec<u64> = targets.iter().map(|_| rng.gen()).collect();
 
         let fit_one = |&(ys, seed, prev): &(&Vec<f64>, u64, &Option<GpHyperParams>)| {
             let mut output_rng = StdRng::seed_from_u64(seed);
-            Self::fit_prepared(&x, &ctx, ys, config, &mut output_rng, prev.as_ref())
+            Self::fit_prepared(&x, ctx, ys, config, &mut output_rng, prev.as_ref())
         };
         let jobs: Vec<(&Vec<f64>, u64, &Option<GpHyperParams>)> = targets
             .iter()

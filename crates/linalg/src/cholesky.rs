@@ -109,7 +109,8 @@ impl Cholesky {
             // 3. Trailing update: A22 -= L21 · L21ᵀ (lower triangle only).
             //    The panel is copied into a contiguous scratch buffer so the
             //    row bands below can be updated on independent threads while
-            //    sharing read access to it.
+            //    sharing read access to it.  On AVX2 hardware the update runs
+            //    as a packed SYRK through the micro-kernel engine.
             if kend < n {
                 let width = kend - kb;
                 let trailing = n - kend;
@@ -117,21 +118,40 @@ impl Cholesky {
                 for (t, chunk) in panel.chunks_exact_mut(width).enumerate() {
                     chunk.copy_from_slice(&l.row(kend + t)[kb..kend]);
                 }
-                let threads = crate::parallel::plan_threads(trailing, trailing * trailing * width);
                 let cols = l.ncols();
                 let tail = &mut l.as_mut_slice()[kend * cols..];
-                crate::parallel::for_each_row_band(tail, trailing, cols, threads, |first, band| {
-                    for (t, row) in band.chunks_exact_mut(cols).enumerate() {
-                        let i = first + t;
-                        let pi = &panel[i * width..(i + 1) * width];
-                        crate::kernels::syrk_row_update(
-                            pi,
-                            &panel,
-                            width,
-                            &mut row[kend..kend + i + 1],
-                        );
-                    }
-                });
+                if crate::dispatch::simd_active() {
+                    crate::packed::syrk_lower(
+                        crate::packed::Op::rows(&panel, width),
+                        trailing,
+                        width,
+                        tail,
+                        cols,
+                        kend,
+                        true,
+                    );
+                } else {
+                    let threads =
+                        crate::parallel::plan_threads(trailing, trailing * trailing * width);
+                    crate::parallel::for_each_row_band(
+                        tail,
+                        trailing,
+                        cols,
+                        threads,
+                        |first, band| {
+                            for (t, row) in band.chunks_exact_mut(cols).enumerate() {
+                                let i = first + t;
+                                let pi = &panel[i * width..(i + 1) * width];
+                                crate::kernels::syrk_row_update(
+                                    pi,
+                                    &panel,
+                                    width,
+                                    &mut row[kend..kend + i + 1],
+                                );
+                            }
+                        },
+                    );
+                }
             }
             kb = kend;
         }
@@ -227,14 +247,8 @@ impl Cholesky {
     pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
         let n = self.dim();
         assert_eq!(b.len(), n, "solve_lower dimension mismatch");
-        let mut y = vec![0.0; n];
-        for i in 0..n {
-            let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l[(i, k)] * y[k];
-            }
-            y[i] = sum / self.l[(i, i)];
-        }
+        let mut y = b.to_vec();
+        crate::packed::solve_lower_vec(self.l.as_slice(), n, self.l.ncols(), &mut y);
         y
     }
 
@@ -246,14 +260,8 @@ impl Cholesky {
     pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
         let n = self.dim();
         assert_eq!(y.len(), n, "solve_upper dimension mismatch");
-        let mut x = vec![0.0; n];
-        for i in (0..n).rev() {
-            let mut sum = y[i];
-            for k in (i + 1)..n {
-                sum -= self.l[(k, i)] * x[k];
-            }
-            x[i] = sum / self.l[(i, i)];
-        }
+        let mut x = y.to_vec();
+        crate::packed::solve_upper_vec(self.l.as_slice(), n, self.l.ncols(), &mut x);
         x
     }
 
@@ -342,6 +350,111 @@ impl Cholesky {
         self.sweep_matrix_in_place(out, Sweep::Upper);
     }
 
+    /// Writes `A⁻¹` into `out` the dpotri way: invert the triangular factor
+    /// (`W = L⁻¹`, exploiting that column `j` of `W` is zero above the
+    /// diagonal), then form the symmetric product `A⁻¹ = WᵀW` touching only
+    /// the lower triangle and mirror it.  Roughly `n³/2` multiplications
+    /// versus the `n³` of [`Cholesky::inverse_into`]'s two dense sweeps — the
+    /// per-iteration win of a Gaussian-process fit, whose NLL gradient needs
+    /// this inverse every Adam step.
+    ///
+    /// `work` is caller-provided scratch for `W` (resized when needed, like
+    /// `out`), so hot loops can keep both buffers across iterations.  The
+    /// result is the same matrix as [`Cholesky::inverse_into`] up to rounding
+    /// (different operation order; exactly symmetric by construction, which
+    /// the dense sweeps only guarantee up to rounding).
+    pub fn symmetric_inverse_into(&self, out: &mut Matrix, work: &mut Matrix) {
+        let n = self.dim();
+        if out.shape() != (n, n) {
+            *out = Matrix::zeros(n, n);
+        }
+        self.triangular_inverse_into(work);
+        let data = out.as_mut_slice();
+        data.fill(0.0);
+        if crate::dispatch::simd_active() {
+            // S[i][j] = Σ_k W[k][i]·W[k][j]: columns of W are the logical
+            // rows of the SYRK operand.
+            crate::packed::syrk_lower(
+                crate::packed::Op::cols(work.as_slice(), n),
+                n,
+                n,
+                data,
+                n,
+                0,
+                false,
+            );
+        } else {
+            // Rank-1 accumulation per row of W; row k of W is zero past
+            // column k, so this touches ~n³/6 products.
+            for k in 0..n {
+                let wrow = &work.as_slice()[k * n..k * n + k + 1];
+                for i in 0..=k {
+                    let wki = wrow[i];
+                    if wki == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut data[i * n..i * n + i + 1];
+                    for (o, &wkj) in orow.iter_mut().zip(wrow.iter()) {
+                        *o += wki * wkj;
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..i {
+                data[j * n + i] = data[i * n + j];
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper around [`Cholesky::symmetric_inverse_into`].
+    pub fn symmetric_inverse(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.dim(), self.dim());
+        let mut work = Matrix::zeros(self.dim(), self.dim());
+        self.symmetric_inverse_into(&mut out, &mut work);
+        out
+    }
+
+    /// Writes the lower-triangular inverse `W = L⁻¹` into `w` (upper triangle
+    /// zeroed).  Column `j` of `W` is zero above the diagonal, so the forward
+    /// sweep for a block of columns `[jb, jb+nb)` only runs over rows
+    /// `i ≥ jb` — `n³/6` multiplications in total, on the same dispatched
+    /// row-axpy kernel as the batched solves.
+    fn triangular_inverse_into(&self, w: &mut Matrix) {
+        let n = self.dim();
+        if w.shape() != (n, n) {
+            *w = Matrix::zeros(n, n);
+        } else {
+            w.as_mut_slice().fill(0.0);
+        }
+        const NB: usize = 64;
+        let data = w.as_mut_slice();
+        let mut jb = 0;
+        while jb < n {
+            let nb = NB.min(n - jb);
+            for c in 0..nb {
+                data[(jb + c) * n + jb + c] = 1.0;
+            }
+            for i in jb..n {
+                let (head, tail) = data.split_at_mut(i * n);
+                let wi = &mut tail[jb..jb + nb];
+                for k in jb..i {
+                    let lik = self.l[(i, k)];
+                    if lik == 0.0 {
+                        continue;
+                    }
+                    let wk = &head[k * n + jb..k * n + jb + nb];
+                    crate::packed::sweep_axpy(lik, wk, wi);
+                }
+                let lii = self.l[(i, i)];
+                for o in wi.iter_mut() {
+                    *o /= lii;
+                }
+            }
+            jb += nb;
+        }
+    }
+
     /// Runs one triangular sweep over all columns of `y` in place, fanning
     /// wide right-hand sides out over contiguous column blocks on scoped
     /// threads.  Each block is gathered into a dense thread-local buffer,
@@ -394,6 +507,11 @@ impl Cholesky {
     }
 
     /// The sequential sweep kernel over a row-major `dim() × m` buffer.
+    ///
+    /// The row update `yᵢ -= lᵢₖ·yₖ` goes through [`crate::packed::sweep_axpy`],
+    /// whose per-element arithmetic does not depend on the row width — so a
+    /// column solved alone is bit-identical to the same column solved inside a
+    /// wide right-hand side, on either dispatch path.
     fn sweep_in_place(&self, data: &mut [f64], m: usize, sweep: Sweep) {
         let n = self.dim();
         match sweep {
@@ -407,9 +525,7 @@ impl Cholesky {
                             continue;
                         }
                         let yk = &head[k * m..(k + 1) * m];
-                        for (o, v) in yi.iter_mut().zip(yk.iter()) {
-                            *o -= lik * v;
-                        }
+                        crate::packed::sweep_axpy(lik, yk, yi);
                     }
                     // Divide (not multiply by a reciprocal) to stay bit-identical
                     // with the single-vector solve.
@@ -429,9 +545,7 @@ impl Cholesky {
                             continue;
                         }
                         let xk = &tail[(k - i - 1) * m..(k - i) * m];
-                        for (o, v) in xi.iter_mut().zip(xk.iter()) {
-                            *o -= lki * v;
-                        }
+                        crate::packed::sweep_axpy(lki, xk, xi);
                     }
                     let lii = self.l[(i, i)];
                     for o in xi.iter_mut() {
@@ -706,6 +820,38 @@ mod tests {
         let mut stale = Matrix::filled(3, 3, 7.5);
         c.inverse_into(&mut stale);
         assert_eq!(stale.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn symmetric_inverse_matches_full_inverse_and_is_symmetric() {
+        // Large enough to cross the triangular-inverse block width and
+        // several SYRK panels.
+        let n = 83;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+            }
+            a[(i, i)] += 1.5;
+        }
+        let c = Cholesky::decompose(&a).unwrap();
+        let full = c.inverse();
+        let mut sym = Matrix::zeros(1, 1);
+        let mut work = Matrix::zeros(1, 1);
+        c.symmetric_inverse_into(&mut sym, &mut work);
+        assert_eq!(sym.shape(), (n, n));
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    (sym[(i, j)] - full[(i, j)]).abs() < 1e-9,
+                    "({i},{j}): {} vs {}",
+                    sym[(i, j)],
+                    full[(i, j)]
+                );
+                assert_eq!(sym[(i, j)], sym[(j, i)], "exact symmetry at ({i},{j})");
+            }
+        }
+        assert_eq!(c.symmetric_inverse().as_slice(), sym.as_slice());
     }
 
     #[test]

@@ -6,7 +6,13 @@
 //! row-major `&[f64]` buffers so both [`crate::Matrix`] and the factorizations
 //! can share them without going through the public API.
 //!
-//! Design notes:
+//! Each blocked product is an entry point of the runtime dispatch (see
+//! [`crate::dispatch`]): on AVX2+FMA hardware the call is routed to the
+//! packed-panel micro-kernel engine in [`crate::packed`], otherwise the
+//! portable scalar implementations below run.  Both paths satisfy the same
+//! reference-equivalence properties; they differ only in summation order.
+//!
+//! Design notes on the portable path:
 //!
 //! * **Blocking** — the general product tiles over `k` (shared dimension) and
 //!   `j` (output columns) so one tile of the right-hand side stays in cache
@@ -19,6 +25,7 @@
 //!   Each output element is always computed by the same sequence of
 //!   operations, so results are identical no matter how many threads run.
 
+use crate::packed::Op;
 use crate::parallel::{for_each_row_band, plan_threads};
 
 /// `k`-dimension tile size for the general product (8 KiB of one operand row).
@@ -55,6 +62,10 @@ pub(crate) fn dot_unrolled(a: &[f64], b: &[f64]) -> f64 {
 /// `out[m×n] = a[m×k] · b[k×n]`, blocked over `k` and `j`, parallel over
 /// output-row bands.
 pub(crate) fn matmul_blocked(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]) {
+    if crate::dispatch::simd_active() {
+        crate::packed::gemm(Op::rows(a, k), Op::cols(b, n), m, k, n, out);
+        return;
+    }
     out.fill(0.0);
     if m == 0 || n == 0 || k == 0 {
         return;
@@ -150,6 +161,10 @@ pub(crate) fn matmul_transpose_blocked(
     if m == 0 || p == 0 {
         return;
     }
+    if crate::dispatch::simd_active() {
+        crate::packed::gemm(Op::rows(a, k), Op::rows(b, k), m, k, p, out);
+        return;
+    }
     let threads = plan_threads(m, 2 * m * k * p);
     for_each_row_band(out, m, p, threads, |first_row, band| {
         let rows = band.len() / p;
@@ -229,6 +244,10 @@ pub(crate) fn transpose_matmul_blocked(
     cb: usize,
     out: &mut [f64],
 ) {
+    if crate::dispatch::simd_active() {
+        crate::packed::gemm(Op::cols(a, ca), Op::cols(b, cb), ca, r, cb, out);
+        return;
+    }
     out.fill(0.0);
     if ca == 0 || cb == 0 || r == 0 {
         return;

@@ -425,6 +425,55 @@ impl Matrix {
         );
     }
 
+    /// Symmetric normal matrix `selfᵀ * self` (a SYRK in BLAS terms).
+    ///
+    /// On the SIMD dispatch path only the lower triangle is computed through
+    /// the packed micro-kernels and mirrored — the result is exactly
+    /// symmetric by construction.  The portable path falls back to the
+    /// general blocked product.  This is the `ΦᵀΦ + λI` build of the
+    /// weight-space neural GP (eq. 10), executed once per training epoch.
+    pub fn transpose_matmul_self(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        self.transpose_matmul_self_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::transpose_matmul_self`] into a caller-provided buffer
+    /// (resized when the shape does not match).
+    pub fn transpose_matmul_self_into(&self, out: &mut Matrix) {
+        let t = self.cols;
+        if out.shape() != (t, t) {
+            *out = Matrix::zeros(t, t);
+        }
+        if crate::dispatch::simd_active() {
+            let data = out.as_mut_slice();
+            data.fill(0.0);
+            crate::packed::syrk_lower(
+                crate::packed::Op::cols(&self.data, t),
+                t,
+                self.rows,
+                data,
+                t,
+                0,
+                false,
+            );
+            for i in 0..t {
+                for j in 0..i {
+                    data[j * t + i] = data[i * t + j];
+                }
+            }
+        } else {
+            crate::kernels::transpose_matmul_blocked(
+                &self.data,
+                self.rows,
+                self.cols,
+                &self.data,
+                self.cols,
+                &mut out.data,
+            );
+        }
+    }
+
     /// Reference (single-threaded) `selfᵀ * other`, kept for property tests
     /// and benchmarks of the blocked kernel.
     ///

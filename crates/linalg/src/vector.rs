@@ -19,6 +19,37 @@ pub fn norm2(a: &[f64]) -> f64 {
     dot(a, a).sqrt()
 }
 
+/// Dot product through the runtime kernel dispatch: a 4-lane FMA reduction on
+/// AVX2 hardware, the plain ascending-order sum otherwise.
+///
+/// Unlike [`dot`], the summation order (and therefore the low bits of the
+/// result) depends on which kernel path is active; use it where throughput
+/// matters and exact scalar-order reproducibility does not — e.g. the Gram
+/// weighted reductions of a Gaussian-process fit.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn fused_dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "fused_dot length mismatch");
+    crate::packed::fused_dot(a, b)
+}
+
+/// `acc[d] += scale * x[d] * y[d]`, through the runtime kernel dispatch.
+///
+/// This is the fused update of the per-dimension lengthscale gradient
+/// accumulators in a GP fit: one scaled elementwise product folded into an
+/// accumulator without materialising the product.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_scaled_product(acc: &mut [f64], x: &[f64], y: &[f64], scale: f64) {
+    assert_eq!(acc.len(), x.len(), "add_scaled_product length mismatch");
+    assert_eq!(acc.len(), y.len(), "add_scaled_product length mismatch");
+    crate::packed::add_scaled_product(acc, x, y, scale);
+}
+
 /// Elementwise sum `a + b`.
 ///
 /// # Panics

@@ -192,6 +192,24 @@ proptest! {
     }
 
     #[test]
+    fn symmetric_inverse_agrees_with_dense_sweep_inverse(b in square_matrix(6)) {
+        let a = make_spd(&b);
+        let chol = Cholesky::decompose(&a).unwrap();
+        let dense = chol.inverse();
+        let sym = chol.symmetric_inverse();
+        for (x, y) in sym.as_slice().iter().zip(dense.as_slice().iter()) {
+            prop_assert!((x - y).abs() < 1e-8 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+        // Exactly symmetric by construction.
+        let n = a.nrows();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(sym[(i, j)], sym[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
     fn cholesky_and_lu_logdet_agree(b in square_matrix(5)) {
         let a = make_spd(&b);
         let chol = Cholesky::decompose(&a).unwrap();
