@@ -3,16 +3,47 @@
 use std::sync::Mutex;
 
 use nnbo_core::{BayesOpt, BoConfig, Prediction, SurrogateModel, SurrogateTrainer};
-use nnbo_gp::{FitContext, GpConfig, GpHyperParams, GpModel};
+use nnbo_gp::{FitContext, GpConfig, GpHyperParams, GpModel, GpPredictScratch, GpPrediction};
 use rand::rngs::StdRng;
 
 /// A classical-GP surrogate model (adapter around [`nnbo_gp::GpModel`]).
-#[derive(Debug, Clone)]
+///
+/// The adapter owns a lazily grown [`GpPredictScratch`] (behind a `Mutex`, so
+/// the surrogate stays `Sync`): once the buffers have grown to the
+/// acquisition pool size, every batched scoring round of a
+/// Bayesian-optimization run predicts allocation-free through
+/// [`GpModel::predict_batch_into`] — the packed-GEMM cross-kernel with its
+/// fused `exp` pass, the in-place batched triangular solve, and the output
+/// vectors all reuse the same memory.  A clone starts with fresh (empty)
+/// scratch of its own.
+#[derive(Debug)]
 pub struct GpSurrogate {
     model: GpModel,
+    scratch: Mutex<PredictBuffers>,
+}
+
+/// The per-surrogate prediction buffers: the GP scratch plus the raw
+/// prediction vector mapped into `nnbo-core` predictions on the way out.
+#[derive(Debug, Default)]
+struct PredictBuffers {
+    scratch: GpPredictScratch,
+    preds: Vec<GpPrediction>,
+}
+
+impl Clone for GpSurrogate {
+    fn clone(&self) -> Self {
+        GpSurrogate::from_model(self.model.clone())
+    }
 }
 
 impl GpSurrogate {
+    fn from_model(model: GpModel) -> Self {
+        GpSurrogate {
+            model,
+            scratch: Mutex::new(PredictBuffers::default()),
+        }
+    }
+
     /// The underlying GP model.
     pub fn model(&self) -> &GpModel {
         &self.model
@@ -26,14 +57,33 @@ impl SurrogateModel for GpSurrogate {
     }
 
     /// Batched prediction through [`nnbo_gp::GpModel::predict_batch`]: one
-    /// blocked cross-kernel product and one batched triangular solve for the
-    /// whole candidate set.
+    /// packed-GEMM cross-kernel product with a fused `exp` pass and one
+    /// batched triangular solve for the whole candidate set.
     fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
-        self.model
-            .predict_batch(xs)
-            .into_iter()
-            .map(|p| Prediction::new(p.mean, p.variance))
-            .collect()
+        let mut out = Vec::with_capacity(xs.len());
+        self.predict_batch_into(xs, &mut out);
+        out
+    }
+
+    /// The allocation-free variant: scores the batch through the adapter's
+    /// cached [`GpPredictScratch`] into the caller's output vector.
+    fn predict_batch_into(&self, xs: &[Vec<f64>], out: &mut Vec<Prediction>) {
+        let mut buffers = self
+            .scratch
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let PredictBuffers { scratch, preds } = &mut *buffers;
+        self.model.predict_batch_into(xs, preds, scratch);
+        out.clear();
+        out.extend(preds.iter().map(|p| Prediction::new(p.mean, p.variance)));
+    }
+
+    /// The GP's negative log marginal likelihood on its training set
+    /// ([`GpModel::nll`]) — refreshed by the incremental
+    /// `append_observation`, so `RefitPolicy::NllDrift` can watch the
+    /// incremental model's quality between full refits.
+    fn training_nll(&self) -> Option<f64> {
+        Some(self.model.nll())
     }
 }
 
@@ -85,7 +135,7 @@ impl SurrogateTrainer for GpSurrogateTrainer {
 
     fn fit(&self, xs: &[Vec<f64>], ys: &[f64], rng: &mut StdRng) -> Result<GpSurrogate, String> {
         GpModel::fit(xs, ys, &self.config, rng)
-            .map(|model| GpSurrogate { model })
+            .map(GpSurrogate::from_model)
             .map_err(|e| e.to_string())
     }
 
@@ -115,12 +165,7 @@ impl SurrogateTrainer for GpSurrogateTrainer {
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         GpModel::fit_multi_warm_cached(xs, targets, &self.config, rng, &warm, &mut cache)
-            .map(|models| {
-                models
-                    .into_iter()
-                    .map(|model| GpSurrogate { model })
-                    .collect()
-            })
+            .map(|models| models.into_iter().map(GpSurrogate::from_model).collect())
             .map_err(|e| e.to_string())
     }
 
@@ -137,7 +182,7 @@ impl SurrogateTrainer for GpSurrogateTrainer {
         Some(
             prev.model
                 .append_observation(x, y)
-                .map(|model| GpSurrogate { model })
+                .map(GpSurrogate::from_model)
                 .map_err(|e| e.to_string()),
         )
     }
@@ -290,14 +335,64 @@ mod tests {
 
     #[test]
     fn weibo_supports_incremental_refits() {
+        use nnbo_core::RefitPolicy;
         let problem = ConstrainedBranin::new();
         let bo = BayesOpt::with_trainer(
-            BoConfig::fast(8, 18).with_seed(7).with_refit_every(5),
+            BoConfig::fast(8, 18)
+                .with_seed(7)
+                .with_refit_policy(RefitPolicy::Fixed(5)),
             GpSurrogateTrainer::fast(),
         );
         let result = bo.run(&problem).unwrap();
         assert_eq!(result.num_evaluations(), 18);
         assert!(result.best_objective().is_some());
+        assert!(result.full_refits() < 10);
+    }
+
+    #[test]
+    fn weibo_drift_policy_saves_refits_and_zero_threshold_matches_always_refit() {
+        use nnbo_core::RefitPolicy;
+        let problem = ConstrainedBranin::new();
+        let always = BayesOpt::with_trainer(
+            BoConfig::fast(8, 20).with_seed(13),
+            GpSurrogateTrainer::fast(),
+        )
+        .run(&problem)
+        .unwrap();
+        // threshold = 0 reproduces always-refit bit for bit (the GP's
+        // incremental update freezes the warm-start hyper-parameters).
+        let zero = BayesOpt::with_trainer(
+            BoConfig::fast(8, 20)
+                .with_seed(13)
+                .with_refit_policy(RefitPolicy::NllDrift {
+                    threshold: 0.0,
+                    min_gap: 1,
+                    max_gap: 1000,
+                }),
+            GpSurrogateTrainer::fast(),
+        )
+        .run(&problem)
+        .unwrap();
+        assert_eq!(always.evaluations(), zero.evaluations());
+        assert_eq!(always.full_refits(), zero.full_refits());
+        // A real threshold performs measurably fewer full fits on the same
+        // budget and still optimizes.
+        let drift = BayesOpt::with_trainer(
+            BoConfig::fast(8, 20)
+                .with_seed(13)
+                .with_refit_policy(RefitPolicy::nll_drift(0.2)),
+            GpSurrogateTrainer::fast(),
+        )
+        .run(&problem)
+        .unwrap();
+        assert_eq!(drift.num_evaluations(), always.num_evaluations());
+        assert!(
+            drift.full_refits() < always.full_refits(),
+            "drift {} vs always {}",
+            drift.full_refits(),
+            always.full_refits()
+        );
+        assert!(drift.best_objective().is_some());
     }
 
     #[test]

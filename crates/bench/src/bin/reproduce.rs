@@ -6,8 +6,9 @@
 //! reproduce [--quick] table1           # Table I  (two-stage op-amp) → BENCH_table1.json
 //! reproduce [--quick] table2           # Table II (charge pump, 18 PVT corners) → BENCH_table2.json
 //! reproduce [--quick] scaling          # §III.D complexity scaling study → BENCH_scaling.json
-//! reproduce [--quick] linalg           # prediction-path old-vs-new benchmark → BENCH_linalg.json
+//! reproduce [--quick] linalg           # kernel old-vs-new benchmark → BENCH_linalg.json
 //! reproduce [--quick] fit              # fit-path old-vs-new benchmark → BENCH_fit.json
+//! reproduce [--quick] predict          # packed-vs-blocked batched prediction → BENCH_predict.json
 //! reproduce [--quick] ablation-ensemble      # ensemble-size ablation (E4)
 //! reproduce [--quick] ablation-acquisition   # acquisition-function ablation (E5)
 //! reproduce [--quick] all              # everything above
@@ -20,8 +21,9 @@
 
 use nnbo_bench::{
     format_fit_json, format_fit_table, format_linalg_json, format_linalg_table,
-    format_scaling_json, format_table1, format_table1_json, format_table2, format_table2_json,
-    run_ablation_acquisition, run_ablation_ensemble, run_fit_bench, run_linalg_bench, run_scaling,
+    format_predict_json, format_predict_table, format_scaling_json, format_table1,
+    format_table1_json, format_table2, format_table2_json, run_ablation_acquisition,
+    run_ablation_ensemble, run_fit_bench, run_linalg_bench, run_predict_bench, run_scaling,
     run_table1, run_table2, Protocol,
 };
 
@@ -40,6 +42,7 @@ fn main() {
         "scaling" => scaling(quick),
         "linalg" => linalg(quick),
         "fit" => fit(quick),
+        "predict" => predict(quick),
         "ablation-ensemble" => ablation_ensemble(quick),
         "ablation-acquisition" => ablation_acquisition(quick),
         "all" => {
@@ -48,13 +51,14 @@ fn main() {
             scaling(quick);
             linalg(quick);
             fit(quick);
+            predict(quick);
             ablation_ensemble(quick);
             ablation_acquisition(quick);
         }
         other => {
             eprintln!("unknown command `{other}`");
             eprintln!(
-                "expected one of: table1 | table2 | scaling | linalg | fit | ablation-ensemble | ablation-acquisition | all"
+                "expected one of: table1 | table2 | scaling | linalg | fit | predict | ablation-ensemble | ablation-acquisition | all"
             );
             std::process::exit(2);
         }
@@ -220,6 +224,17 @@ fn fit(quick: bool) {
     print!("{}", format_fit_table(&entries));
     println!();
     write_json("BENCH_fit.json", &format_fit_json(&entries, quick));
+    println!();
+}
+
+fn predict(quick: bool) {
+    println!(
+        "# Batched-prediction benchmark — packed (AVX2+FMA + fused exp) vs portable kernels\n"
+    );
+    let entries = run_predict_bench(quick);
+    print!("{}", format_predict_table(&entries));
+    println!();
+    write_json("BENCH_predict.json", &format_predict_json(&entries, quick));
     println!();
 }
 

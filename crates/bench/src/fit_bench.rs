@@ -33,10 +33,15 @@
 //!   ensemble, every member continuing from its predecessor's weights
 //!   (`NeuralGpEnsemble::fit_warm`); the NLL columns sum the members' final
 //!   likelihoods.
+//! * `refit_policy_nll_drift` — the surrogate lifecycle end to end
+//!   ([`run_refit_lifecycle`]): a growing observation stream maintained by
+//!   always-refit (`RefitPolicy::Fixed(1)`, baseline) vs the adaptive
+//!   `RefitPolicy::NllDrift` (optimized), recording each strategy's final
+//!   NLL and its count of full refits alongside the wall-clock contrast.
 
 use std::time::Instant;
 
-use nnbo_core::{EnsembleConfig, NeuralGp, NeuralGpConfig, NeuralGpEnsemble};
+use nnbo_core::{EnsembleConfig, NeuralGp, NeuralGpConfig, NeuralGpEnsemble, RefitPolicy};
 use nnbo_gp::{GpConfig, GpHyperParams, GpModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -59,6 +64,9 @@ pub struct FitBenchEntry {
     pub baseline_nll: f64,
     /// NLL achieved by the optimized strategy (summed over outputs).
     pub optimized_nll: f64,
+    /// `(baseline, optimized)` counts of *full* refits, for the
+    /// surrogate-lifecycle workloads (`None` for single-fit workloads).
+    pub refits: Option<(usize, usize)>,
 }
 
 impl FitBenchEntry {
@@ -147,6 +155,7 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
         optimized_ns: cold_ns,
         baseline_nll: ref_model.nll(),
         optimized_nll: cold_model.nll(),
+        refits: None,
     });
 
     // 2. Refit after one appended observation: cold restart schedule vs
@@ -175,6 +184,7 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
         optimized_ns: refit_warm_ns,
         baseline_nll: refit_cold.nll(),
         optimized_nll: refit_warm.nll(),
+        refits: None,
     });
 
     // 3. Multi-output cold: sequential per-output fits vs one shared-context
@@ -209,6 +219,7 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
         optimized_ns: multi_cold_ns,
         baseline_nll: nll_sum(&seq_cold),
         optimized_nll: nll_sum(&multi_cold),
+        refits: None,
     });
 
     // 4. The BO-loop refresh contrast: sequential cold fits over the extended
@@ -243,6 +254,7 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
         optimized_ns: refresh_warm_ns,
         baseline_nll: nll_sum(&refresh_cold),
         optimized_nll: nll_sum(&refresh_warm),
+        refits: None,
     });
 
     // 5. The per-iteration core of every fit above: one NLL-gradient
@@ -291,6 +303,7 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
             optimized_ns: sym_ns,
             baseline_nll: dense_nll,
             optimized_nll: sym_nll,
+            refits: None,
         });
     }
 
@@ -340,6 +353,7 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
         optimized_ns: ngp_warm_ns,
         baseline_nll: ngp_cold.nll(),
         optimized_nll: ngp_warm.nll(),
+        refits: None,
     });
 
     // 7. The same contrast for the K-member ensemble (eq. 13), every member
@@ -379,9 +393,131 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
         optimized_ns: ens_warm_ns,
         baseline_nll: member_nll_sum(&ens_cold),
         optimized_nll: member_nll_sum(&ens_warm),
+        refits: None,
+    });
+
+    // 8. The surrogate lifecycle end to end: the same growing observation
+    //    stream maintained with always-refit (`Fixed(1)`) vs the adaptive
+    //    NLL-drift policy, which absorbs most observations through the
+    //    bordered-Cholesky update and refits only when the incremental
+    //    model's per-point likelihood drifts.  The NLL columns record each
+    //    strategy's *final* model likelihood (the acceptance check: drift
+    //    stays within ~1% of always-refit at a fraction of the full fits).
+    let life_start = if quick { 24 } else { 64 };
+    let life_end = if quick { 40 } else { 160 };
+    let (life_xs, life_targets) = fit_dataset(life_end, dim, 131);
+    let life_ys = &life_targets[0];
+    let (fixed_ns, fixed) = time_best(1, || {
+        run_refit_lifecycle(
+            &life_xs,
+            life_ys,
+            &config,
+            RefitPolicy::Fixed(1),
+            life_start,
+            41,
+        )
+    });
+    // Per-point NLL moves more per appended observation at smoke scale, so
+    // the quick threshold is proportionally looser; the full-run threshold
+    // keeps the final NLL within a fraction of a percent of always-refit.
+    let drift_policy = RefitPolicy::NllDrift {
+        threshold: if quick { 0.05 } else { 0.004 },
+        min_gap: 1,
+        max_gap: 12,
+    };
+    let (drift_ns, drift) = time_best(1, || {
+        run_refit_lifecycle(&life_xs, life_ys, &config, drift_policy, life_start, 41)
+    });
+    entries.push(FitBenchEntry {
+        name: "refit_policy_nll_drift",
+        n: life_end,
+        outputs: 1,
+        baseline_ns: fixed_ns,
+        optimized_ns: drift_ns,
+        baseline_nll: fixed.final_nll,
+        optimized_nll: drift.final_nll,
+        refits: Some((fixed.full_refits, drift.full_refits)),
     });
 
     entries
+}
+
+/// End state of one surrogate-lifecycle run ([`run_refit_lifecycle`]).
+#[derive(Debug, Clone, Copy)]
+pub struct LifecycleOutcome {
+    /// NLL of the final model (standardised units; for a drift run the final
+    /// model may be an incremental one under frozen hyper-parameters).
+    pub final_nll: f64,
+    /// Full (hyper-parameter) refits performed after the initial fit.
+    pub full_refits: usize,
+}
+
+/// Drives a growing observation stream through exactly the refit decision
+/// rule the Bayesian-optimization loop applies ([`RefitPolicy::due`]): fit on
+/// the first `initial` points, then absorb `xs[initial..]` one at a time —
+/// bordered-Cholesky append plus drift measurement, full warm refit (shared
+/// fit context, warm-started hyper-parameters) when the policy says so.
+/// Shared by `reproduce fit` and the surrogate-lifecycle test harness.
+///
+/// # Panics
+///
+/// Panics if `initial` is zero, exceeds `xs.len()`, or a fit fails.
+pub fn run_refit_lifecycle(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    config: &GpConfig,
+    policy: RefitPolicy,
+    initial: usize,
+    seed: u64,
+) -> LifecycleOutcome {
+    assert!(initial > 0 && initial <= xs.len(), "bad initial size");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cache = None;
+    let full_fit = |n: usize,
+                    warm: Option<GpHyperParams>,
+                    rng: &mut StdRng,
+                    cache: &mut Option<nnbo_gp::FitContext>| {
+        GpModel::fit_multi_warm_cached(&xs[..n], &[ys[..n].to_vec()], config, rng, &[warm], cache)
+            .expect("lifecycle fit")
+            .remove(0)
+    };
+    let mut model = full_fit(initial, None, &mut rng, &mut cache);
+    let mut full_refits = 0usize;
+    let mut last_full_fit = initial;
+    let mut fit_nll_per_point = model.nll() / initial as f64;
+    for n in (initial + 1)..=xs.len() {
+        let gap = n - last_full_fit;
+        // Exactly like the BO loop's refresh: a fixed cadence that is due —
+        // or a drift policy at its max_gap boundary — skips the incremental
+        // attempt; otherwise the drift policy appends first so the refreshed
+        // likelihood is there to measure.
+        let due_without_append = match policy {
+            RefitPolicy::Fixed(_) => policy.due(gap, None),
+            RefitPolicy::NllDrift { max_gap, .. } => gap >= max_gap.max(1),
+        };
+        let mut needs_full = due_without_append;
+        if !due_without_append {
+            match model.append_observation(&xs[n - 1], ys[n - 1]) {
+                Ok(updated) => {
+                    let drift = (updated.nll() / n as f64 - fit_nll_per_point).abs();
+                    needs_full = policy.due(gap, Some(drift));
+                    model = updated;
+                }
+                Err(_) => needs_full = true,
+            }
+        }
+        if needs_full {
+            let warm = Some(model.hyper_params().clone());
+            model = full_fit(n, warm, &mut rng, &mut cache);
+            full_refits += 1;
+            last_full_fit = n;
+            fit_nll_per_point = model.nll() / n as f64;
+        }
+    }
+    LifecycleOutcome {
+        final_nll: model.nll(),
+        full_refits,
+    }
 }
 
 /// Serialises the entries as the `BENCH_fit.json` document (JSON written by
@@ -390,8 +526,14 @@ pub fn format_fit_json(entries: &[FitBenchEntry], quick: bool) -> String {
     let rows: Vec<String> = entries
         .iter()
         .map(|e| {
+            let refit_fields = match e.refits {
+                Some((baseline, optimized)) => format!(
+                    ", \"baseline_full_refits\": {baseline}, \"optimized_full_refits\": {optimized}"
+                ),
+                None => String::new(),
+            };
             format!(
-                "{{\"name\": \"{}\", \"n\": {}, \"outputs\": {}, \"baseline_ns\": {:.0}, \"optimized_ns\": {:.0}, \"speedup\": {:.2}, \"baseline_nll\": {}, \"optimized_nll\": {}}}",
+                "{{\"name\": \"{}\", \"n\": {}, \"outputs\": {}, \"baseline_ns\": {:.0}, \"optimized_ns\": {:.0}, \"speedup\": {:.2}, \"baseline_nll\": {}, \"optimized_nll\": {}{}}}",
                 e.name,
                 e.n,
                 e.outputs,
@@ -400,6 +542,7 @@ pub fn format_fit_json(entries: &[FitBenchEntry], quick: bool) -> String {
                 e.speedup(),
                 crate::json::number(e.baseline_nll),
                 crate::json::number(e.optimized_nll),
+                refit_fields,
             )
         })
         .collect();
@@ -421,7 +564,7 @@ pub fn format_fit_table(entries: &[FitBenchEntry]) -> String {
     );
     for e in entries {
         out.push_str(&format!(
-            "{:<20} {:>6} {:>8} {:>15.1} {:>15.1} {:>8.1}x {:>12.2} {:>12.2}\n",
+            "{:<20} {:>6} {:>8} {:>15.1} {:>15.1} {:>8.1}x {:>12.2} {:>12.2}",
             e.name,
             e.n,
             e.outputs,
@@ -431,6 +574,10 @@ pub fn format_fit_table(entries: &[FitBenchEntry]) -> String {
             e.baseline_nll,
             e.optimized_nll,
         ));
+        if let Some((baseline, optimized)) = e.refits {
+            out.push_str(&format!("  (full refits: {baseline} -> {optimized})"));
+        }
+        out.push('\n');
     }
     out
 }
@@ -441,6 +588,9 @@ mod tests {
 
     #[test]
     fn quick_bench_produces_all_workloads_and_valid_json() {
+        let _guard = crate::TEST_DISPATCH_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
         let entries = run_fit_bench(true);
         let names: Vec<&str> = entries.iter().map(|e| e.name).collect();
         for expected in [
@@ -451,13 +601,24 @@ mod tests {
             "symmetric_inverse",
             "ngp_refit_warm",
             "ngp_ensemble_refit_warm",
+            "refit_policy_nll_drift",
         ] {
             assert!(names.contains(&expected), "missing workload {expected}");
         }
         for e in &entries {
             assert!(e.baseline_nll.is_finite() && e.optimized_nll.is_finite());
         }
+        let lifecycle = entries
+            .iter()
+            .find(|e| e.name == "refit_policy_nll_drift")
+            .unwrap();
+        let (fixed_refits, drift_refits) = lifecycle.refits.unwrap();
+        assert!(
+            drift_refits < fixed_refits,
+            "drift policy performed {drift_refits} full refits vs always-refit's {fixed_refits}"
+        );
         let json = format_fit_json(&entries, true);
+        assert!(json.contains("\"baseline_full_refits\""));
         assert!(json.contains("\"schema\": \"nnbo-bench-fit-v1\""));
         assert_eq!(json.matches("\"name\"").count(), entries.len());
         assert_eq!(json.matches('{').count(), json.matches('}').count());

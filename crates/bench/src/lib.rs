@@ -8,17 +8,31 @@
 
 #![warn(missing_docs)]
 
+/// Serialises the library unit tests that toggle the process-global kernel
+/// dispatch ([`nnbo_linalg::force_portable_kernels`]) *and* the numeric
+/// tests a mid-run flip would perturb (surrogate fits, lifecycle runs, BO
+/// trajectories): the default test harness runs them on concurrent threads,
+/// and a dispatch flip landing mid-factorization would mix packed and
+/// portable kernels nondeterministically.
+#[cfg(test)]
+pub(crate) static TEST_DISPATCH_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 mod fit_bench;
 mod json;
 mod linalg_bench;
+mod predict_bench;
 mod protocol;
 mod scaling;
 mod tables;
 
-pub use fit_bench::{fit_dataset, format_fit_json, format_fit_table, run_fit_bench, FitBenchEntry};
+pub use fit_bench::{
+    fit_dataset, format_fit_json, format_fit_table, run_fit_bench, run_refit_lifecycle,
+    FitBenchEntry, LifecycleOutcome,
+};
 pub use linalg_bench::{
     format_linalg_json, format_linalg_table, run_linalg_bench, LinalgBenchEntry,
 };
+pub use predict_bench::{format_predict_json, format_predict_table, run_predict_bench};
 pub use protocol::{Algorithm, Protocol};
 pub use scaling::{format_scaling_json, run_scaling, ScalingPoint};
 pub use tables::{

@@ -50,7 +50,8 @@ impl LinalgBenchEntry {
 /// Times `f`, returning the best (minimum) wall-clock nanoseconds over `reps`
 /// repetitions.  The minimum is the standard choice for micro-benchmarks: it
 /// is the least noisy estimator of the true cost of the work itself.
-fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+/// Shared with the prediction-path benchmark (`predict_bench`).
+pub(crate) fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {
         let start = Instant::now();
@@ -323,6 +324,9 @@ mod tests {
 
     #[test]
     fn quick_bench_produces_all_workloads_and_valid_json() {
+        let _guard = crate::TEST_DISPATCH_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
         let entries = run_linalg_bench(true);
         let names: Vec<&str> = entries.iter().map(|e| e.name).collect();
         for expected in [

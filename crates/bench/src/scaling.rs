@@ -129,6 +129,9 @@ mod tests {
 
     #[test]
     fn scaling_runs_and_reports_every_size() {
+        let _guard = crate::TEST_DISPATCH_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
         let points = run_scaling(&[20, 40], 20);
         assert_eq!(points.len(), 2);
         for p in &points {

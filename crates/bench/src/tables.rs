@@ -412,6 +412,9 @@ mod tests {
 
     #[test]
     fn every_algorithm_runs_on_the_opamp_problem() {
+        let _guard = crate::TEST_DISPATCH_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
         let protocol = tiny_protocol();
         let problem = OpAmpProblem::new();
         for algorithm in Algorithm::all() {
@@ -422,6 +425,9 @@ mod tests {
 
     #[test]
     fn table_formatting_contains_all_algorithms() {
+        let _guard = crate::TEST_DISPATCH_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
         let rows = vec![Table1Row {
             algorithm: "Ours".into(),
             ugf_mhz: 40.0,

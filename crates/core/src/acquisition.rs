@@ -74,7 +74,10 @@ pub fn expected_improvement(prediction: &Prediction, tau: f64) -> f64 {
         return (tau - prediction.mean).max(0.0);
     }
     let lambda = (tau - prediction.mean) / sigma;
-    sigma * (lambda * normal_cdf(lambda) + normal_pdf(lambda))
+    // EI is mathematically non-negative; the erf approximation inside the cdf
+    // can push the closed form a few ulps below zero for very unpromising
+    // points, so clamp (the property tests pin EI ≥ 0 exactly).
+    (sigma * (lambda * normal_cdf(lambda) + normal_pdf(lambda))).max(0.0)
 }
 
 /// Probability of improvement over the incumbent `tau` (minimisation).

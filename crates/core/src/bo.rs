@@ -11,6 +11,122 @@ use crate::problems::{Evaluation, Problem};
 use crate::sampling::latin_hypercube;
 use crate::surrogate::{SurrogateModel, SurrogateTrainer};
 
+/// When the loop performs a *full* surrogate refit (hyper-parameter
+/// optimization / network retraining) versus absorbing the newest observation
+/// through the trainers' `O(N²)` incremental updates
+/// ([`crate::SurrogateTrainer::update`]).
+///
+/// The paper's Algorithm 1 refits at every iteration
+/// ([`RefitPolicy::Fixed`]`(1)`, the default).  A fixed larger cadence
+/// amortizes the fit cost but is blind to what the incremental model actually
+/// does between refits: it wastes full fits when the frozen hyper-parameters
+/// still explain the data, and tolerates drift when they do not.
+/// [`RefitPolicy::NllDrift`] closes that gap by watching the surrogates' own
+/// maintained likelihood ([`crate::SurrogateModel::training_nll`], refreshed
+/// in `O(M)`/`O(N²)` by every incremental update) and refitting only when the
+/// per-point NLL has moved past a threshold since the last full fit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RefitPolicy {
+    /// Full refit every `k` evaluations; iterations in between use the
+    /// incremental updates.  `Fixed(1)` is the paper's always-refit loop.
+    Fixed(usize),
+    /// Adaptive: after each incremental update, compare the models' per-point
+    /// NLL (averaged over the objective and every constraint) against its
+    /// value at the last full fit, and refit once the absolute change reaches
+    /// `threshold` — but never before `min_gap` evaluations have accumulated
+    /// since the last full fit, and always once `max_gap` have.
+    ///
+    /// With `threshold = 0` every measured drift (the comparison is
+    /// `drift ≥ threshold`) triggers a refit, reproducing `Fixed(min_gap)` —
+    /// in particular `Fixed(1)` for `min_gap = 1` — bit for bit.  When a
+    /// surrogate does not expose a likelihood
+    /// ([`crate::SurrogateModel::training_nll`] returns `None`) the drift is
+    /// unknown and the policy conservatively refits on the `min_gap` cadence.
+    NllDrift {
+        /// Absolute per-point NLL change (standardised units, averaged over
+        /// outputs) at which a full refit triggers.
+        threshold: f64,
+        /// Evaluations that must accumulate since the last full fit before
+        /// drift can trigger one (≥ 1).
+        min_gap: usize,
+        /// Evaluations after which a full refit happens regardless of drift
+        /// (≥ `min_gap`).
+        max_gap: usize,
+    },
+}
+
+impl Default for RefitPolicy {
+    fn default() -> Self {
+        RefitPolicy::Fixed(1)
+    }
+}
+
+impl RefitPolicy {
+    /// A drift policy with the default gap band: drift may trigger from the
+    /// first incremental update, and a refit is forced after 25 evaluations
+    /// without one.
+    pub fn nll_drift(threshold: f64) -> Self {
+        RefitPolicy::NllDrift {
+            threshold,
+            min_gap: 1,
+            max_gap: 25,
+        }
+    }
+
+    /// Decides whether a full refit is due, `gap` evaluations after the last
+    /// full fit, given the observed absolute per-point NLL `drift` (`None`
+    /// when the surrogates do not expose a likelihood).
+    ///
+    /// An unknown (`None`) or non-finite drift is treated conservatively as
+    /// "refit": a NaN drift means the incremental model's likelihood itself
+    /// degenerated (e.g. a near-duplicate observation drove the bordered
+    /// factor singular), which is precisely when keeping it would be wrong.
+    ///
+    /// This is the exact decision rule the loop applies after each
+    /// incremental update; it is public so benchmarks and external
+    /// surrogate-lifecycle drivers replicate the loop's behaviour.
+    pub fn due(&self, gap: usize, drift: Option<f64>) -> bool {
+        match *self {
+            RefitPolicy::Fixed(k) => gap >= k.max(1),
+            RefitPolicy::NllDrift {
+                threshold,
+                min_gap,
+                max_gap,
+            } => {
+                gap >= max_gap
+                    || (gap >= min_gap && drift.is_none_or(|d| !d.is_finite() || d >= threshold))
+            }
+        }
+    }
+
+    /// Human-readable validity check, used by [`BayesOpt::run`]'s config
+    /// validation.
+    fn validate(&self) -> Result<(), String> {
+        match *self {
+            RefitPolicy::Fixed(0) => Err("refit cadence must be at least 1".to_string()),
+            RefitPolicy::Fixed(_) => Ok(()),
+            RefitPolicy::NllDrift {
+                threshold,
+                min_gap,
+                max_gap,
+            } => {
+                if threshold.is_nan() || threshold < 0.0 {
+                    return Err(format!("drift threshold must be >= 0, got {threshold}"));
+                }
+                if min_gap == 0 {
+                    return Err("drift min_gap must be at least 1".to_string());
+                }
+                if max_gap < min_gap {
+                    return Err(format!(
+                        "drift max_gap {max_gap} must be >= min_gap {min_gap}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// Configuration of a [`BayesOpt`] run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BoConfig {
@@ -27,16 +143,10 @@ pub struct BoConfig {
     /// Number of additional candidates drawn as Gaussian perturbations of the
     /// incumbent (local refinement of the acquisition search).
     pub local_candidates: usize,
-    /// How often the surrogates are refitted from scratch, in evaluations.
-    ///
-    /// `1` (the default) retrains at every iteration, exactly as the paper's
-    /// Algorithm 1 does.  With a larger value the loop performs the full
-    /// hyper-parameter fit only every `refit_every` evaluations and absorbs
-    /// the single observation appended in between through the trainers'
-    /// `O(N²)` incremental Cholesky updates
-    /// ([`crate::SurrogateTrainer::update`]) — the LinEasyBO-style trade of
-    /// hyper-parameter freshness for per-iteration cost.
-    pub refit_every: usize,
+    /// When the surrogates are refitted from scratch versus incrementally
+    /// updated (see [`RefitPolicy`]; the default refits every iteration,
+    /// exactly as the paper's Algorithm 1 does).
+    pub refit: RefitPolicy,
     /// Random seed; every stochastic component of the run derives from it.
     pub seed: u64,
 }
@@ -51,7 +161,7 @@ impl BoConfig {
             acquisition: AcquisitionKind::WeightedExpectedImprovement,
             candidate_pool: 1024,
             local_candidates: 256,
-            refit_every: 1,
+            refit: RefitPolicy::Fixed(1),
             seed: 0,
         }
     }
@@ -77,14 +187,25 @@ impl BoConfig {
         self
     }
 
-    /// Sets the full-refit cadence (see [`BoConfig::refit_every`]).
+    /// Sets a fixed full-refit cadence.
+    ///
+    /// Deprecated shim over [`BoConfig::with_refit_policy`]: equivalent to
+    /// `with_refit_policy(RefitPolicy::Fixed(refit_every))`.
     ///
     /// # Panics
     ///
     /// Panics if `refit_every` is zero.
-    pub fn with_refit_every(mut self, refit_every: usize) -> Self {
+    #[deprecated(
+        note = "use with_refit_policy(RefitPolicy::Fixed(k)) — or RefitPolicy::NllDrift for the adaptive policy"
+    )]
+    pub fn with_refit_every(self, refit_every: usize) -> Self {
         assert!(refit_every > 0, "refit_every must be at least 1");
-        self.refit_every = refit_every;
+        self.with_refit_policy(RefitPolicy::Fixed(refit_every))
+    }
+
+    /// Sets the surrogate refit policy (see [`RefitPolicy`]).
+    pub fn with_refit_policy(mut self, refit: RefitPolicy) -> Self {
+        self.refit = refit;
         self
     }
 }
@@ -95,6 +216,9 @@ impl BoConfig {
 pub struct OptimizationResult {
     evaluations: Vec<(Vec<f64>, Evaluation)>,
     initial_samples: usize,
+    /// Number of *full* surrogate refits the run performed (0 for
+    /// histories built by [`OptimizationResult::from_history`]).
+    full_refits: usize,
 }
 
 impl OptimizationResult {
@@ -102,12 +226,25 @@ impl OptimizationResult {
     ///
     /// This is how the non-Bayesian baselines (differential evolution, GASPAD,
     /// random search) report their runs so that every algorithm is summarised by
-    /// the same statistics code.
+    /// the same statistics code.  The full-refit counter is zero for such
+    /// histories — it is only meaningful for surrogate-driven [`BayesOpt`]
+    /// runs.
     pub fn from_history(evaluations: Vec<(Vec<f64>, Evaluation)>, initial_samples: usize) -> Self {
         OptimizationResult {
             evaluations,
             initial_samples,
+            full_refits: 0,
         }
+    }
+
+    /// Number of full surrogate refits (hyper-parameter optimizations /
+    /// network retrainings) the run performed; iterations not counted here
+    /// absorbed their observation through the trainers' incremental updates.
+    /// The contrast against `max_evaluations − initial_samples` (what
+    /// [`RefitPolicy::Fixed`]`(1)` performs) is the direct measure of how
+    /// much surrogate maintenance an adaptive policy saved.
+    pub fn full_refits(&self) -> usize {
+        self.full_refits
     }
 
     /// All evaluated `(normalised point, evaluation)` pairs, in evaluation order.
@@ -251,11 +388,22 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
         // Phase 2: model-guided search.  The fitted surrogates persist across
         // iterations so that, between full refits, the single observation
         // appended per iteration can be absorbed through the trainers'
-        // incremental Cholesky updates instead of a from-scratch fit.
+        // incremental Cholesky updates instead of a from-scratch fit; the
+        // scoring buffers persist too, so the prediction path reuses its
+        // allocations across iterations.
         let mut consecutive_failures = 0usize;
         let mut models: Option<FittedModels<T::Model>> = None;
+        let mut scores = ScoreBuffers::new();
+        let mut full_refits = 0usize;
         while history.len() < self.config.max_evaluations {
-            let candidate = match self.next_candidate(problem, &history, &mut models, &mut rng) {
+            let candidate = match self.next_candidate(
+                problem,
+                &history,
+                &mut models,
+                &mut rng,
+                &mut scores,
+                &mut full_refits,
+            ) {
                 Ok(x) => {
                     consecutive_failures = 0;
                     x
@@ -280,6 +428,7 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
         Ok(OptimizationResult {
             evaluations: history,
             initial_samples: self.config.initial_samples,
+            full_refits,
         })
     }
 
@@ -302,7 +451,16 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
         rng: &mut StdRng,
     ) -> Result<Vec<f64>, String> {
         let mut models: Option<FittedModels<T::Model>> = None;
-        self.next_candidate(problem, history, &mut models, rng)
+        let mut scores = ScoreBuffers::new();
+        let mut full_refits = 0usize;
+        self.next_candidate(
+            problem,
+            history,
+            &mut models,
+            rng,
+            &mut scores,
+            &mut full_refits,
+        )
     }
 
     fn validate(&self, problem: &dyn Problem) -> Result<(), BoError> {
@@ -329,21 +487,29 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
                 details: "candidate pool must not be empty".to_string(),
             });
         }
+        if let Err(details) = self.config.refit.validate() {
+            return Err(BoError::InvalidConfig { details });
+        }
         Ok(())
     }
 
     /// Brings `models` up to date with `history` (full fit or incremental
-    /// update, per the `refit_every` cadence), then maximises the acquisition
-    /// function over a candidate set scored in one batch.
+    /// update, per the configured [`RefitPolicy`]), then maximises the
+    /// acquisition function over a candidate set scored in one batch through
+    /// the buffer-reusing prediction path.
     fn next_candidate(
         &self,
         problem: &dyn Problem,
         history: &[(Vec<f64>, Evaluation)],
         models: &mut Option<FittedModels<T::Model>>,
         rng: &mut StdRng,
+        scores: &mut ScoreBuffers,
+        full_refits: &mut usize,
     ) -> Result<Vec<f64>, String> {
         let dim = problem.dim();
-        self.refresh_models(problem, history, models, rng)?;
+        if self.refresh_models(problem, history, models, rng)? {
+            *full_refits += 1;
+        }
         let fitted = models.as_ref().expect("refresh_models populated the slot");
 
         // Incumbent: best feasible objective, if any.
@@ -392,20 +558,26 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
 
         // Score the whole candidate set in one batch per surrogate: the
         // cross-kernel / feature products and triangular solves amortise over
-        // all `candidate_pool + local_candidates` points at once.
-        let objective_preds = fitted.objective.predict_batch(&candidates);
-        let constraint_preds: Vec<Vec<_>> = fitted
+        // all `candidate_pool + local_candidates` points at once, and the
+        // `_into` prediction path reuses the persistent scoring buffers, so a
+        // steady-state iteration allocates nothing here beyond the candidate
+        // set itself.
+        fitted
+            .objective
+            .predict_batch_into(&candidates, &mut scores.objective);
+        scores
             .constraints
-            .iter()
-            .map(|m| m.predict_batch(&candidates))
-            .collect();
+            .resize_with(fitted.constraints.len(), Vec::new);
+        for (model, preds) in fitted.constraints.iter().zip(scores.constraints.iter_mut()) {
+            model.predict_batch_into(&candidates, preds);
+        }
 
         let mut best_score = f64::NEG_INFINITY;
         let mut best_index = 0;
-        let mut constraint_buf = Vec::with_capacity(constraint_preds.len());
-        for (idx, objective_pred) in objective_preds.iter().enumerate() {
+        let mut constraint_buf = Vec::with_capacity(scores.constraints.len());
+        for (idx, objective_pred) in scores.objective.iter().enumerate() {
             constraint_buf.clear();
-            constraint_buf.extend(constraint_preds.iter().map(|preds| preds[idx]));
+            constraint_buf.extend(scores.constraints.iter().map(|preds| preds[idx]));
             let score = acquisition::evaluate(
                 self.config.acquisition,
                 objective_pred,
@@ -420,11 +592,25 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
         Ok(candidates.swap_remove(best_index))
     }
 
-    /// Ensures `models` reflects `history`: a full fit when due (first call,
-    /// `refit_every` cadence reached, or the history did not grow by exactly
-    /// one point), otherwise the trainers' incremental single-observation
-    /// update, falling back to a full fit when a trainer does not support
-    /// updates or reports a failure.
+    /// Ensures `models` reflects `history`, returning `true` when a *full*
+    /// fit was performed and `false` when the models were kept or
+    /// incrementally updated.
+    ///
+    /// With [`RefitPolicy::Fixed`] this is the cadence logic: a full fit when
+    /// due (first call, cadence reached, or the history did not grow by
+    /// exactly one point), otherwise the trainers' incremental
+    /// single-observation update, falling back to a full fit when a trainer
+    /// does not support updates or reports a failure.
+    ///
+    /// With [`RefitPolicy::NllDrift`] the incremental update runs *first*
+    /// (inside the `max_gap` window): it both absorbs the observation and
+    /// refreshes the surrogates' maintained likelihood, whose per-point
+    /// change since the last full fit is the drift the policy thresholds.
+    /// When drift triggers, the full fit warm-starts from the incrementally
+    /// updated models — whose hyper-parameters and networks are frozen
+    /// copies of the last full fit's, so the fit is bit-identical to one
+    /// warm-started from those (the `threshold = 0` ≡ always-refit
+    /// equivalence the tests pin).
     ///
     /// Full fits go through [`SurrogateTrainer::fit_many`], handing the
     /// trainer every output (objective plus constraints) in one call so
@@ -438,23 +624,62 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
         history: &[(Vec<f64>, Evaluation)],
         models: &mut Option<FittedModels<T::Model>>,
         rng: &mut StdRng,
-    ) -> Result<(), String> {
+    ) -> Result<bool, String> {
         let n = history.len();
-        let refit_every = self.config.refit_every.max(1);
+        let policy = self.config.refit;
 
         if let Some(fitted) = models.as_mut() {
-            let due_for_full_fit = n.saturating_sub(fitted.last_full_fit) >= refit_every;
+            let gap = n.saturating_sub(fitted.last_full_fit);
             let grew_by_one = n == fitted.trained_on + 1;
-            if !due_for_full_fit && grew_by_one {
-                let (x_new, eval) = &history[n - 1];
-                if let Some(updated) = self.try_incremental_update(fitted, x_new, eval, rng) {
-                    *fitted = updated;
-                    return Ok(());
+            if n == fitted.trained_on {
+                // Nothing new to learn (e.g. repeated suggest on a static
+                // history); a fixed cadence may still owe a full fit after a
+                // run of incremental updates.
+                if !policy.due(gap, fitted.drift()) {
+                    return Ok(false);
                 }
-            } else if !due_for_full_fit && n == fitted.trained_on {
-                // Nothing new to learn (e.g. repeated suggest on a static history).
-                return Ok(());
+            } else if grew_by_one {
+                match policy {
+                    RefitPolicy::Fixed(_) => {
+                        if !policy.due(gap, None) {
+                            let (x_new, eval) = &history[n - 1];
+                            if let Some(updated) =
+                                self.try_incremental_update(fitted, x_new, eval, rng)
+                            {
+                                *fitted = updated;
+                                return Ok(false);
+                            }
+                            // Unsupported / failed update: full fit below.
+                        }
+                    }
+                    RefitPolicy::NllDrift { max_gap, .. } => {
+                        // Without a drift reference (the surrogates do not
+                        // track an NLL) the conservative decision is known up
+                        // front — skip the O(N²) incremental update whose
+                        // result a full fit would immediately replace.
+                        let refit_known_up_front =
+                            fitted.fit_nll_per_point.is_none() && policy.due(gap, None);
+                        if gap < max_gap.max(1) && !refit_known_up_front {
+                            let (x_new, eval) = &history[n - 1];
+                            if let Some(updated) =
+                                self.try_incremental_update(fitted, x_new, eval, rng)
+                            {
+                                let due = policy.due(gap, updated.drift());
+                                // Keep the absorbed observation either way:
+                                // if a full fit follows it warm-starts from
+                                // these (frozen-parameter) models.
+                                *fitted = updated;
+                                if !due {
+                                    return Ok(false);
+                                }
+                            }
+                            // Unsupported / failed update: full fit below
+                            // (drift unknown, conservative).
+                        }
+                    }
+                }
             }
+            // Any other history shape (shrunk, jumped): full fit below.
         }
 
         let xs: Vec<Vec<f64>> = history.iter().map(|(x, _)| x.clone()).collect();
@@ -485,13 +710,17 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
         let objective = trained
             .pop()
             .expect("fit_many returned the objective model");
-        *models = Some(FittedModels {
+        let mut fitted = FittedModels {
             objective,
             constraints,
             trained_on: n,
             last_full_fit: n,
-        });
-        Ok(())
+            fit_nll_per_point: None,
+        };
+        // Anchor the drift reference at the freshly fitted models' quality.
+        fitted.fit_nll_per_point = fitted.nll_per_point();
+        *models = Some(fitted);
+        Ok(true)
     }
 
     /// Applies the trainer's incremental update to the objective model and
@@ -524,13 +753,14 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
             constraints,
             trained_on: fitted.trained_on + 1,
             last_full_fit: fitted.last_full_fit,
+            fit_nll_per_point: fitted.fit_nll_per_point,
         })
     }
 }
 
 /// Surrogates fitted to a prefix of the evaluation history, kept alive across
 /// loop iterations so incremental updates can replace full refits between
-/// `refit_every` boundaries.
+/// the [`RefitPolicy`]'s full-fit boundaries.
 struct FittedModels<M> {
     objective: M,
     constraints: Vec<M>,
@@ -538,6 +768,48 @@ struct FittedModels<M> {
     trained_on: usize,
     /// History length at the last from-scratch fit.
     last_full_fit: usize,
+    /// Per-point NLL (averaged over outputs) recorded at the last full fit —
+    /// the reference the drift policy compares against.  `None` when the
+    /// surrogates do not expose a likelihood.
+    fit_nll_per_point: Option<f64>,
+}
+
+impl<M: SurrogateModel> FittedModels<M> {
+    /// Current per-point NLL, averaged over the objective and every
+    /// constraint model; `None` as soon as any model does not track one.
+    fn nll_per_point(&self) -> Option<f64> {
+        if self.trained_on == 0 {
+            return None;
+        }
+        let mut total = self.objective.training_nll()?;
+        for c in &self.constraints {
+            total += c.training_nll()?;
+        }
+        Some(total / ((1 + self.constraints.len()) * self.trained_on) as f64)
+    }
+
+    /// Absolute change of the per-point NLL since the last full fit — the
+    /// drift signal [`RefitPolicy::NllDrift`] thresholds.
+    fn drift(&self) -> Option<f64> {
+        Some((self.nll_per_point()? - self.fit_nll_per_point?).abs())
+    }
+}
+
+/// Prediction buffers reused across the acquisition scoring of every loop
+/// iteration (one vector per modelled output), so the batched prediction
+/// path writes into stable allocations.
+struct ScoreBuffers {
+    objective: Vec<crate::surrogate::Prediction>,
+    constraints: Vec<Vec<crate::surrogate::Prediction>>,
+}
+
+impl ScoreBuffers {
+    fn new() -> Self {
+        ScoreBuffers {
+            objective: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
 }
 
 /// Draws a standard-normal sample by the Box–Muller transform (avoids pulling in a
@@ -658,9 +930,20 @@ mod tests {
         let problem = ConstrainedBranin::new();
         // Full hyper-parameter refit only every 4 evaluations; the iterations
         // in between absorb their observation through rank-1 updates.
-        let bo = fast_neural(BoConfig::fast(10, 26).with_seed(11).with_refit_every(4));
+        let bo = fast_neural(
+            BoConfig::fast(10, 26)
+                .with_seed(11)
+                .with_refit_policy(RefitPolicy::Fixed(4)),
+        );
         let result = bo.run(&problem).unwrap();
         assert_eq!(result.num_evaluations(), 26);
+        // 16 model-guided iterations at cadence 4: far fewer full refits than
+        // always-refit would perform.
+        assert!(
+            result.full_refits() < 16,
+            "cadence 4 performed {} full refits",
+            result.full_refits()
+        );
         let best = result.best_objective().expect("a feasible point is found");
         assert!(
             best < 5.0,
@@ -670,16 +953,154 @@ mod tests {
 
     #[test]
     fn refit_every_one_matches_the_always_refit_reference() {
-        // refit_every = 1 must reproduce the plain always-refit loop exactly:
-        // the incremental path never triggers and the rng stream is untouched.
+        // Fixed(1) must reproduce the plain always-refit loop exactly: the
+        // incremental path never triggers and the rng stream is untouched.
+        // The deprecated with_refit_every shim maps onto the same policy.
         let problem = ConstrainedBranin::new();
         let base = fast_neural(BoConfig::fast(6, 12).with_seed(21))
             .run(&problem)
             .unwrap();
-        let explicit = fast_neural(BoConfig::fast(6, 12).with_seed(21).with_refit_every(1))
+        let explicit = fast_neural(
+            BoConfig::fast(6, 12)
+                .with_seed(21)
+                .with_refit_policy(RefitPolicy::Fixed(1)),
+        )
+        .run(&problem)
+        .unwrap();
+        assert_eq!(base.evaluations(), explicit.evaluations());
+        // Always-refit means one full fit per model-guided iteration.
+        assert_eq!(base.full_refits(), 12 - 6);
+        #[allow(deprecated)]
+        let shim = BoConfig::fast(6, 12).with_seed(21).with_refit_every(1);
+        assert_eq!(shim, BoConfig::fast(6, 12).with_seed(21));
+    }
+
+    #[test]
+    fn deprecated_refit_every_shim_maps_onto_fixed_policy() {
+        #[allow(deprecated)]
+        let shim = BoConfig::fast(8, 20).with_refit_every(5);
+        assert_eq!(shim.refit, RefitPolicy::Fixed(5));
+        let problem = ConstrainedBranin::new();
+        #[allow(deprecated)]
+        let via_shim = fast_neural(BoConfig::fast(6, 14).with_seed(9).with_refit_every(3))
             .run(&problem)
             .unwrap();
-        assert_eq!(base.evaluations(), explicit.evaluations());
+        let via_policy = fast_neural(
+            BoConfig::fast(6, 14)
+                .with_seed(9)
+                .with_refit_policy(RefitPolicy::Fixed(3)),
+        )
+        .run(&problem)
+        .unwrap();
+        assert_eq!(via_shim.evaluations(), via_policy.evaluations());
+        assert_eq!(via_shim.full_refits(), via_policy.full_refits());
+    }
+
+    #[test]
+    fn nll_drift_with_zero_threshold_is_bit_identical_to_always_refit() {
+        // threshold = 0 means every measured drift (the comparison is ≥)
+        // triggers a full refit on the min_gap = 1 cadence, and the full fit
+        // warm-starts from incrementally updated models whose parameters are
+        // frozen copies of the last fit's — so the suggestions, evaluations
+        // and rng stream reproduce the always-refit loop exactly.
+        let problem = ConstrainedBranin::new();
+        let always = fast_neural(BoConfig::fast(6, 13).with_seed(29))
+            .run(&problem)
+            .unwrap();
+        let drift = fast_neural(BoConfig::fast(6, 13).with_seed(29).with_refit_policy(
+            RefitPolicy::NllDrift {
+                threshold: 0.0,
+                min_gap: 1,
+                max_gap: 1000,
+            },
+        ))
+        .run(&problem)
+        .unwrap();
+        assert_eq!(always.evaluations(), drift.evaluations());
+        assert_eq!(always.full_refits(), drift.full_refits());
+    }
+
+    #[test]
+    fn nll_drift_saves_full_refits_and_still_optimizes() {
+        let problem = ConstrainedBranin::new();
+        let always = fast_neural(BoConfig::fast(10, 26).with_seed(11))
+            .run(&problem)
+            .unwrap();
+        let drift = fast_neural(
+            BoConfig::fast(10, 26)
+                .with_seed(11)
+                .with_refit_policy(RefitPolicy::nll_drift(0.5)),
+        )
+        .run(&problem)
+        .unwrap();
+        assert_eq!(drift.num_evaluations(), always.num_evaluations());
+        assert!(
+            drift.full_refits() < always.full_refits(),
+            "drift performed {} full refits vs always-refit's {}",
+            drift.full_refits(),
+            always.full_refits()
+        );
+        let best = drift.best_objective().expect("a feasible point is found");
+        assert!(best < 5.0, "best Branin value {best} under drift refits");
+    }
+
+    #[test]
+    fn invalid_refit_policies_are_rejected() {
+        let problem = ConstrainedBranin::new();
+        for policy in [
+            RefitPolicy::Fixed(0),
+            RefitPolicy::NllDrift {
+                threshold: -1.0,
+                min_gap: 1,
+                max_gap: 4,
+            },
+            RefitPolicy::NllDrift {
+                threshold: f64::NAN,
+                min_gap: 1,
+                max_gap: 4,
+            },
+            RefitPolicy::NllDrift {
+                threshold: 0.1,
+                min_gap: 0,
+                max_gap: 4,
+            },
+            RefitPolicy::NllDrift {
+                threshold: 0.1,
+                min_gap: 5,
+                max_gap: 4,
+            },
+        ] {
+            let bo = fast_neural(BoConfig::fast(6, 10).with_refit_policy(policy));
+            assert!(
+                matches!(bo.run(&problem), Err(BoError::InvalidConfig { .. })),
+                "policy {policy:?} was not rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn refit_policy_due_rule_is_the_documented_one() {
+        assert!(RefitPolicy::Fixed(1).due(1, None));
+        assert!(!RefitPolicy::Fixed(4).due(3, Some(1e9)));
+        assert!(RefitPolicy::Fixed(4).due(4, None));
+        let drift = RefitPolicy::NllDrift {
+            threshold: 0.25,
+            min_gap: 2,
+            max_gap: 6,
+        };
+        // Below min_gap: never, no matter the drift.
+        assert!(!drift.due(1, Some(10.0)));
+        // In the band: thresholded (the comparison is ≥).
+        assert!(!drift.due(2, Some(0.1)));
+        assert!(drift.due(2, Some(0.25)));
+        // Unknown drift: conservative refit.
+        assert!(drift.due(2, None));
+        // Degenerate (non-finite) drift — the incremental likelihood itself
+        // broke — is also a conservative refit, not "no drift measured".
+        assert!(drift.due(2, Some(f64::NAN)));
+        assert!(drift.due(2, Some(f64::INFINITY)));
+        // At max_gap: always.
+        assert!(drift.due(6, Some(0.0)));
     }
 
     #[test]

@@ -269,6 +269,17 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 const PARALLEL_PREDICT_MIN_BATCH: usize = 256;
 
 impl SurrogateModel for NeuralGpEnsemble {
+    /// Mean of the members' maintained likelihoods ([`NeuralGp::nll`]) — the
+    /// drift signal adaptive refit policies read.  Every member refreshes its
+    /// likelihood on `append_observation`, so the mean tracks the whole
+    /// ensemble's quality between full refits.
+    fn training_nll(&self) -> Option<f64> {
+        if self.members.is_empty() {
+            return None;
+        }
+        Some(self.members.iter().map(NeuralGp::nll).sum::<f64>() / self.members.len() as f64)
+    }
+
     fn predict(&self, x: &[f64]) -> Prediction {
         self.predict_batch(std::slice::from_ref(&x.to_vec()))
             .pop()

@@ -104,6 +104,9 @@ pub struct NeuralGp {
     /// Projected targets `v = Φ y` (standardised units), kept so a single
     /// appended observation can update `α = A⁻¹ v` in `O(M²)`.
     v: Vec<f64>,
+    /// `yᵀy` of the standardised targets, kept so an appended observation can
+    /// refresh the likelihood in `O(M)` (the fit term needs `yᵀy − vᵀα`).
+    yty: f64,
     standardizer: Standardizer,
     train_size: usize,
     final_nll: f64,
@@ -264,17 +267,18 @@ impl NeuralGp {
         // Anchor: the likelihood of the *untrained* cold initial point — the
         // cheap reference that detects a stale or diverged warm start.
         let anchor_model = factorize(&cold_mlp, cold_log_noise, cold_log_prior, &x, &y, config)
-            .and_then(|(chol, alpha, v, nll)| {
-                nll.is_finite().then(|| NeuralGp {
+            .and_then(|f| {
+                f.nll.is_finite().then(|| NeuralGp {
                     mlp: cold_mlp.clone(),
                     log_noise: cold_log_noise,
                     log_prior: cold_log_prior,
-                    chol,
-                    alpha,
-                    v,
+                    chol: f.chol,
+                    alpha: f.alpha,
+                    v: f.v,
+                    yty: f.yty,
                     standardizer,
                     train_size: xs.len(),
-                    final_nll: nll,
+                    final_nll: f.nll,
                 })
             });
         match (&warm_model, &anchor_model) {
@@ -321,7 +325,11 @@ impl NeuralGp {
     ///
     /// The network weights, noise level and target standardiser stay frozen at
     /// their last trained values (the LinEasyBO-style trade); the stored
-    /// likelihood is left at its last trained value as well.
+    /// likelihood is *refreshed* for the extended data set under those frozen
+    /// parameters (an `O(M)` update of the fit term plus the updated factor's
+    /// log-determinant) — this is the drift signal the Bayesian-optimization
+    /// loop's `RefitPolicy::NllDrift` reads to decide when the incremental
+    /// model has degraded enough to warrant a full warm refit.
     ///
     /// # Errors
     ///
@@ -343,6 +351,20 @@ impl NeuralGp {
             *vi += p * y_std;
         }
         let alpha = chol.solve_vec(&v);
+        let yty = self.yty + y_std * y_std;
+        // Likelihood of the extended data under the frozen parameters — the
+        // shared closed form `factorize` evaluates, with every O(N·M²)
+        // sufficient statistic already maintained incrementally.
+        let v_alpha: f64 = v.iter().zip(alpha.iter()).map(|(a, b)| a * b).sum();
+        let nll = weight_space_nll(
+            yty,
+            v_alpha,
+            chol.log_det(),
+            self.feature_dim() as f64,
+            (self.train_size + 1) as f64,
+            (2.0 * self.log_noise).exp(),
+            (2.0 * self.log_prior).exp(),
+        );
         Ok(NeuralGp {
             mlp: self.mlp.clone(),
             log_noise: self.log_noise,
@@ -350,9 +372,10 @@ impl NeuralGp {
             chol,
             alpha,
             v,
+            yty,
             standardizer: self.standardizer,
             train_size: self.train_size + 1,
-            final_nll: self.final_nll,
+            final_nll: nll,
         })
     }
 
@@ -366,10 +389,13 @@ impl NeuralGp {
         self.mlp.output_dim()
     }
 
-    /// Negative log marginal likelihood at the end of training (standardised
-    /// units).  Always finite: fits that never reach a finite likelihood are
-    /// rejected with an error instead of storing `∞`, so warm-start regression
-    /// comparisons are always meaningful.
+    /// Negative log marginal likelihood of the model on its training set
+    /// (standardised units): the end-of-training value for a fitted model,
+    /// refreshed under the frozen parameters by every
+    /// [`NeuralGp::append_observation`].  Always finite after a fit: trainings
+    /// that never reach a finite likelihood are rejected with an error
+    /// instead of storing `∞`, so warm-start regression comparisons are
+    /// always meaningful.
     pub fn nll(&self) -> f64 {
         self.final_nll
     }
@@ -387,6 +413,12 @@ impl SurrogateModel for NeuralGp {
         self.predict_batch(std::slice::from_ref(&x.to_vec()))
             .pop()
             .expect("one query row yields one prediction")
+    }
+
+    /// The model's maintained likelihood (see [`NeuralGp::nll`]), exposed as
+    /// the drift signal for adaptive refit policies.
+    fn training_nll(&self) -> Option<f64> {
+        Some(self.final_nll)
     }
 
     /// Batched prediction: one feature-network forward pass over all queries,
@@ -543,26 +575,59 @@ fn finalize(
     config: &NeuralGpConfig,
     standardizer: Standardizer,
 ) -> Result<NeuralGp, String> {
-    let (chol, alpha, v, nll) = factorize(&mlp, descent.log_noise, descent.log_prior, x, y, config)
+    let f = factorize(&mlp, descent.log_noise, descent.log_prior, x, y, config)
         .ok_or_else(|| "feature Gram matrix could not be factored".to_string())?;
-    if !nll.is_finite() {
+    if !f.nll.is_finite() {
         return Err("no finite likelihood at the final parameters".to_string());
     }
     Ok(NeuralGp {
         mlp,
         log_noise: descent.log_noise,
         log_prior: descent.log_prior,
-        chol,
-        alpha,
-        v,
+        chol: f.chol,
+        alpha: f.alpha,
+        v: f.v,
+        yty: f.yty,
         standardizer,
         train_size: x.nrows(),
-        final_nll: nll,
+        final_nll: f.nll,
     })
 }
 
-/// Builds `A = ΦΦᵀ + λI`, its Cholesky factor and `α = A⁻¹Φy` at the given
-/// parameters.  Returns `None` if the factorization fails.
+/// Negative log marginal likelihood (eq. 11, negated) of the weight-space
+/// model from its sufficient statistics — the single closed form shared by
+/// [`factorize`], the training loop's [`loss_and_grad_into`] and the
+/// incremental [`NeuralGp::append_observation`], so the fit-time and
+/// incrementally refreshed likelihoods (the drift signal) can never drift
+/// apart through divergent copies of the formula.
+fn weight_space_nll(
+    yty: f64,
+    v_alpha: f64,
+    log_det: f64,
+    m: f64,
+    n: f64,
+    noise_var: f64,
+    prior_var: f64,
+) -> f64 {
+    let lambda = m * noise_var / prior_var;
+    0.5 / noise_var * (yty - v_alpha) + 0.5 * log_det - 0.5 * m * lambda.ln()
+        + 0.5 * n * (2.0 * std::f64::consts::PI * noise_var).ln()
+}
+
+/// Prediction-state pieces of one factorization at fixed parameters:
+/// the Cholesky factor of `A = ΦΦᵀ + λI`, `α = A⁻¹Φy`, the projected targets
+/// `v = Φy`, `yᵀy` and the likelihood.
+struct Factorized {
+    chol: Cholesky,
+    alpha: Vec<f64>,
+    v: Vec<f64>,
+    yty: f64,
+    nll: f64,
+}
+
+/// Builds `A = ΦΦᵀ + λI`, its Cholesky factor, `α = A⁻¹Φy`, `yᵀy` and the
+/// likelihood at the given parameters.  Returns `None` if the factorization
+/// fails.
 fn factorize(
     mlp: &Mlp,
     log_noise: f64,
@@ -570,7 +635,7 @@ fn factorize(
     x: &Matrix,
     y: &[f64],
     config: &NeuralGpConfig,
-) -> Option<(Cholesky, Vec<f64>, Vec<f64>, f64)> {
+) -> Option<Factorized> {
     let out = mlp.forward_batch(x);
     let m = out.ncols();
     let n = out.nrows();
@@ -585,10 +650,22 @@ fn factorize(
     // Negative log marginal likelihood (eq. 11, negated).
     let yty: f64 = y.iter().map(|t| t * t).sum();
     let v_alpha: f64 = v.iter().zip(alpha.iter()).map(|(a, b)| a * b).sum();
-    let nll = 0.5 / noise_var * (yty - v_alpha) + 0.5 * chol.log_det()
-        - 0.5 * m as f64 * lambda.ln()
-        + 0.5 * n as f64 * (2.0 * std::f64::consts::PI * noise_var).ln();
-    Some((chol, alpha, v, nll))
+    let nll = weight_space_nll(
+        yty,
+        v_alpha,
+        chol.log_det(),
+        m as f64,
+        n as f64,
+        noise_var,
+        prior_var,
+    );
+    Some(Factorized {
+        chol,
+        alpha,
+        v,
+        yty,
+        nll,
+    })
 }
 
 /// Negative log marginal likelihood (eq. 11, negated) and its gradient with respect
@@ -654,10 +731,18 @@ fn loss_and_grad_into(
 
     let yty: f64 = y.iter().map(|t| t * t).sum();
     let v_alpha: f64 = v.iter().zip(alpha.iter()).map(|(a, b)| a * b).sum();
+    // `fit_term` is reused by the log-noise gradient below; the likelihood
+    // itself goes through the shared closed form.
     let fit_term = 0.5 / noise_var * (yty - v_alpha);
-    let log_det = chol.log_det();
-    let nll = fit_term + 0.5 * log_det - 0.5 * m as f64 * lambda.ln()
-        + 0.5 * n as f64 * (2.0 * std::f64::consts::PI * noise_var).ln();
+    let nll = weight_space_nll(
+        yty,
+        v_alpha,
+        chol.log_det(),
+        m as f64,
+        n as f64,
+        noise_var,
+        prior_var,
+    );
     if !nll.is_finite() {
         return None;
     }
@@ -852,7 +937,9 @@ mod tests {
             let lp = config.init_log_prior + replay.gen_range(-0.1..0.1);
             let (y_std, _) = nnbo_linalg::standardize(&ys2);
             let x = Matrix::from_rows(&xs2);
-            let (_, _, _, anchor) = factorize(&cold_mlp, ln, lp, &x, &y_std, &config).unwrap();
+            let anchor = factorize(&cold_mlp, ln, lp, &x, &y_std, &config)
+                .unwrap()
+                .nll;
             assert!(
                 warm.nll() <= anchor + 1e-9,
                 "warm NLL {} regressed past the cold initial NLL {anchor}",
@@ -864,6 +951,43 @@ mod tests {
             let _ = NeuralGp::fit(&xs2, &ys2, &config, &mut cold_rng).unwrap();
             assert_eq!(warm_rng.gen::<u64>(), cold_rng.gen::<u64>());
         }
+    }
+
+    #[test]
+    fn append_observation_refreshes_the_nll_under_frozen_parameters() {
+        let (xs, ys) = toy_data(20, 12);
+        let mut rng = StdRng::seed_from_u64(13);
+        let model = NeuralGp::fit(&xs, &ys, &NeuralGpConfig::fast(), &mut rng).unwrap();
+        let x_new = vec![0.41_f64, 0.59];
+        let y_new = (5.0 * x_new[0]).sin() + x_new[1] * x_new[1] - 0.5 * x_new[0] * x_new[1];
+        let updated = model.append_observation(&x_new, y_new).unwrap();
+        assert!(updated.nll().is_finite());
+        assert_ne!(updated.nll(), model.nll(), "NLL must be refreshed");
+        // Reference: re-factorize the extended data set at the frozen
+        // parameters and the frozen standardiser.
+        let mut xs2 = xs.clone();
+        xs2.push(x_new);
+        let y2_std: Vec<f64> = ys
+            .iter()
+            .chain(std::iter::once(&y_new))
+            .map(|&v| model.standardizer.transform(v))
+            .collect();
+        let x2 = Matrix::from_rows(&xs2);
+        let reference = factorize(
+            &model.mlp,
+            model.log_noise,
+            model.log_prior,
+            &x2,
+            &y2_std,
+            &NeuralGpConfig::fast(),
+        )
+        .unwrap()
+        .nll;
+        assert!(
+            (updated.nll() - reference).abs() < 1e-6 * (1.0 + reference.abs()),
+            "incremental NLL {} vs refactorized {reference}",
+            updated.nll()
+        );
     }
 
     #[test]

@@ -43,6 +43,36 @@ pub trait SurrogateModel: Send + Sync {
     fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
         xs.iter().map(|x| self.predict(x)).collect()
     }
+
+    /// Batched prediction into a caller-owned vector, so a hot scoring loop
+    /// reuses its output buffers across iterations.
+    ///
+    /// The default clears `out` and fills it from
+    /// [`SurrogateModel::predict_batch`]; models with caller-independent
+    /// scratch (the classical GP's `GpPredictScratch`-backed adapter in
+    /// `nnbo-baselines`) override this to make the whole scoring path
+    /// allocation-free.  Overrides must write exactly what
+    /// [`SurrogateModel::predict_batch`] returns.
+    fn predict_batch_into(&self, xs: &[Vec<f64>], out: &mut Vec<Prediction>) {
+        let preds = self.predict_batch(xs);
+        out.clear();
+        out.extend(preds);
+    }
+
+    /// Negative log marginal likelihood of the model on its own training set,
+    /// when the model tracks one (summed over the training points, in the
+    /// model's internal standardised units).
+    ///
+    /// This is the drift signal adaptive refit policies read
+    /// (`RefitPolicy::NllDrift` in the Bayesian-optimization loop): models
+    /// whose incremental `append_observation` refreshes this value under the
+    /// frozen hyper-parameters let the loop compare surrogate quality before
+    /// and after absorbing observations without any extra factorization.  The
+    /// default returns `None`, meaning "not tracked" — the loop then falls
+    /// back to refitting on its minimum-gap cadence.
+    fn training_nll(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// A recipe for training a [`SurrogateModel`] from scratch on a data set.
@@ -99,7 +129,7 @@ pub trait SurrogateTrainer: Send + Sync {
     /// Trainers whose models support an `O(N²)` update (rank-1 / bordered
     /// Cholesky instead of a from-scratch refactorization) override this; the
     /// Bayesian-optimization loop calls it between full refits (see
-    /// `BoConfig::refit_every`).  The default returns `None`, meaning
+    /// `RefitPolicy`).  The default returns `None`, meaning
     /// "unsupported — do a full fit".
     ///
     /// An implementation returning `Some(Err(..))` signals that the update was

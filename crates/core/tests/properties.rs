@@ -2,8 +2,8 @@
 //! sampling, design-space transforms and the surrogate abstraction.
 
 use nnbo_core::acquisition::{
-    expected_improvement, feasibility_probability, joint_feasibility, normal_cdf, normal_pdf,
-    probability_of_improvement, weighted_expected_improvement,
+    evaluate, expected_improvement, feasibility_probability, joint_feasibility, normal_cdf,
+    normal_pdf, probability_of_improvement, weighted_expected_improvement, AcquisitionKind,
 };
 use nnbo_core::{
     latin_hypercube, uniform_random, DesignSpace, EnsembleConfig, NeuralGp, NeuralGpConfig,
@@ -157,6 +157,33 @@ fn prediction() -> impl Strategy<Value = Prediction> {
     (-10.0..10.0f64, 0.0..25.0f64).prop_map(|(m, v)| Prediction::new(m, v))
 }
 
+/// Every acquisition variant, for the cross-variant properties.
+const ALL_KINDS: [AcquisitionKind; 4] = [
+    AcquisitionKind::WeightedExpectedImprovement,
+    AcquisitionKind::ExpectedImprovement,
+    AcquisitionKind::LowerConfidenceBound { kappa: 1.5 },
+    AcquisitionKind::ProbabilityOfImprovement,
+];
+
+/// Index of the strict argmax of the scores, plus the margin to the runner-up
+/// (used to discard near-ties before asserting argmax invariance: an affine
+/// shift re-rounds every score, so only well-separated maxima are stable).
+fn argmax_with_margin(scores: &[f64]) -> (usize, f64) {
+    let mut best = 0;
+    for (i, s) in scores.iter().enumerate() {
+        if *s > scores[best] {
+            best = i;
+        }
+    }
+    let runner_up = scores
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != best)
+        .map(|(_, s)| *s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    (best, scores[best] - runner_up)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -295,6 +322,142 @@ proptest! {
     #[test]
     fn prediction_std_is_sqrt_of_variance(p in prediction()) {
         prop_assert!((p.std() * p.std() - p.variance).abs() < 1e-9);
+    }
+
+    /// wEI and EI are non-negative for every prediction, incumbent and
+    /// constraint set (LCB and PI·pf are separately bounded: PI in [0, 1],
+    /// LCB unbounded by design).
+    #[test]
+    fn wei_and_ei_evaluations_are_nonnegative(
+        obj in prediction(),
+        cons in prop::collection::vec(prediction(), 0..4),
+        tau_value in -5.0..5.0f64,
+    ) {
+        for tau in [Some(tau_value), None] {
+            for kind in [
+                AcquisitionKind::WeightedExpectedImprovement,
+                AcquisitionKind::ExpectedImprovement,
+            ] {
+                let score = evaluate(kind, &obj, &cons, tau);
+                prop_assert!(score >= 0.0, "{kind:?} gave {score}");
+            }
+            let pi = evaluate(AcquisitionKind::ProbabilityOfImprovement, &obj, &cons, tau);
+            prop_assert!((0.0..=1.0).contains(&pi));
+        }
+    }
+
+    /// The lower-confidence-bound score is monotone non-decreasing in the
+    /// exploration weight κ: more exploration can only raise the optimism.
+    #[test]
+    fn lcb_score_is_monotone_in_kappa(
+        obj in prediction(),
+        cons in prop::collection::vec(prediction(), 0..4),
+        kappa in 0.0..5.0f64,
+        extra in 0.0..5.0f64,
+        tau_value in -5.0..5.0f64,
+    ) {
+        for tau in [Some(tau_value), None] {
+            let tight = evaluate(AcquisitionKind::LowerConfidenceBound { kappa }, &obj, &cons, tau);
+            let loose = evaluate(
+                AcquisitionKind::LowerConfidenceBound { kappa: kappa + extra },
+                &obj,
+                &cons,
+                tau,
+            );
+            prop_assert!(loose + 1e-12 >= tight, "kappa {kappa}+{extra}: {loose} < {tight}");
+        }
+    }
+
+    /// The argmax over a candidate set is invariant under positive-affine
+    /// transformations of the objective (means/incumbent shifted and scaled
+    /// together, standard deviations scaled): for every variant without
+    /// constraints, and for the multiplicative variants (wEI, PI) under
+    /// constraints too.  Near-ties are skipped — an affine shift legitimately
+    /// re-rounds the scores.
+    #[test]
+    fn acquisition_argmax_is_invariant_under_affine_objective_shifts(
+        objs in prop::collection::vec(prediction(), 2..8),
+        cons_means in prop::collection::vec(-3.0..3.0f64, 2..8),
+        tau in -5.0..5.0f64,
+        shift in -50.0..50.0f64,
+        log_scale in -2.0..2.0f64,
+    ) {
+        let scale = log_scale.exp();
+        let affine = |p: &Prediction| Prediction::new(scale * p.mean + shift, scale * scale * p.variance);
+        let no_cons: Vec<Vec<Prediction>> = vec![Vec::new(); objs.len()];
+        let with_cons: Vec<Vec<Prediction>> = cons_means
+            .iter()
+            .cycle()
+            .take(objs.len())
+            .map(|&m| vec![Prediction::new(m, 0.5)])
+            .collect();
+        for kind in ALL_KINDS {
+            for cons in [&no_cons, &with_cons] {
+                let constrained = cons.iter().any(|c| !c.is_empty());
+                // LCB's additive form and EI's additive penalty are only
+                // affine-equivariant without constraints.
+                if constrained
+                    && !matches!(
+                        kind,
+                        AcquisitionKind::WeightedExpectedImprovement
+                            | AcquisitionKind::ProbabilityOfImprovement
+                    )
+                {
+                    continue;
+                }
+                let base: Vec<f64> = objs
+                    .iter()
+                    .zip(cons.iter())
+                    .map(|(o, c)| evaluate(kind, o, c, Some(tau)))
+                    .collect();
+                let (best, margin) = argmax_with_margin(&base);
+                let spread = base
+                    .iter()
+                    .fold(0.0f64, |acc, s| acc.max(s.abs()));
+                if margin <= 1e-6 * (1.0 + spread) {
+                    continue; // near-tie: rounding may legitimately flip it
+                }
+                let shifted: Vec<f64> = objs
+                    .iter()
+                    .zip(cons.iter())
+                    .map(|(o, c)| evaluate(kind, &affine(o), c, Some(scale * tau + shift)))
+                    .collect();
+                let (best_shifted, _) = argmax_with_margin(&shifted);
+                prop_assert!(
+                    best == best_shifted,
+                    "{kind:?} (constrained: {constrained}): argmax moved under x -> {scale}·x + {shift}"
+                );
+            }
+        }
+    }
+
+    /// σ → 0 limits: with deterministic predictions every variant collapses
+    /// to its documented closed form.
+    #[test]
+    fn degenerate_variance_limits_match_closed_forms(
+        mu in -5.0..5.0f64,
+        tau in -5.0..5.0f64,
+        cons_means in prop::collection::vec(-2.0..2.0f64, 0..4),
+        kappa in 0.1..3.0f64,
+    ) {
+        let obj = Prediction::new(mu, 0.0);
+        let cons: Vec<Prediction> = cons_means.iter().map(|&m| Prediction::new(m, 0.0)).collect();
+        let feasible = cons.iter().all(|c| c.mean < 0.0);
+        let indicator = if feasible { 1.0 } else { 0.0 };
+
+        let wei = evaluate(AcquisitionKind::WeightedExpectedImprovement, &obj, &cons, Some(tau));
+        prop_assert!((wei - (tau - mu).max(0.0) * indicator).abs() < 1e-12);
+
+        let violation: f64 = cons.iter().map(|c| c.mean.max(0.0)).sum();
+        let ei = evaluate(AcquisitionKind::ExpectedImprovement, &obj, &cons, Some(tau));
+        prop_assert!((ei - (tau - (mu + 10.0 * violation)).max(0.0)).abs() < 1e-12);
+
+        let lcb = evaluate(AcquisitionKind::LowerConfidenceBound { kappa }, &obj, &cons, Some(tau));
+        prop_assert!((lcb - (-mu) * indicator.max(1e-6)).abs() < 1e-12);
+
+        let pi = evaluate(AcquisitionKind::ProbabilityOfImprovement, &obj, &cons, Some(tau));
+        let pi_expected = if mu < tau { indicator } else { 0.0 };
+        prop_assert!((pi - pi_expected).abs() < 1e-12);
     }
 
     #[test]

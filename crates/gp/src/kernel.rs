@@ -87,10 +87,18 @@ impl ArdSquaredExponential {
     /// [`ArdSquaredExponential::gram`] does not lose precision when the raw
     /// coordinates carry a large common offset (e.g. frequencies in Hz).
     fn scaled_rows(&self, x: &Matrix, center: &[f64]) -> Matrix {
-        let mut s = x.clone();
+        let mut s = Matrix::zeros(0, 0);
+        self.scaled_rows_into(x, center, &mut s);
+        s
+    }
+
+    /// [`ArdSquaredExponential::scaled_rows`] into a caller-provided buffer
+    /// (reusing its allocation when the shape matches).
+    fn scaled_rows_into(&self, x: &Matrix, center: &[f64], out: &mut Matrix) {
+        out.clone_from(x);
         let dim = self.inv_sq.len();
-        for row in 0..s.nrows() {
-            for ((v, &w), &c) in s.row_mut(row)[..dim]
+        for row in 0..out.nrows() {
+            for ((v, &w), &c) in out.row_mut(row)[..dim]
                 .iter_mut()
                 .zip(self.inv_sq.iter())
                 .zip(center.iter())
@@ -98,7 +106,6 @@ impl ArdSquaredExponential {
                 *v = *v * w.sqrt() - c;
             }
         }
-        s
     }
 
     /// Column means of `x` in scaled coordinates — the centring shift shared
@@ -149,13 +156,11 @@ impl ArdSquaredExponential {
         let mut g = scaled.matmul_transpose(&scaled);
         let n = g.nrows();
         let norms = g.diag();
+        // The fused exp pass clamps d² at zero (cancellation can take it a
+        // hair below), which also pins the diagonal at exactly σf².
         for i in 0..n {
-            for j in 0..n {
-                // Cancellation can take d² a hair below zero; clamp, which also
-                // pins the diagonal at exactly σf².
-                let d2 = (norms[i] + norms[j] - 2.0 * g[(i, j)]).max(0.0);
-                g[(i, j)] = self.signal_variance * (-0.5 * d2).exp();
-            }
+            let qn = norms[i];
+            nnbo_linalg::sq_exp_apply(g.row_mut(i), &norms, qn, self.signal_variance);
         }
         g
     }
@@ -184,19 +189,45 @@ impl ArdSquaredExponential {
     ///
     /// Panics if `q`'s dimension differs from the kernel dimension.
     pub fn cross_with(&self, q: &Matrix, x: &ScaledRows) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        let mut scratch = CrossScratch::new();
+        self.cross_with_into(q, x, &mut out, &mut scratch);
+        out
+    }
+
+    /// [`ArdSquaredExponential::cross_with`] into caller-provided buffers, so
+    /// a hot scoring loop performs no allocation: the query rows are scaled
+    /// into `scratch`, the dot products come from one packed-GEMM
+    /// `Q'·X'ᵀ` product ([`Matrix::matmul_transpose_into`], which routes
+    /// through the AVX2+FMA micro-kernels when the runtime dispatch selects
+    /// them), and the norm expansion plus `exp` run as one fused dispatched
+    /// elementwise pass per row ([`nnbo_linalg::sq_exp_apply`]).  `out` and
+    /// the scratch buffers are resized as needed and reused afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q`'s dimension differs from the kernel dimension.
+    pub fn cross_with_into(
+        &self,
+        q: &Matrix,
+        x: &ScaledRows,
+        out: &mut Matrix,
+        scratch: &mut CrossScratch,
+    ) {
         assert_eq!(q.ncols(), self.dim(), "cross_with dimension mismatch");
-        let qs = self.scaled_rows(q, &x.center);
-        let q_norms: Vec<f64> = qs.rows_iter().map(row_norm_sq).collect();
-        let mut g = qs.matmul_transpose(&x.rows);
-        for i in 0..g.nrows() {
-            let row = g.row_mut(i);
-            let qn = q_norms[i];
-            for (v, &xn) in row.iter_mut().zip(x.norms.iter()) {
-                let d2 = (qn + xn - 2.0 * *v).max(0.0);
-                *v = self.signal_variance * (-0.5 * d2).exp();
-            }
+        self.scaled_rows_into(q, &x.center, &mut scratch.qs);
+        scratch.q_norms.clear();
+        scratch
+            .q_norms
+            .extend(scratch.qs.rows_iter().map(row_norm_sq));
+        if out.shape() != (q.nrows(), x.rows.nrows()) {
+            *out = Matrix::zeros(q.nrows(), x.rows.nrows());
         }
-        g
+        scratch.qs.matmul_transpose_into(&x.rows, out);
+        for i in 0..out.nrows() {
+            let qn = scratch.q_norms[i];
+            nnbo_linalg::sq_exp_apply(out.row_mut(i), &x.norms, qn, self.signal_variance);
+        }
     }
 
     /// Cross-covariance vector `k(x*, X)` between one point and the training rows.
@@ -272,6 +303,31 @@ impl ScaledRows {
             .collect();
         self.norms.push(row_norm_sq(&row));
         self.rows = Matrix::vstack(&self.rows, &Matrix::from_rows(std::slice::from_ref(&row)));
+    }
+}
+
+/// Reusable buffers of a cross-kernel evaluation
+/// ([`ArdSquaredExponential::cross_with_into`]): the scaled query rows and
+/// their squared norms.  Create once, pass to every call.
+#[derive(Debug, Clone)]
+pub struct CrossScratch {
+    qs: Matrix,
+    q_norms: Vec<f64>,
+}
+
+impl CrossScratch {
+    /// Creates empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        CrossScratch {
+            qs: Matrix::zeros(0, 0),
+            q_norms: Vec::new(),
+        }
+    }
+}
+
+impl Default for CrossScratch {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

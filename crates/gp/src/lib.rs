@@ -67,6 +67,38 @@
 //! [`GpModel::fit_reference`] so `reproduce fit` can keep measuring the
 //! old-vs-new contrast on identical inputs.
 //!
+//! # The prediction path: packed GEMM + fused `exp`, allocation-free
+//!
+//! Batched prediction ([`GpModel::predict_batch`]) evaluates the
+//! cross-kernel block `K(Q, X)` by the norm expansion
+//! `‖q' − x'‖² = ‖q'‖² + ‖x'‖² − 2 q'·x'` over lengthscale-scaled rows: the
+//! dot products come from one `Q'·X'ᵀ` product that routes through the
+//! packed AVX2+FMA micro-kernel engine of `nnbo-linalg` when the runtime
+//! dispatch selects it, and the norm expansion plus `exp` run as one fused
+//! dispatched elementwise pass per row ([`nnbo_linalg::sq_exp_apply`]: a
+//! ≲ 2 ulp polynomial `exp` on the SIMD path, the exact scalar `f64::exp`
+//! loop on the portable path).  The same fused pass builds the Gram matrix
+//! of the final fit factorization.  Means then come from one matvec against
+//! `α` and variances from one in-place batched triangular solve.
+//!
+//! Hot scoring loops use the `_into` variants —
+//! [`GpModel::predict_batch_into`] with a caller-owned [`GpPredictScratch`]
+//! (and, one level down, [`ArdSquaredExponential::cross_with_into`] with a
+//! [`CrossScratch`]) — so once the buffers have grown to the candidate-pool
+//! size, an acquisition scoring round performs no allocation in the GP
+//! prediction path.  `reproduce predict` measures the packed-vs-portable
+//! and allocating-vs-`_into` contrasts (`BENCH_predict.json`).
+//!
+//! # When refits happen
+//!
+//! The Bayesian-optimization loop in `nnbo-core` decides *when* the full
+//! fit pipeline above runs at all (`RefitPolicy`): between full fits it
+//! grows the model by [`GpModel::append_observation`] — a bordered-Cholesky
+//! update that keeps the hyper-parameters frozen and *refreshes the stored
+//! NLL* for the extended data, which is exactly the drift signal the
+//! adaptive `NllDrift` policy thresholds to decide that the frozen
+//! hyper-parameters have gone stale and a warm refit is due.
+//!
 //! # Example
 //!
 //! ```
@@ -96,5 +128,5 @@ mod model;
 pub use error::GpError;
 pub use fit::{nll_and_grad_with, FitContext, FitScratch, InverseStrategy};
 pub use hyper::{GpConfig, GpHyperParams};
-pub use kernel::{ArdSquaredExponential, ScaledRows};
-pub use model::{GpModel, GpPrediction};
+pub use kernel::{ArdSquaredExponential, CrossScratch, ScaledRows};
+pub use model::{GpModel, GpPredictScratch, GpPrediction};

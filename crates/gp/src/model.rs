@@ -9,7 +9,49 @@ use serde::{Deserialize, Serialize};
 #[cfg(test)]
 use crate::fit::nll_and_grad_into;
 use crate::fit::{optimize_hypers, FitContext, FitScratch};
-use crate::{ArdSquaredExponential, GpConfig, GpError, GpHyperParams, ScaledRows};
+use crate::{ArdSquaredExponential, CrossScratch, GpConfig, GpError, GpHyperParams, ScaledRows};
+
+/// Reusable buffers of [`GpModel::predict_batch_into`]: the query matrix, the
+/// cross-kernel block and its transpose/solve buffer, and the per-query
+/// accumulators.  Create once (cheap, empty) and pass to every batched
+/// prediction; the buffers grow to the largest batch seen and are reused
+/// afterwards, so a steady-state acquisition scoring loop performs no
+/// allocation in the GP prediction path.
+#[derive(Debug, Clone)]
+pub struct GpPredictScratch {
+    /// Query rows assembled as a matrix.
+    q: Matrix,
+    /// Cross-kernel scratch (scaled query rows + norms).
+    cross: CrossScratch,
+    /// Cross-kernel block `K(Q, X)` (`Q × N`).
+    k_star: Matrix,
+    /// `K*ᵀ`, overwritten in place by the batched forward solve (`N × Q`).
+    v: Matrix,
+    /// `K* α` (per-query explained mean).
+    weighted: Vec<f64>,
+    /// Per-query explained variance `‖L⁻¹ k*‖²`.
+    explained: Vec<f64>,
+}
+
+impl GpPredictScratch {
+    /// Creates empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        GpPredictScratch {
+            q: Matrix::zeros(0, 0),
+            cross: CrossScratch::new(),
+            k_star: Matrix::zeros(0, 0),
+            v: Matrix::zeros(0, 0),
+            weighted: Vec::new(),
+            explained: Vec::new(),
+        }
+    }
+}
+
+impl Default for GpPredictScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// Predictive distribution of the GP at one query point, in the original target
 /// units: `y ~ N(mean, variance)`.
@@ -396,60 +438,96 @@ impl GpModel {
     /// Panics if `x.len() != dim()`.
     pub fn predict(&self, x: &[f64]) -> GpPrediction {
         assert_eq!(x.len(), self.dim(), "query dimension mismatch");
-        let q = Matrix::from_rows(&[x.to_vec()]);
-        self.predict_rows(&q)
-            .pop()
-            .expect("one query row yields one prediction")
+        let mut out = Vec::with_capacity(1);
+        let mut scratch = GpPredictScratch::new();
+        self.predict_batch_into(std::slice::from_ref(&x.to_vec()), &mut out, &mut scratch);
+        out.pop().expect("one query row yields one prediction")
     }
 
     /// Predicts a batch of points.
     ///
-    /// The whole batch shares one blocked cross-kernel product `K(Q, X)`, one
-    /// mean matvec against `α`, and one vectorised batched triangular solve
-    /// for the variances — `O(QN)` memory traffic patterns instead of `Q`
-    /// independent `O(N²)` dependency chains.  Each returned prediction equals
-    /// the corresponding [`GpModel::predict`] result exactly.
+    /// The whole batch shares one packed-GEMM cross-kernel product `K(Q, X)`
+    /// with a fused dispatched `exp` pass, one mean matvec against `α`, and
+    /// one vectorised batched triangular solve for the variances — `O(QN)`
+    /// memory traffic patterns instead of `Q` independent `O(N²)` dependency
+    /// chains.  Each returned prediction equals the corresponding
+    /// [`GpModel::predict`] result exactly.  Hot loops should prefer
+    /// [`GpModel::predict_batch_into`], which reuses caller-owned buffers.
     ///
     /// # Panics
     ///
     /// Panics if any query's dimension differs from `dim()`.
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<GpPrediction> {
-        if xs.is_empty() {
-            return Vec::new();
-        }
-        for x in xs {
-            assert_eq!(x.len(), self.dim(), "query dimension mismatch");
-        }
-        self.predict_rows(&Matrix::from_rows(xs))
+        let mut out = Vec::with_capacity(xs.len());
+        let mut scratch = GpPredictScratch::new();
+        self.predict_batch_into(xs, &mut out, &mut scratch);
+        out
     }
 
-    /// Shared batched-prediction core: queries are the rows of `q`.
-    fn predict_rows(&self, q: &Matrix) -> Vec<GpPrediction> {
+    /// [`GpModel::predict_batch`] writing into a caller-owned output vector
+    /// and reusing a caller-owned [`GpPredictScratch`], so repeated batched
+    /// predictions (the acquisition scoring loop of a Bayesian-optimization
+    /// run) are allocation-free once the buffers have grown to the batch
+    /// size.  The predictions are exactly those of [`GpModel::predict_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query's dimension differs from `dim()`.
+    pub fn predict_batch_into(
+        &self,
+        xs: &[Vec<f64>],
+        out: &mut Vec<GpPrediction>,
+        scratch: &mut GpPredictScratch,
+    ) {
+        out.clear();
+        if xs.is_empty() {
+            return;
+        }
+        let dim = self.dim();
+        for x in xs {
+            assert_eq!(x.len(), dim, "query dimension mismatch");
+        }
+        if scratch.q.shape() != (xs.len(), dim) {
+            scratch.q = Matrix::zeros(xs.len(), dim);
+        }
+        for (i, x) in xs.iter().enumerate() {
+            scratch.q.row_mut(i).copy_from_slice(x);
+        }
+        let GpPredictScratch {
+            q,
+            cross,
+            k_star,
+            v,
+            weighted,
+            explained,
+        } = scratch;
         let n_q = q.nrows();
         // Cross-kernel block K(Q, X), then means µ0 + K* α in one pass.
-        let k_star = self.kernel.cross_with(q, &self.scaled_x);
-        let weighted = k_star.matvec(&self.alpha);
+        self.kernel
+            .cross_with_into(q, &self.scaled_x, k_star, cross);
+        weighted.clear();
+        weighted.resize(n_q, 0.0);
+        k_star.matvec_into(&self.alpha, weighted);
         // Variances: column norms of L⁻¹ K*ᵀ from one batched forward solve.
-        let v = self.chol.solve_lower_matrix(&k_star.transpose()); // N×Q
-        let mut explained = vec![0.0; n_q];
+        k_star.transpose_into(v); // N×Q
+        self.chol.solve_lower_matrix_in_place(v);
+        explained.clear();
+        explained.resize(n_q, 0.0);
         for row in v.rows_iter() {
             for (e, u) in explained.iter_mut().zip(row.iter()) {
                 *e += u * u;
             }
         }
         let prior = self.hyper.noise_variance() + self.kernel.signal_variance();
-        weighted
-            .into_iter()
-            .zip(explained)
-            .map(|(w, ex)| {
-                let mean_std = self.hyper.mean + w;
-                let var_std = (prior - ex).max(1e-12);
-                GpPrediction {
-                    mean: self.standardizer.inverse(mean_std),
-                    variance: self.standardizer.inverse_variance(var_std),
-                }
-            })
-            .collect()
+        out.reserve(n_q);
+        for (w, ex) in weighted.iter().zip(explained.iter()) {
+            let mean_std = self.hyper.mean + w;
+            let var_std = (prior - ex).max(1e-12);
+            out.push(GpPrediction {
+                mean: self.standardizer.inverse(mean_std),
+                variance: self.standardizer.inverse_variance(var_std),
+            });
+        }
     }
 
     /// Incorporates one new observation in `O(N²)` by bordering the stored

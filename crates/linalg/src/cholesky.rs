@@ -294,6 +294,20 @@ impl Cholesky {
         y
     }
 
+    /// [`Cholesky::solve_lower_matrix`] overwriting the right-hand side in
+    /// place (no allocation) — the batched-prediction hot path solves
+    /// `L V = K*ᵀ` every acquisition scoring round and reuses one buffer for
+    /// it.  Column `j` of the result is arithmetically identical to
+    /// [`Cholesky::solve_lower`] of column `j`, exactly as for the allocating
+    /// variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.nrows() != dim()`.
+    pub fn solve_lower_matrix_in_place(&self, b: &mut Matrix) {
+        self.sweep_matrix_in_place(b, Sweep::Lower);
+    }
+
     /// Solves `Lᵀ X = Y` for a full right-hand-side matrix `Y` (`n × m`) with
     /// one vectorised backward sweep (see [`Cholesky::solve_lower_matrix`],
     /// including its column-blocked threading for wide right-hand sides).

@@ -75,6 +75,6 @@ pub use lu::Lu;
 pub use matrix::Matrix;
 pub use stats::{mean, sample_std, standardize, Standardizer};
 pub use vector::{
-    add, add_scaled, add_scaled_product, dot, fused_dot, norm2, scale, squared_distance, sub,
-    weighted_squared_distance,
+    add, add_scaled, add_scaled_product, dot, fused_dot, norm2, scale, sq_exp_apply,
+    squared_distance, sub, weighted_squared_distance,
 };

@@ -208,12 +208,23 @@ impl Matrix {
     /// Transpose.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut t);
+        t
+    }
+
+    /// Transpose written into a caller-provided buffer, reusing its
+    /// allocation when the shape already matches (resized otherwise) — the
+    /// batched-prediction path transposes the cross-kernel block every call
+    /// and this keeps that loop allocation-free.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        if out.shape() != (self.cols, self.rows) {
+            *out = Matrix::zeros(self.cols, self.rows);
+        }
         for i in 0..self.rows {
             for j in 0..self.cols {
-                t[(j, i)] = self[(i, j)];
+                out[(j, i)] = self[(i, j)];
             }
         }
-        t
     }
 
     /// Matrix-vector product `self * v`.

@@ -509,6 +509,146 @@ unsafe fn fused_dot_fma(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
 }
 
+// ---------------------------------------------------------------------------
+// Fused squared-exponential apply: the elementwise pass of a cross-kernel
+// norm expansion.
+// ---------------------------------------------------------------------------
+
+/// `row[j] = sf2 · exp(−½ · max(q_norm + x_norms[j] − 2·row[j], 0))`, in
+/// place — the elementwise half of a squared-exponential cross-kernel norm
+/// expansion, fused so the GEMM output is turned into kernel values in one
+/// dispatched pass.
+///
+/// The portable fallback is the exact scalar loop (with `f64::exp`) the
+/// prediction path used before this kernel existed; the AVX2 path evaluates
+/// a degree-13 polynomial `exp` (Cody–Waite range reduction, ≲ 2 ulp over
+/// the kernel's `(−∞, 0]` argument range) four lanes at a time, with the
+/// ragged tail running the same polynomial in scalar code so a row's values
+/// do not depend on how it aligns with the vector width.  `d2 = 0` (the Gram
+/// diagonal) yields exactly `sf2` on both paths.
+pub(crate) fn sq_exp_apply(row: &mut [f64], x_norms: &[f64], q_norm: f64, sf2: f64) {
+    debug_assert_eq!(row.len(), x_norms.len());
+    if crate::dispatch::simd_active() {
+        // Safety: simd_active() implies the CPU supports AVX2+FMA.
+        unsafe { sq_exp_apply_simd(row, x_norms, q_norm, sf2) };
+    } else {
+        for (v, &xn) in row.iter_mut().zip(x_norms.iter()) {
+            let d2 = (q_norm + xn - 2.0 * *v).max(0.0);
+            *v = sf2 * (-0.5 * d2).exp();
+        }
+    }
+}
+
+/// log2(e) and the Cody–Waite split of ln(2) used by the polynomial `exp`.
+const EXP_LOG2E: f64 = std::f64::consts::LOG2_E;
+const EXP_LN2_HI: f64 = 6.931_471_803_691_238e-1;
+const EXP_LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+/// Arguments below this underflow to zero (`exp(-708) ≈ 3e-308` is the last
+/// comfortably normal value).
+const EXP_UNDERFLOW: f64 = -708.0;
+/// Taylor coefficients `1/k!` for `e^r` on `|r| ≤ ln2/2`, highest order
+/// first (degree 13: truncation error ≈ 4e-18, far below rounding).
+const EXP_POLY: [f64; 14] = [
+    1.0 / 6_227_020_800.0, // 1/13!
+    1.0 / 479_001_600.0,   // 1/12!
+    1.0 / 39_916_800.0,
+    1.0 / 3_628_800.0,
+    1.0 / 362_880.0,
+    1.0 / 40_320.0,
+    1.0 / 5_040.0,
+    1.0 / 720.0,
+    1.0 / 120.0,
+    1.0 / 24.0,
+    1.0 / 6.0,
+    1.0 / 2.0,
+    1.0,
+    1.0,
+];
+
+/// Scalar replica of the vector lanes' polynomial `exp(t)` for `t ≤ 0`: same
+/// range reduction, same Horner order, same underflow cutoff — used for the
+/// ragged tail of [`sq_exp_apply`]'s SIMD path.
+fn exp_poly_scalar(t: f64) -> f64 {
+    if t < EXP_UNDERFLOW {
+        return 0.0;
+    }
+    // Round to nearest-even (matching `_mm256_round_pd`; `f64::round` ties
+    // away from zero) via the 2^52+2^51 shifter — exact for |x| < 2^51.
+    const SHIFTER: f64 = 6_755_399_441_055_744.0;
+    let k = (t * EXP_LOG2E + SHIFTER) - SHIFTER;
+    let r = (-k).mul_add(EXP_LN2_LO, (-k).mul_add(EXP_LN2_HI, t));
+    let mut p = EXP_POLY[0];
+    for &c in &EXP_POLY[1..] {
+        p = p.mul_add(r, c);
+    }
+    // 2^k by exponent-bit construction (k ∈ [-1022, 0] here).
+    let two_k = f64::from_bits(((k as i64 + 1023) as u64) << 52);
+    p * two_k
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn sq_exp_apply_simd(row: &mut [f64], x_norms: &[f64], q_norm: f64, sf2: f64) {
+    use core::arch::x86_64::*;
+    let n = row.len().min(x_norms.len());
+    let qn = _mm256_set1_pd(q_norm);
+    let sf2v = _mm256_set1_pd(sf2);
+    let neg_half = _mm256_set1_pd(-0.5);
+    let zero = _mm256_setzero_pd();
+    let log2e = _mm256_set1_pd(EXP_LOG2E);
+    let ln2_hi = _mm256_set1_pd(EXP_LN2_HI);
+    let ln2_lo = _mm256_set1_pd(EXP_LN2_LO);
+    let underflow = _mm256_set1_pd(EXP_UNDERFLOW);
+    let bias = _mm256_set1_epi64x(1023);
+    let mut j = 0;
+    while j + 4 <= n {
+        let v = _mm256_loadu_pd(row.as_ptr().add(j));
+        let xn = _mm256_loadu_pd(x_norms.as_ptr().add(j));
+        // d2 = max(qn + xn - 2v, 0);  t = -0.5 * d2  (t ≤ 0).
+        let d2 = _mm256_max_pd(
+            _mm256_fnmadd_pd(_mm256_set1_pd(2.0), v, _mm256_add_pd(qn, xn)),
+            zero,
+        );
+        let t = _mm256_mul_pd(neg_half, d2);
+        // Range reduction: k = round(t·log2e), r = t - k·ln2 (Cody–Waite).
+        let k = _mm256_round_pd::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(
+            _mm256_mul_pd(_mm256_max_pd(t, underflow), log2e),
+        );
+        let r = _mm256_fnmadd_pd(
+            k,
+            ln2_lo,
+            _mm256_fnmadd_pd(k, ln2_hi, _mm256_max_pd(t, underflow)),
+        );
+        // Horner over the Taylor coefficients.
+        let mut p = _mm256_set1_pd(EXP_POLY[0]);
+        for &c in &EXP_POLY[1..] {
+            p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(c));
+        }
+        // 2^k via exponent bits: k is integral in [-1022, 0].
+        let ki = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(k));
+        let two_k = _mm256_castsi256_pd(_mm256_slli_epi64::<52>(_mm256_add_epi64(ki, bias)));
+        let mut e = _mm256_mul_pd(p, two_k);
+        // Flush true underflow (t < −708) to zero.
+        e = _mm256_andnot_pd(_mm256_cmp_pd::<_CMP_LT_OQ>(t, underflow), e);
+        _mm256_storeu_pd(row.as_mut_ptr().add(j), _mm256_mul_pd(sf2v, e));
+        j += 4;
+    }
+    while j < n {
+        // Same fused `(qn + xn) − 2v` semantics as the vector body.
+        let d2 = (-2.0f64).mul_add(row[j], q_norm + x_norms[j]).max(0.0);
+        row[j] = sf2 * exp_poly_scalar(-0.5 * d2);
+        j += 1;
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+unsafe fn sq_exp_apply_simd(row: &mut [f64], x_norms: &[f64], q_norm: f64, sf2: f64) {
+    for (v, &xn) in row.iter_mut().zip(x_norms.iter()) {
+        let d2 = (q_norm + xn - 2.0 * *v).max(0.0);
+        *v = sf2 * exp_poly_scalar(-0.5 * d2);
+    }
+}
+
 /// `acc[d] += scale * x[d] * y[d]`, dispatched; the portable fallback matches
 /// the pre-SIMD fused gradient pass exactly.
 pub(crate) fn add_scaled_product(acc: &mut [f64], x: &[f64], y: &[f64], scale: f64) {
@@ -636,6 +776,70 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sq_exp_apply_matches_scalar_exp_reference() {
+        // Whatever path the dispatch selects, the fused pass must agree with
+        // the plain `sf2·exp(-d2/2)` loop to tight tolerance, pin the d2 = 0
+        // diagonal at exactly sf2, and flush huge distances to zero.
+        for n in [0, 1, 3, 4, 5, 8, 17, 33] {
+            let sf2 = 1.7;
+            let q_norm = 2.25;
+            let x_norms: Vec<f64> = (0..n).map(|j| 0.3 + 0.11 * j as f64).collect();
+            // Dot products chosen to span d2 from 0 to very large.
+            let mut row: Vec<f64> = (0..n)
+                .map(|j| 0.5 * (q_norm + x_norms[j]) - 0.05 * (j as f64 - 2.0).powi(3))
+                .collect();
+            if n > 2 {
+                // Force an exact-zero distance (the Gram diagonal case)...
+                row[2] = 0.5 * (q_norm + x_norms[2]);
+            }
+            if n > 3 {
+                // ...and a guaranteed-underflow distance.
+                row[n - 1] = -1500.0;
+            }
+            let reference: Vec<f64> = row
+                .iter()
+                .zip(x_norms.iter())
+                .map(|(&v, &xn)| {
+                    let d2 = (q_norm + xn - 2.0 * v).max(0.0);
+                    sf2 * (-0.5 * d2).exp()
+                })
+                .collect();
+            sq_exp_apply(&mut row, &x_norms, q_norm, sf2);
+            for (j, (a, b)) in row.iter().zip(reference.iter()).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-13 * (1.0 + b.abs()),
+                    "lane {j}: {a} vs {b}"
+                );
+            }
+            if n > 2 {
+                assert_eq!(row[2], sf2, "zero distance must give exactly sf2");
+            }
+            if n > 3 {
+                assert_eq!(row[n - 1], 0.0, "underflow must flush to zero");
+            }
+        }
+    }
+
+    #[test]
+    fn exp_poly_scalar_is_accurate_over_the_kernel_range() {
+        for i in 0..2000 {
+            let t = -0.4 * i as f64; // 0 down to -799.6
+            let reference = t.exp();
+            let got = exp_poly_scalar(t);
+            if t < EXP_UNDERFLOW {
+                assert_eq!(got, 0.0, "t = {t}");
+            } else {
+                assert!(
+                    (got - reference).abs() <= 1e-14 * reference,
+                    "t = {t}: {got} vs {reference}"
+                );
+            }
+        }
+        assert_eq!(exp_poly_scalar(0.0), 1.0);
+        assert_eq!(exp_poly_scalar(-0.0), 1.0);
     }
 
     #[test]

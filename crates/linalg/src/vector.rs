@@ -50,6 +50,29 @@ pub fn add_scaled_product(acc: &mut [f64], x: &[f64], y: &[f64], scale: f64) {
     crate::packed::add_scaled_product(acc, x, y, scale);
 }
 
+/// Fused squared-exponential apply, through the runtime kernel dispatch:
+/// turns one row of a cross-kernel GEMM output into kernel values in place,
+///
+/// ```text
+/// row[j] = sf2 · exp(−½ · max(q_norm + x_norms[j] − 2·row[j], 0))
+/// ```
+///
+/// where `row[j]` holds the dot product `x'_q · x'_j` of lengthscale-scaled
+/// points and `q_norm` / `x_norms` their squared norms (the norm expansion
+/// `‖a − b‖² = ‖a‖² + ‖b‖² − 2a·b`).  The portable fallback is the exact
+/// scalar `f64::exp` loop the prediction path used previously; the AVX2 path
+/// runs a ≲ 2 ulp polynomial `exp` four lanes at a time.  A zero distance
+/// yields exactly `sf2` on both paths, and distances past the `exp`
+/// underflow threshold flush to exactly zero.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sq_exp_apply(row: &mut [f64], x_norms: &[f64], q_norm: f64, sf2: f64) {
+    assert_eq!(row.len(), x_norms.len(), "sq_exp_apply length mismatch");
+    crate::packed::sq_exp_apply(row, x_norms, q_norm, sf2);
+}
+
 /// Elementwise sum `a + b`.
 ///
 /// # Panics

@@ -253,4 +253,25 @@ proptest! {
             prop_assert!((s.inverse(s.transform(x)) - x).abs() < 1e-9 * (1.0 + x.abs()));
         }
     }
+
+    #[test]
+    fn sq_exp_apply_matches_the_scalar_kernel_formula(
+        dots in prop::collection::vec(-40.0..40.0_f64, 1..40),
+        norm_seeds in prop::collection::vec(0.0..30.0_f64, 40),
+        q_norm in 0.0..30.0_f64,
+        sf2 in 0.05..10.0_f64,
+    ) {
+        // Whatever dispatch path is active, the fused pass must agree with
+        // the plain norm-expansion + f64::exp loop, stay within (0, sf2], and
+        // clamp negative distances (cancellation) to the sf2 peak.
+        let x_norms = &norm_seeds[..dots.len()];
+        let mut row = dots.clone();
+        nnbo_linalg::sq_exp_apply(&mut row, x_norms, q_norm, sf2);
+        for ((&v, &raw), &xn) in row.iter().zip(dots.iter()).zip(x_norms.iter()) {
+            let d2 = (q_norm + xn - 2.0 * raw).max(0.0);
+            let reference = sf2 * (-0.5 * d2).exp();
+            prop_assert!((v - reference).abs() <= 1e-12 * (1.0 + reference), "{v} vs {reference}");
+            prop_assert!(v > 0.0 && v <= sf2 * (1.0 + 1e-15));
+        }
+    }
 }

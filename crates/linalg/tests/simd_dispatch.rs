@@ -164,6 +164,72 @@ fn cholesky_pipeline_matches_between_dispatch_paths() {
 }
 
 #[test]
+fn sq_exp_apply_matches_between_dispatch_paths() {
+    let _guard = serial();
+    // The fused squared-exponential pass: AVX2 polynomial exp vs the portable
+    // scalar `f64::exp` loop, over rows spanning zero distance, moderate
+    // distances and underflow, at widths exercising the vector tail.
+    for n in [1, 2, 3, 4, 5, 7, 8, 9, 31, 64, 130] {
+        let sf2 = 2.3;
+        let q_norm = 1.1;
+        let x_norms: Vec<f64> = (0..n).map(|j| ((j * 37) % 19) as f64 * 0.21).collect();
+        let dots: Vec<f64> = (0..n)
+            .map(|j| {
+                if j % 11 == 5 {
+                    -400.0 // d2 far past the exp underflow threshold
+                } else if j % 7 == 3 {
+                    0.5 * (q_norm + x_norms[j]) // exact zero distance
+                } else {
+                    0.4 * (q_norm + x_norms[j]) - 0.13 * j as f64
+                }
+            })
+            .collect();
+        let mut simd = dots.clone();
+        nnbo_linalg::sq_exp_apply(&mut simd, &x_norms, q_norm, sf2);
+        let portable = with_portable(|| {
+            let mut row = dots.clone();
+            nnbo_linalg::sq_exp_apply(&mut row, &x_norms, q_norm, sf2);
+            row
+        });
+        for (j, (a, b)) in simd.iter().zip(portable.iter()).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-13 * (1.0 + b.abs()),
+                "width {n}, lane {j}: {a} vs {b}"
+            );
+            assert!(*a >= 0.0 && *a <= sf2, "width {n}, lane {j}: range {a}");
+        }
+    }
+}
+
+#[test]
+fn batched_gp_prediction_buffers_match_between_dispatch_paths() {
+    let _guard = serial();
+    // End-to-end through the prediction-path linalg: transpose_into +
+    // solve_lower_matrix_in_place must equal the allocating composition on
+    // both paths.
+    for &n in &[3, 17, 40] {
+        let a = spd(n, n + 5);
+        let chol = Cholesky::decompose(&a).expect("SPD");
+        let k_star = mat(9, n, n + 1); // Q×N
+        let run = || {
+            let mut v = Matrix::zeros(0, 0);
+            k_star.transpose_into(&mut v);
+            chol.solve_lower_matrix_in_place(&mut v);
+            v
+        };
+        let composed = run();
+        let reference = chol.solve_lower_matrix(&k_star.transpose());
+        assert_eq!(
+            composed.as_slice(),
+            reference.as_slice(),
+            "in-place pipeline differs from allocating pipeline"
+        );
+        let portable = with_portable(run);
+        assert_close(&composed, &portable, 1e-9, "solve pipeline dispatch paths");
+    }
+}
+
+#[test]
 fn reported_isa_is_consistent_with_forcing() {
     let _guard = serial();
     let auto = nnbo_linalg::kernel_isa();
