@@ -9,6 +9,7 @@
 //! reproduce [--quick] linalg           # kernel old-vs-new benchmark → BENCH_linalg.json
 //! reproduce [--quick] fit              # fit-path old-vs-new benchmark → BENCH_fit.json
 //! reproduce [--quick] predict          # packed-vs-blocked batched prediction → BENCH_predict.json
+//! reproduce [--quick] robustness       # fault-tolerance: overhead + recovery → BENCH_robustness.json
 //! reproduce [--quick] ablation-ensemble      # ensemble-size ablation (E4)
 //! reproduce [--quick] ablation-acquisition   # acquisition-function ablation (E5)
 //! reproduce [--quick] all              # everything above
@@ -21,10 +22,10 @@
 
 use nnbo_bench::{
     format_fit_json, format_fit_table, format_linalg_json, format_linalg_table,
-    format_predict_json, format_predict_table, format_scaling_json, format_table1,
-    format_table1_json, format_table2, format_table2_json, run_ablation_acquisition,
-    run_ablation_ensemble, run_fit_bench, run_linalg_bench, run_predict_bench, run_scaling,
-    run_table1, run_table2, Protocol,
+    format_predict_json, format_predict_table, format_robustness_json, format_robustness_table,
+    format_scaling_json, format_table1, format_table1_json, format_table2, format_table2_json,
+    run_ablation_acquisition, run_ablation_ensemble, run_fit_bench, run_linalg_bench,
+    run_predict_bench, run_robustness_bench, run_scaling, run_table1, run_table2, Protocol,
 };
 
 fn main() {
@@ -43,6 +44,7 @@ fn main() {
         "linalg" => linalg(quick),
         "fit" => fit(quick),
         "predict" => predict(quick),
+        "robustness" => robustness(quick),
         "ablation-ensemble" => ablation_ensemble(quick),
         "ablation-acquisition" => ablation_acquisition(quick),
         "all" => {
@@ -52,13 +54,14 @@ fn main() {
             linalg(quick);
             fit(quick);
             predict(quick);
+            robustness(quick);
             ablation_ensemble(quick);
             ablation_acquisition(quick);
         }
         other => {
             eprintln!("unknown command `{other}`");
             eprintln!(
-                "expected one of: table1 | table2 | scaling | linalg | fit | predict | ablation-ensemble | ablation-acquisition | all"
+                "expected one of: table1 | table2 | scaling | linalg | fit | predict | robustness | ablation-ensemble | ablation-acquisition | all"
             );
             std::process::exit(2);
         }
@@ -235,6 +238,20 @@ fn predict(quick: bool) {
     print!("{}", format_predict_table(&entries));
     println!();
     write_json("BENCH_predict.json", &format_predict_json(&entries, quick));
+    println!();
+}
+
+fn robustness(quick: bool) {
+    println!(
+        "# Robustness benchmark — clean-path overhead, fault recovery, checkpoint round trip\n"
+    );
+    let report = run_robustness_bench(quick);
+    print!("{}", format_robustness_table(&report));
+    println!();
+    write_json(
+        "BENCH_robustness.json",
+        &format_robustness_json(&report, quick),
+    );
     println!();
 }
 

@@ -22,6 +22,7 @@ mod json;
 mod linalg_bench;
 mod predict_bench;
 mod protocol;
+mod robustness_bench;
 mod scaling;
 mod tables;
 
@@ -34,6 +35,9 @@ pub use linalg_bench::{
 };
 pub use predict_bench::{format_predict_json, format_predict_table, run_predict_bench};
 pub use protocol::{Algorithm, Protocol};
+pub use robustness_bench::{
+    format_robustness_json, format_robustness_table, run_robustness_bench, RobustnessReport,
+};
 pub use scaling::{format_scaling_json, run_scaling, ScalingPoint};
 pub use tables::{
     format_table1, format_table1_json, format_table2, format_table2_json, run_ablation_acquisition,

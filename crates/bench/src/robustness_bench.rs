@@ -1,0 +1,287 @@
+//! Fault-tolerance benchmark: measures the resilience layer's clean-path
+//! overhead and demonstrates its recovery behaviour under a canned fault
+//! plan, emitting `BENCH_robustness.json` so later PRs can track both.
+//!
+//! Three sections:
+//!
+//! * **clean** — a failure-free optimization run.  The resilience layer must
+//!   be inert here: zero recovery events, and a per-evaluation overhead (the
+//!   failure-aware `try_evaluate` wrapper plus the loop's bookkeeping,
+//!   measured directly against the raw `evaluate` path) that stays a small
+//!   fraction of the run — the budget is < 2 %.
+//! * **faulted** — the same run under a deterministic fault plan (a burst of
+//!   evaluation failures, a timeout, one aborted refit).  Reports every
+//!   `RecoveryLog` counter so the recovery behaviour is pinned, and checks
+//!   the optimum came from a real simulation.
+//! * **snapshot** — checkpoint → JSON → restore mid-run, timing the round
+//!   trip and verifying the resumed continuation is bit-identical.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use nnbo_core::problems::ConstrainedBranin;
+use nnbo_core::{
+    BayesOpt, BoConfig, BoSnapshot, EnsembleConfig, EvalOutcome, Evaluation, Problem, RecoveryLog,
+};
+
+use crate::json;
+
+/// Everything `BENCH_robustness.json` reports.
+#[derive(Debug, Clone)]
+pub struct RobustnessReport {
+    /// Wall time of the failure-free run (milliseconds).
+    pub clean_run_ms: f64,
+    /// Total recovery events on the clean run (must be 0).
+    pub clean_total_events: usize,
+    /// Estimated clean-path overhead of the resilience layer, as a percent
+    /// of the whole run: evaluations × (failure-aware wrapper cost − raw
+    /// evaluation cost) ÷ run time.
+    pub clean_path_overhead_pct: f64,
+    /// Wall time of the faulted run (milliseconds).
+    pub faulted_run_ms: f64,
+    /// Recovery log of the faulted run.
+    pub faulted_recovery: RecoveryLog,
+    /// Whether the faulted run's reported optimum came from a real
+    /// (non-imputed) simulation.
+    pub faulted_best_is_real: bool,
+    /// Wall time of snapshot → JSON → parse → restore (milliseconds).
+    pub snapshot_roundtrip_ms: f64,
+    /// Whether the resumed continuation reproduced the uninterrupted run
+    /// bit for bit.
+    pub snapshot_bit_identical: bool,
+}
+
+/// Fails scripted `try_evaluate` calls of the wrapped problem (the canned
+/// fault plan of the faulted section).
+struct ScriptedFaults<P> {
+    inner: P,
+    calls: AtomicUsize,
+    fail: std::ops::Range<usize>,
+    timeout_at: usize,
+}
+
+impl<P: Problem> Problem for ScriptedFaults<P> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+    fn num_constraints(&self) -> usize {
+        self.inner.num_constraints()
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        self.inner.evaluate(x)
+    }
+    fn try_evaluate(&self, x: &[f64]) -> EvalOutcome {
+        let i = self.calls.fetch_add(1, Ordering::SeqCst);
+        if self.fail.contains(&i) {
+            EvalOutcome::Failed(format!("bench: scripted failure at call {i}"))
+        } else if i == self.timeout_at {
+            EvalOutcome::Timeout
+        } else {
+            self.inner.try_evaluate(x)
+        }
+    }
+}
+
+fn bench_config(quick: bool) -> BoConfig {
+    if quick {
+        BoConfig::fast(8, 18).with_seed(7)
+    } else {
+        BoConfig::new(10, 40).with_seed(7)
+    }
+}
+
+fn driver(config: BoConfig, quick: bool) -> BayesOpt<nnbo_core::NeuralGpEnsembleTrainer> {
+    let ensemble = if quick {
+        EnsembleConfig::fast()
+    } else {
+        EnsembleConfig::default()
+    };
+    BayesOpt::neural_with(config, ensemble)
+}
+
+/// Median-of-3 wall time of `f` in milliseconds.
+fn time_ms<T>(mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut times = Vec::with_capacity(3);
+    let mut last = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        last = Some(f());
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(f64::total_cmp);
+    (times[1], last.unwrap())
+}
+
+/// Per-call cost (nanoseconds) of `f` over `iters` calls.
+fn per_call_ns(iters: usize, mut f: impl FnMut(usize)) -> f64 {
+    let start = Instant::now();
+    for i in 0..iters {
+        f(i);
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Runs the three sections and assembles the report.
+pub fn run_robustness_bench(quick: bool) -> RobustnessReport {
+    let config = bench_config(quick);
+
+    // --- clean section ----------------------------------------------------
+    let problem = ConstrainedBranin::new();
+    let (clean_run_ms, clean) = time_ms(|| driver(config.clone(), quick).run(&problem).unwrap());
+    let clean_total_events = clean.recovery().total_events();
+
+    // The failure-aware wrapper's cost per evaluation, measured against the
+    // raw evaluation path it guards.
+    let iters = if quick { 2_000 } else { 20_000 };
+    let points: Vec<Vec<f64>> = (0..64)
+        .map(|i| vec![(i as f64 * 0.37) % 1.0, (i as f64 * 0.61 + 0.11) % 1.0])
+        .collect();
+    let wrapped_ns = per_call_ns(iters, |i| {
+        std::hint::black_box(problem.try_evaluate(&points[i % points.len()]));
+    });
+    let raw_ns = per_call_ns(iters, |i| {
+        std::hint::black_box(problem.evaluate(&points[i % points.len()]));
+    });
+    let evals = config.max_evaluations as f64;
+    let clean_path_overhead_pct =
+        (evals * (wrapped_ns - raw_ns).max(0.0)) / (clean_run_ms * 1e6) * 100.0;
+
+    // --- faulted section --------------------------------------------------
+    // Burst of failures right after the initial design, one timeout later.
+    let init = config.initial_samples;
+    let faulted_problem = ScriptedFaults {
+        inner: ConstrainedBranin::new(),
+        calls: AtomicUsize::new(0),
+        fail: (init + 1)..(init + 5),
+        timeout_at: init + 8,
+    };
+    let (faulted_run_ms, faulted) = time_ms(|| {
+        faulted_problem.calls.store(0, Ordering::SeqCst);
+        driver(config.clone(), quick).run(&faulted_problem).unwrap()
+    });
+    let faulted_recovery = faulted.recovery().clone();
+    let faulted_best_is_real = faulted
+        .best_index()
+        .is_some_and(|i| !faulted_recovery.imputed.contains(&i));
+
+    // --- snapshot section -------------------------------------------------
+    let bo = driver(config.clone(), quick);
+    let reference = bo.run(&problem).unwrap();
+    let mut state = bo.start(&problem).unwrap();
+    for _ in 0..3 {
+        bo.step(&problem, &mut state).unwrap();
+    }
+    let start = Instant::now();
+    let snap = BoSnapshot::from_json(&bo.snapshot(&state).to_json()).unwrap();
+    let mut resumed = bo.resume(&snap).unwrap();
+    let snapshot_roundtrip_ms = start.elapsed().as_secs_f64() * 1e3;
+    while bo.step(&problem, &mut resumed).unwrap() {}
+    let continued = bo.finish(resumed);
+    let snapshot_bit_identical = continued.evaluations() == reference.evaluations()
+        && continued.full_refits() == reference.full_refits();
+
+    RobustnessReport {
+        clean_run_ms,
+        clean_total_events,
+        clean_path_overhead_pct,
+        faulted_run_ms,
+        faulted_recovery,
+        faulted_best_is_real,
+        snapshot_roundtrip_ms,
+        snapshot_bit_identical,
+    }
+}
+
+/// Human-readable summary of the report.
+pub fn format_robustness_table(r: &RobustnessReport) -> String {
+    let rec = &r.faulted_recovery;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "clean run        {:>6.1} ms   recovery events {}   est. overhead {:.3}%\n",
+        r.clean_run_ms, r.clean_total_events, r.clean_path_overhead_pct
+    ));
+    out.push_str(&format!(
+        "faulted run      {:>6.1} ms   failures {}  timeouts {}  retries {}  imputed {}  best-is-real {}\n",
+        r.faulted_run_ms,
+        rec.eval_failures,
+        rec.eval_timeouts,
+        rec.eval_retries,
+        rec.imputed.len(),
+        r.faulted_best_is_real
+    ));
+    out.push_str(&format!(
+        "                 degraded refits {}  fallback suggests {}  suppressed failure-refits {}  jitter {}  drops {}\n",
+        rec.degraded_refits,
+        rec.fallback_suggests,
+        rec.failure_refits_suppressed,
+        rec.jitter_promotions,
+        rec.member_drops
+    ));
+    out.push_str(&format!(
+        "snapshot         {:>6.2} ms round trip   bit-identical {}\n",
+        r.snapshot_roundtrip_ms, r.snapshot_bit_identical
+    ));
+    out
+}
+
+/// Serialises the report as the `BENCH_robustness.json` document.
+pub fn format_robustness_json(r: &RobustnessReport, quick: bool) -> String {
+    let rec = &r.faulted_recovery;
+    let rows = vec![
+        format!(
+            "{{\"section\": \"clean\", \"run_ms\": {}, \"recovery_events\": {}, \"overhead_pct\": {}}}",
+            json::number(r.clean_run_ms),
+            r.clean_total_events,
+            json::number(r.clean_path_overhead_pct)
+        ),
+        format!(
+            "{{\"section\": \"faulted\", \"run_ms\": {}, \"eval_failures\": {}, \"eval_timeouts\": {}, \
+             \"eval_retries\": {}, \"imputed\": {}, \"degraded_refits\": {}, \"fallback_suggests\": {}, \
+             \"failure_refits_suppressed\": {}, \"jitter_promotions\": {}, \"member_drops\": {}, \
+             \"best_is_real\": {}}}",
+            json::number(r.faulted_run_ms),
+            rec.eval_failures,
+            rec.eval_timeouts,
+            rec.eval_retries,
+            rec.imputed.len(),
+            rec.degraded_refits,
+            rec.fallback_suggests,
+            rec.failure_refits_suppressed,
+            rec.jitter_promotions,
+            rec.member_drops,
+            r.faulted_best_is_real
+        ),
+        format!(
+            "{{\"section\": \"snapshot\", \"roundtrip_ms\": {}, \"bit_identical\": {}}}",
+            json::number(r.snapshot_roundtrip_ms),
+            r.snapshot_bit_identical
+        ),
+    ];
+    json::document("nnbo-robustness-v1", "robustness", quick, "sections", &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_is_consistent_and_serialises() {
+        let _guard = crate::TEST_DISPATCH_LOCK.lock().unwrap();
+        let r = run_robustness_bench(true);
+        assert_eq!(r.clean_total_events, 0, "clean run must be clean");
+        assert!(r.clean_path_overhead_pct.is_finite());
+        assert!(
+            r.clean_path_overhead_pct < 2.0,
+            "clean-path overhead {:.3}% breaches the 2% budget",
+            r.clean_path_overhead_pct
+        );
+        assert!(r.faulted_recovery.eval_failures > 0);
+        assert!(r.faulted_recovery.eval_timeouts > 0);
+        assert!(r.faulted_best_is_real);
+        assert!(r.snapshot_bit_identical);
+        let json = format_robustness_json(&r, true);
+        assert!(json.contains("\"schema\": \"nnbo-robustness-v1\""));
+        assert!(json.contains("\"section\": \"faulted\""));
+        assert!(!format_robustness_table(&r).is_empty());
+    }
+}

@@ -177,6 +177,48 @@ impl ChargePump {
         self.evaluate(&self.denormalize(x))
     }
 
+    /// Evaluates a design in physical units, reporting a degenerate corner
+    /// sweep honestly instead of returning non-finite metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when any corner produces a non-finite
+    /// current difference or deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != 36` or any variable is not strictly positive.
+    pub fn try_evaluate(&self, x: &[f64]) -> Result<ChargePumpPerformance, String> {
+        let p = self.evaluate(x);
+        if p.fom.is_finite()
+            && p.diff1.is_finite()
+            && p.diff2.is_finite()
+            && p.diff3.is_finite()
+            && p.diff4.is_finite()
+            && p.deviation.is_finite()
+        {
+            Ok(p)
+        } else {
+            Err(format!(
+                "PVT corner sweep produced non-finite charge-pump metrics: {p:?}"
+            ))
+        }
+    }
+
+    /// Fallible evaluation in normalised `[0, 1]` coordinates — see
+    /// [`ChargePump::try_evaluate`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ChargePump::try_evaluate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != 36`.
+    pub fn try_evaluate_normalized(&self, x: &[f64]) -> Result<ChargePumpPerformance, String> {
+        self.try_evaluate(&self.denormalize(x))
+    }
+
     /// Evaluates a design in physical units.
     ///
     /// # Panics

@@ -92,6 +92,20 @@ impl TwoStageOpAmp {
         Self::default()
     }
 
+    /// A corner-stress fixture: a deliberately broken compensation network
+    /// (zero-ohm nulling resistor, i.e. an infinite conductance entry) that
+    /// makes the small-signal MNA system singular at *every* design point.
+    ///
+    /// [`TwoStageOpAmp::try_evaluate`] therefore fails deterministically on
+    /// this bench — use it to exercise failure-handling paths (retry,
+    /// imputation, degradation) without randomness.
+    pub fn stressed() -> Self {
+        TwoStageOpAmp {
+            comp_resistor: 0.0,
+            ..Self::default()
+        }
+    }
+
     /// Lower/upper bounds of the 10 physical design variables
     /// `[W1, L1, W3, L3, W5, L5, W6, L6, Cc, Ibias]`.
     pub fn bounds(&self) -> [(f64, f64); OPAMP_DIM] {
@@ -136,10 +150,96 @@ impl TwoStageOpAmp {
 
     /// Evaluates a design given in physical units.
     ///
+    /// This is the infallible best-effort projection: when the small-signal
+    /// AC analysis fails (singular MNA system) the frequency-domain metrics
+    /// are replaced by a deep penalty (−100 dB gain, no unity-gain crossing).
+    /// Use [`TwoStageOpAmp::try_evaluate`] to observe such failures honestly.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != 10` or any variable is not strictly positive.
     pub fn evaluate(&self, x: &[f64]) -> OpAmpPerformance {
+        let (metrics, power_w, area_m2, bias_ok) = self.analyze(x);
+        let metrics = metrics.unwrap_or(crate::ac::BodeMetrics {
+            dc_gain_db: -100.0,
+            unity_gain_freq_hz: 0.0,
+            phase_margin_deg: 0.0,
+            crossed_unity: false,
+        });
+        Self::performance(metrics, power_w, area_m2, bias_ok)
+    }
+
+    /// Evaluates a design given in physical units, reporting solver failure
+    /// honestly instead of projecting it onto a penalty performance.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the small-signal MNA system is
+    /// singular (the AC sweep has no valid point) or the analysis produces a
+    /// non-finite performance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != 10` or any variable is not strictly positive.
+    pub fn try_evaluate(&self, x: &[f64]) -> Result<OpAmpPerformance, String> {
+        let (metrics, power_w, area_m2, bias_ok) = self.analyze(x);
+        let metrics = metrics.ok_or_else(|| {
+            "AC analysis failed: singular small-signal MNA system (no valid sweep point)"
+                .to_string()
+        })?;
+        let p = Self::performance(metrics, power_w, area_m2, bias_ok);
+        if !(p.gain_db.is_finite()
+            && p.ugf_hz.is_finite()
+            && p.pm_deg.is_finite()
+            && p.power_w.is_finite()
+            && p.area_m2.is_finite())
+        {
+            return Err(format!(
+                "AC analysis produced a non-finite performance: {p:?}"
+            ));
+        }
+        Ok(p)
+    }
+
+    /// Fallible evaluation of a design in normalised `[0, 1]` coordinates —
+    /// see [`TwoStageOpAmp::try_evaluate`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TwoStageOpAmp::try_evaluate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != 10`.
+    pub fn try_evaluate_normalized(&self, x: &[f64]) -> Result<OpAmpPerformance, String> {
+        self.try_evaluate(&self.denormalize(x))
+    }
+
+    /// Assembles the performance report from the AC metrics and the
+    /// bias-point quantities.
+    fn performance(
+        metrics: crate::ac::BodeMetrics,
+        power_w: f64,
+        area_m2: f64,
+        bias_ok: bool,
+    ) -> OpAmpPerformance {
+        OpAmpPerformance {
+            gain_db: metrics.dc_gain_db,
+            ugf_hz: metrics.unity_gain_freq_hz,
+            pm_deg: if metrics.crossed_unity {
+                metrics.phase_margin_deg
+            } else {
+                0.0
+            },
+            power_w,
+            area_m2,
+            bias_ok,
+        }
+    }
+
+    /// Bias-point computation plus the small-signal AC sweep; `None` metrics
+    /// mean the MNA system was singular at every frequency.
+    fn analyze(&self, x: &[f64]) -> (Option<crate::ac::BodeMetrics>, f64, f64, bool) {
         assert_eq!(x.len(), OPAMP_DIM, "expected {OPAMP_DIM} design variables");
         assert!(
             x.iter().all(|v| *v > 0.0),
@@ -261,14 +361,7 @@ impl TwoStageOpAmp {
             stop_hz: 10e9,
             points_per_decade: 24,
         });
-        let metrics = analysis
-            .bode_metrics(&ss)
-            .unwrap_or(crate::ac::BodeMetrics {
-                dc_gain_db: -100.0,
-                unity_gain_freq_hz: 0.0,
-                phase_margin_deg: 0.0,
-                crossed_unity: false,
-            });
+        let metrics = analysis.bode_metrics(&ss);
 
         let power_w = self.vdd * (ibias + i_tail + i_stage2);
         let area_m2 = w1 * l1 * 2.0
@@ -276,18 +369,7 @@ impl TwoStageOpAmp {
             + w5 * l5 * (1.0 + self.output_stage_multiplier)
             + w6 * l6;
 
-        OpAmpPerformance {
-            gain_db: metrics.dc_gain_db,
-            ugf_hz: metrics.unity_gain_freq_hz,
-            pm_deg: if metrics.crossed_unity {
-                metrics.phase_margin_deg
-            } else {
-                0.0
-            },
-            power_w,
-            area_m2,
-            bias_ok,
-        }
+        (metrics, power_w, area_m2, bias_ok)
     }
 }
 

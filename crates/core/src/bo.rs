@@ -1,13 +1,17 @@
-//! The constrained single-objective Bayesian-optimization loop (Algorithm 1).
+//! The constrained single-objective Bayesian-optimization loop (Algorithm 1),
+//! hardened for failing evaluation backends: failure-aware evaluations with
+//! retry/imputation policies, graceful surrogate degradation, and versioned
+//! checkpoint/resume ([`BoSnapshot`]).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::acquisition::{self, AcquisitionKind};
 use crate::ensemble::{EnsembleConfig, NeuralGpEnsembleTrainer};
 use crate::error::BoError;
-use crate::problems::{Evaluation, Problem};
+use crate::problems::{EvalOutcome, Evaluation, Problem};
+use crate::resilience::{FailureAction, FailurePolicy, ModelResilience, RecoveryLog};
 use crate::sampling::latin_hypercube;
 use crate::surrogate::{SurrogateModel, SurrogateTrainer};
 
@@ -147,6 +151,11 @@ pub struct BoConfig {
     /// updated (see [`RefitPolicy`]; the default refits every iteration,
     /// exactly as the paper's Algorithm 1 does).
     pub refit: RefitPolicy,
+    /// How failed or timed-out evaluations are retried and imputed (see
+    /// [`FailurePolicy`]).  On a failure-free run the policy is inert: no
+    /// extra random draws happen, so results are bit-identical across
+    /// policies.
+    pub failure: FailurePolicy,
     /// Random seed; every stochastic component of the run derives from it.
     pub seed: u64,
 }
@@ -162,6 +171,7 @@ impl BoConfig {
             candidate_pool: 1024,
             local_candidates: 256,
             refit: RefitPolicy::Fixed(1),
+            failure: FailurePolicy::default(),
             seed: 0,
         }
     }
@@ -208,6 +218,12 @@ impl BoConfig {
         self.refit = refit;
         self
     }
+
+    /// Sets the evaluation-failure policy (see [`FailurePolicy`]).
+    pub fn with_failure_policy(mut self, failure: FailurePolicy) -> Self {
+        self.failure = failure;
+        self
+    }
 }
 
 /// The result of one optimization run: every evaluated point in order, plus
@@ -219,6 +235,9 @@ pub struct OptimizationResult {
     /// Number of *full* surrogate refits the run performed (0 for
     /// histories built by [`OptimizationResult::from_history`]).
     full_refits: usize,
+    /// Audit trail of every recovery the run performed (empty for histories
+    /// built by [`OptimizationResult::from_history`]).
+    recovery: RecoveryLog,
 }
 
 impl OptimizationResult {
@@ -234,7 +253,15 @@ impl OptimizationResult {
             evaluations,
             initial_samples,
             full_refits: 0,
+            recovery: RecoveryLog::default(),
         }
+    }
+
+    /// The run's recovery log: evaluation failures and retries, imputed
+    /// observations, surrogate degradations and space-filling fallbacks.  A
+    /// [`RecoveryLog::is_clean`] log means the run needed no recovery at all.
+    pub fn recovery(&self) -> &RecoveryLog {
+        &self.recovery
     }
 
     /// Number of full surrogate refits (hyper-parameter optimizations /
@@ -263,9 +290,16 @@ impl OptimizationResult {
     }
 
     /// Index of the best feasible evaluation, if any point was feasible.
+    ///
+    /// Imputed evaluations (failed points the [`FailurePolicy`] replaced with
+    /// a finite stand-in, see [`RecoveryLog::imputed`]) are never selected:
+    /// an optimum must come from a real simulation.
     pub fn best_index(&self) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
         for (i, (_, e)) in self.evaluations.iter().enumerate() {
+            if self.recovery.imputed.contains(&i) {
+                continue;
+            }
             if e.is_feasible() && best.is_none_or(|(_, v)| e.objective < v) {
                 best = Some((i, e.objective));
             }
@@ -367,68 +401,216 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
 
     /// Runs the optimization on `problem`.
     ///
+    /// Equivalent to [`BayesOpt::start`], [`BayesOpt::step`] until the budget
+    /// is exhausted, then [`BayesOpt::finish`] — drive those directly to
+    /// interleave checkpoints ([`BayesOpt::snapshot`]) or external work
+    /// between evaluations.
+    ///
     /// # Errors
     ///
     /// Returns [`BoError::InvalidConfig`] / [`BoError::InvalidProblem`] for
-    /// inconsistent setups, and [`BoError::SurrogateTraining`] if the surrogate
-    /// cannot be trained repeatedly (isolated failures fall back to random
-    /// sampling for that iteration).
+    /// inconsistent setups and [`BoError::Internal`] if a trainer violates
+    /// the loop's invariants.  Evaluation failures and surrogate-training
+    /// failures do *not* abort the run: they are retried, imputed, or worked
+    /// around per the configured [`FailurePolicy`], and every such recovery
+    /// is recorded in [`OptimizationResult::recovery`].
     pub fn run(&self, problem: &dyn Problem) -> Result<OptimizationResult, BoError> {
+        let mut state = self.start(problem)?;
+        while self.step(problem, &mut state)? {}
+        Ok(self.finish(state))
+    }
+
+    /// Validates the setup and performs the space-filling initial design
+    /// (phase 1 of Algorithm 1), returning the loop state that
+    /// [`BayesOpt::step`] advances one evaluation at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoError::InvalidConfig`] / [`BoError::InvalidProblem`] for
+    /// inconsistent setups.
+    pub fn start(&self, problem: &dyn Problem) -> Result<BoState<T::Model>, BoError> {
         self.validate(problem)?;
         let dim = problem.dim();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-
-        // Phase 1: space-filling initial design.
         let mut history: Vec<(Vec<f64>, Evaluation)> = Vec::new();
+        let mut recovery = RecoveryLog::default();
         for x in latin_hypercube(self.config.initial_samples, dim, &mut rng) {
-            let eval = problem.evaluate(&x);
+            let (x, eval, _) =
+                self.evaluate_with_policy(problem, x, &mut rng, &mut recovery, &history);
             history.push((x, eval));
         }
+        Ok(BoState {
+            history,
+            rng,
+            surrogate: SurrogateState {
+                models: None,
+                scores: ScoreBuffers::new(),
+                full_refits: 0,
+                recovery,
+                consecutive_failure_refits: 0,
+            },
+        })
+    }
 
-        // Phase 2: model-guided search.  The fitted surrogates persist across
-        // iterations so that, between full refits, the single observation
-        // appended per iteration can be absorbed through the trainers'
-        // incremental Cholesky updates instead of a from-scratch fit; the
-        // scoring buffers persist too, so the prediction path reuses its
-        // allocations across iterations.
-        let mut consecutive_failures = 0usize;
-        let mut models: Option<FittedModels<T::Model>> = None;
-        let mut scores = ScoreBuffers::new();
-        let mut full_refits = 0usize;
-        while history.len() < self.config.max_evaluations {
-            let candidate = match self.next_candidate(
-                problem,
-                &history,
-                &mut models,
-                &mut rng,
-                &mut scores,
-                &mut full_refits,
-            ) {
-                Ok(x) => {
-                    consecutive_failures = 0;
-                    x
-                }
-                Err(reason) => {
-                    models = None;
-                    consecutive_failures += 1;
-                    if consecutive_failures > 5 {
-                        return Err(BoError::SurrogateTraining {
-                            target: "objective".to_string(),
-                            reason,
-                        });
-                    }
-                    // Robust fallback: a random point keeps the run going.
-                    (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect()
-                }
-            };
-            let eval = problem.evaluate(&candidate);
-            history.push((candidate, eval));
+    /// Performs one model-guided iteration (phase 2 of Algorithm 1):
+    /// refreshes the surrogates per the [`RefitPolicy`], maximises the
+    /// acquisition over a fresh candidate set, and evaluates the winner under
+    /// the [`FailurePolicy`].  Returns `Ok(false)` once the evaluation budget
+    /// is exhausted (the state is then ready for [`BayesOpt::finish`]).
+    ///
+    /// The fitted surrogates persist inside `state` across iterations so
+    /// that, between full refits, the single observation appended per
+    /// iteration can be absorbed through the trainers' incremental Cholesky
+    /// updates; the scoring buffers persist too, so the prediction path
+    /// reuses its allocations.
+    ///
+    /// A recoverable surrogate-training failure never aborts the step: the
+    /// iteration falls back to a space-filling candidate (recorded in
+    /// [`RecoveryLog::fallback_suggests`]) and the run continues.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoError::Internal`] only for violated loop invariants.
+    pub fn step(
+        &self,
+        problem: &dyn Problem,
+        state: &mut BoState<T::Model>,
+    ) -> Result<bool, BoError> {
+        if state.history.len() >= self.config.max_evaluations {
+            return Ok(false);
         }
+        let dim = problem.dim();
+        let candidate = match self.next_candidate(
+            problem,
+            &state.history,
+            &mut state.surrogate,
+            &mut state.rng,
+        ) {
+            Ok(x) => x,
+            Err(BoError::SurrogateTraining { .. }) => {
+                // Graceful degradation, last line: no usable surrogate this
+                // iteration — a space-filling point keeps the run going.
+                state.surrogate.models = None;
+                state.surrogate.recovery.fallback_suggests += 1;
+                (0..dim).map(|_| state.rng.gen_range(0.0..1.0)).collect()
+            }
+            Err(e) => return Err(e),
+        };
+        let (x, eval, imputed) = self.evaluate_with_policy(
+            problem,
+            candidate,
+            &mut state.rng,
+            &mut state.surrogate.recovery,
+            &state.history,
+        );
+        if !imputed {
+            // A real observation ends any failure burst: drift refits are
+            // trustworthy again (see FailurePolicy::max_failure_refits).
+            state.surrogate.consecutive_failure_refits = 0;
+        }
+        state.history.push((x, eval));
+        Ok(true)
+    }
 
-        Ok(OptimizationResult {
-            evaluations: history,
+    /// Consumes the loop state into the run's [`OptimizationResult`].
+    pub fn finish(&self, state: BoState<T::Model>) -> OptimizationResult {
+        OptimizationResult {
+            evaluations: state.history,
             initial_samples: self.config.initial_samples,
-            full_refits,
+            full_refits: state.surrogate.full_refits,
+            recovery: state.surrogate.recovery,
+        }
+    }
+
+    /// Captures the loop state as a versioned, serializable checkpoint.
+    ///
+    /// The snapshot records everything [`BayesOpt::resume`] needs to continue
+    /// the run *bit-identically*: the evaluation history, the exact rng
+    /// stream position, the fitted surrogates (serialized through the
+    /// self-describing value tree, which round-trips every `f64` exactly),
+    /// the refit-policy bookkeeping and the recovery log.
+    pub fn snapshot(&self, state: &BoState<T::Model>) -> BoSnapshot
+    where
+        T::Model: Serialize,
+    {
+        BoSnapshot {
+            version: SNAPSHOT_VERSION,
+            config: self.config.clone(),
+            history: state.history.clone(),
+            rng_state: state.rng.state(),
+            full_refits: state.surrogate.full_refits,
+            recovery: state.surrogate.recovery.clone(),
+            consecutive_failure_refits: state.surrogate.consecutive_failure_refits,
+            models: state.surrogate.models.as_ref().map(|f| ModelSnapshot {
+                objective: f.objective.to_value(),
+                constraints: f.constraints.iter().map(|m| m.to_value()).collect(),
+                trained_on: f.trained_on,
+                last_full_fit: f.last_full_fit,
+                fit_nll_per_point: f.fit_nll_per_point,
+            }),
+        }
+    }
+
+    /// Restores the loop state from a checkpoint taken by
+    /// [`BayesOpt::snapshot`], continuing the run bit-identically (same
+    /// future evaluations, same rng stream) as if it had never stopped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoError::SnapshotMismatch`] when the snapshot's version or
+    /// configuration differs from this driver's, or when a model payload no
+    /// longer deserializes.
+    pub fn resume(&self, snapshot: &BoSnapshot) -> Result<BoState<T::Model>, BoError>
+    where
+        T::Model: for<'de> Deserialize<'de>,
+    {
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(BoError::SnapshotMismatch {
+                details: format!(
+                    "snapshot version {} (this build writes {SNAPSHOT_VERSION})",
+                    snapshot.version
+                ),
+            });
+        }
+        if snapshot.config != self.config {
+            return Err(BoError::SnapshotMismatch {
+                details: "snapshot was taken under a different configuration".to_string(),
+            });
+        }
+        let models = match &snapshot.models {
+            None => None,
+            Some(ms) => {
+                let objective =
+                    T::Model::from_value(&ms.objective).map_err(|e| BoError::SnapshotMismatch {
+                        details: format!("objective model payload: {e}"),
+                    })?;
+                let constraints = ms
+                    .constraints
+                    .iter()
+                    .map(T::Model::from_value)
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| BoError::SnapshotMismatch {
+                        details: format!("constraint model payload: {e}"),
+                    })?;
+                Some(FittedModels {
+                    objective,
+                    constraints,
+                    trained_on: ms.trained_on,
+                    last_full_fit: ms.last_full_fit,
+                    fit_nll_per_point: ms.fit_nll_per_point,
+                })
+            }
+        };
+        Ok(BoState {
+            history: snapshot.history.clone(),
+            rng: StdRng::from_state(snapshot.rng_state),
+            surrogate: SurrogateState {
+                models,
+                scores: ScoreBuffers::new(),
+                full_refits: snapshot.full_refits,
+                recovery: snapshot.recovery.clone(),
+                consecutive_failure_refits: snapshot.consecutive_failure_refits,
+            },
         })
     }
 
@@ -443,24 +625,119 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable reason when surrogate training fails.
+    /// Returns [`BoError::SurrogateTraining`] when surrogate training fails
+    /// (there is no previous model to degrade to here) and
+    /// [`BoError::Internal`] if a trainer violates the loop's invariants.
     pub fn suggest(
         &self,
         problem: &dyn Problem,
         history: &[(Vec<f64>, Evaluation)],
         rng: &mut StdRng,
-    ) -> Result<Vec<f64>, String> {
-        let mut models: Option<FittedModels<T::Model>> = None;
-        let mut scores = ScoreBuffers::new();
-        let mut full_refits = 0usize;
-        self.next_candidate(
-            problem,
-            history,
-            &mut models,
-            rng,
-            &mut scores,
-            &mut full_refits,
-        )
+    ) -> Result<Vec<f64>, BoError> {
+        let mut state = SurrogateState {
+            models: None,
+            scores: ScoreBuffers::new(),
+            full_refits: 0,
+            recovery: RecoveryLog::default(),
+            consecutive_failure_refits: 0,
+        };
+        self.next_candidate(problem, history, &mut state, rng)
+    }
+
+    /// Evaluates `x` under the configured [`FailurePolicy`]: failed or
+    /// timed-out attempts are retried up to `max_retries` times at
+    /// deterministically jittered points (rng draws happen *only* on the
+    /// failure path, so clean runs are bit-identical across policies), and an
+    /// exhausted point is replaced by a finite imputed evaluation recorded in
+    /// [`RecoveryLog::imputed`].  Returns the point actually recorded, its
+    /// evaluation, and whether it was imputed.
+    fn evaluate_with_policy(
+        &self,
+        problem: &dyn Problem,
+        x: Vec<f64>,
+        rng: &mut StdRng,
+        recovery: &mut RecoveryLog,
+        history: &[(Vec<f64>, Evaluation)],
+    ) -> (Vec<f64>, Evaluation, bool) {
+        let policy = &self.config.failure;
+        let original = x.clone();
+        let mut point = x;
+        for attempt in 0..=policy.max_retries {
+            let outcome = problem.try_evaluate(&point);
+            match outcome {
+                EvalOutcome::Ok(eval)
+                    if eval.objective.is_finite()
+                        && eval.constraints.iter().all(|g| g.is_finite()) =>
+                {
+                    return (point, eval, false);
+                }
+                // An override returning Ok with non-finite values is a
+                // failure regardless — the surrogates must never see NaN.
+                EvalOutcome::Ok(_) | EvalOutcome::Failed(_) => recovery.eval_failures += 1,
+                EvalOutcome::Timeout => recovery.eval_timeouts += 1,
+            }
+            if attempt < policy.max_retries {
+                recovery.eval_retries += 1;
+                for v in point.iter_mut() {
+                    *v = (*v + policy.retry_jitter * standard_normal(rng)).clamp(0.0, 1.0);
+                }
+            }
+        }
+        let eval = self.impute_failure(problem, history, recovery);
+        recovery.imputed.push(history.len());
+        (original, eval, true)
+    }
+
+    /// Builds the finite stand-in evaluation for a point whose retries are
+    /// exhausted, per [`FailureAction`].  Only *real* (non-imputed) history
+    /// entries inform the imputed values, so repeated failures cannot ratchet
+    /// the imputation ever further.
+    fn impute_failure(
+        &self,
+        problem: &dyn Problem,
+        history: &[(Vec<f64>, Evaluation)],
+        recovery: &RecoveryLog,
+    ) -> Evaluation {
+        let action = self.config.failure.on_exhausted;
+        let real: Vec<&Evaluation> = history
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !recovery.imputed.contains(i))
+            .map(|(_, (_, e))| e)
+            .collect();
+        let mut worst = f64::NEG_INFINITY;
+        let mut best = f64::INFINITY;
+        for e in &real {
+            worst = worst.max(e.objective);
+            best = best.min(e.objective);
+        }
+        let objective = if real.is_empty() {
+            // Nothing observed yet (a failure inside the initial design
+            // before any success): a neutral finite stand-in.
+            0.0
+        } else if let FailureAction::Penalize { margin } = action {
+            let span = worst - best;
+            worst + margin * if span > 0.0 { span } else { 1.0 }
+        } else {
+            worst
+        };
+        let constraints: Vec<f64> = (0..problem.num_constraints())
+            .map(|c| {
+                if action == FailureAction::MarkInfeasible {
+                    return 1.0;
+                }
+                let worst_c = real
+                    .iter()
+                    .map(|e| e.constraints[c])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if worst_c.is_finite() {
+                    worst_c
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Evaluation::new(objective, constraints)
     }
 
     fn validate(&self, problem: &dyn Problem) -> Result<(), BoError> {
@@ -490,6 +767,9 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
         if let Err(details) = self.config.refit.validate() {
             return Err(BoError::InvalidConfig { details });
         }
+        if let Err(details) = self.config.failure.validate() {
+            return Err(BoError::InvalidConfig { details });
+        }
         Ok(())
     }
 
@@ -501,16 +781,27 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
         &self,
         problem: &dyn Problem,
         history: &[(Vec<f64>, Evaluation)],
-        models: &mut Option<FittedModels<T::Model>>,
+        state: &mut SurrogateState<T::Model>,
         rng: &mut StdRng,
-        scores: &mut ScoreBuffers,
-        full_refits: &mut usize,
-    ) -> Result<Vec<f64>, String> {
+    ) -> Result<Vec<f64>, BoError> {
         let dim = problem.dim();
-        if self.refresh_models(problem, history, models, rng)? {
-            *full_refits += 1;
+        match self.refresh_models(problem, history, state, rng) {
+            Ok(true) => state.full_refits += 1,
+            Ok(false) => {}
+            Err(RefreshError::Fit(reason)) => {
+                return Err(BoError::SurrogateTraining {
+                    target: "surrogate family".to_string(),
+                    reason,
+                });
+            }
+            Err(RefreshError::Internal(details)) => {
+                return Err(BoError::Internal { details });
+            }
         }
-        let fitted = models.as_ref().expect("refresh_models populated the slot");
+        let SurrogateState { models, scores, .. } = state;
+        let fitted = models.as_ref().ok_or_else(|| BoError::Internal {
+            details: "refresh_models succeeded without populating the model slot".to_string(),
+        })?;
 
         // Incumbent: best feasible objective, if any.
         let tau = history
@@ -622,11 +913,12 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
         &self,
         problem: &dyn Problem,
         history: &[(Vec<f64>, Evaluation)],
-        models: &mut Option<FittedModels<T::Model>>,
+        state: &mut SurrogateState<T::Model>,
         rng: &mut StdRng,
-    ) -> Result<bool, String> {
+    ) -> Result<bool, RefreshError> {
         let n = history.len();
         let policy = self.config.refit;
+        let models = &mut state.models;
 
         if let Some(fitted) = models.as_mut() {
             let gap = n.saturating_sub(fitted.last_full_fit);
@@ -672,6 +964,24 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
                                 if !due {
                                     return Ok(false);
                                 }
+                                // An imputed stand-in moves the likelihood by
+                                // construction, so drift it triggers is not a
+                                // model-quality signal.  Cap how many
+                                // consecutive failure-driven full refits the
+                                // policy may charge (FailurePolicy::
+                                // max_failure_refits); suppressed ones stay
+                                // on the incremental path.
+                                let latest_imputed =
+                                    n > 0 && state.recovery.imputed.last() == Some(&(n - 1));
+                                if latest_imputed {
+                                    if state.consecutive_failure_refits
+                                        >= self.config.failure.max_failure_refits
+                                    {
+                                        state.recovery.failure_refits_suppressed += 1;
+                                        return Ok(false);
+                                    }
+                                    state.consecutive_failure_refits += 1;
+                                }
                             }
                             // Unsupported / failed update: full fit below
                             // (drift unknown, conservative).
@@ -698,18 +1008,32 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
                     .collect()
             })
         });
-        let mut trained = self.trainer.fit_many(&xs, &targets, prev.as_deref(), rng)?;
+        let mut trained = match self.trainer.fit_many(&xs, &targets, prev.as_deref(), rng) {
+            Ok(trained) => trained,
+            Err(reason) => {
+                if models.is_some() {
+                    // Graceful degradation: the previous surrogates are a
+                    // usable (if stale) posterior — keep scoring with them
+                    // rather than discarding the iteration.  Their
+                    // `trained_on` no longer matches the history, so the
+                    // next iteration attempts a full fit again.
+                    state.recovery.degraded_refits += 1;
+                    return Ok(false);
+                }
+                return Err(RefreshError::Fit(reason));
+            }
+        };
         if trained.len() != targets.len() {
-            return Err(format!(
+            return Err(RefreshError::Internal(format!(
                 "trainer returned {} models for {} targets",
                 trained.len(),
                 targets.len()
-            ));
+            )));
         }
         let constraints = trained.split_off(1);
-        let objective = trained
-            .pop()
-            .expect("fit_many returned the objective model");
+        let objective = trained.pop().ok_or_else(|| {
+            RefreshError::Internal("fit_many returned no objective model".to_string())
+        })?;
         let mut fitted = FittedModels {
             objective,
             constraints,
@@ -719,6 +1043,12 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
         };
         // Anchor the drift reference at the freshly fitted models' quality.
         fitted.fit_nll_per_point = fitted.nll_per_point();
+        // Surface what the surrogates had to recover from while fitting
+        // (jittered factorizations, dropped ensemble members) in the
+        // run-level log.
+        let resilience = fitted.resilience_total();
+        state.recovery.jitter_promotions += resilience.jitter_recoveries;
+        state.recovery.member_drops += resilience.dropped_members;
         *models = Some(fitted);
         Ok(true)
     }
@@ -793,6 +1123,129 @@ impl<M: SurrogateModel> FittedModels<M> {
     fn drift(&self) -> Option<f64> {
         Some((self.nll_per_point()? - self.fit_nll_per_point?).abs())
     }
+
+    /// Recovery counters accumulated across the objective model and every
+    /// constraint model (see [`SurrogateModel::resilience`]).
+    fn resilience_total(&self) -> ModelResilience {
+        self.constraints
+            .iter()
+            .fold(self.objective.resilience(), |acc, m| {
+                acc.merged(m.resilience())
+            })
+    }
+}
+
+/// Why [`BayesOpt::refresh_models`] could not bring the surrogates up to
+/// date: a recoverable training failure (the caller degrades gracefully) or
+/// a violated loop invariant (the caller aborts).
+enum RefreshError {
+    /// The trainer reported a failure and no stale models exist to fall back
+    /// on.  Recoverable: the loop suggests a space-filling point instead.
+    Fit(String),
+    /// A trainer broke the fit-many contract — not recoverable.
+    Internal(String),
+}
+
+/// The surrogate side of the loop state: the fitted models, the scoring
+/// buffers they are queried through, and the refit/recovery bookkeeping.
+struct SurrogateState<M> {
+    models: Option<FittedModels<M>>,
+    scores: ScoreBuffers,
+    full_refits: usize,
+    recovery: RecoveryLog,
+    /// Consecutive full refits triggered by drift right after an *imputed*
+    /// observation — capped by [`FailurePolicy::max_failure_refits`], reset
+    /// by any real observation.
+    consecutive_failure_refits: usize,
+}
+
+/// Resumable state of an in-flight optimization run, produced by
+/// [`BayesOpt::start`] and advanced by [`BayesOpt::step`].
+///
+/// Checkpoint it with [`BayesOpt::snapshot`] / [`BayesOpt::resume`]; turn it
+/// into the final [`OptimizationResult`] with [`BayesOpt::finish`].
+pub struct BoState<M> {
+    history: Vec<(Vec<f64>, Evaluation)>,
+    rng: StdRng,
+    surrogate: SurrogateState<M>,
+}
+
+impl<M> BoState<M> {
+    /// The evaluations performed so far, in order.
+    pub fn evaluations(&self) -> &[(Vec<f64>, Evaluation)] {
+        &self.history
+    }
+
+    /// The recovery log accumulated so far.
+    pub fn recovery(&self) -> &RecoveryLog {
+        &self.surrogate.recovery
+    }
+
+    /// Number of full surrogate refits performed so far.
+    pub fn full_refits(&self) -> usize {
+        self.surrogate.full_refits
+    }
+}
+
+/// Snapshot format version written by this build (bumped on any breaking
+/// layout change; [`BayesOpt::resume`] refuses other versions).
+const SNAPSHOT_VERSION: u32 = 1;
+
+/// A versioned, serializable checkpoint of an optimization run — see
+/// [`BayesOpt::snapshot`] and [`BayesOpt::resume`].
+///
+/// Serialize it with [`BoSnapshot::to_json`] (every finite `f64`
+/// round-trips bit-exactly) or through the `serde` value tree directly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoSnapshot {
+    version: u32,
+    config: BoConfig,
+    history: Vec<(Vec<f64>, Evaluation)>,
+    rng_state: [u64; 4],
+    full_refits: usize,
+    recovery: RecoveryLog,
+    consecutive_failure_refits: usize,
+    models: Option<ModelSnapshot>,
+}
+
+impl BoSnapshot {
+    /// The snapshot format version this checkpoint was written with.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Number of evaluations the checkpoint contains.
+    pub fn num_evaluations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Serializes the snapshot to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde::to_json_string(self)
+    }
+
+    /// Parses a snapshot from the JSON produced by [`BoSnapshot::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoError::SnapshotMismatch`] when the payload does not parse
+    /// as a snapshot.
+    pub fn from_json(text: &str) -> Result<Self, BoError> {
+        serde::from_json_str(text).map_err(|e| BoError::SnapshotMismatch {
+            details: format!("snapshot JSON does not parse: {e}"),
+        })
+    }
+}
+
+/// The surrogate payloads inside a [`BoSnapshot`], held as self-describing
+/// `serde` values so the snapshot type itself stays non-generic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ModelSnapshot {
+    objective: Value,
+    constraints: Vec<Value>,
+    trained_on: usize,
+    last_full_fit: usize,
+    fit_nll_per_point: Option<f64>,
 }
 
 /// Prediction buffers reused across the acquisition scoring of every loop
@@ -1140,5 +1593,281 @@ mod tests {
             let result = bo.run(&problem).unwrap();
             assert_eq!(result.num_evaluations(), 10);
         }
+    }
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Fault injection: fails every `try_evaluate` whose 0-based call index
+    /// falls in `fail_from..fail_until` (retries consume call indices too).
+    struct BurstFailure<P> {
+        inner: P,
+        calls: AtomicUsize,
+        fail_from: usize,
+        fail_until: usize,
+    }
+
+    impl<P: Problem> BurstFailure<P> {
+        fn new(inner: P, fail_from: usize, fail_until: usize) -> Self {
+            BurstFailure {
+                inner,
+                calls: AtomicUsize::new(0),
+                fail_from,
+                fail_until,
+            }
+        }
+    }
+
+    impl<P: Problem> Problem for BurstFailure<P> {
+        fn dim(&self) -> usize {
+            self.inner.dim()
+        }
+        fn num_constraints(&self) -> usize {
+            self.inner.num_constraints()
+        }
+        fn evaluate(&self, x: &[f64]) -> Evaluation {
+            self.inner.evaluate(x)
+        }
+        fn try_evaluate(&self, x: &[f64]) -> EvalOutcome {
+            let i = self.calls.fetch_add(1, Ordering::SeqCst);
+            if i >= self.fail_from && i < self.fail_until {
+                EvalOutcome::Failed(format!("injected failure on call {i}"))
+            } else {
+                self.inner.try_evaluate(x)
+            }
+        }
+    }
+
+    /// Fault injection: fails the `fit_many` calls whose 0-based call index
+    /// is listed, delegating everything else to the wrapped trainer.
+    struct FailNthFit<T> {
+        inner: T,
+        calls: AtomicUsize,
+        fail_calls: Vec<usize>,
+    }
+
+    impl<T: SurrogateTrainer> SurrogateTrainer for FailNthFit<T> {
+        type Model = T::Model;
+
+        fn fit(
+            &self,
+            xs: &[Vec<f64>],
+            ys: &[f64],
+            rng: &mut StdRng,
+        ) -> Result<Self::Model, String> {
+            self.inner.fit(xs, ys, rng)
+        }
+
+        fn fit_many(
+            &self,
+            xs: &[Vec<f64>],
+            targets: &[Vec<f64>],
+            prev: Option<&[&Self::Model]>,
+            rng: &mut StdRng,
+        ) -> Result<Vec<Self::Model>, String> {
+            let i = self.calls.fetch_add(1, Ordering::SeqCst);
+            if self.fail_calls.contains(&i) {
+                return Err(format!("injected fit failure on call {i}"));
+            }
+            self.inner.fit_many(xs, targets, prev, rng)
+        }
+
+        fn update(
+            &self,
+            prev: &Self::Model,
+            x: &[f64],
+            y: f64,
+            rng: &mut StdRng,
+        ) -> Option<Result<Self::Model, String>> {
+            self.inner.update(prev, x, y, rng)
+        }
+    }
+
+    #[test]
+    fn failed_evaluations_are_retried_imputed_and_never_win() {
+        // Calls 8..12 fail: the initial design (6 calls) stays clean, then a
+        // model-guided evaluation exhausts its retries (3 calls under the
+        // default policy) and is imputed, and the next one recovers through
+        // a retry.
+        let problem = BurstFailure::new(ConstrainedBranin::new(), 8, 12);
+        let bo = fast_neural(BoConfig::fast(6, 14).with_seed(17));
+        let result = bo.run(&problem).unwrap();
+        assert_eq!(result.num_evaluations(), 14);
+        let rec = result.recovery();
+        assert!(rec.eval_failures > 0, "no failures recorded: {rec:?}");
+        assert!(rec.eval_retries > 0, "no retries recorded: {rec:?}");
+        assert!(!rec.imputed.is_empty(), "nothing imputed: {rec:?}");
+        assert!(!rec.is_clean());
+        for (i, (x, e)) in result.evaluations().iter().enumerate() {
+            assert!(
+                e.objective.is_finite() && e.constraints.iter().all(|g| g.is_finite()),
+                "non-finite evaluation at index {i}"
+            );
+            assert!(x.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+        // An optimum must come from a real simulation, never an imputed
+        // stand-in.
+        let best = result.best_index().expect("a real feasible point exists");
+        assert!(!rec.imputed.contains(&best));
+    }
+
+    #[test]
+    fn clean_runs_are_bit_identical_across_failure_policies() {
+        // The resilience layer must be inert on a failure-free run: no extra
+        // rng draws, no recovery events, identical evaluations whatever the
+        // policy.
+        let problem = ConstrainedBranin::new();
+        let base = fast_neural(BoConfig::fast(6, 12).with_seed(33))
+            .run(&problem)
+            .unwrap();
+        assert!(base.recovery().is_clean());
+        assert_eq!(base.recovery().total_events(), 0);
+        for policy in [
+            FailurePolicy::no_retries(),
+            FailurePolicy {
+                max_retries: 5,
+                retry_jitter: 0.2,
+                on_exhausted: FailureAction::Penalize { margin: 0.5 },
+                max_failure_refits: 1,
+            },
+            FailurePolicy {
+                on_exhausted: FailureAction::ImputeWorst,
+                ..FailurePolicy::default()
+            },
+        ] {
+            let run = fast_neural(
+                BoConfig::fast(6, 12)
+                    .with_seed(33)
+                    .with_failure_policy(policy),
+            )
+            .run(&problem)
+            .unwrap();
+            assert_eq!(base.evaluations(), run.evaluations());
+            assert!(run.recovery().is_clean());
+        }
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical_through_json() {
+        let problem = ConstrainedBranin::new();
+        let bo = fast_neural(BoConfig::fast(6, 14).with_seed(5));
+        let reference = bo.run(&problem).unwrap();
+
+        let mut state = bo.start(&problem).unwrap();
+        for _ in 0..3 {
+            assert!(bo.step(&problem, &mut state).unwrap());
+        }
+        let snap = bo.snapshot(&state);
+        assert_eq!(snap.version(), SNAPSHOT_VERSION);
+        assert_eq!(snap.num_evaluations(), 6 + 3);
+        let restored = BoSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(snap, restored);
+
+        let mut resumed = bo.resume(&restored).unwrap();
+        while bo.step(&problem, &mut state).unwrap() {}
+        while bo.step(&problem, &mut resumed).unwrap() {}
+        let direct = bo.finish(state);
+        let from_snapshot = bo.finish(resumed);
+        assert_eq!(direct.evaluations(), from_snapshot.evaluations());
+        assert_eq!(direct.full_refits(), from_snapshot.full_refits());
+        // And both match the uninterrupted run bit for bit.
+        assert_eq!(direct.evaluations(), reference.evaluations());
+        assert_eq!(direct.full_refits(), reference.full_refits());
+    }
+
+    #[test]
+    fn resume_rejects_version_and_config_mismatches() {
+        let problem = ConstrainedBranin::new();
+        let bo = fast_neural(BoConfig::fast(6, 12).with_seed(1));
+        let mut state = bo.start(&problem).unwrap();
+        assert!(bo.step(&problem, &mut state).unwrap());
+        let snap = bo.snapshot(&state);
+
+        let mut wrong_version = snap.clone();
+        wrong_version.version = SNAPSHOT_VERSION + 1;
+        assert!(matches!(
+            bo.resume(&wrong_version),
+            Err(BoError::SnapshotMismatch { .. })
+        ));
+
+        let other_config = fast_neural(BoConfig::fast(6, 12).with_seed(2));
+        assert!(matches!(
+            other_config.resume(&snap),
+            Err(BoError::SnapshotMismatch { .. })
+        ));
+
+        assert!(matches!(
+            BoSnapshot::from_json("not a snapshot"),
+            Err(BoError::SnapshotMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn drift_refits_from_imputed_observations_are_capped() {
+        // Every model-guided evaluation fails and is imputed; the imputed
+        // stand-ins move the likelihood, so an uncapped drift policy would
+        // charge a full refit every iteration for observations that carry no
+        // information.  The cap allows max_failure_refits consecutive
+        // failure-driven refits, then pins the loop to the incremental path.
+        let problem = BurstFailure::new(ConstrainedBranin::new(), 6, usize::MAX);
+        let policy = FailurePolicy {
+            max_retries: 0,
+            on_exhausted: FailureAction::ImputeWorst,
+            max_failure_refits: 2,
+            ..FailurePolicy::default()
+        };
+        let bo = fast_neural(
+            BoConfig::fast(6, 12)
+                .with_seed(13)
+                .with_failure_policy(policy)
+                .with_refit_policy(RefitPolicy::NllDrift {
+                    threshold: 0.0,
+                    min_gap: 1,
+                    max_gap: 1000,
+                }),
+        );
+        let result = bo.run(&problem).unwrap();
+        assert_eq!(result.num_evaluations(), 12);
+        let rec = result.recovery();
+        assert_eq!(rec.imputed.len(), 6, "all guided evaluations imputed");
+        // 1 initial fit + the 2 allowed failure-driven refits.
+        assert_eq!(result.full_refits(), 3, "recovery: {rec:?}");
+        // The remaining 3 drift triggers were suppressed.
+        assert_eq!(rec.failure_refits_suppressed, 3, "recovery: {rec:?}");
+    }
+
+    #[test]
+    fn fit_failures_degrade_to_stale_models_or_space_filling() {
+        let problem = ConstrainedBranin::new();
+        // Fit call 2 fails with models alive: the loop keeps scoring with the
+        // stale surrogates and recovers on the next iteration's full fit.
+        let bo = BayesOpt::with_trainer(
+            BoConfig::fast(6, 12).with_seed(7),
+            FailNthFit {
+                inner: NeuralGpEnsembleTrainer::new(EnsembleConfig::fast()),
+                calls: AtomicUsize::new(0),
+                fail_calls: vec![2],
+            },
+        );
+        let result = bo.run(&problem).unwrap();
+        assert_eq!(result.num_evaluations(), 12);
+        assert_eq!(result.recovery().degraded_refits, 1);
+        assert_eq!(result.recovery().fallback_suggests, 0);
+        // 6 model-guided iterations, one of which kept stale models.
+        assert_eq!(result.full_refits(), 5);
+
+        // The very first fit fails with nothing to fall back on: that
+        // iteration degrades all the way to a space-filling suggestion.
+        let bo = BayesOpt::with_trainer(
+            BoConfig::fast(6, 12).with_seed(7),
+            FailNthFit {
+                inner: NeuralGpEnsembleTrainer::new(EnsembleConfig::fast()),
+                calls: AtomicUsize::new(0),
+                fail_calls: vec![0],
+            },
+        );
+        let result = bo.run(&problem).unwrap();
+        assert_eq!(result.num_evaluations(), 12);
+        assert_eq!(result.recovery().fallback_suggests, 1);
+        assert_eq!(result.full_refits(), 5);
     }
 }

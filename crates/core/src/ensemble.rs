@@ -51,9 +51,22 @@ impl EnsembleConfig {
 /// The ensemble both averages out the random fluctuations of individual trainings
 /// and widens the predicted uncertainty where the members disagree, which is what
 /// the acquisition function needs for reliable exploration.
-#[derive(Debug, Clone)]
+///
+/// # Graceful degradation
+///
+/// A fit keeps every member that trained and drops the rest, as long as at
+/// least a *quorum* — `max(1, K/2)` of the `K` configured members — survived;
+/// below quorum the whole fit fails (the first member's error is reported)
+/// and the optimization loop falls back to its previous surrogates.  The
+/// planned member count is kept so [`NeuralGpEnsemble::dropped_members`]
+/// reports how many members this ensemble is short, which the loop folds into
+/// its run-level recovery log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NeuralGpEnsemble {
     members: Vec<NeuralGp>,
+    /// Members the configuration asked for (`members.len()` ≤ this; the
+    /// difference is the drop count).
+    planned_members: usize,
 }
 
 impl NeuralGpEnsemble {
@@ -125,11 +138,14 @@ impl NeuralGpEnsemble {
         Self::from_member_results(results)
     }
 
-    /// Assembles an ensemble from per-member training results: the ensemble
-    /// is usable as long as at least one member trained, otherwise the first
-    /// member's error is reported.
+    /// Assembles an ensemble from per-member training results, applying the
+    /// minimum-quorum rule: the ensemble is usable as long as at least
+    /// `max(1, planned/2)` members trained (failed members are dropped and
+    /// counted), otherwise the first member's error is reported.
     fn from_member_results(results: Vec<Result<NeuralGp, String>>) -> Result<Self, String> {
-        let mut members = Vec::with_capacity(results.len());
+        let planned = results.len();
+        let quorum = (planned / 2).max(1);
+        let mut members = Vec::with_capacity(planned);
         let mut first_error = None;
         for r in results {
             match r {
@@ -141,10 +157,21 @@ impl NeuralGpEnsemble {
                 }
             }
         }
-        if members.is_empty() {
-            return Err(first_error.unwrap_or_else(|| "no ensemble member trained".into()));
+        if members.len() < quorum {
+            let reason = first_error.unwrap_or_else(|| "no ensemble member trained".into());
+            return Err(if members.is_empty() {
+                reason
+            } else {
+                format!(
+                    "only {} of {planned} ensemble members trained (quorum {quorum}): {reason}",
+                    members.len()
+                )
+            });
         }
-        Ok(NeuralGpEnsemble { members })
+        Ok(NeuralGpEnsemble {
+            members,
+            planned_members: planned,
+        })
     }
 
     /// Number of successfully trained members.
@@ -163,6 +190,12 @@ impl NeuralGpEnsemble {
         &self.members
     }
 
+    /// Members the fit planned but dropped because their training failed
+    /// (zero for a fully healthy ensemble).
+    pub fn dropped_members(&self) -> usize {
+        self.planned_members.saturating_sub(self.members.len())
+    }
+
     /// Incorporates one new observation into every member in `O(K·M²)` via
     /// the members' rank-1 updates ([`NeuralGp::append_observation`]), without
     /// retraining any feature network.
@@ -177,7 +210,10 @@ impl NeuralGpEnsemble {
             .iter()
             .map(|m| m.append_observation(x, y))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(NeuralGpEnsemble { members })
+        Ok(NeuralGpEnsemble {
+            members,
+            planned_members: self.planned_members,
+        })
     }
 }
 
@@ -278,6 +314,20 @@ impl SurrogateModel for NeuralGpEnsemble {
             return None;
         }
         Some(self.members.iter().map(NeuralGp::nll).sum::<f64>() / self.members.len() as f64)
+    }
+
+    /// Sums the members' recovery counters and adds the members this fit
+    /// dropped.
+    fn resilience(&self) -> crate::resilience::ModelResilience {
+        let mut total = self
+            .members
+            .iter()
+            .map(|m| m.resilience())
+            .fold(crate::resilience::ModelResilience::default(), |a, b| {
+                a.merged(b)
+            });
+        total.dropped_members += self.dropped_members();
+        total
     }
 
     fn predict(&self, x: &[f64]) -> Prediction {
@@ -634,6 +684,51 @@ mod tests {
             assert!(err.contains("member thread panicked"), "{err}");
             assert!(err.contains("output dimension must be positive"), "{err}");
         }
+    }
+
+    #[test]
+    fn quorum_drops_failed_members_but_rejects_a_decimated_ensemble() {
+        let (xs, ys) = toy_data(14);
+        let mut rng = StdRng::seed_from_u64(21);
+        let config = EnsembleConfig {
+            members: 1,
+            parallel: false,
+            ..EnsembleConfig::fast()
+        };
+        let healthy = NeuralGpEnsemble::fit(&xs, &ys, &config, &mut rng).unwrap();
+        let member = healthy.members()[0].clone();
+
+        // 4 planned, 2 trained: exactly at quorum (max(1, 4/2) = 2) — usable,
+        // with the two failures reported as drops.
+        let at_quorum = NeuralGpEnsemble::from_member_results(vec![
+            Ok(member.clone()),
+            Err("boom".into()),
+            Ok(member.clone()),
+            Err("boom".into()),
+        ])
+        .unwrap();
+        assert_eq!(at_quorum.len(), 2);
+        assert_eq!(at_quorum.dropped_members(), 2);
+        assert_eq!(at_quorum.resilience().dropped_members, 2);
+
+        // 4 planned, 1 trained: below quorum — the whole fit fails.
+        let below = NeuralGpEnsemble::from_member_results(vec![
+            Err("first failure".into()),
+            Ok(member.clone()),
+            Err("boom".into()),
+            Err("boom".into()),
+        ]);
+        let err = below.unwrap_err();
+        assert!(err.contains("quorum"), "{err}");
+        assert!(err.contains("first failure"), "{err}");
+
+        // All failed: the first error comes back verbatim.
+        let none = NeuralGpEnsemble::from_member_results(vec![Err("a".into()), Err("b".into())]);
+        assert_eq!(none.unwrap_err(), "a");
+
+        // Drops survive incremental updates.
+        let appended = at_quorum.append_observation(&[0.77], 1.1).unwrap();
+        assert_eq!(appended.dropped_members(), 2);
     }
 
     #[test]

@@ -25,6 +25,21 @@ pub enum BoError {
         /// Description of the inconsistency.
         details: String,
     },
+    /// An internal invariant of the loop was violated (e.g. a trainer returned
+    /// the wrong number of models).  Unlike [`BoError::SurrogateTraining`],
+    /// which the loop recovers from by falling back to a space-filling
+    /// suggestion, an internal error aborts the run: continuing past a broken
+    /// invariant would silently corrupt the optimization state.
+    Internal {
+        /// Description of the violated invariant.
+        details: String,
+    },
+    /// A checkpoint could not be restored (version mismatch, configuration
+    /// mismatch, or a model payload that no longer deserializes).
+    SnapshotMismatch {
+        /// Description of the incompatibility.
+        details: String,
+    },
 }
 
 impl fmt::Display for BoError {
@@ -35,6 +50,10 @@ impl fmt::Display for BoError {
             }
             BoError::InvalidConfig { details } => write!(f, "invalid configuration: {details}"),
             BoError::InvalidProblem { details } => write!(f, "invalid problem: {details}"),
+            BoError::Internal { details } => write!(f, "internal invariant violated: {details}"),
+            BoError::SnapshotMismatch { details } => {
+                write!(f, "snapshot cannot be restored: {details}")
+            }
         }
     }
 }

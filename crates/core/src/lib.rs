@@ -58,6 +58,56 @@
 //! * Between full refits, `append_observation` on either surrogate absorbs a
 //!   single observation in `O(M²)` / `O(K·M²)` with everything else frozen.
 //!
+//! # Fault tolerance: the error and recovery taxonomy
+//!
+//! Real circuit simulations fail — a corner doesn't converge, a license times
+//! out, a netlist is singular at some design point.  The loop separates
+//! *recoverable faults*, which it absorbs and logs, from *errors*, which
+//! abort the run via [`BoError`]:
+//!
+//! * **Evaluation faults.**  [`Problem::try_evaluate`] returns an
+//!   [`EvalOutcome`]: `Ok(evaluation)`, `Failed(reason)` or `Timeout`.  On a
+//!   fault, [`FailurePolicy`] (`BoConfig::failure`) first retries up to
+//!   `max_retries` times with a small deterministic jitter on the design
+//!   point, then imputes a stand-in via [`FailureAction`]: mark the point
+//!   infeasible, impute the worst observed objective, or penalize by a
+//!   margin.  Imputed values are derived from *real* observations only, the
+//!   imputed indices are recorded, and an imputed stand-in can never be
+//!   reported as the optimum.  The retry jitter draws from the run's RNG only
+//!   on the failure path, so a clean run is bit-identical under every policy.
+//! * **Linear-algebra faults.**  A Cholesky factorization that fails inside a
+//!   fit or an incremental append is retried under a geometric jitter ladder
+//!   (nugget `1e-10 → 1e-4`) before the fault is surfaced; recoveries are
+//!   counted per model ([`ModelResilience`]).
+//! * **Surrogate degradation.**  When a full refit fails with previous models
+//!   in hand, the loop keeps the stale models for the iteration and retries a
+//!   full fit next time (`degraded_refits`).  When no models exist at all,
+//!   the iteration falls back to a space-filling random suggestion
+//!   (`fallback_suggests`) instead of aborting.  A refit triggered *by* an
+//!   imputed observation is capped at `FailurePolicy::max_failure_refits`
+//!   consecutive occurrences (`failure_refits_suppressed`), so a failure
+//!   burst cannot thrash the refit schedule.
+//! * **Accounting.**  Every recovery increments a counter in the run's
+//!   [`RecoveryLog`] ([`OptimizationResult::recovery`]); `is_clean()` is the
+//!   loop's promise that nothing above happened.
+//! * **Errors.**  What remains is a typed [`BoError`]: `InvalidConfig` /
+//!   `InvalidProblem` before the loop starts, `SurrogateTraining` when even
+//!   the degradation ladder is out of options, `SnapshotMismatch` when a
+//!   checkpoint can't be restored, and `Internal` for violated loop
+//!   invariants (which abort rather than corrupt state).
+//!
+//! # Checkpoint and resume
+//!
+//! The loop is also re-entrant: [`BayesOpt::start`] / [`BayesOpt::step`] /
+//! [`BayesOpt::finish`] expose one model-guided iteration at a time over a
+//! [`BoState`], [`BayesOpt::snapshot`] captures a versioned [`BoSnapshot`]
+//! (history, RNG state, refit bookkeeping, recovery log and the fitted model
+//! payloads) that serialises to JSON with bit-exact floats, and
+//! [`BayesOpt::resume`] restores it after validating the snapshot version and
+//! configuration.  A resumed run continues **bit-identically** to the
+//! uninterrupted one — including mid-drift-window, where the snapshot carries
+//! the incrementally updated surrogates and the NLL drift reference exactly.
+//!
 //! # Quick start
 //!
 //! ```
@@ -82,15 +132,17 @@ mod error;
 mod neural_gp;
 pub mod problems;
 mod report;
+mod resilience;
 mod sampling;
 mod surrogate;
 
-pub use bo::{BayesOpt, BoConfig, OptimizationResult, RefitPolicy};
+pub use bo::{BayesOpt, BoConfig, BoSnapshot, BoState, OptimizationResult, RefitPolicy};
 pub use design_space::DesignSpace;
 pub use ensemble::{EnsembleConfig, NeuralGpEnsemble, NeuralGpEnsembleTrainer};
 pub use error::BoError;
 pub use neural_gp::{NeuralGp, NeuralGpConfig, NeuralGpTrainer};
-pub use problems::{Evaluation, Problem};
+pub use problems::{EvalOutcome, Evaluation, Problem};
 pub use report::{RunStatistics, RunSummary};
+pub use resilience::{FailureAction, FailurePolicy, ModelResilience, RecoveryLog};
 pub use sampling::{latin_hypercube, uniform_random};
 pub use surrogate::{Prediction, SurrogateModel, SurrogateTrainer};

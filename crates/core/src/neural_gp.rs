@@ -91,7 +91,11 @@ impl NeuralGpConfig {
 /// `σn²`; `φ` is the output of the feature network.  After training, prediction only
 /// needs the `M × M` factorization of `A = ΦΦᵀ + (Mσn²/σp²)·I` and the vector
 /// `A⁻¹Φy`, so its cost is independent of the number of training points.
-#[derive(Debug, Clone)]
+///
+/// The model serializes (all state is plain data — network weights, the
+/// Cholesky factor, sufficient statistics), which is what lets the
+/// optimization loop checkpoint and resume bit-identically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NeuralGp {
     mlp: Mlp,
     log_noise: f64,
@@ -110,6 +114,10 @@ pub struct NeuralGp {
     standardizer: Standardizer,
     train_size: usize,
     final_nll: f64,
+    /// Jitter the fit-time factorization of `A` needed (`0.0` for a clean
+    /// factorization) — the per-model recovery record
+    /// [`crate::SurrogateModel::resilience`] reports.
+    fit_jitter: f64,
 }
 
 /// Reusable buffers of one training descent: the flat `[log σn, log σp,
@@ -279,6 +287,7 @@ impl NeuralGp {
                     standardizer,
                     train_size: xs.len(),
                     final_nll: f.nll,
+                    fit_jitter: f.jitter,
                 })
             });
         match (&warm_model, &anchor_model) {
@@ -376,6 +385,7 @@ impl NeuralGp {
             standardizer: self.standardizer,
             train_size: self.train_size + 1,
             final_nll: nll,
+            fit_jitter: self.fit_jitter,
         })
     }
 
@@ -419,6 +429,15 @@ impl SurrogateModel for NeuralGp {
     /// the drift signal for adaptive refit policies.
     fn training_nll(&self) -> Option<f64> {
         Some(self.final_nll)
+    }
+
+    /// Reports whether this model's fit-time factorization needed the jitter
+    /// ladder.
+    fn resilience(&self) -> crate::resilience::ModelResilience {
+        crate::resilience::ModelResilience {
+            jitter_recoveries: usize::from(self.fit_jitter > 0.0),
+            dropped_members: 0,
+        }
     }
 
     /// Batched prediction: one feature-network forward pass over all queries,
@@ -591,6 +610,7 @@ fn finalize(
         standardizer,
         train_size: x.nrows(),
         final_nll: f.nll,
+        fit_jitter: f.jitter,
     })
 }
 
@@ -623,6 +643,9 @@ struct Factorized {
     v: Vec<f64>,
     yty: f64,
     nll: f64,
+    /// Jitter the factorization needed (`0.0` when the plain decomposition
+    /// succeeded) — kept as the model's recovery record.
+    jitter: f64,
 }
 
 /// Builds `A = ΦΦᵀ + λI`, its Cholesky factor, `α = A⁻¹Φy`, `yᵀy` and the
@@ -644,7 +667,7 @@ fn factorize(
     let lambda = m as f64 * noise_var / prior_var;
     let mut a = out.transpose_matmul_self();
     a.add_diag(lambda);
-    let (chol, _) = Cholesky::decompose_with_jitter(&a, config.jitter, 10).ok()?;
+    let (chol, jitter) = Cholesky::decompose_with_jitter(&a, config.jitter, 10).ok()?;
     let v = out.vecmat(y);
     let alpha = chol.solve_vec(&v);
     // Negative log marginal likelihood (eq. 11, negated).
@@ -665,6 +688,7 @@ fn factorize(
         v,
         yty,
         nll,
+        jitter,
     })
 }
 

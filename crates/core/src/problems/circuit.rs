@@ -2,7 +2,7 @@
 
 use nnbo_circuits::{ChargePump, TwoStageOpAmp, CHARGE_PUMP_DIM, OPAMP_DIM};
 
-use super::{Evaluation, Problem};
+use super::{EvalOutcome, Evaluation, Problem};
 
 /// The two-stage op-amp sizing problem of Table I:
 ///
@@ -60,6 +60,23 @@ impl OpAmpProblem {
         }
     }
 
+    /// Creates the problem from a custom-configured testbench.
+    pub fn from_bench(bench: TwoStageOpAmp) -> Self {
+        OpAmpProblem {
+            bench,
+            ..Self::default()
+        }
+    }
+
+    /// The corner-stress fixture: the paper's specification on the
+    /// deliberately broken [`TwoStageOpAmp::stressed`] bench, whose AC
+    /// analysis fails at every design point.  [`Problem::try_evaluate`]
+    /// reports [`EvalOutcome::Failed`] deterministically — use it to
+    /// exercise the optimization loop's failure policy end to end.
+    pub fn corner_stress() -> Self {
+        Self::from_bench(TwoStageOpAmp::stressed())
+    }
+
     /// The underlying circuit testbench.
     pub fn bench(&self) -> &TwoStageOpAmp {
         &self.bench
@@ -89,6 +106,21 @@ impl Problem for OpAmpProblem {
         let g_ugf = (self.min_ugf_hz - p.ugf_hz) / 1e6;
         let g_pm = self.min_pm_deg - p.pm_deg;
         Evaluation::new(objective, vec![g_ugf, g_pm])
+    }
+
+    fn try_evaluate(&self, x: &[f64]) -> EvalOutcome {
+        // Honest path: a singular MNA system is a failed simulation, not a
+        // −100 dB op-amp.  (`evaluate` keeps the penalty projection.)
+        match self.bench.try_evaluate_normalized(x) {
+            Ok(p) => EvalOutcome::Ok(Evaluation::new(
+                -p.gain_db,
+                vec![
+                    (self.min_ugf_hz - p.ugf_hz) / 1e6,
+                    self.min_pm_deg - p.pm_deg,
+                ],
+            )),
+            Err(reason) => EvalOutcome::Failed(format!("op-amp simulation failed: {reason}")),
+        }
     }
 
     fn name(&self) -> &str {
@@ -175,6 +207,22 @@ impl Problem for ChargePumpProblem {
         )
     }
 
+    fn try_evaluate(&self, x: &[f64]) -> EvalOutcome {
+        match self.bench.try_evaluate_normalized(x) {
+            Ok(p) => EvalOutcome::Ok(Evaluation::new(
+                p.fom,
+                vec![
+                    p.diff1 - 20.0,
+                    p.diff2 - 20.0,
+                    p.diff3 - 5.0,
+                    p.diff4 - 5.0,
+                    p.deviation - 5.0,
+                ],
+            )),
+            Err(reason) => EvalOutcome::Failed(format!("charge-pump simulation failed: {reason}")),
+        }
+    }
+
     fn name(&self) -> &str {
         "charge-pump"
     }
@@ -224,5 +272,37 @@ mod tests {
         assert_eq!(OpAmpProblem::new().name(), "two-stage-opamp");
         assert_eq!(ChargePumpProblem::new().dim(), 36);
         assert_eq!(ChargePumpProblem::new().num_constraints(), 5);
+    }
+
+    #[test]
+    fn honest_path_matches_the_infallible_projection_on_healthy_points() {
+        let opamp = OpAmpProblem::new();
+        let x = vec![0.5; 10];
+        match opamp.try_evaluate(&x) {
+            crate::problems::EvalOutcome::Ok(e) => assert_eq!(e, opamp.evaluate(&x)),
+            other => panic!("healthy op-amp point failed: {other:?}"),
+        }
+        let pump = ChargePumpProblem::new();
+        let x = vec![0.5; 36];
+        match pump.try_evaluate(&x) {
+            crate::problems::EvalOutcome::Ok(e) => assert_eq!(e, pump.evaluate(&x)),
+            other => panic!("healthy charge-pump point failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corner_stress_fixture_fails_deterministically_with_a_reason() {
+        let stressed = OpAmpProblem::corner_stress();
+        for x in [vec![0.1; 10], vec![0.5; 10], vec![0.9; 10]] {
+            match stressed.try_evaluate(&x) {
+                crate::problems::EvalOutcome::Failed(reason) => {
+                    assert!(reason.contains("singular"), "reason: {reason}");
+                }
+                other => panic!("stressed bench unexpectedly produced {other:?}"),
+            }
+            // The legacy projection still yields a finite penalty evaluation.
+            let e = stressed.evaluate(&x);
+            assert!(e.objective.is_finite());
+        }
     }
 }

@@ -1,0 +1,251 @@
+//! Failure policies and recovery accounting for the fault-tolerant
+//! Bayesian-optimization loop.
+//!
+//! Real evaluation backends (circuit simulators most of all) fail: solvers
+//! diverge, measures come back `NaN`, runs time out.  The types here describe
+//! *what the loop does about it* — how many times a failed evaluation is
+//! retried ([`FailurePolicy`]), what value stands in for it when the retries
+//! are exhausted ([`FailureAction`]), and a complete audit trail of every
+//! recovery the run performed ([`RecoveryLog`]), surfaced on the
+//! optimization result so a "successful" run that quietly imputed half its
+//! observations is distinguishable from a genuinely clean one.
+
+use serde::{Deserialize, Serialize};
+
+/// What stands in for an evaluation whose retries are exhausted.
+///
+/// All three actions produce a *finite* [`crate::Evaluation`] so the
+/// surrogates never see `NaN`; they differ in how pessimistic the stand-in
+/// is.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FailureAction {
+    /// Impute the worst objective observed so far (and, per constraint, the
+    /// worst observed constraint value) — the failed region looks as bad as
+    /// the worst real data without distorting the objective scale.
+    ImputeWorst,
+    /// Impute the worst observed objective plus `margin` times the observed
+    /// objective span — actively pushes the search away from failing regions.
+    Penalize {
+        /// Fraction of the observed objective span added on top of the worst
+        /// observed value.
+        margin: f64,
+    },
+    /// Impute the worst observed objective and force every constraint value
+    /// to `+1` so the point is infeasible.  For unconstrained problems this
+    /// degenerates to [`FailureAction::ImputeWorst`] (there is no constraint
+    /// to violate).
+    MarkInfeasible,
+}
+
+/// How the loop treats failed or timed-out evaluations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailurePolicy {
+    /// Number of retry attempts after the first failure.  Each retry
+    /// perturbs the design point by [`FailurePolicy::retry_jitter`] (a
+    /// deterministic draw from the run's rng — the clean path draws
+    /// nothing, so failure-free runs are bit-identical with any policy).
+    pub max_retries: usize,
+    /// Standard deviation (in normalised coordinates) of the Gaussian
+    /// perturbation applied to each retry, clamped back into the unit cube.
+    pub retry_jitter: f64,
+    /// What to record once the retries are exhausted.
+    pub on_exhausted: FailureAction,
+    /// Cap on *consecutive* full refits triggered by the drift policy when
+    /// the latest observation was imputed: an imputed (worst-case) value
+    /// legitimately moves the surrogates' likelihood, and without this cap a
+    /// burst of failures would buy a full retraining per failure for no
+    /// information gain.  Refits past the cap are suppressed (and counted in
+    /// [`RecoveryLog::failure_refits_suppressed`]) until a real observation
+    /// arrives.
+    pub max_failure_refits: usize,
+}
+
+impl Default for FailurePolicy {
+    fn default() -> Self {
+        FailurePolicy {
+            max_retries: 2,
+            retry_jitter: 1e-3,
+            on_exhausted: FailureAction::MarkInfeasible,
+            max_failure_refits: 2,
+        }
+    }
+}
+
+impl FailurePolicy {
+    /// A policy that never retries and marks failures infeasible — the
+    /// cheapest honest treatment, useful when each evaluation is very
+    /// expensive.
+    pub fn no_retries() -> Self {
+        FailurePolicy {
+            max_retries: 0,
+            ..FailurePolicy::default()
+        }
+    }
+
+    /// Validity check used by the loop's configuration validation.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        if !self.retry_jitter.is_finite() || self.retry_jitter < 0.0 {
+            return Err(format!(
+                "retry_jitter must be finite and >= 0, got {}",
+                self.retry_jitter
+            ));
+        }
+        if let FailureAction::Penalize { margin } = self.on_exhausted {
+            if !margin.is_finite() || margin < 0.0 {
+                return Err(format!(
+                    "penalty margin must be finite and >= 0, got {margin}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Complete audit trail of every recovery action one optimization run
+/// performed, exposed through `OptimizationResult::recovery`.
+///
+/// A default (all-zero, empty) log means the run was clean: no evaluation
+/// failed, no factorization needed jitter, no surrogate degraded, and no
+/// iteration fell back to space filling.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RecoveryLog {
+    /// Evaluation attempts that returned [`crate::problems::EvalOutcome::Failed`].
+    pub eval_failures: usize,
+    /// Evaluation attempts that returned [`crate::problems::EvalOutcome::Timeout`].
+    pub eval_timeouts: usize,
+    /// Retry attempts issued (each consumed one extra evaluation attempt).
+    pub eval_retries: usize,
+    /// History indices whose evaluation was imputed after exhausted retries
+    /// (in evaluation order).  `OptimizationResult::best_index` never selects
+    /// an imputed entry.
+    pub imputed: Vec<usize>,
+    /// Cholesky factorizations (fits and incremental updates) that only
+    /// succeeded after climbing the jitter ladder.
+    pub jitter_promotions: usize,
+    /// Ensemble members dropped by failed trainings across all full refits
+    /// (the ensembles stayed above quorum and remained usable).
+    pub member_drops: usize,
+    /// Full refits that failed entirely and fell back to the previous fitted
+    /// surrogates (kept stale, with a forced refit pending).
+    pub degraded_refits: usize,
+    /// Iterations whose candidate came from the space-filling fallback
+    /// because no usable surrogate existed.
+    pub fallback_suggests: usize,
+    /// Drift-triggered full refits suppressed by
+    /// [`FailurePolicy::max_failure_refits`].
+    pub failure_refits_suppressed: usize,
+}
+
+impl RecoveryLog {
+    /// `true` when the run needed no recovery at all.
+    pub fn is_clean(&self) -> bool {
+        *self == RecoveryLog::default()
+    }
+
+    /// Total number of recovery events of any kind.
+    pub fn total_events(&self) -> usize {
+        self.eval_failures
+            + self.eval_timeouts
+            + self.eval_retries
+            + self.imputed.len()
+            + self.jitter_promotions
+            + self.member_drops
+            + self.degraded_refits
+            + self.fallback_suggests
+            + self.failure_refits_suppressed
+    }
+}
+
+/// Per-model recovery counters a fitted surrogate reports about its own
+/// construction ([`crate::SurrogateModel::resilience`]), aggregated into the
+/// loop's [`RecoveryLog`] after each full refit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ModelResilience {
+    /// Factorizations inside this model that needed a non-zero jitter.
+    pub jitter_recoveries: usize,
+    /// Ensemble members that failed to train and were dropped (zero for
+    /// non-ensemble surrogates).
+    pub dropped_members: usize,
+}
+
+impl ModelResilience {
+    /// Component-wise sum (for aggregating over a model family).
+    pub fn merged(self, other: ModelResilience) -> ModelResilience {
+        ModelResilience {
+            jitter_recoveries: self.jitter_recoveries + other.jitter_recoveries,
+            dropped_members: self.dropped_members + other.dropped_members,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_retries_then_marks_infeasible() {
+        let p = FailurePolicy::default();
+        assert_eq!(p.max_retries, 2);
+        assert_eq!(p.on_exhausted, FailureAction::MarkInfeasible);
+        assert!(p.validate().is_ok());
+        assert_eq!(FailurePolicy::no_retries().max_retries, 0);
+    }
+
+    #[test]
+    fn invalid_policies_are_rejected() {
+        let bad_jitter = FailurePolicy {
+            retry_jitter: f64::NAN,
+            ..FailurePolicy::default()
+        };
+        assert!(bad_jitter.validate().is_err());
+        let bad_margin = FailurePolicy {
+            on_exhausted: FailureAction::Penalize { margin: -0.5 },
+            ..FailurePolicy::default()
+        };
+        assert!(bad_margin.validate().is_err());
+    }
+
+    #[test]
+    fn clean_log_is_clean() {
+        let mut log = RecoveryLog::default();
+        assert!(log.is_clean());
+        assert_eq!(log.total_events(), 0);
+        log.eval_failures = 1;
+        log.imputed.push(3);
+        assert!(!log.is_clean());
+        assert_eq!(log.total_events(), 2);
+    }
+
+    #[test]
+    fn model_resilience_merges_componentwise() {
+        let a = ModelResilience {
+            jitter_recoveries: 2,
+            dropped_members: 1,
+        };
+        let b = ModelResilience {
+            jitter_recoveries: 3,
+            dropped_members: 0,
+        };
+        let m = a.merged(b);
+        assert_eq!(m.jitter_recoveries, 5);
+        assert_eq!(m.dropped_members, 1);
+    }
+
+    #[test]
+    fn recovery_log_round_trips_through_json() {
+        let log = RecoveryLog {
+            eval_failures: 2,
+            eval_timeouts: 1,
+            eval_retries: 4,
+            imputed: vec![5, 9],
+            jitter_promotions: 1,
+            member_drops: 2,
+            degraded_refits: 1,
+            fallback_suggests: 3,
+            failure_refits_suppressed: 1,
+        };
+        let json = serde::to_json_string(&log);
+        let back: RecoveryLog = serde::from_json_str(&json).unwrap();
+        assert_eq!(back, log);
+    }
+}

@@ -3,6 +3,8 @@
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
+use crate::resilience::ModelResilience;
+
 /// A Gaussian predictive distribution at one query point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Prediction {
@@ -72,6 +74,14 @@ pub trait SurrogateModel: Send + Sync {
     /// back to refitting on its minimum-gap cadence.
     fn training_nll(&self) -> Option<f64> {
         None
+    }
+
+    /// Recovery counters of this model's own construction — jittered
+    /// factorizations, dropped ensemble members — so the optimization loop
+    /// can aggregate them into its run-level `RecoveryLog` without knowing
+    /// the surrogate family.  The default reports a clean construction.
+    fn resilience(&self) -> ModelResilience {
+        ModelResilience::default()
     }
 }
 

@@ -1,0 +1,309 @@
+//! Chaos suite: deterministic fault injection against the Bayesian-optimization
+//! loop's resilience layer.
+//!
+//! A [`FaultPlan`] scripts exactly which evaluation calls fail or time out and
+//! which surrogate refits abort; [`FaultyProblem`] and [`ChaosTrainer`] replay
+//! the plan with no randomness of their own (the call counters live outside the
+//! wrappers so a snapshot can record the exact tape position).  The suite then
+//! asserts the loop's robustness invariants: every run completes its budget,
+//! never ingests a non-finite value, accounts for every recovery in its
+//! `RecoveryLog`, never lets an imputed stand-in win, and is bit-identical to
+//! the plain loop when the plan is empty.
+//!
+//! CI runs this suite under both the vectorised and the
+//! `NNBO_PORTABLE_KERNELS=1` dispatch paths.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use nnbo_core::problems::ConstrainedBranin;
+use nnbo_core::{
+    BayesOpt, BoConfig, EnsembleConfig, EvalOutcome, Evaluation, FailureAction, FailurePolicy,
+    NeuralGpEnsembleTrainer, OptimizationResult, Problem, RefitPolicy, SurrogateTrainer,
+};
+use rand::rngs::StdRng;
+
+/// A deterministic script of faults to inject into one optimization run.
+#[derive(Debug, Clone, Default)]
+struct FaultPlan {
+    /// 0-based `try_evaluate` call indices that fail (retries consume indices).
+    fail_evals: Vec<usize>,
+    /// 0-based `try_evaluate` call indices that time out.
+    timeout_evals: Vec<usize>,
+    /// 0-based `fit_many` call indices that abort.
+    fail_fits: Vec<usize>,
+}
+
+impl FaultPlan {
+    fn is_empty(&self) -> bool {
+        self.fail_evals.is_empty() && self.timeout_evals.is_empty() && self.fail_fits.is_empty()
+    }
+}
+
+/// Replays a [`FaultPlan`]'s evaluation faults over a wrapped problem; the
+/// call counter is caller-owned so tests can record and restore the tape
+/// position around a snapshot.
+struct FaultyProblem<'a, P> {
+    inner: P,
+    plan: &'a FaultPlan,
+    calls: &'a AtomicUsize,
+}
+
+impl<P: Problem> Problem for FaultyProblem<'_, P> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+    fn num_constraints(&self) -> usize {
+        self.inner.num_constraints()
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        self.inner.evaluate(x)
+    }
+    fn try_evaluate(&self, x: &[f64]) -> EvalOutcome {
+        let i = self.calls.fetch_add(1, Ordering::SeqCst);
+        if self.plan.fail_evals.contains(&i) {
+            EvalOutcome::Failed(format!("chaos: scripted failure at call {i}"))
+        } else if self.plan.timeout_evals.contains(&i) {
+            EvalOutcome::Timeout
+        } else {
+            self.inner.try_evaluate(x)
+        }
+    }
+}
+
+/// Replays a [`FaultPlan`]'s refit faults over a wrapped trainer.
+struct ChaosTrainer<'a, T> {
+    inner: T,
+    plan: &'a FaultPlan,
+    fits: &'a AtomicUsize,
+}
+
+impl<T: SurrogateTrainer> SurrogateTrainer for ChaosTrainer<'_, T> {
+    type Model = T::Model;
+
+    fn fit(&self, xs: &[Vec<f64>], ys: &[f64], rng: &mut StdRng) -> Result<Self::Model, String> {
+        self.inner.fit(xs, ys, rng)
+    }
+
+    fn fit_many(
+        &self,
+        xs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        prev: Option<&[&Self::Model]>,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Self::Model>, String> {
+        let i = self.fits.fetch_add(1, Ordering::SeqCst);
+        if self.plan.fail_fits.contains(&i) {
+            return Err(format!("chaos: scripted fit failure at refit {i}"));
+        }
+        self.inner.fit_many(xs, targets, prev, rng)
+    }
+
+    fn update(
+        &self,
+        prev: &Self::Model,
+        x: &[f64],
+        y: f64,
+        rng: &mut StdRng,
+    ) -> Option<Result<Self::Model, String>> {
+        self.inner.update(prev, x, y, rng)
+    }
+}
+
+fn chaos_config(seed: u64) -> BoConfig {
+    BoConfig::fast(6, 16).with_seed(seed)
+}
+
+fn faulty_problem<'a>(
+    plan: &'a FaultPlan,
+    calls: &'a AtomicUsize,
+) -> FaultyProblem<'a, ConstrainedBranin> {
+    FaultyProblem {
+        inner: ConstrainedBranin::new(),
+        plan,
+        calls,
+    }
+}
+
+fn chaos_trainer<'a>(
+    plan: &'a FaultPlan,
+    fits: &'a AtomicUsize,
+) -> ChaosTrainer<'a, NeuralGpEnsembleTrainer> {
+    ChaosTrainer {
+        inner: NeuralGpEnsembleTrainer::new(EnsembleConfig::fast()),
+        plan,
+        fits,
+    }
+}
+
+fn run_under_plan(plan: &FaultPlan, config: BoConfig, action: FailureAction) -> OptimizationResult {
+    let calls = AtomicUsize::new(0);
+    let fits = AtomicUsize::new(0);
+    let problem = faulty_problem(plan, &calls);
+    let trainer = chaos_trainer(plan, &fits);
+    let policy = FailurePolicy {
+        on_exhausted: action,
+        ..FailurePolicy::default()
+    };
+    BayesOpt::with_trainer(config.with_failure_policy(policy), trainer)
+        .run(&problem)
+        .expect("a chaos run never aborts on recoverable faults")
+}
+
+/// The scripted fault plans the suite sweeps, from mild to hostile.
+fn plans() -> Vec<FaultPlan> {
+    vec![
+        FaultPlan::default(),
+        // One isolated failure in the initial design.
+        FaultPlan {
+            fail_evals: vec![2],
+            ..FaultPlan::default()
+        },
+        // A burst long enough to exhaust retries mid-run, plus a timeout.
+        FaultPlan {
+            fail_evals: (8..14).collect(),
+            timeout_evals: vec![17],
+            ..FaultPlan::default()
+        },
+        // Surrogate refits failing with and without stale models available.
+        FaultPlan {
+            fail_fits: vec![0, 3],
+            ..FaultPlan::default()
+        },
+        // Everything at once.
+        FaultPlan {
+            fail_evals: (7..11).collect(),
+            timeout_evals: vec![13, 14],
+            fail_fits: vec![1, 2],
+        },
+    ]
+}
+
+#[test]
+fn chaos_runs_complete_their_budget_with_finite_values_and_a_consistent_log() {
+    for (pi, plan) in plans().iter().enumerate() {
+        for (si, action) in [
+            FailureAction::MarkInfeasible,
+            FailureAction::ImputeWorst,
+            FailureAction::Penalize { margin: 0.5 },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let config = chaos_config(100 + si as u64);
+            let result = run_under_plan(plan, config.clone(), action);
+            let ctx = format!("plan {pi}, action {action:?}");
+
+            // Budget honoured exactly.
+            assert_eq!(result.num_evaluations(), config.max_evaluations, "{ctx}");
+
+            // The loop never records a non-finite value or an out-of-cube point.
+            for (i, (x, e)) in result.evaluations().iter().enumerate() {
+                assert!(
+                    e.objective.is_finite() && e.constraints.iter().all(|g| g.is_finite()),
+                    "{ctx}: non-finite evaluation {i}"
+                );
+                assert!(
+                    x.iter().all(|v| (0.0..=1.0).contains(v)),
+                    "{ctx}: point {i} outside the unit cube"
+                );
+            }
+
+            // RecoveryLog consistency.
+            let rec = result.recovery();
+            assert_eq!(rec.is_clean(), plan.is_empty(), "{ctx}: {rec:?}");
+            assert!(
+                rec.imputed.windows(2).all(|w| w[0] < w[1]),
+                "{ctx}: imputed indices not strictly increasing: {rec:?}"
+            );
+            assert!(
+                rec.imputed.iter().all(|&i| i < result.num_evaluations()),
+                "{ctx}: imputed index out of range: {rec:?}"
+            );
+            // A point is only imputed after failures/timeouts exhausted its
+            // retry budget, so the failure counters bound the imputations.
+            assert!(
+                rec.eval_failures + rec.eval_timeouts >= rec.imputed.len(),
+                "{ctx}: {rec:?}"
+            );
+
+            // An imputed stand-in never wins.
+            if let Some(best) = result.best_index() {
+                assert!(!rec.imputed.contains(&best), "{ctx}: imputed best");
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_fault_plan_is_bit_identical_to_the_unwrapped_loop() {
+    let plan = FaultPlan::default();
+    let config = chaos_config(7);
+    let wrapped = run_under_plan(&plan, config.clone(), FailureAction::MarkInfeasible);
+    let plain = BayesOpt::neural_with(config, EnsembleConfig::fast())
+        .run(&ConstrainedBranin::new())
+        .unwrap();
+    assert_eq!(wrapped.evaluations(), plain.evaluations());
+    assert_eq!(wrapped.full_refits(), plain.full_refits());
+    assert!(wrapped.recovery().is_clean());
+}
+
+#[test]
+fn chaos_runs_are_reproducible_for_a_fixed_seed() {
+    let plan = FaultPlan {
+        fail_evals: (7..11).collect(),
+        timeout_evals: vec![13],
+        fail_fits: vec![1],
+    };
+    let a = run_under_plan(
+        &plan,
+        chaos_config(11),
+        FailureAction::Penalize { margin: 1.0 },
+    );
+    let b = run_under_plan(
+        &plan,
+        chaos_config(11),
+        FailureAction::Penalize { margin: 1.0 },
+    );
+    assert_eq!(a.evaluations(), b.evaluations());
+    assert_eq!(a.recovery(), b.recovery());
+}
+
+#[test]
+fn snapshots_taken_mid_chaos_resume_bit_identically() {
+    let plan = FaultPlan {
+        fail_evals: (7..10).collect(),
+        fail_fits: vec![1],
+        ..FaultPlan::default()
+    };
+    let config = chaos_config(23).with_refit_policy(RefitPolicy::nll_drift(0.25));
+
+    // Original run: 5 model-guided steps, snapshot, record the fault-tape
+    // position, then run to completion.
+    let calls = AtomicUsize::new(0);
+    let fits = AtomicUsize::new(0);
+    let problem = faulty_problem(&plan, &calls);
+    let bo = BayesOpt::with_trainer(config.clone(), chaos_trainer(&plan, &fits));
+    let mut state = bo.start(&problem).unwrap();
+    for _ in 0..5 {
+        assert!(bo.step(&problem, &mut state).unwrap());
+    }
+    let snap = bo.snapshot(&state);
+    let calls_at_snap = calls.load(Ordering::SeqCst);
+    let fits_at_snap = fits.load(Ordering::SeqCst);
+    while bo.step(&problem, &mut state).unwrap() {}
+    let direct = bo.finish(state);
+
+    // Resumed run: fresh wrappers with the fault tape fast-forwarded to the
+    // snapshot position, fresh driver, identical continuation expected.
+    let calls2 = AtomicUsize::new(calls_at_snap);
+    let fits2 = AtomicUsize::new(fits_at_snap);
+    let problem2 = faulty_problem(&plan, &calls2);
+    let bo2 = BayesOpt::with_trainer(config, chaos_trainer(&plan, &fits2));
+    let mut resumed = bo2.resume(&snap).unwrap();
+    while bo2.step(&problem2, &mut resumed).unwrap() {}
+    let from_snapshot = bo2.finish(resumed);
+
+    assert_eq!(direct.evaluations(), from_snapshot.evaluations());
+    assert_eq!(direct.recovery(), from_snapshot.recovery());
+    assert_eq!(direct.full_refits(), from_snapshot.full_refits());
+}

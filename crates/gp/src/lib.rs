@@ -99,6 +99,21 @@
 //! adaptive `NllDrift` policy thresholds to decide that the frozen
 //! hyper-parameters have gone stale and a warm refit is due.
 //!
+//! # Numerical recovery: the jitter ladder
+//!
+//! Near-duplicate designs late in a BO run can push the Gram matrix to the
+//! edge of positive definiteness.  Every factorization on the fit and append
+//! paths — the final fit Cholesky and the bordered-Cholesky row append —
+//! recovers from a failed factorization by retrying under a geometric nugget
+//! ladder before surfacing a [`GpError`]: the fit Cholesky escalates from the
+//! configured [`GpConfig::jitter`] (`nnbo_linalg::Cholesky::decompose_with_jitter`),
+//! and the append path retries on the canonical recovery ladder
+//! (`append_row_with_jitter`, `1e-10 → 1e-4`).  A clean factorization applies
+//! zero extra jitter, so healthy fits are bit-identical to the unguarded
+//! path; when the ladder does engage, the applied nugget is folded into the
+//! model's stored jitter so subsequent predictions stay consistent with the
+//! factor actually used.
+//!
 //! # Example
 //!
 //! ```

@@ -559,7 +559,14 @@ impl GpModel {
         let mut row = self.kernel.cross(x, &self.x);
         row.push(self.kernel.signal_variance() + self.hyper.noise_variance() + self.jitter);
         let mut chol = self.chol.clone();
-        chol.append_row(&row)?;
+        // Jitter ladder on the bordered factorization: a clean append applies
+        // zero jitter (bit-identical to the plain path), a near-duplicate
+        // point escalates the new diagonal entry instead of failing outright.
+        let applied = chol.append_row_with_jitter(
+            &row,
+            Cholesky::RECOVERY_JITTER_INITIAL,
+            Cholesky::RECOVERY_JITTER_ATTEMPTS,
+        )?;
 
         let x_mat = Matrix::vstack(&self.x, &Matrix::from_rows(&[x.to_vec()]));
         let mut scaled_x = self.scaled_x.clone();
@@ -581,7 +588,7 @@ impl GpModel {
             scaled_x,
             chol,
             alpha,
-            jitter: self.jitter,
+            jitter: self.jitter.max(applied),
             nll,
         })
     }

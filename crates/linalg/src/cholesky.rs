@@ -229,6 +229,32 @@ impl Cholesky {
         }
     }
 
+    /// First rung of the canonical recovery ladder (see
+    /// [`Cholesky::decompose_recovering`]).
+    pub const RECOVERY_JITTER_INITIAL: f64 = 1e-10;
+
+    /// Number of rungs of the canonical recovery ladder: seven ×10 steps span
+    /// `1e-10 → 1e-4`, past which a kernel matrix is better treated as broken
+    /// than nudged.
+    pub const RECOVERY_JITTER_ATTEMPTS: usize = 7;
+
+    /// [`Cholesky::decompose_with_jitter`] on the canonical recovery ladder
+    /// (`1e-10 → 1e-4` in ×10 steps) — the escalation every fault-tolerant
+    /// caller in the workspace shares, so recovery behaviour is uniform across
+    /// GP fits, incremental updates, and inverses.  The returned jitter is the
+    /// recovery record: `0.0` means the plain factorization succeeded.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last factorization error when even the top rung fails.
+    pub fn decompose_recovering(a: &Matrix) -> Result<(Self, f64), LinalgError> {
+        Self::decompose_with_jitter(
+            a,
+            Self::RECOVERY_JITTER_INITIAL,
+            Self::RECOVERY_JITTER_ATTEMPTS,
+        )
+    }
+
     /// Dimension of the factored matrix.
     pub fn dim(&self) -> usize {
         self.l.nrows()
@@ -429,6 +455,34 @@ impl Cholesky {
         out
     }
 
+    /// Checked variant of [`Cholesky::symmetric_inverse_into`] for
+    /// fault-tolerant callers: a factor with a collapsed (denormal) pivot
+    /// survives [`Cholesky::decompose`]'s strict-positivity check but
+    /// overflows when inverted, and the resulting ±inf/NaN entries would
+    /// otherwise poison every downstream gradient.  This scans the output and
+    /// reports the overflow as an error instead, leaving the caller free to
+    /// refactorize on a jitter rung.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NonFinite`] when the inverse contains
+    /// non-finite entries; `out` holds the poisoned inverse in that case and
+    /// must not be used.
+    pub fn try_symmetric_inverse_into(
+        &self,
+        out: &mut Matrix,
+        work: &mut Matrix,
+    ) -> Result<(), LinalgError> {
+        self.symmetric_inverse_into(out, work);
+        if out.as_slice().iter().all(|v| v.is_finite()) {
+            Ok(())
+        } else {
+            Err(LinalgError::NonFinite {
+                context: "symmetric inverse",
+            })
+        }
+    }
+
     /// Writes the lower-triangular inverse `W = L⁻¹` into `w` (upper triangle
     /// zeroed).  Column `j` of `W` is zero above the diagonal, so the forward
     /// sweep for a block of columns `[jb, jb+nb)` only runs over rows
@@ -623,6 +677,51 @@ impl Cholesky {
         l[(n, n)] = pivot_sq.sqrt();
         self.l = l;
         Ok(())
+    }
+
+    /// [`Cholesky::append_row`] with the recovery ladder: when the bordered
+    /// matrix is not numerically positive definite, the *new diagonal entry*
+    /// is bumped by an escalating nugget (`initial_jitter`, ×10 per rung, up
+    /// to `max_attempts` rungs) until the border factors.  Only the appended
+    /// pivot is perturbed — the existing factorization is exact and stays
+    /// untouched, which is what makes this the `O(n²)` analogue of
+    /// [`Cholesky::decompose_with_jitter`] for incremental kernel updates.
+    ///
+    /// Returns the jitter that was applied (`0.0` when the plain append
+    /// succeeded) so callers can record the recovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last [`LinalgError::NotPositiveDefinite`] when every rung
+    /// fails; the factorization is left unchanged in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != dim() + 1`.
+    pub fn append_row_with_jitter(
+        &mut self,
+        row: &[f64],
+        initial_jitter: f64,
+        max_attempts: usize,
+    ) -> Result<f64, LinalgError> {
+        match self.append_row(row) {
+            Ok(()) => Ok(0.0),
+            Err(e) => {
+                let mut jitter = initial_jitter;
+                let mut last_err = e;
+                let mut bumped = row.to_vec();
+                let d = row.len() - 1;
+                for _ in 0..max_attempts {
+                    bumped[d] = row[d] + jitter;
+                    match self.append_row(&bumped) {
+                        Ok(()) => return Ok(jitter),
+                        Err(e) => last_err = e,
+                    }
+                    jitter *= 10.0;
+                }
+                Err(last_err)
+            }
+        }
     }
 
     /// Updates the factorization of `A` to the factorization of `A + v vᵀ` in
@@ -915,6 +1014,94 @@ mod tests {
         let fresh = Cholesky::decompose(&bumped).unwrap();
         let diff = &(c.factor().clone()) - fresh.factor();
         assert!(diff.max_abs() < 1e-12, "max diff {}", diff.max_abs());
+    }
+
+    #[test]
+    fn decompose_recovering_ladder_spans_documented_range() {
+        // A rank-deficient Gram matrix factors somewhere on the ladder, and the
+        // recorded jitter stays within the documented 1e-10..=1e-4 span.
+        let v = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        let (_, jitter) = Cholesky::decompose_recovering(&v).unwrap();
+        assert!(jitter >= Cholesky::RECOVERY_JITTER_INITIAL);
+        assert!(jitter <= 1e-4);
+        // A clean SPD matrix records zero jitter.
+        let (_, clean) = Cholesky::decompose_recovering(&spd_example()).unwrap();
+        assert_eq!(clean, 0.0);
+    }
+
+    #[test]
+    fn append_row_with_jitter_recovers_degenerate_border() {
+        let a = spd_example();
+        let mut c = Cholesky::decompose(&a).unwrap();
+        // Border equal to column 0 of A with matching diagonal: the bordered
+        // matrix is exactly singular, so the plain append fails but a nugget
+        // on the new pivot recovers it.
+        let border = [a[(0, 0)], a[(1, 0)], a[(2, 0)], a[(0, 0)]];
+        assert!(c.append_row(&border).is_err());
+        let jitter = c
+            .append_row_with_jitter(&border, 1e-10, 12)
+            .expect("ladder recovers the singular border");
+        assert!(jitter > 0.0);
+        assert_eq!(c.dim(), 4);
+        // The recovered factorization matches a fresh factorization of the
+        // bordered matrix with the same nugget on the last diagonal entry.
+        let mut big = Matrix::zeros(4, 4);
+        for i in 0..3 {
+            for j in 0..3 {
+                big[(i, j)] = a[(i, j)];
+            }
+            big[(3, i)] = border[i];
+            big[(i, 3)] = border[i];
+        }
+        big[(3, 3)] = border[3] + jitter;
+        let fresh = Cholesky::decompose(&big).unwrap();
+        let diff = &(c.factor().clone()) - fresh.factor();
+        assert!(diff.max_abs() < 1e-10, "max diff {}", diff.max_abs());
+    }
+
+    #[test]
+    fn append_row_with_jitter_is_plain_append_on_clean_border() {
+        let a = spd_example();
+        let mut jittered = Cholesky::decompose(&a).unwrap();
+        let mut plain = jittered.clone();
+        let border = [0.3, -0.2, 0.6, 3.0];
+        let applied = jittered.append_row_with_jitter(&border, 1e-10, 7).unwrap();
+        plain.append_row(&border).unwrap();
+        assert_eq!(applied, 0.0);
+        assert_eq!(jittered.factor(), plain.factor());
+    }
+
+    #[test]
+    fn append_row_with_jitter_gives_up_and_keeps_state() {
+        let a = spd_example();
+        let mut c = Cholesky::decompose(&a).unwrap();
+        let before = c.factor().clone();
+        // The off-diagonal border dominates so badly that no bounded nugget on
+        // the new pivot can rescue it.
+        let err = c
+            .append_row_with_jitter(&[10.0, 10.0, 10.0, 0.1], 1e-10, 7)
+            .unwrap_err();
+        assert!(matches!(err, LinalgError::NotPositiveDefinite { .. }));
+        assert_eq!(c.factor(), &before);
+    }
+
+    #[test]
+    fn try_symmetric_inverse_reports_overflow() {
+        // A subnormal pivot passes decompose's strict-positivity check but
+        // overflows to +inf when the inverse squares its reciprocal.
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1e-320]]);
+        let c = Cholesky::decompose(&a).unwrap();
+        let mut out = Matrix::zeros(1, 1);
+        let mut work = Matrix::zeros(1, 1);
+        let err = c
+            .try_symmetric_inverse_into(&mut out, &mut work)
+            .unwrap_err();
+        assert!(matches!(err, LinalgError::NonFinite { .. }));
+        // A healthy factor passes the check and matches the unchecked path.
+        let good = Cholesky::decompose(&spd_example()).unwrap();
+        good.try_symmetric_inverse_into(&mut out, &mut work)
+            .unwrap();
+        assert_eq!(out.as_slice(), good.symmetric_inverse().as_slice());
     }
 
     #[test]

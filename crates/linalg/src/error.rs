@@ -32,6 +32,12 @@ pub enum LinalgError {
         /// Number of columns of the offending matrix.
         cols: usize,
     },
+    /// A computation produced non-finite values (overflow through a collapsed
+    /// pivot, NaN propagation from degenerate input).
+    NonFinite {
+        /// Description of the operation that produced the values.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -49,6 +55,9 @@ impl fmt::Display for LinalgError {
             }
             LinalgError::NotSquare { rows, cols } => {
                 write!(f, "expected a square matrix, got {rows}x{cols}")
+            }
+            LinalgError::NonFinite { context } => {
+                write!(f, "{context} produced non-finite values")
             }
         }
     }

@@ -151,6 +151,25 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Exposes the raw xoshiro256++ state, so callers can checkpoint the
+        /// stream position (the optimizer's snapshot/resume seam).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator at an exact stream position captured by
+        /// [`StdRng::state`].  The caller is responsible for supplying a state
+        /// that came from a real generator (an all-zero state is a fixed
+        /// point and is rejected by substituting the seed-0 stream).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                return <StdRng as SeedableRng>::seed_from_u64(0);
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]

@@ -1,0 +1,442 @@
+//! JSON encoding of [`Value`](crate::Value) trees.
+//!
+//! The encoder is tuned for the optimizer's checkpoint format rather than
+//! interchange with arbitrary JSON consumers:
+//!
+//! * finite `f64`s print with Rust's shortest-round-trip formatting (the
+//!   `{}` float formatter), which guarantees `parse::<f64>()` returns the
+//!   identical bits — the property the snapshot/resume bit-identity tests
+//!   rely on.  A fractional marker (`.0`) is appended when the shortest form
+//!   looks like an integer so the parser can reconstruct the [`Value::F64`]
+//!   variant (not just the bits);
+//! * non-finite floats are encoded as the *strings* `"NaN"`, `"inf"` and
+//!   `"-inf"` — standard JSON has no spelling for them, and quoting keeps
+//!   bare NaN/inf tokens out of emitted artifacts;
+//! * map key order is preserved, so equal values encode to equal strings.
+
+use crate::Value;
+
+/// Error (message plus byte offset) from [`from_str`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input where it went wrong.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a value tree to a compact JSON string.
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(value, &mut out);
+    out
+}
+
+fn write_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(v) => {
+            out.push_str(&v.to_string());
+        }
+        Value::I64(v) => {
+            out.push_str(&v.to_string());
+        }
+        Value::F64(v) => write_f64(*v, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if v.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if v.is_infinite() {
+        out.push_str(if v > 0.0 { "\"inf\"" } else { "\"-inf\"" });
+    } else {
+        let s = format!("{v}");
+        out.push_str(&s);
+        // `{}` prints e.g. `1` for 1.0_f64; mark the value as fractional so
+        // the parser rebuilds Value::F64 rather than Value::U64.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON string into a value tree.
+///
+/// Numbers without a fraction/exponent parse as [`Value::U64`] /
+/// [`Value::I64`]; numbers with one parse as [`Value::F64`].  The strings
+/// `"NaN"`, `"inf"` and `"-inf"` parse as [`Value::Str`] — converting them
+/// back to non-finite floats is the job of `f64`'s `Deserialize` caller
+/// context (the checkpoint layer stores only finite floats, so it never
+/// needs to).
+pub fn from_str(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_seq(),
+            Some(b'{') => self.parse_map(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Value, ParseError> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in sequence")),
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value, ParseError> {
+        self.expect_byte(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}` in map")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy the longest run of plain bytes in one go.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                out.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.error("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for this
+                            // checkpoint format; reject rather than mangle.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.error("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.error("unknown escape character")),
+                    }
+                }
+                _ => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                b'+' | b'-' if fractional => self.pos += 1,
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if fractional {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.error("invalid float literal"))?;
+            Ok(Value::F64(v))
+        } else if text.starts_with('-') {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.error("invalid integer literal"))?;
+            Ok(Value::I64(v))
+        } else {
+            let v: u64 = text
+                .parse()
+                .map_err(|_| self.error("invalid integer literal"))?;
+            Ok(Value::U64(v))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) -> Value {
+        from_str(&to_string(v)).expect("round trip parses")
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::U64(0),
+            Value::U64(u64::MAX),
+            Value::I64(-1),
+            Value::I64(i64::MIN),
+            Value::Str(String::new()),
+            Value::Str("hello \"quoted\" \\ line\nend\tтест".into()),
+        ] {
+            assert_eq!(round_trip(&v), v);
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        let cases = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            1.5,
+            0.1,
+            1e-308,
+            f64::MIN_POSITIVE,
+            5e-324, // subnormal
+            f64::MAX,
+            std::f64::consts::PI,
+            1.0 / 3.0,
+            6.02214076e23,
+        ];
+        for &v in &cases {
+            let rt = round_trip(&Value::F64(v));
+            match rt {
+                Value::F64(w) => assert_eq!(w.to_bits(), v.to_bits(), "{v:?}"),
+                other => panic!("expected F64 back for {v:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_encode_as_strings() {
+        assert_eq!(to_string(&Value::F64(f64::NAN)), "\"NaN\"");
+        assert_eq!(to_string(&Value::F64(f64::INFINITY)), "\"inf\"");
+        assert_eq!(to_string(&Value::F64(f64::NEG_INFINITY)), "\"-inf\"");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = Value::Map(vec![
+            ("empty_seq".into(), Value::Seq(vec![])),
+            ("empty_map".into(), Value::Map(vec![])),
+            (
+                "nested".into(),
+                Value::Seq(vec![
+                    Value::U64(1),
+                    Value::F64(2.5),
+                    Value::Map(vec![("k".into(), Value::Null)]),
+                ]),
+            ),
+        ]);
+        assert_eq!(round_trip(&v), v);
+    }
+
+    #[test]
+    fn key_order_is_preserved() {
+        let v = Value::Map(vec![
+            ("z".into(), Value::U64(1)),
+            ("a".into(), Value::U64(2)),
+        ]);
+        assert_eq!(to_string(&v), r#"{"z":1,"a":2}"#);
+        assert_eq!(round_trip(&v), v);
+    }
+
+    #[test]
+    fn whitespace_and_escapes_parse() {
+        let v = from_str(" { \"a\" : [ 1 , \"\\u0041\\n\" ] } ").unwrap();
+        assert_eq!(
+            v,
+            Value::Map(vec![(
+                "a".into(),
+                Value::Seq(vec![Value::U64(1), Value::Str("A\n".into())])
+            )])
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for bad in ["", "{", "[1,", "{\"a\"}", "nul", "1 2", "\"abc", "[01a]"] {
+            assert!(from_str(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

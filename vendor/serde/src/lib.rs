@@ -1,15 +1,425 @@
-//! Offline stand-in for `serde`.
+//! Offline stand-in for `serde` — now a real (minimal) serializer.
 //!
-//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]`
-//! annotations; no code path serializes a value.  This crate provides the two
-//! traits as empty markers and re-exports the no-op derive macros, so the
-//! annotated code compiles unchanged with no network access.  Swapping in the
-//! real serde later is a one-line change in the workspace manifest.
-
-/// Marker trait standing in for `serde::Serialize`.
-pub trait Serialize {}
-
-/// Marker trait standing in for `serde::Deserialize`.
-pub trait Deserialize<'de> {}
+//! Earlier revisions of this vendor crate provided `Serialize` /
+//! `Deserialize` as empty marker traits because nothing in the workspace
+//! serialized a value.  The Bayesian-optimization loop's checkpoint/resume
+//! seam changed that: optimizer snapshots must round-trip **bit-exactly**
+//! through a byte format.  This crate therefore implements a small,
+//! self-describing data model:
+//!
+//! * [`Value`] — a JSON-shaped tree (null / bool / integers / f64 / string /
+//!   sequence / ordered map);
+//! * [`Serialize`] — `fn to_value(&self) -> Value`;
+//! * [`Deserialize`] — `fn from_value(&Value) -> Result<Self, DeError>`
+//!   (the `'de` lifetime parameter is kept for signature compatibility with
+//!   the real serde; nothing borrows from the input);
+//! * [`json`] — a JSON writer/parser for [`Value`] whose `f64` encoding uses
+//!   Rust's shortest-round-trip formatting, so every finite float
+//!   deserializes to exactly the bits that were serialized (non-finite
+//!   values are encoded as the strings `"NaN"` / `"inf"` / `"-inf"`).
+//!
+//! The `#[derive(Serialize, Deserialize)]` macros (re-exported from the
+//! vendored `serde_derive`) generate real impls for non-generic structs and
+//! enums: named-field structs map to [`Value::Map`], tuple structs to
+//! [`Value::Seq`], unit enum variants to [`Value::Str`], and data-carrying
+//! variants to a single-entry map keyed by the variant name (serde's
+//! externally-tagged representation).
+//!
+//! Swapping in the real serde remains possible but is no longer a pure
+//! manifest change: the checkpoint code calls `to_value`/`from_value`
+//! directly and would need a thin adapter over `serde_json::Value`.
 
 pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree (the subset of the serde data model the
+/// workspace needs, shaped like JSON).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absence of a value (`Option::None`, unit structs).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer (non-negative integers normalise to [`Value::U64`]).
+    I64(i64),
+    /// A double-precision float (NaN/±inf are representable; the JSON layer
+    /// encodes them as strings).
+    F64(f64),
+    /// A UTF-8 string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Map lookup by key (linear scan; maps here are tiny field lists).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a map entry list.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the shape a
+/// [`Deserialize`] impl expects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with a free-form message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Creates an "expected X" error.
+    pub fn expected(what: &str) -> Self {
+        DeError::new(format!("expected {what}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization to the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+///
+/// The `'de` lifetime parameter exists for signature compatibility with the
+/// real serde (`impl<'de> Deserialize<'de> for T`); implementations never
+/// borrow from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Reads a struct field out of a map entry list (the helper generated
+/// `Deserialize` impls call).
+pub fn from_field<'de, T: Deserialize<'de>>(
+    entries: &[(String, Value)],
+    key: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    let value = entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::new(format!("missing field `{key}` of struct {ty}")))?;
+    T::from_value(value).map_err(|e| DeError::new(format!("field `{key}` of {ty}: {e}")))
+}
+
+/// Serializes a value to a JSON string (convenience over [`json::to_string`]).
+pub fn to_json_string<T: Serialize + ?Sized>(value: &T) -> String {
+    json::to_string(&value.to_value())
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_json_str<'de, T: Deserialize<'de>>(s: &str) -> Result<T, DeError> {
+    let value = json::from_str(s).map_err(|e| DeError::new(format!("invalid JSON: {e}")))?;
+    T::from_value(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Impls for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            #[allow(unused_comparisons)]
+            fn to_value(&self) -> Value {
+                if *self >= 0 {
+                    Value::U64(*self as u64)
+                } else {
+                    Value::I64(*self as i64)
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match *value {
+                    Value::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| DeError::new(format!("{v} out of range for {}", stringify!($t)))),
+                    Value::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| DeError::new(format!("{v} out of range for {}", stringify!($t)))),
+                    _ => Err(DeError::expected(stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match *value {
+            Value::F64(v) => Ok(v),
+            Value::U64(v) => Ok(v as f64),
+            Value::I64(v) => Ok(v as f64),
+            _ => Err(DeError::expected("f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::new(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($len:literal: $($name:ident . $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = value
+                    .as_seq()
+                    .ok_or_else(|| DeError::expected("tuple sequence"))?;
+                if items.len() != $len {
+                    return Err(DeError::new(format!(
+                        "expected tuple of {} elements, got {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (1: A.0);
+    (2: A.0, B.1);
+    (3: A.0, B.1, C.2);
+    (4: A.0, B.1, C.2, D.3);
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+pub mod json;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(vec![1.0f64, 2.0], 3usize)];
+        let rt: Vec<(Vec<f64>, usize)> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(rt, v);
+        let o: Option<f64> = None;
+        assert_eq!(o.to_value(), Value::Null);
+        let rt: Option<f64> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(rt, None);
+        let arr = [1u64, 2, 3, 4];
+        let rt: [u64; 4] = Deserialize::from_value(&arr.to_value()).unwrap();
+        assert_eq!(rt, arr);
+    }
+
+    #[test]
+    fn negative_integers_normalise() {
+        assert_eq!(3i64.to_value(), Value::U64(3));
+        assert_eq!((-3i64).to_value(), Value::I64(-3));
+        assert_eq!(i64::from_value(&Value::U64(3)).unwrap(), 3);
+    }
+
+    #[test]
+    fn shape_mismatches_are_errors() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(<[u64; 2]>::from_value(&vec![1u64].to_value()).is_err());
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        let err = from_field::<u64>(&[], "missing", "T").unwrap_err();
+        assert!(err.to_string().contains("missing field"));
+    }
+}

@@ -1,53 +1,444 @@
 //! Offline stand-in for `serde_derive`.
 //!
-//! The workspace vendors its (tiny) dependency surface so it builds with no
-//! network access.  Nothing in the workspace actually serializes values — the
-//! `#[derive(Serialize, Deserialize)]` attributes only need to produce valid
-//! marker-trait impls, which is exactly what this proc macro does.
+//! Generates real `Serialize` / `Deserialize` impls for the vendored serde's
+//! `Value` data model by parsing the derive input token stream by hand (no
+//! `syn`/`quote`, so the crate builds with no network access).  Supported
+//! shapes — which cover everything the workspace derives on — are
+//! non-generic named-field structs, tuple structs, unit structs, and enums
+//! whose variants are unit, tuple, or struct-like.
+//!
+//! Encoding (matching serde's externally-tagged default):
+//!
+//! * named struct  → `Map { field: value, ... }` (declaration order)
+//! * tuple struct  → `Seq [ value, ... ]`
+//! * unit struct   → `Null`
+//! * unit variant  → `Str("Variant")`
+//! * tuple variant → `Map { "Variant": Seq [...] }`
+//! * struct variant→ `Map { "Variant": Map {...} }`
+//!
+//! Only field *names* are needed for code generation: the deserialize side
+//! builds a struct literal whose field types drive inference through
+//! `serde::from_field`, so the macro never has to understand Rust types —
+//! it only tracks `<>` nesting well enough to find field-separating commas.
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Extracts the name of the type a derive is attached to.
-///
-/// Walks the token stream past attributes and visibility until it sees the
-/// `struct` or `enum` keyword; the next identifier is the type name.  Generic
-/// types are not supported (the workspace has none).
-fn type_name(input: TokenStream) -> String {
-    let mut tokens = input.into_iter();
-    while let Some(tt) = tokens.next() {
-        if let TokenTree::Ident(ident) = &tt {
-            let word = ident.to_string();
-            if word == "struct" || word == "enum" {
-                match tokens.next() {
-                    Some(TokenTree::Ident(name)) => {
-                        if matches!(tokens.next(), Some(TokenTree::Punct(p)) if p.as_char() == '<')
-                        {
-                            panic!("the vendored serde_derive does not support generic types");
-                        }
-                        return name.to_string();
-                    }
-                    other => panic!("expected a type name after `{word}`, found {other:?}"),
-                }
-            }
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Input {
+    UnitStruct {
+        name: String,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips `#[...]` attribute sequences (doc comments included).
+fn skip_attributes(iter: &mut TokenIter) {
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        iter.next(); // the bracketed attribute body
+    }
+}
+
+/// Skips `pub` / `pub(crate)` / `pub(super)` visibility.
+fn skip_visibility(iter: &mut TokenIter) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            iter.next();
         }
     }
-    panic!("derive input contained no struct or enum");
 }
 
-/// No-op `Serialize` derive: emits `impl serde::Serialize for T {}`.
+/// Consumes tokens up to and including the next comma at angle-bracket depth
+/// zero.  Returns `false` when the iterator is exhausted first.  Handles `->`
+/// (function-pointer return types) so its `>` does not close a generic.
+fn consume_until_comma(iter: &mut TokenIter) -> bool {
+    let mut depth: i64 = 0;
+    let mut prev_dash = false;
+    for tt in iter.by_ref() {
+        let mut dash = false;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                ',' if depth == 0 => return true,
+                '<' => depth += 1,
+                '>' if !prev_dash => depth -= 1,
+                '-' => dash = true,
+                _ => {}
+            }
+        }
+        prev_dash = dash;
+    }
+    false
+}
+
+/// Field names of a named-field body (struct or struct-like enum variant).
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut iter = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(name)) => fields.push(name.to_string()),
+            None => break,
+            other => panic!("expected a field name, found {other:?}"),
+        }
+        if !consume_until_comma(&mut iter) {
+            break;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple body (struct or tuple enum variant).
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut iter = body.into_iter().peekable();
+    let mut arity = 0;
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        arity += 1;
+        if !consume_until_comma(&mut iter) {
+            break;
+        }
+    }
+    arity
+}
+
+/// Variants of an enum body.
+fn enum_variants(body: TokenStream) -> Vec<Variant> {
+    let mut iter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(name)) => name.to_string(),
+            None => break,
+            other => panic!("expected a variant name, found {other:?}"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                iter.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Consume the separating comma (and any explicit discriminant).
+        if !consume_until_comma(&mut iter) {
+            break;
+        }
+    }
+    variants
+}
+
+/// Parses the derive input into one of the supported shapes.
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // attribute body
+            }
+            Some(TokenTree::Ident(ident)) => {
+                let word = ident.to_string();
+                if word != "struct" && word != "enum" {
+                    continue; // visibility or other modifier
+                }
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("expected a type name after `{word}`, found {other:?}"),
+                };
+                if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                    panic!("the vendored serde_derive does not support generic types");
+                }
+                if word == "enum" {
+                    return match iter.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            Input::Enum {
+                                name,
+                                variants: enum_variants(g.stream()),
+                            }
+                        }
+                        other => panic!("expected an enum body, found {other:?}"),
+                    };
+                }
+                return match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Input::NamedStruct {
+                            name,
+                            fields: named_fields(g.stream()),
+                        }
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Input::TupleStruct {
+                            name,
+                            arity: tuple_arity(g.stream()),
+                        }
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input::UnitStruct { name },
+                    other => panic!("expected a struct body, found {other:?}"),
+                };
+            }
+            Some(_) => {}
+            None => panic!("derive input contained no struct or enum"),
+        }
+    }
+}
+
+fn serialize_body(input: &Input) -> String {
+    match input {
+        Input::UnitStruct { .. } => "::serde::Value::Null".to_string(),
+        Input::TupleStruct { arity, .. } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Input::NamedStruct { fields, .. } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string())"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binders: Vec<String> =
+                                (0..*arity).map(|i| format!("f{i}")).collect();
+                            let values: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Seq(vec![{vals}]))])",
+                                binds = binders.join(", "),
+                                vals = values.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Map(vec![{vals}]))])",
+                                binds = fields.join(", "),
+                                vals = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    }
+}
+
+fn deserialize_body(input: &Input) -> String {
+    match input {
+        Input::UnitStruct { name } => format!(
+            "match value {{ \
+               ::serde::Value::Null => Ok({name}), \
+               _ => Err(::serde::DeError::expected(\"null for unit struct {name}\")), \
+             }}"
+        ),
+        Input::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_seq().ok_or_else(|| \
+                     ::serde::DeError::expected(\"sequence for tuple struct {name}\"))?; \
+                 if items.len() != {arity} {{ \
+                     return Err(::serde::DeError::new(format!( \
+                         \"expected {arity} elements for {name}, got {{}}\", items.len()))); \
+                 }} \
+                 Ok({name}({fields}))",
+                fields = items.join(", ")
+            )
+        }
+        Input::NamedStruct { name, fields } => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::from_field(entries, \"{f}\", \"{name}\")?"))
+                .collect();
+            format!(
+                "let entries = value.as_map().ok_or_else(|| \
+                     ::serde::DeError::expected(\"map for struct {name}\"))?; \
+                 Ok({name} {{ {fields} }})",
+                fields = items.join(", ")
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{vname}\" => Ok({name}::{vname})", vname = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(arity) => {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ \
+                                     let items = _payload.as_seq().ok_or_else(|| \
+                                         ::serde::DeError::expected(\"sequence for variant {name}::{vname}\"))?; \
+                                     if items.len() != {arity} {{ \
+                                         return Err(::serde::DeError::new(format!( \
+                                             \"expected {arity} elements for {name}::{vname}, got {{}}\", items.len()))); \
+                                     }} \
+                                     Ok({name}::{vname}({fields})) \
+                                 }}",
+                                fields = items.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::from_field(fields, \"{f}\", \"{name}::{vname}\")?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ \
+                                     let fields = _payload.as_map().ok_or_else(|| \
+                                         ::serde::DeError::expected(\"map for variant {name}::{vname}\"))?; \
+                                     Ok({name}::{vname} {{ {inner} }}) \
+                                 }}",
+                                inner = items.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::Str(tag) = value {{ \
+                     return match tag.as_str() {{ \
+                         {unit_arms} \
+                         other => Err(::serde::DeError::new(format!( \
+                             \"unknown unit variant `{{other}}` of {name}\"))), \
+                     }}; \
+                 }} \
+                 let entries = value.as_map().ok_or_else(|| \
+                     ::serde::DeError::expected(\"string or map for enum {name}\"))?; \
+                 if entries.len() != 1 {{ \
+                     return Err(::serde::DeError::expected(\"single-entry map for enum {name}\")); \
+                 }} \
+                 let (tag, _payload) = &entries[0]; \
+                 match tag.as_str() {{ \
+                     {data_arms} \
+                     other => Err(::serde::DeError::new(format!( \
+                         \"unknown variant `{{other}}` of {name}\"))), \
+                 }}",
+                unit_arms = unit_arms
+                    .iter()
+                    .map(|a| format!("{a},"))
+                    .collect::<String>(),
+                data_arms = data_arms
+                    .iter()
+                    .map(|a| format!("{a},"))
+                    .collect::<String>(),
+            )
+        }
+    }
+}
+
+fn input_name(input: &Input) -> &str {
+    match input {
+        Input::UnitStruct { name }
+        | Input::TupleStruct { name, .. }
+        | Input::NamedStruct { name, .. }
+        | Input::Enum { name, .. } => name,
+    }
+}
+
+/// `Serialize` derive: emits a real `to_value` implementation.
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    let name = type_name(input);
-    format!("impl ::serde::Serialize for {name} {{}}")
-        .parse()
-        .expect("generated impl parses")
+    let parsed = parse_input(input);
+    let name = input_name(&parsed);
+    let body = serialize_body(&parsed);
+    format!(
+        "#[automatically_derived] \
+         impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
 }
 
-/// No-op `Deserialize` derive: emits `impl<'de> serde::Deserialize<'de> for T {}`.
+/// `Deserialize` derive: emits a real `from_value` implementation.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let name = type_name(input);
-    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
-        .parse()
-        .expect("generated impl parses")
+    let parsed = parse_input(input);
+    let name = input_name(&parsed);
+    let body = deserialize_body(&parsed);
+    format!(
+        "#[automatically_derived] \
+         impl<'de> ::serde::Deserialize<'de> for {name} {{ \
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
 }
