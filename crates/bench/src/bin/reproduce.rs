@@ -10,6 +10,7 @@
 //! reproduce [--quick] fit              # fit-path old-vs-new benchmark → BENCH_fit.json
 //! reproduce [--quick] predict          # packed-vs-blocked batched prediction → BENCH_predict.json
 //! reproduce [--quick] robustness       # fault-tolerance: overhead + recovery → BENCH_robustness.json
+//! reproduce [--quick] serve            # multi-session serving layer: throughput, recovery, shedding → BENCH_serve.json
 //! reproduce [--quick] ablation-ensemble      # ensemble-size ablation (E4)
 //! reproduce [--quick] ablation-acquisition   # acquisition-function ablation (E5)
 //! reproduce [--quick] all              # everything above
@@ -23,9 +24,10 @@
 use nnbo_bench::{
     format_fit_json, format_fit_table, format_linalg_json, format_linalg_table,
     format_predict_json, format_predict_table, format_robustness_json, format_robustness_table,
-    format_scaling_json, format_table1, format_table1_json, format_table2, format_table2_json,
-    run_ablation_acquisition, run_ablation_ensemble, run_fit_bench, run_linalg_bench,
-    run_predict_bench, run_robustness_bench, run_scaling, run_table1, run_table2, Protocol,
+    format_scaling_json, format_serve_json, format_serve_table, format_table1, format_table1_json,
+    format_table2, format_table2_json, run_ablation_acquisition, run_ablation_ensemble,
+    run_fit_bench, run_linalg_bench, run_predict_bench, run_robustness_bench, run_scaling,
+    run_serve_bench, run_table1, run_table2, BenchError, Protocol,
 };
 
 fn main() {
@@ -37,7 +39,7 @@ fn main() {
         false
     };
     let command = args.first().map(String::as_str).unwrap_or("all");
-    match command {
+    let outcome = match command {
         "table1" => table1(quick),
         "table2" => table2(quick),
         "scaling" => scaling(quick),
@@ -45,26 +47,30 @@ fn main() {
         "fit" => fit(quick),
         "predict" => predict(quick),
         "robustness" => robustness(quick),
+        "serve" => serve(quick),
         "ablation-ensemble" => ablation_ensemble(quick),
         "ablation-acquisition" => ablation_acquisition(quick),
-        "all" => {
-            table1(quick);
-            table2(quick);
-            scaling(quick);
-            linalg(quick);
-            fit(quick);
-            predict(quick);
-            robustness(quick);
-            ablation_ensemble(quick);
-            ablation_acquisition(quick);
-        }
+        "all" => table1(quick)
+            .and_then(|()| table2(quick))
+            .and_then(|()| scaling(quick))
+            .and_then(|()| linalg(quick))
+            .and_then(|()| fit(quick))
+            .and_then(|()| predict(quick))
+            .and_then(|()| robustness(quick))
+            .and_then(|()| serve(quick))
+            .and_then(|()| ablation_ensemble(quick))
+            .and_then(|()| ablation_acquisition(quick)),
         other => {
             eprintln!("unknown command `{other}`");
             eprintln!(
-                "expected one of: table1 | table2 | scaling | linalg | fit | predict | robustness | ablation-ensemble | ablation-acquisition | all"
+                "expected one of: table1 | table2 | scaling | linalg | fit | predict | robustness | serve | ablation-ensemble | ablation-acquisition | all"
             );
             std::process::exit(2);
         }
+    };
+    if let Err(e) = outcome {
+        eprintln!("reproduce {command} failed: {e}");
+        std::process::exit(1);
     }
 }
 
@@ -97,25 +103,26 @@ fn table2_protocol(quick: bool) -> Protocol {
     }
 }
 
-/// Writes a benchmark/result JSON document next to the working directory,
-/// reporting (but not failing on) IO errors.
+/// Writes a benchmark/result JSON document into the working directory; an IO
+/// failure propagates so the run exits non-zero.
 ///
 /// JSON has no representation for non-finite floats, so a bare `NaN` / `inf`
 /// / `Infinity` value token means an emitter leaked an unguarded float (the
 /// emitters encode those as `null`).  Such a document would silently break
 /// every downstream consumer; refuse to write it and fail the run instead so
 /// CI catches the regression.
-fn write_json(path: &str, json: &str) {
+fn write_json(path: &str, json: &str) -> Result<(), BenchError> {
     for token in ["NaN", "inf", "Infinity"] {
         if contains_bare_token(json, token) {
-            eprintln!("refusing to write {path}: document contains non-finite token `{token}`");
-            std::process::exit(1);
+            return Err(format!(
+                "refusing to write {path}: document contains non-finite token `{token}`"
+            )
+            .into());
         }
     }
-    match std::fs::write(path, json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    std::fs::write(path, json).map_err(|e| format!("could not write {path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
 }
 
 /// `true` when `token` occurs in `text` as a bare value token.  Everything
@@ -159,25 +166,27 @@ fn contains_bare_token(text: &str, token: &str) -> bool {
     false
 }
 
-fn table1(quick: bool) {
+fn table1(quick: bool) -> Result<(), BenchError> {
     let protocol = table1_protocol(quick);
     println!("# Experiment E1 (Table I) — protocol: {protocol:?}\n");
-    let rows = run_table1(&protocol);
+    let rows = run_table1(&protocol)?;
     println!("{}", format_table1(&rows));
-    write_json("BENCH_table1.json", &format_table1_json(&rows, quick));
+    write_json("BENCH_table1.json", &format_table1_json(&rows, quick))?;
     println!();
+    Ok(())
 }
 
-fn table2(quick: bool) {
+fn table2(quick: bool) -> Result<(), BenchError> {
     let protocol = table2_protocol(quick);
     println!("# Experiment E2 (Table II) — protocol: {protocol:?}\n");
-    let rows = run_table2(&protocol);
+    let rows = run_table2(&protocol)?;
     println!("{}", format_table2(&rows));
-    write_json("BENCH_table2.json", &format_table2_json(&rows, quick));
+    write_json("BENCH_table2.json", &format_table2_json(&rows, quick))?;
     println!();
+    Ok(())
 }
 
-fn scaling(quick: bool) {
+fn scaling(quick: bool) -> Result<(), BenchError> {
     println!("# Experiment E3 (section III.D) — surrogate cost vs. number of observations\n");
     let full = std::env::var("NNBO_FULL")
         .map(|v| v == "1")
@@ -196,7 +205,7 @@ fn scaling(quick: bool) {
     } else {
         100
     };
-    let points = run_scaling(sizes, epochs);
+    let points = run_scaling(sizes, epochs)?;
     println!(
         "{:>6} {:>14} {:>16} {:>16} {:>18}",
         "N", "GP fit (ms)", "GP predict (us)", "NN-GP fit (ms)", "NN-GP predict (us)"
@@ -208,72 +217,91 @@ fn scaling(quick: bool) {
         );
     }
     println!();
-    write_json("BENCH_scaling.json", &format_scaling_json(&points, quick));
+    write_json("BENCH_scaling.json", &format_scaling_json(&points, quick))?;
     println!();
+    Ok(())
 }
 
-fn linalg(quick: bool) {
+fn linalg(quick: bool) -> Result<(), BenchError> {
     println!("# Prediction-path benchmark — reference vs blocked/batched/incremental\n");
-    let entries = run_linalg_bench(quick);
+    let entries = run_linalg_bench(quick)?;
     print!("{}", format_linalg_table(&entries));
     println!();
-    write_json("BENCH_linalg.json", &format_linalg_json(&entries, quick));
+    write_json("BENCH_linalg.json", &format_linalg_json(&entries, quick))?;
     println!();
+    Ok(())
 }
 
-fn fit(quick: bool) {
+fn fit(quick: bool) -> Result<(), BenchError> {
     println!("# Fit-path benchmark — cold vs warm refits, sequential vs shared multi-output\n");
-    let entries = run_fit_bench(quick);
+    let entries = run_fit_bench(quick)?;
     print!("{}", format_fit_table(&entries));
     println!();
-    write_json("BENCH_fit.json", &format_fit_json(&entries, quick));
+    write_json("BENCH_fit.json", &format_fit_json(&entries, quick))?;
     println!();
+    Ok(())
 }
 
-fn predict(quick: bool) {
+fn predict(quick: bool) -> Result<(), BenchError> {
     println!(
         "# Batched-prediction benchmark — packed (AVX2+FMA + fused exp) vs portable kernels\n"
     );
-    let entries = run_predict_bench(quick);
+    let entries = run_predict_bench(quick)?;
     print!("{}", format_predict_table(&entries));
     println!();
-    write_json("BENCH_predict.json", &format_predict_json(&entries, quick));
+    write_json("BENCH_predict.json", &format_predict_json(&entries, quick))?;
     println!();
+    Ok(())
 }
 
-fn robustness(quick: bool) {
+fn robustness(quick: bool) -> Result<(), BenchError> {
     println!(
         "# Robustness benchmark — clean-path overhead, fault recovery, checkpoint round trip\n"
     );
-    let report = run_robustness_bench(quick);
+    let report = run_robustness_bench(quick)?;
     print!("{}", format_robustness_table(&report));
     println!();
     write_json(
         "BENCH_robustness.json",
         &format_robustness_json(&report, quick),
-    );
+    )?;
     println!();
+    Ok(())
 }
 
-fn ablation_ensemble(quick: bool) {
+fn serve(quick: bool) -> Result<(), BenchError> {
+    println!(
+        "# Serving-layer benchmark — throughput, supervision overhead, crash recovery, shedding\n"
+    );
+    let report = run_serve_bench(quick)?;
+    print!("{}", format_serve_table(&report));
+    println!();
+    write_json("BENCH_serve.json", &format_serve_json(&report, quick))?;
+    println!();
+    Ok(())
+}
+
+fn ablation_ensemble(quick: bool) -> Result<(), BenchError> {
     let protocol = table1_protocol(quick);
     println!("# Experiment E4 — ensemble-size ablation on the op-amp problem\n");
     let sizes: &[usize] = if quick { &[1, 2] } else { &[1, 3, 5] };
-    let rows = run_ablation_ensemble(&protocol, sizes);
+    let rows = run_ablation_ensemble(&protocol, sizes)?;
     print_ablation(
         &rows,
         "GAIN (dB), higher is better (reported as -objective)",
     );
+    Ok(())
 }
 
-fn ablation_acquisition(quick: bool) {
+fn ablation_acquisition(quick: bool) -> Result<(), BenchError> {
     let protocol = table1_protocol(quick);
     println!("# Experiment E5 — acquisition-function ablation on the op-amp problem\n");
-    let rows = run_ablation_acquisition(&protocol);
+    let rows = run_ablation_acquisition(&protocol)?;
     print_ablation(
         &rows,
         "GAIN (dB), higher is better (reported as -objective)",
     );
+    Ok(())
 }
 
 fn print_ablation(rows: &[nnbo_bench::AblationRow], note: &str) {

@@ -46,6 +46,8 @@ use nnbo_gp::{GpConfig, GpHyperParams, GpModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::BenchError;
+
 /// One measured comparison of the fit path, with the NLL both strategies
 /// reached (summed over outputs for the multi-output workloads).
 #[derive(Debug, Clone)]
@@ -107,20 +109,20 @@ pub fn fit_dataset(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Vec<f
 
 /// Times `f`, returning `(best_ns, last_result)` over `reps` repetitions.
 fn time_best<T, F: FnMut() -> T>(reps: usize, mut f: F) -> (f64, T) {
-    let mut best = f64::INFINITY;
-    let mut out = None;
-    for _ in 0..reps.max(1) {
+    let start = Instant::now();
+    let mut out = f();
+    let mut best = start.elapsed().as_nanos() as f64;
+    for _ in 1..reps.max(1) {
         let start = Instant::now();
-        let r = f();
+        out = f();
         best = best.min(start.elapsed().as_nanos() as f64);
-        out = Some(r);
     }
-    (best, out.expect("at least one repetition"))
+    (best, out)
 }
 
 /// Runs the fit-path comparison suite.  `quick` shrinks the training-set size
 /// and optimizer effort so CI can smoke-test the harness in seconds.
-pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
+pub fn run_fit_bench(quick: bool) -> Result<Vec<FitBenchEntry>, BenchError> {
     let n = if quick { 64 } else { 256 };
     let dim = 10;
     let config = if quick {
@@ -142,11 +144,12 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
     // 1. Cold fit: reference implementation vs shared-context pipeline.
     let (ref_ns, ref_model) = time_best(reps, || {
         GpModel::fit_reference(&xs_base, objective, &config, &mut StdRng::seed_from_u64(5))
-            .expect("reference fit")
     });
+    let ref_model = ref_model?;
     let (cold_ns, cold_model) = time_best(reps, || {
-        GpModel::fit(&xs_base, objective, &config, &mut StdRng::seed_from_u64(5)).expect("cold fit")
+        GpModel::fit(&xs_base, objective, &config, &mut StdRng::seed_from_u64(5))
     });
+    let cold_model = cold_model?;
     entries.push(FitBenchEntry {
         name: "gp_fit_cold",
         n,
@@ -163,8 +166,8 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
     let objective_ext = &targets[0];
     let (refit_cold_ns, refit_cold) = time_best(reps, || {
         GpModel::fit(&xs, objective_ext, &config, &mut StdRng::seed_from_u64(6))
-            .expect("cold refit")
     });
+    let refit_cold = refit_cold?;
     let warm_hyper = cold_model.hyper_params().clone();
     let (refit_warm_ns, refit_warm) = time_best(reps, || {
         GpModel::fit_warm(
@@ -174,8 +177,8 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
             &mut StdRng::seed_from_u64(6),
             Some(&warm_hyper),
         )
-        .expect("warm refit")
     });
+    let refit_warm = refit_warm?;
     entries.push(FitBenchEntry {
         name: "gp_refit_warm",
         n: n + 1,
@@ -198,10 +201,10 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
             .map(|ys| {
                 let seed: u64 = fit_rng.gen();
                 GpModel::fit(&xs_base, ys, &config, &mut StdRng::seed_from_u64(seed))
-                    .expect("sequential cold fit")
             })
-            .collect::<Vec<_>>()
+            .collect::<Result<Vec<_>, _>>()
     });
+    let seq_cold = seq_cold?;
     let (multi_cold_ns, multi_cold) = time_best(multi_reps, || {
         GpModel::fit_multi(
             &xs_base,
@@ -209,8 +212,8 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
             &config,
             &mut StdRng::seed_from_u64(7),
         )
-        .expect("fit_multi")
     });
+    let multi_cold = multi_cold?;
     entries.push(FitBenchEntry {
         name: "gp_fit_multi_cold",
         n,
@@ -229,9 +232,10 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
         let mut fit_rng = StdRng::seed_from_u64(8);
         targets
             .iter()
-            .map(|ys| GpModel::fit(&xs, ys, &config, &mut fit_rng).expect("sequential cold refit"))
-            .collect::<Vec<_>>()
+            .map(|ys| GpModel::fit(&xs, ys, &config, &mut fit_rng))
+            .collect::<Result<Vec<_>, _>>()
     });
+    let refresh_cold = refresh_cold?;
     let warm_hypers: Vec<Option<GpHyperParams>> = multi_cold
         .iter()
         .map(|m| Some(m.hyper_params().clone()))
@@ -244,8 +248,8 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
             &mut StdRng::seed_from_u64(8),
             &warm_hypers,
         )
-        .expect("fit_multi_warm")
     });
+    let refresh_warm = refresh_warm?;
     entries.push(FitBenchEntry {
         name: "gp_fit_multi_warm",
         n: n + 1,
@@ -282,8 +286,8 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
                 &mut scratch,
                 InverseStrategy::DenseSweeps,
             )
-            .expect("finite NLL")
         });
+        let dense_nll = dense_nll.ok_or("dense-sweep NLL evaluation failed")?;
         let (sym_ns, sym_nll) = time_best(grad_reps, || {
             nll_and_grad_with(
                 &ctx,
@@ -293,8 +297,8 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
                 &mut scratch,
                 InverseStrategy::Symmetric,
             )
-            .expect("finite NLL")
         });
+        let sym_nll = sym_nll.ok_or("symmetric-inverse NLL evaluation failed")?;
         entries.push(FitBenchEntry {
             name: "symmetric_inverse",
             n,
@@ -329,12 +333,11 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
         &nys_base,
         &ngp_config,
         &mut StdRng::seed_from_u64(17),
-    )
-    .expect("previous neural-GP fit");
+    )?;
     let (ngp_cold_ns, ngp_cold) = time_best(reps, || {
         NeuralGp::fit(&nxs, nys, &ngp_config, &mut StdRng::seed_from_u64(18))
-            .expect("cold neural-GP refit")
     });
+    let ngp_cold = ngp_cold?;
     let (ngp_warm_ns, ngp_warm) = time_best(reps, || {
         NeuralGp::fit_warm(
             &nxs,
@@ -343,8 +346,8 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
             &mut StdRng::seed_from_u64(18),
             Some(&prev_single),
         )
-        .expect("warm neural-GP refit")
     });
+    let ngp_warm = ngp_warm?;
     entries.push(FitBenchEntry {
         name: "ngp_refit_warm",
         n: ngp_n + 1,
@@ -369,12 +372,11 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
         &nys_base,
         &ens_config,
         &mut StdRng::seed_from_u64(19),
-    )
-    .expect("previous ensemble fit");
+    )?;
     let (ens_cold_ns, ens_cold) = time_best(reps, || {
         NeuralGpEnsemble::fit(&nxs, nys, &ens_config, &mut StdRng::seed_from_u64(20))
-            .expect("cold ensemble refit")
     });
+    let ens_cold = ens_cold?;
     let (ens_warm_ns, ens_warm) = time_best(reps, || {
         NeuralGpEnsemble::fit_warm(
             &nxs,
@@ -383,8 +385,8 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
             &mut StdRng::seed_from_u64(20),
             Some(&prev_ens),
         )
-        .expect("warm ensemble refit")
     });
+    let ens_warm = ens_warm?;
     entries.push(FitBenchEntry {
         name: "ngp_ensemble_refit_warm",
         n: ngp_n + 1,
@@ -417,6 +419,7 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
             41,
         )
     });
+    let fixed = fixed?;
     // Per-point NLL moves more per appended observation at smoke scale, so
     // the quick threshold is proportionally looser; the full-run threshold
     // keeps the final NLL within a fraction of a percent of always-refit.
@@ -428,6 +431,7 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
     let (drift_ns, drift) = time_best(1, || {
         run_refit_lifecycle(&life_xs, life_ys, &config, drift_policy, life_start, 41)
     });
+    let drift = drift?;
     entries.push(FitBenchEntry {
         name: "refit_policy_nll_drift",
         n: life_end,
@@ -439,7 +443,7 @@ pub fn run_fit_bench(quick: bool) -> Vec<FitBenchEntry> {
         refits: Some((fixed.full_refits, drift.full_refits)),
     });
 
-    entries
+    Ok(entries)
 }
 
 /// End state of one surrogate-lifecycle run ([`run_refit_lifecycle`]).
@@ -459,9 +463,13 @@ pub struct LifecycleOutcome {
 /// fit context, warm-started hyper-parameters) when the policy says so.
 /// Shared by `reproduce fit` and the surrogate-lifecycle test harness.
 ///
+/// # Errors
+///
+/// Propagates the first failed fit.
+///
 /// # Panics
 ///
-/// Panics if `initial` is zero, exceeds `xs.len()`, or a fit fails.
+/// Panics if `initial` is zero or exceeds `xs.len()`.
 pub fn run_refit_lifecycle(
     xs: &[Vec<f64>],
     ys: &[f64],
@@ -469,7 +477,7 @@ pub fn run_refit_lifecycle(
     policy: RefitPolicy,
     initial: usize,
     seed: u64,
-) -> LifecycleOutcome {
+) -> Result<LifecycleOutcome, BenchError> {
     assert!(initial > 0 && initial <= xs.len(), "bad initial size");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut cache = None;
@@ -477,11 +485,19 @@ pub fn run_refit_lifecycle(
                     warm: Option<GpHyperParams>,
                     rng: &mut StdRng,
                     cache: &mut Option<nnbo_gp::FitContext>| {
-        GpModel::fit_multi_warm_cached(&xs[..n], &[ys[..n].to_vec()], config, rng, &[warm], cache)
-            .expect("lifecycle fit")
-            .remove(0)
+        Ok::<GpModel, BenchError>(
+            GpModel::fit_multi_warm_cached(
+                &xs[..n],
+                &[ys[..n].to_vec()],
+                config,
+                rng,
+                &[warm],
+                cache,
+            )?
+            .remove(0),
+        )
     };
-    let mut model = full_fit(initial, None, &mut rng, &mut cache);
+    let mut model = full_fit(initial, None, &mut rng, &mut cache)?;
     let mut full_refits = 0usize;
     let mut last_full_fit = initial;
     let mut fit_nll_per_point = model.nll() / initial as f64;
@@ -508,16 +524,16 @@ pub fn run_refit_lifecycle(
         }
         if needs_full {
             let warm = Some(model.hyper_params().clone());
-            model = full_fit(n, warm, &mut rng, &mut cache);
+            model = full_fit(n, warm, &mut rng, &mut cache)?;
             full_refits += 1;
             last_full_fit = n;
             fit_nll_per_point = model.nll() / n as f64;
         }
     }
-    LifecycleOutcome {
+    Ok(LifecycleOutcome {
         final_nll: model.nll(),
         full_refits,
-    }
+    })
 }
 
 /// Serialises the entries as the `BENCH_fit.json` document (JSON written by
@@ -591,7 +607,7 @@ mod tests {
         let _guard = crate::TEST_DISPATCH_LOCK
             .lock()
             .unwrap_or_else(|p| p.into_inner());
-        let entries = run_fit_bench(true);
+        let entries = run_fit_bench(true).expect("quick fit bench runs");
         let names: Vec<&str> = entries.iter().map(|e| e.name).collect();
         for expected in [
             "gp_fit_cold",

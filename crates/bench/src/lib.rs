@@ -17,6 +17,12 @@
 #[cfg(test)]
 pub(crate) static TEST_DISPATCH_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
+/// Boxed error used by every fallible harness entry point: surrogate fits,
+/// BO runs and service orchestration all propagate up to the `reproduce`
+/// binary, which reports the failure and exits nonzero instead of panicking
+/// mid-experiment.
+pub type BenchError = Box<dyn std::error::Error + Send + Sync>;
+
 mod fit_bench;
 mod json;
 mod linalg_bench;
@@ -24,6 +30,7 @@ mod predict_bench;
 mod protocol;
 mod robustness_bench;
 mod scaling;
+mod serve_bench;
 mod tables;
 
 pub use fit_bench::{
@@ -39,6 +46,7 @@ pub use robustness_bench::{
     format_robustness_json, format_robustness_table, run_robustness_bench, RobustnessReport,
 };
 pub use scaling::{format_scaling_json, run_scaling, ScalingPoint};
+pub use serve_bench::{format_serve_json, format_serve_table, run_serve_bench, ServeBenchReport};
 pub use tables::{
     format_table1, format_table1_json, format_table2, format_table2_json, run_ablation_acquisition,
     run_ablation_ensemble, run_algorithm, run_table1, run_table2, AblationRow, Table1Row,

@@ -26,6 +26,8 @@ use nnbo_linalg::{Cholesky, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::BenchError;
+
 /// One measured comparison: the reference path vs the optimized path on the
 /// same workload.
 #[derive(Debug, Clone)]
@@ -61,6 +63,22 @@ pub(crate) fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     best
 }
 
+/// [`time_best`] for fallible workloads: the first error aborts the
+/// measurement and propagates to the `reproduce` binary instead of
+/// panicking mid-benchmark.
+fn try_time_best<F: FnMut() -> Result<(), BenchError>>(
+    reps: usize,
+    mut f: F,
+) -> Result<f64, BenchError> {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f()?;
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    Ok(best)
+}
+
 fn random_matrix(n: usize, m: usize, rng: &mut StdRng) -> Matrix {
     let data: Vec<f64> = (0..n * m).map(|_| rng.gen_range(-1.0..1.0)).collect();
     Matrix::from_vec(n, m, data)
@@ -91,7 +109,7 @@ fn dataset(n: usize, dim: usize, rng: &mut StdRng) -> (Vec<Vec<f64>>, Vec<f64>) 
 
 /// Runs the full comparison suite.  `quick` shrinks the sizes and repetition
 /// counts so CI can smoke-test the harness in seconds.
-pub fn run_linalg_bench(quick: bool) -> Vec<LinalgBenchEntry> {
+pub fn run_linalg_bench(quick: bool) -> Result<Vec<LinalgBenchEntry>, BenchError> {
     let mut rng = StdRng::seed_from_u64(97);
     let mut entries = Vec::new();
     let matmul_sizes: &[usize] = if quick { &[64, 128] } else { &[64, 256, 1024] };
@@ -124,12 +142,14 @@ pub fn run_linalg_bench(quick: bool) -> Vec<LinalgBenchEntry> {
         entries.push(LinalgBenchEntry {
             name: "cholesky",
             n,
-            baseline_ns: time_best(reps(n), || {
-                std::hint::black_box(Cholesky::decompose_reference(&spd).expect("SPD"));
-            }),
-            optimized_ns: time_best(reps(n), || {
-                std::hint::black_box(Cholesky::decompose(&spd).expect("SPD"));
-            }),
+            baseline_ns: try_time_best(reps(n), || {
+                std::hint::black_box(Cholesky::decompose_reference(&spd)?);
+                Ok(())
+            })?,
+            optimized_ns: try_time_best(reps(n), || {
+                std::hint::black_box(Cholesky::decompose(&spd)?);
+                Ok(())
+            })?,
         });
     }
 
@@ -147,7 +167,7 @@ pub fn run_linalg_bench(quick: bool) -> Vec<LinalgBenchEntry> {
             std::hint::black_box(a.transpose_matmul_self());
         });
         let spd = random_spd(n, &mut rng);
-        let chol = Cholesky::decompose(&spd).expect("SPD");
+        let chol = Cholesky::decompose(&spd)?;
         let mut inv = nnbo_linalg::Matrix::zeros(n, n);
         let mut work = nnbo_linalg::Matrix::zeros(n, n);
         let portable_syminv = time_best(reps(n), || {
@@ -208,7 +228,7 @@ pub fn run_linalg_bench(quick: bool) -> Vec<LinalgBenchEntry> {
         }
     }
     let border: Vec<f64> = (0..=append_n).map(|j| spd[(append_n, j)]).collect();
-    let base = Cholesky::decompose(&small).expect("SPD");
+    let base = Cholesky::decompose(&small)?;
     // The update mutates, so each repetition needs a fresh factor; clone
     // outside the timed window so only `append_row` itself is measured.
     let append_reps = if quick { 3 } else { 5 };
@@ -216,16 +236,17 @@ pub fn run_linalg_bench(quick: bool) -> Vec<LinalgBenchEntry> {
     for _ in 0..append_reps {
         let mut c = base.clone();
         let start = Instant::now();
-        c.append_row(&border).expect("SPD border");
+        c.append_row(&border)?;
         append_best = append_best.min(start.elapsed().as_nanos() as f64);
         std::hint::black_box(c);
     }
     entries.push(LinalgBenchEntry {
         name: "cholesky_append",
         n: append_n,
-        baseline_ns: time_best(append_reps, || {
-            std::hint::black_box(Cholesky::decompose(&spd).expect("SPD"));
-        }),
+        baseline_ns: try_time_best(append_reps, || {
+            std::hint::black_box(Cholesky::decompose(&spd)?);
+            Ok(())
+        })?,
         optimized_ns: append_best,
     });
 
@@ -243,7 +264,7 @@ pub fn run_linalg_bench(quick: bool) -> Vec<LinalgBenchEntry> {
         ..GpConfig::default()
     };
     let mut fit_rng = StdRng::seed_from_u64(3);
-    let gp = GpModel::fit(&xs, &ys, &gp_config, &mut fit_rng).expect("gp fit");
+    let gp = GpModel::fit(&xs, &ys, &gp_config, &mut fit_rng)?;
     entries.push(LinalgBenchEntry {
         name: "gp_predict_batch",
         n: train_n,
@@ -263,7 +284,7 @@ pub fn run_linalg_bench(quick: bool) -> Vec<LinalgBenchEntry> {
         ..NeuralGpConfig::default()
     };
     let mut fit_rng = StdRng::seed_from_u64(4);
-    let neural = NeuralGp::fit(&xs, &ys, &nn_config, &mut fit_rng).expect("neural gp fit");
+    let neural = NeuralGp::fit(&xs, &ys, &nn_config, &mut fit_rng)?;
     entries.push(LinalgBenchEntry {
         name: "neural_predict_batch",
         n: train_n,
@@ -277,7 +298,7 @@ pub fn run_linalg_bench(quick: bool) -> Vec<LinalgBenchEntry> {
         }),
     });
 
-    entries
+    Ok(entries)
 }
 
 /// Serialises the entries as the `BENCH_linalg.json` document (JSON written by
@@ -327,7 +348,7 @@ mod tests {
         let _guard = crate::TEST_DISPATCH_LOCK
             .lock()
             .unwrap_or_else(|p| p.into_inner());
-        let entries = run_linalg_bench(true);
+        let entries = run_linalg_bench(true).expect("quick linalg bench runs");
         let names: Vec<&str> = entries.iter().map(|e| e.name).collect();
         for expected in [
             "matmul",

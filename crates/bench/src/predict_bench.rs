@@ -27,6 +27,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::linalg_bench::{time_best, LinalgBenchEntry};
+use crate::BenchError;
 
 fn dataset(n: usize, dim: usize, rng: &mut StdRng) -> (Vec<Vec<f64>>, Vec<f64>) {
     let xs: Vec<Vec<f64>> = (0..n)
@@ -46,7 +47,7 @@ fn dataset(n: usize, dim: usize, rng: &mut StdRng) -> (Vec<Vec<f64>>, Vec<f64>) 
 
 /// Runs the prediction-path comparison suite.  `quick` shrinks sizes and
 /// repetition counts so CI can smoke-test the harness in seconds.
-pub fn run_predict_bench(quick: bool) -> Vec<LinalgBenchEntry> {
+pub fn run_predict_bench(quick: bool) -> Result<Vec<LinalgBenchEntry>, BenchError> {
     let train_n = if quick { 64 } else { 256 };
     let batch = if quick { 128 } else { 512 };
     let dim = 10;
@@ -91,7 +92,7 @@ pub fn run_predict_bench(quick: bool) -> Vec<LinalgBenchEntry> {
         max_iters: 10,
         ..GpConfig::default()
     };
-    let gp = GpModel::fit(&xs, &ys, &gp_config, &mut StdRng::seed_from_u64(3)).expect("gp fit");
+    let gp = GpModel::fit(&xs, &ys, &gp_config, &mut StdRng::seed_from_u64(3))?;
     nnbo_linalg::force_portable_kernels(true);
     let portable_gp = time_best(reps, || {
         std::hint::black_box(gp.predict_batch(&queries));
@@ -127,8 +128,7 @@ pub fn run_predict_bench(quick: bool) -> Vec<LinalgBenchEntry> {
         epochs: 40,
         ..NeuralGpConfig::default()
     };
-    let neural =
-        NeuralGp::fit(&xs, &ys, &nn_config, &mut StdRng::seed_from_u64(4)).expect("neural gp fit");
+    let neural = NeuralGp::fit(&xs, &ys, &nn_config, &mut StdRng::seed_from_u64(4))?;
     nnbo_linalg::force_portable_kernels(true);
     let portable_ngp = time_best(reps, || {
         std::hint::black_box(neural.predict_batch(&queries));
@@ -144,7 +144,7 @@ pub fn run_predict_bench(quick: bool) -> Vec<LinalgBenchEntry> {
         optimized_ns: packed_ngp,
     });
 
-    entries
+    Ok(entries)
 }
 
 /// Serialises the entries as the `BENCH_predict.json` document.
@@ -193,7 +193,7 @@ mod tests {
         let _guard = crate::TEST_DISPATCH_LOCK
             .lock()
             .unwrap_or_else(|p| p.into_inner());
-        let entries = run_predict_bench(true);
+        let entries = run_predict_bench(true).expect("quick predict bench runs");
         let names: Vec<&str> = entries.iter().map(|e| e.name).collect();
         for expected in [
             "gp_cross_kernel",

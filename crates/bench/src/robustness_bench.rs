@@ -25,6 +25,7 @@ use nnbo_core::{
 };
 
 use crate::json;
+use crate::BenchError;
 
 /// Everything `BENCH_robustness.json` reports.
 #[derive(Debug, Clone)]
@@ -102,14 +103,16 @@ fn driver(config: BoConfig, quick: bool) -> BayesOpt<nnbo_core::NeuralGpEnsemble
 /// Median-of-3 wall time of `f` in milliseconds.
 fn time_ms<T>(mut f: impl FnMut() -> T) -> (f64, T) {
     let mut times = Vec::with_capacity(3);
-    let mut last = None;
-    for _ in 0..3 {
+    let start = Instant::now();
+    let mut last = f();
+    times.push(start.elapsed().as_secs_f64() * 1e3);
+    for _ in 1..3 {
         let start = Instant::now();
-        last = Some(f());
+        last = f();
         times.push(start.elapsed().as_secs_f64() * 1e3);
     }
     times.sort_by(f64::total_cmp);
-    (times[1], last.unwrap())
+    (times[1], last)
 }
 
 /// Per-call cost (nanoseconds) of `f` over `iters` calls.
@@ -122,12 +125,13 @@ fn per_call_ns(iters: usize, mut f: impl FnMut(usize)) -> f64 {
 }
 
 /// Runs the three sections and assembles the report.
-pub fn run_robustness_bench(quick: bool) -> RobustnessReport {
+pub fn run_robustness_bench(quick: bool) -> Result<RobustnessReport, BenchError> {
     let config = bench_config(quick);
 
     // --- clean section ----------------------------------------------------
     let problem = ConstrainedBranin::new();
-    let (clean_run_ms, clean) = time_ms(|| driver(config.clone(), quick).run(&problem).unwrap());
+    let (clean_run_ms, clean) = time_ms(|| driver(config.clone(), quick).run(&problem));
+    let clean = clean?;
     let clean_total_events = clean.recovery().total_events();
 
     // The failure-aware wrapper's cost per evaluation, measured against the
@@ -157,8 +161,9 @@ pub fn run_robustness_bench(quick: bool) -> RobustnessReport {
     };
     let (faulted_run_ms, faulted) = time_ms(|| {
         faulted_problem.calls.store(0, Ordering::SeqCst);
-        driver(config.clone(), quick).run(&faulted_problem).unwrap()
+        driver(config.clone(), quick).run(&faulted_problem)
     });
+    let faulted = faulted?;
     let faulted_recovery = faulted.recovery().clone();
     let faulted_best_is_real = faulted
         .best_index()
@@ -166,21 +171,21 @@ pub fn run_robustness_bench(quick: bool) -> RobustnessReport {
 
     // --- snapshot section -------------------------------------------------
     let bo = driver(config.clone(), quick);
-    let reference = bo.run(&problem).unwrap();
-    let mut state = bo.start(&problem).unwrap();
+    let reference = bo.run(&problem)?;
+    let mut state = bo.start(&problem)?;
     for _ in 0..3 {
-        bo.step(&problem, &mut state).unwrap();
+        bo.step(&problem, &mut state)?;
     }
     let start = Instant::now();
-    let snap = BoSnapshot::from_json(&bo.snapshot(&state).to_json()).unwrap();
-    let mut resumed = bo.resume(&snap).unwrap();
+    let snap = BoSnapshot::from_json(&bo.snapshot(&state).to_json())?;
+    let mut resumed = bo.resume(&snap)?;
     let snapshot_roundtrip_ms = start.elapsed().as_secs_f64() * 1e3;
-    while bo.step(&problem, &mut resumed).unwrap() {}
+    while bo.step(&problem, &mut resumed)? {}
     let continued = bo.finish(resumed);
     let snapshot_bit_identical = continued.evaluations() == reference.evaluations()
         && continued.full_refits() == reference.full_refits();
 
-    RobustnessReport {
+    Ok(RobustnessReport {
         clean_run_ms,
         clean_total_events,
         clean_path_overhead_pct,
@@ -189,7 +194,7 @@ pub fn run_robustness_bench(quick: bool) -> RobustnessReport {
         faulted_best_is_real,
         snapshot_roundtrip_ms,
         snapshot_bit_identical,
-    }
+    })
 }
 
 /// Human-readable summary of the report.
@@ -266,8 +271,10 @@ mod tests {
 
     #[test]
     fn quick_report_is_consistent_and_serialises() {
-        let _guard = crate::TEST_DISPATCH_LOCK.lock().unwrap();
-        let r = run_robustness_bench(true);
+        let _guard = crate::TEST_DISPATCH_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let r = run_robustness_bench(true).expect("quick robustness bench runs");
         assert_eq!(r.clean_total_events, 0, "clean run must be clean");
         assert!(r.clean_path_overhead_pct.is_finite());
         assert!(

@@ -8,6 +8,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::BenchError;
+
 /// Timing of both surrogates at one training-set size.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ScalingPoint {
@@ -26,7 +28,7 @@ pub struct ScalingPoint {
 /// Runs the scaling study of §III.D of the paper: fit and prediction cost of the
 /// classical GP (`O(N³)` / `O(N²)`) versus the neural GP (`O(N)` / `O(1)`) over a
 /// sweep of training-set sizes on a synthetic 10-dimensional problem.
-pub fn run_scaling(sizes: &[usize], epochs: usize) -> Vec<ScalingPoint> {
+pub fn run_scaling(sizes: &[usize], epochs: usize) -> Result<Vec<ScalingPoint>, BenchError> {
     let dim = 10;
     let mut rng = StdRng::seed_from_u64(99);
     let mut out = Vec::with_capacity(sizes.len());
@@ -55,7 +57,7 @@ pub fn run_scaling(sizes: &[usize], epochs: usize) -> Vec<ScalingPoint> {
             ..GpConfig::default()
         };
         let t0 = Instant::now();
-        let gp = GpModel::fit(&xs, &ys, &gp_config, &mut rng).expect("GP fit");
+        let gp = GpModel::fit(&xs, &ys, &gp_config, &mut rng)?;
         let gp_fit_ms = t0.elapsed().as_secs_f64() * 1e3;
         let t0 = Instant::now();
         for q in &queries {
@@ -69,7 +71,7 @@ pub fn run_scaling(sizes: &[usize], epochs: usize) -> Vec<ScalingPoint> {
             ..NeuralGpConfig::default()
         };
         let t0 = Instant::now();
-        let nngp = NeuralGp::fit(&xs, &ys, &nn_config, &mut rng).expect("neural GP fit");
+        let nngp = NeuralGp::fit(&xs, &ys, &nn_config, &mut rng)?;
         let neural_fit_ms = t0.elapsed().as_secs_f64() * 1e3;
         let t0 = Instant::now();
         for q in &queries {
@@ -85,7 +87,7 @@ pub fn run_scaling(sizes: &[usize], epochs: usize) -> Vec<ScalingPoint> {
             neural_predict_us,
         });
     }
-    out
+    Ok(out)
 }
 
 /// Serialises the scaling points as the `BENCH_scaling.json` document so the
@@ -132,7 +134,7 @@ mod tests {
         let _guard = crate::TEST_DISPATCH_LOCK
             .lock()
             .unwrap_or_else(|p| p.into_inner());
-        let points = run_scaling(&[20, 40], 20);
+        let points = run_scaling(&[20, 40], 20).expect("scaling study runs");
         assert_eq!(points.len(), 2);
         for p in &points {
             assert!(p.gp_fit_ms > 0.0);

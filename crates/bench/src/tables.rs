@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::json::number as json_number;
 use crate::protocol::{Algorithm, Protocol};
+use crate::BenchError;
 
 /// One row of the reproduced Table I (two-stage op-amp).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -77,17 +78,14 @@ pub fn run_algorithm(
     problem: &dyn Problem,
     protocol: &Protocol,
     run: usize,
-) -> OptimizationResult {
+) -> Result<OptimizationResult, BenchError> {
     let seed = protocol.seed + run as u64;
-    match algorithm {
+    Ok(match algorithm {
         Algorithm::NeuralBo => {
             BayesOpt::neural_with(protocol.bo_config(run), protocol.ensemble_config())
-                .run(problem)
-                .expect("neural BO run failed")
+                .run(problem)?
         }
-        Algorithm::Weibo => weibo(protocol.bo_config(run))
-            .run(problem)
-            .expect("WEIBO run failed"),
+        Algorithm::Weibo => weibo(protocol.bo_config(run)).run(problem)?,
         Algorithm::Gaspad => {
             let population = protocol.initial_samples.max(10);
             Gaspad::new(GaspadConfig::new(population, protocol.max_sims_gaspad).with_seed(seed))
@@ -100,7 +98,7 @@ pub fn run_algorithm(
             )
             .run(problem)
         }
-    }
+    })
 }
 
 fn summaries_for(
@@ -108,23 +106,23 @@ fn summaries_for(
     problem: &dyn Problem,
     protocol: &Protocol,
     tolerance: f64,
-) -> (Vec<RunSummary>, Vec<OptimizationResult>) {
+) -> Result<(Vec<RunSummary>, Vec<OptimizationResult>), BenchError> {
     let mut summaries = Vec::with_capacity(protocol.runs);
     let mut results = Vec::with_capacity(protocol.runs);
     for run in 0..protocol.runs {
-        let result = run_algorithm(algorithm, problem, protocol, run);
+        let result = run_algorithm(algorithm, problem, protocol, run)?;
         summaries.push(RunSummary::from_result(&result, tolerance));
         results.push(result);
     }
-    (summaries, results)
+    Ok((summaries, results))
 }
 
 /// Reproduces Table I: the two-stage op-amp sizing comparison.
-pub fn run_table1(protocol: &Protocol) -> Vec<Table1Row> {
+pub fn run_table1(protocol: &Protocol) -> Result<Vec<Table1Row>, BenchError> {
     let problem = OpAmpProblem::new();
     let mut rows = Vec::new();
     for algorithm in Algorithm::all() {
-        let (summaries, _) = summaries_for(algorithm, &problem, protocol, 0.5);
+        let (summaries, _) = summaries_for(algorithm, &problem, protocol, 0.5)?;
         let stats = RunStatistics::from_summaries(&summaries);
         // Circuit performances of each run's best design, for the UGF/PM rows.
         let mut ugf = Vec::new();
@@ -166,15 +164,15 @@ pub fn run_table1(protocol: &Protocol) -> Vec<Table1Row> {
             success,
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// Reproduces Table II: the charge-pump sizing comparison over 18 PVT corners.
-pub fn run_table2(protocol: &Protocol) -> Vec<Table2Row> {
+pub fn run_table2(protocol: &Protocol) -> Result<Vec<Table2Row>, BenchError> {
     let problem = ChargePumpProblem::new();
     let mut rows = Vec::new();
     for algorithm in Algorithm::all() {
-        let (summaries, _) = summaries_for(algorithm, &problem, protocol, 0.05);
+        let (summaries, _) = summaries_for(algorithm, &problem, protocol, 0.05)?;
         let stats = RunStatistics::from_summaries(&summaries);
         let mut diff = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
         let mut deviation = Vec::new();
@@ -221,36 +219,36 @@ pub fn run_table2(protocol: &Protocol) -> Vec<Table2Row> {
             success,
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// Ablation E4: optimization quality versus ensemble size `K` on the op-amp problem.
-pub fn run_ablation_ensemble(protocol: &Protocol, members: &[usize]) -> Vec<AblationRow> {
+pub fn run_ablation_ensemble(
+    protocol: &Protocol,
+    members: &[usize],
+) -> Result<Vec<AblationRow>, BenchError> {
     let problem = OpAmpProblem::new();
-    members
-        .iter()
-        .map(|&k| {
-            let mut summaries = Vec::with_capacity(protocol.runs);
-            for run in 0..protocol.runs {
-                let ensemble = EnsembleConfig {
-                    members: k,
-                    ..protocol.ensemble_config()
-                };
-                let result = BayesOpt::neural_with(protocol.bo_config(run), ensemble)
-                    .run(&problem)
-                    .expect("ablation run failed");
-                summaries.push(RunSummary::from_result(&result, 0.5));
-            }
-            AblationRow {
-                setting: format!("K = {k}"),
-                stats: RunStatistics::from_summaries(&summaries),
-            }
-        })
-        .collect()
+    let mut rows = Vec::with_capacity(members.len());
+    for &k in members {
+        let mut summaries = Vec::with_capacity(protocol.runs);
+        for run in 0..protocol.runs {
+            let ensemble = EnsembleConfig {
+                members: k,
+                ..protocol.ensemble_config()
+            };
+            let result = BayesOpt::neural_with(protocol.bo_config(run), ensemble).run(&problem)?;
+            summaries.push(RunSummary::from_result(&result, 0.5));
+        }
+        rows.push(AblationRow {
+            setting: format!("K = {k}"),
+            stats: RunStatistics::from_summaries(&summaries),
+        });
+    }
+    Ok(rows)
 }
 
 /// Ablation E5: acquisition-function comparison on the op-amp problem.
-pub fn run_ablation_acquisition(protocol: &Protocol) -> Vec<AblationRow> {
+pub fn run_ablation_acquisition(protocol: &Protocol) -> Result<Vec<AblationRow>, BenchError> {
     let problem = OpAmpProblem::new();
     let kinds = [
         ("wEI", AcquisitionKind::WeightedExpectedImprovement),
@@ -258,23 +256,20 @@ pub fn run_ablation_acquisition(protocol: &Protocol) -> Vec<AblationRow> {
         ("LCB", AcquisitionKind::LowerConfidenceBound { kappa: 2.0 }),
         ("PI", AcquisitionKind::ProbabilityOfImprovement),
     ];
-    kinds
-        .iter()
-        .map(|(name, kind)| {
-            let mut summaries = Vec::with_capacity(protocol.runs);
-            for run in 0..protocol.runs {
-                let config = protocol.bo_config(run).with_acquisition(*kind);
-                let result = BayesOpt::neural_with(config, protocol.ensemble_config())
-                    .run(&problem)
-                    .expect("ablation run failed");
-                summaries.push(RunSummary::from_result(&result, 0.5));
-            }
-            AblationRow {
-                setting: (*name).to_string(),
-                stats: RunStatistics::from_summaries(&summaries),
-            }
-        })
-        .collect()
+    let mut rows = Vec::with_capacity(kinds.len());
+    for (name, kind) in &kinds {
+        let mut summaries = Vec::with_capacity(protocol.runs);
+        for run in 0..protocol.runs {
+            let config = protocol.bo_config(run).with_acquisition(*kind);
+            let result = BayesOpt::neural_with(config, protocol.ensemble_config()).run(&problem)?;
+            summaries.push(RunSummary::from_result(&result, 0.5));
+        }
+        rows.push(AblationRow {
+            setting: (*name).to_string(),
+            stats: RunStatistics::from_summaries(&summaries),
+        });
+    }
+    Ok(rows)
 }
 
 /// Formats Table I in the layout of the paper.
@@ -418,7 +413,7 @@ mod tests {
         let protocol = tiny_protocol();
         let problem = OpAmpProblem::new();
         for algorithm in Algorithm::all() {
-            let result = run_algorithm(algorithm, &problem, &protocol, 0);
+            let result = run_algorithm(algorithm, &problem, &protocol, 0).expect("algorithm runs");
             assert!(result.num_evaluations() >= protocol.initial_samples);
         }
     }

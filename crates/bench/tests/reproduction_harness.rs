@@ -24,7 +24,7 @@ fn tiny(initial: usize, bo: usize, gaspad: usize, de: usize) -> Protocol {
 
 #[test]
 fn table1_rows_cover_all_four_algorithms() {
-    let rows = run_table1(&tiny(8, 12, 14, 40));
+    let rows = run_table1(&tiny(8, 12, 14, 40)).expect("table 1 runs");
     assert_eq!(rows.len(), 4);
     let names: Vec<_> = rows.iter().map(|r| r.algorithm.as_str()).collect();
     assert_eq!(names, vec!["Ours", "WEIBO", "GASPAD", "DE"]);
@@ -41,7 +41,7 @@ fn table1_rows_cover_all_four_algorithms() {
 
 #[test]
 fn table2_rows_report_constraint_metrics() {
-    let rows = run_table2(&tiny(10, 14, 16, 40));
+    let rows = run_table2(&tiny(10, 14, 16, 40)).expect("table 2 runs");
     assert_eq!(rows.len(), 4);
     for row in &rows {
         if !row.mean_fom.is_nan() {
@@ -55,7 +55,7 @@ fn table2_rows_report_constraint_metrics() {
 
 #[test]
 fn scaling_study_shows_gp_training_growing_faster_than_neural_gp() {
-    let points = run_scaling(&[40, 160], 20);
+    let points = run_scaling(&[40, 160], 20).expect("scaling study runs");
     assert_eq!(points.len(), 2);
     let gp_growth = points[1].gp_fit_ms / points[0].gp_fit_ms;
     let nn_growth = points[1].neural_fit_ms / points[0].neural_fit_ms;
@@ -68,7 +68,8 @@ fn scaling_study_shows_gp_training_growing_faster_than_neural_gp() {
 
 #[test]
 fn ensemble_ablation_produces_one_row_per_setting() {
-    let rows = run_ablation_ensemble(&tiny(8, 11, 12, 20), &[1, 2]);
+    let rows =
+        run_ablation_ensemble(&tiny(8, 11, 12, 20), &[1, 2]).expect("ensemble ablation runs");
     assert_eq!(rows.len(), 2);
     assert_eq!(rows[0].setting, "K = 1");
     assert!(rows.iter().any(|r| r.stats.is_some()));

@@ -172,8 +172,10 @@ fn drift_policy_saves_full_refits_at_matched_final_quality() {
         max_gap: 16,
     };
     let check = || {
-        let fixed = run_refit_lifecycle(&xs, ys, &config, RefitPolicy::Fixed(1), 24, 5);
-        let drift = run_refit_lifecycle(&xs, ys, &config, policy, 24, 5);
+        let fixed = run_refit_lifecycle(&xs, ys, &config, RefitPolicy::Fixed(1), 24, 5)
+            .expect("fixed-policy lifecycle runs");
+        let drift =
+            run_refit_lifecycle(&xs, ys, &config, policy, 24, 5).expect("drift lifecycle runs");
         assert_eq!(
             fixed.full_refits,
             xs.len() - 24,

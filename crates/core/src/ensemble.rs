@@ -240,9 +240,9 @@ fn train_members(
     jobs: &[MemberJob<'_>],
     config: &EnsembleConfig,
 ) -> Vec<Result<NeuralGp, String>> {
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let participants = nnbo_pool::WorkerPool::global().participants();
     let workers = if config.parallel {
-        cores.min(8).min(jobs.len())
+        participants.min(8).min(jobs.len())
     } else {
         1
     };
@@ -265,27 +265,33 @@ fn train_members_with_workers(
         return jobs.iter().map(fit_job).collect();
     }
     let band = jobs.len().div_ceil(workers);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .chunks(band)
-            .map(|band_jobs| scope.spawn(move || band_jobs.iter().map(fit_job).collect::<Vec<_>>()))
-            .collect();
-        handles
-            .into_iter()
-            .zip(jobs.chunks(band))
-            .flat_map(|(h, band_jobs)| {
-                h.join().unwrap_or_else(|payload| {
-                    // Surface the panic message itself so a CI failure names
-                    // the actual assertion instead of a generic placeholder.
+    let mut slots: Vec<Vec<Result<NeuralGp, String>>> = Vec::new();
+    slots.resize_with(jobs.len().div_ceil(band), Vec::new);
+    let fit_job = &fit_job;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = jobs
+        .chunks(band)
+        .zip(slots.iter_mut())
+        .map(|(band_jobs, slot)| {
+            Box::new(move || {
+                // A panicking member must not poison the whole batch: the
+                // payload is caught per band and surfaced as that band's
+                // training errors, naming the actual assertion so a CI
+                // failure is actionable instead of a generic placeholder.
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    band_jobs.iter().map(fit_job).collect::<Vec<_>>()
+                }));
+                *slot = caught.unwrap_or_else(|payload| {
                     let reason = panic_message(payload.as_ref());
                     band_jobs
                         .iter()
                         .map(|_| Err(format!("member thread panicked: {reason}")))
                         .collect()
-                })
-            })
-            .collect()
-    })
+                });
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    nnbo_pool::WorkerPool::global().run_batch(tasks);
+    slots.into_iter().flatten().collect()
 }
 
 /// Best-effort extraction of a thread panic payload's message (`panic!` with a
@@ -345,22 +351,24 @@ impl SurrogateModel for NeuralGpEnsemble {
         if xs.is_empty() {
             return Vec::new();
         }
-        let member_preds: Vec<Vec<Prediction>> =
-            if self.members.len() > 1 && xs.len() >= PARALLEL_PREDICT_MIN_BATCH {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = self
-                        .members
-                        .iter()
-                        .map(|m| scope.spawn(move || m.predict_batch(xs)))
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("member prediction panicked"))
-                        .collect()
+        let member_preds: Vec<Vec<Prediction>> = if self.members.len() > 1
+            && xs.len() >= PARALLEL_PREDICT_MIN_BATCH
+        {
+            let mut slots: Vec<Vec<Prediction>> = Vec::new();
+            slots.resize_with(self.members.len(), Vec::new);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
+                .members
+                .iter()
+                .zip(slots.iter_mut())
+                .map(|(m, slot)| {
+                    Box::new(move || *slot = m.predict_batch(xs)) as Box<dyn FnOnce() + Send + '_>
                 })
-            } else {
-                self.members.iter().map(|m| m.predict_batch(xs)).collect()
-            };
+                .collect();
+            nnbo_pool::WorkerPool::global().run_batch(tasks);
+            slots
+        } else {
+            self.members.iter().map(|m| m.predict_batch(xs)).collect()
+        };
 
         let k = self.members.len() as f64;
         let mut out = Vec::with_capacity(xs.len());

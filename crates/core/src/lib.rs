@@ -108,6 +108,22 @@
 //! uninterrupted one — including mid-drift-window, where the snapshot carries
 //! the incrementally updated surrogates and the NLL drift reference exactly.
 //!
+//! # Serving many sessions
+//!
+//! The checkpoint machinery is the persistence substrate of the workspace's
+//! serving layer, `nnbo-serve`: a supervised multi-session service that runs
+//! each optimization as `start`/`step`/`finish` on a process-wide bounded
+//! worker pool, persists every iteration's `BoSnapshot` JSON through a
+//! crash-safe atomic session store (write-then-rename with checksummed
+//! snapshots, so a `kill -9` loses at most the in-flight iteration), isolates
+//! per-session panics via quarantine instead of poisoning the process, and
+//! applies per-step deadlines plus admission control (bounded concurrent
+//! sessions with explicit backpressure and checkpoint-and-park shedding).
+//! Because resumption is bit-identical, a killed-and-restarted service
+//! replays the lost iterations and converges to exactly the run it would
+//! have produced uninterrupted — `reproduce serve` measures the throughput,
+//! supervision overhead and recovery cost of that stack.
+//!
 //! # Quick start
 //!
 //! ```

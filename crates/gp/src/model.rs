@@ -256,26 +256,28 @@ impl GpModel {
             .zip(seeds.iter().zip(warm.iter()))
             .map(|(ys, (&seed, prev))| (ys, seed, prev))
             .collect();
-        // One layer of core-capped parallelism: each scoped worker owns a
-        // contiguous band of outputs (and their FitScratch buffers), so the
-        // thread count and peak memory never exceed the hardware even for
-        // problems with many constraints.
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let workers = cores.min(8).min(jobs.len());
+        // One layer of core-capped parallelism on the shared worker pool:
+        // each batch task owns a contiguous band of outputs (and their
+        // FitScratch buffers), so the thread count and peak memory never
+        // exceed the hardware even for problems with many constraints.
+        let participants = nnbo_pool::WorkerPool::global().participants();
+        let workers = participants.min(8).min(jobs.len());
         let results: Vec<Result<Self, GpError>> = if workers > 1 {
             let band = jobs.len().div_ceil(workers);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = jobs
-                    .chunks(band)
-                    .map(|band_jobs| {
-                        scope.spawn(move || band_jobs.iter().map(fit_one).collect::<Vec<_>>())
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("fit thread panicked"))
-                    .collect()
-            })
+            let mut slots: Vec<Vec<Result<Self, GpError>>> = Vec::new();
+            slots.resize_with(jobs.len().div_ceil(band), Vec::new);
+            let fit_one = &fit_one;
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = jobs
+                .chunks(band)
+                .zip(slots.iter_mut())
+                .map(|(band_jobs, slot)| {
+                    Box::new(move || {
+                        *slot = band_jobs.iter().map(fit_one).collect();
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            nnbo_pool::WorkerPool::global().run_batch(tasks);
+            slots.into_iter().flatten().collect()
         } else {
             jobs.iter().map(fit_one).collect()
         };

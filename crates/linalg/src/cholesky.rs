@@ -524,8 +524,8 @@ impl Cholesky {
     }
 
     /// Runs one triangular sweep over all columns of `y` in place, fanning
-    /// wide right-hand sides out over contiguous column blocks on scoped
-    /// threads.  Each block is gathered into a dense thread-local buffer,
+    /// wide right-hand sides out over contiguous column blocks as a scoped
+    /// batch on the shared worker pool.  Each block is gathered into a dense thread-local buffer,
     /// swept, and scattered back; since every column's arithmetic is
     /// independent of the others, the result is bit-identical to the
     /// sequential sweep.
@@ -560,13 +560,16 @@ impl Cholesky {
             locals.push((c0, local));
             c0 += bc;
         }
-        std::thread::scope(|scope| {
-            for (_, local) in locals.iter_mut() {
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = locals
+            .iter_mut()
+            .map(|(_, local)| {
                 let cols = local.ncols();
                 let data = local.as_mut_slice();
-                scope.spawn(move || self.sweep_in_place(data, cols, sweep));
-            }
-        });
+                Box::new(move || self.sweep_in_place(data, cols, sweep))
+                    as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        nnbo_pool::WorkerPool::global().run_batch(tasks);
         for (c0, local) in &locals {
             for i in 0..n {
                 y.row_mut(i)[*c0..*c0 + local.ncols()].copy_from_slice(local.row(i));

@@ -21,7 +21,8 @@
 //!   accumulators for dot products) per iteration, breaking the floating-point
 //!   dependency chain so the CPU can keep several FMAs in flight.
 //! * **Threading** — large shapes split their *output rows* into contiguous
-//!   bands executed under `std::thread::scope` (see [`crate::parallel`]).
+//!   bands executed as a scoped batch on the shared `nnbo-pool` worker pool
+//!   (see [`crate::parallel`]).
 //!   Each output element is always computed by the same sequence of
 //!   operations, so results are identical no matter how many threads run.
 

@@ -251,42 +251,45 @@ pub(crate) fn syrk_lower(
     // on one thread.
     let panels = t.div_ceil(MR);
     let band_panels = panels.div_ceil(threads.max(1));
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        let mut row0 = 0;
-        let mut consumed = 0;
-        let mut p0 = 0;
-        while p0 < panels {
-            let pend = (p0 + band_panels).min(panels);
-            let rows_end = (pend * MR).min(t);
-            let take = rows_end * stride - consumed;
-            let (band, tail) = rest.split_at_mut(take);
-            rest = tail;
-            consumed += take;
-            let first_row = row0;
-            let packed_b = &packed_b;
-            let mut work = move || {
-                syrk_band(
-                    &p,
-                    packed_b,
-                    first_row,
-                    rows_end - first_row,
-                    t,
-                    band,
-                    stride,
-                    col0,
-                    subtract,
-                );
-            };
-            if threads > 1 {
-                scope.spawn(work);
-            } else {
-                work();
-            }
-            row0 = rows_end;
-            p0 = pend;
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+    let mut rest = out;
+    let mut row0 = 0;
+    let mut consumed = 0;
+    let mut p0 = 0;
+    while p0 < panels {
+        let pend = (p0 + band_panels).min(panels);
+        let rows_end = (pend * MR).min(t);
+        let take = rows_end * stride - consumed;
+        let (band, tail) = rest.split_at_mut(take);
+        rest = tail;
+        consumed += take;
+        let first_row = row0;
+        let packed_b = &packed_b;
+        let p = &p;
+        let mut work = move || {
+            syrk_band(
+                p,
+                packed_b,
+                first_row,
+                rows_end - first_row,
+                t,
+                band,
+                stride,
+                col0,
+                subtract,
+            );
+        };
+        if threads > 1 {
+            tasks.push(Box::new(work));
+        } else {
+            work();
         }
-    });
+        row0 = rows_end;
+        p0 = pend;
+    }
+    if !tasks.is_empty() {
+        nnbo_pool::WorkerPool::global().run_batch(tasks);
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

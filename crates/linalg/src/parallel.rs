@@ -1,34 +1,41 @@
-//! Scoped-thread work splitting for the blocked kernels.
+//! Work splitting for the blocked kernels, on the process-wide worker pool.
 //!
 //! The kernels in this crate parallelise by partitioning the *output* rows into
-//! contiguous bands and handing each band to one scoped thread (the same
-//! pattern `nnbo-core` uses for ensemble training).  Each band is a disjoint
+//! contiguous bands and submitting each band as one task of a scoped batch on
+//! [`nnbo_pool::WorkerPool::global`] (the same pool `nnbo-core` trains
+//! ensembles on and `nnbo-serve` multiplexes sessions over, so the process's
+//! thread count is bounded once, not per call site).  Each band is a disjoint
 //! `&mut [f64]` slice of the output buffer, so no synchronisation is needed,
 //! and because every band computes exactly what the sequential loop would, the
 //! results are bit-for-bit identical to a single-threaded run.
 
-/// Upper bound on worker threads (beyond this the kernels are memory-bound).
+/// Upper bound on band-level fan-out (beyond this the kernels are
+/// memory-bound).
 const MAX_THREADS: usize = 8;
 
-/// Number of threads to use for a kernel touching `rows` output rows with
-/// roughly `flops` floating-point operations in total.
+/// Number of parallel bands to use for a kernel touching `rows` output rows
+/// with roughly `flops` floating-point operations in total.
 ///
-/// Returns 1 (sequential) for small problems where thread spawn/join overhead
+/// Returns 1 (sequential) for small problems where batch-submission overhead
 /// would dominate.
 pub(crate) fn plan_threads(rows: usize, flops: usize) -> usize {
-    // Spawning a scoped thread costs on the order of tens of microseconds;
+    // Submitting a scoped batch costs on the order of microseconds per task;
     // only fan out once there are a few milliseconds of arithmetic to share.
     const MIN_FLOPS: usize = 4 << 20;
     const MIN_ROWS_PER_THREAD: usize = 8;
     if flops < MIN_FLOPS {
         return 1;
     }
-    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
-    hw.min(MAX_THREADS).min(rows / MIN_ROWS_PER_THREAD).max(1)
+    let participants = nnbo_pool::WorkerPool::global().participants();
+    participants
+        .min(MAX_THREADS)
+        .min(rows / MIN_ROWS_PER_THREAD)
+        .max(1)
 }
 
 /// Runs `body(first_row, band)` over contiguous row bands of `data`
-/// (`rows × cols`, row-major), on `threads` scoped threads.
+/// (`rows × cols`, row-major), as one scoped batch of `threads` tasks on the
+/// global worker pool.
 ///
 /// `body` must compute each row independently of the rest of `data`; every
 /// invocation sees the absolute index of its first row plus the mutable band
@@ -49,19 +56,19 @@ pub(crate) fn for_each_row_band<F>(
     }
     let threads = threads.min(rows);
     let band_rows = rows.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let body = &body;
-        let mut rest = data;
-        let mut first_row = 0;
-        while first_row < rows {
-            let take = band_rows.min(rows - first_row);
-            let (band, tail) = rest.split_at_mut(take * cols);
-            rest = tail;
-            let start = first_row;
-            scope.spawn(move || body(start, band));
-            first_row += take;
-        }
-    });
+    let body = &body;
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(threads);
+    let mut rest = data;
+    let mut first_row = 0;
+    while first_row < rows {
+        let take = band_rows.min(rows - first_row);
+        let (band, tail) = rest.split_at_mut(take * cols);
+        rest = tail;
+        let start = first_row;
+        tasks.push(Box::new(move || body(start, band)));
+        first_row += take;
+    }
+    nnbo_pool::WorkerPool::global().run_batch(tasks);
 }
 
 #[cfg(test)]

@@ -1,0 +1,71 @@
+//! `nnbo-serve` — a supervised, crash-safe, multi-session serving layer for
+//! the Bayesian-optimization loop of `nnbo-core`.
+//!
+//! The paper's optimizer is built to sit in front of expensive, flaky
+//! simulators for hours; this crate supplies the operational shell such a
+//! deployment needs:
+//!
+//! * **One parallelism mechanism.**  Every session steps as a detached job
+//!   on the process-wide [`nnbo_pool::WorkerPool`] (or a service-private
+//!   pool), the same pool the linear-algebra and ensemble fan-outs run
+//!   their scoped batches on.  No per-call thread spawning anywhere in the
+//!   serving path — the only sacrificial threads are the deadline
+//!   watchdogs, which must be abandonable by design (see
+//!   [`DeadlineProblem`]).
+//!
+//! * **Panic isolation and supervision.**  A panic inside one session's
+//!   step quarantines that session alone; its panic payload is recorded,
+//!   the worker that ran it is recycled onto a fresh thread by the pool's
+//!   supervisor (within a restart budget), and every other session keeps
+//!   stepping.  See the supervision tree in the [`service`] module docs.
+//!
+//! * **Crash-safe persistence.**  Every completed step is checkpointed
+//!   through [`SessionStore`] with an atomic write-then-rename protocol
+//!   and checksum framing, so a `kill -9` at any instant loses at most the
+//!   in-flight step and torn or bit-rotted files are *detected*, never
+//!   resumed from.  Recovery is bit-identical: a restored session produces
+//!   exactly the evaluations the uninterrupted run would have.  The full
+//!   durability contract is in the [`store`] module docs.
+//!
+//! * **Deadlines and load shedding.**  A configurable per-evaluation
+//!   deadline turns hung simulators into `EvalOutcome::Timeout`, which the
+//!   loop's failure policy absorbs; admission control bounds the number of
+//!   live sessions, parking the oldest idle session (checkpoint intact)
+//!   under overload and rejecting with [`ServeError::Overloaded`] — the
+//!   explicit backpressure signal — when nothing can be shed.
+//!
+//! The happy path:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use nnbo_core::{BayesOpt, BoConfig, problems::ConstrainedBranin};
+//! use nnbo_serve::{BoService, ServeConfig, SessionStore, SessionStatus};
+//!
+//! let dir = std::env::temp_dir().join(format!("nnbo-serve-doc-{}", std::process::id()));
+//! let store = SessionStore::open(&dir).unwrap();
+//! let service = BoService::new(store, ServeConfig::default());
+//!
+//! let config = BoConfig::fast(4, 8).with_seed(7);
+//! service
+//!     .submit("branin-7", BayesOpt::neural(config), Arc::new(ConstrainedBranin))
+//!     .unwrap();
+//! service.drain();
+//!
+//! assert_eq!(service.status("branin-7").unwrap(), SessionStatus::Completed);
+//! let result = service.result("branin-7").unwrap();
+//! assert_eq!(result.num_evaluations(), 8);
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod deadline;
+pub mod service;
+pub mod store;
+
+pub use deadline::DeadlineProblem;
+pub use error::ServeError;
+pub use service::{percentile_of, BoService, ServeConfig, ServeStats, SessionStatus};
+pub use store::{fnv1a64, LoadedSession, SessionStore};

@@ -1,0 +1,474 @@
+//! Crash-safe persistence for session checkpoints.
+//!
+//! # Durability contract
+//!
+//! [`SessionStore::persist`] makes one completed step durable per call, and
+//! guarantees that **a crash at any instant leaves at least one intact,
+//! verifiable snapshot on disk** (losing at most the single step being
+//! persisted).  The sequence is the classic write-then-rename dance:
+//!
+//! 1. the framed snapshot is written to `<id>.session.tmp` and fsynced;
+//! 2. the current `<id>.session` (if any) is renamed to `<id>.session.prev`;
+//! 3. the tmp file is renamed over `<id>.session`.
+//!
+//! Renames within one directory are atomic on POSIX filesystems, so every
+//! crash point leaves either the new `latest`, or an intact `prev` with a
+//! possibly-missing/possibly-torn `latest` — never zero intact generations.
+//!
+//! # Torn-write detection
+//!
+//! Snapshots are framed with a one-line header carrying a magic string, a
+//! format version, the payload byte length, and an FNV-1a 64-bit checksum of
+//! the payload:
+//!
+//! ```text
+//! nnbo-session v1 <len> <checksum-hex>
+//! <payload JSON>
+//! ```
+//!
+//! [`SessionStore::load`] verifies the frame before returning: a truncated
+//! file fails the length check, and any single-bit flip fails the checksum
+//! (each FNV-1a step — xor with a byte, multiply by an odd prime — is
+//! injective on the 64-bit state, so two equal-length payloads differing
+//! anywhere hash differently).  A damaged `latest` falls back to `prev`
+//! with the corruption recorded in [`LoadedSession`]; a wrong resume is
+//! never returned.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::ServeError;
+
+const MAGIC: &str = "nnbo-session";
+const FORMAT_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash (the frame checksum).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A snapshot read back from disk, with provenance: whether the primary
+/// generation was damaged and the verified bytes came from the backup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedSession {
+    /// The verified snapshot payload (the JSON given to `persist`).
+    pub snapshot_json: String,
+    /// `true` when `latest` was unreadable and `prev` supplied the payload.
+    pub recovered_from_backup: bool,
+    /// What the verifier found wrong with `latest`, when anything.
+    pub corruption: Option<String>,
+}
+
+/// Crash-safe, per-session snapshot storage in one directory.
+///
+/// See the module docs for the durability contract.
+#[derive(Debug, Clone)]
+pub struct SessionStore {
+    dir: PathBuf,
+}
+
+impl SessionStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] when the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, ServeError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| ServeError::Store {
+            path: dir.display().to_string(),
+            reason: e.to_string(),
+        })?;
+        Ok(SessionStore { dir })
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Validates a session id for use as a file stem.
+    pub fn validate_id(id: &str) -> Result<(), ServeError> {
+        let ok = !id.is_empty()
+            && id.len() <= 128
+            && id
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+            && !id.starts_with('.');
+        if ok {
+            Ok(())
+        } else {
+            Err(ServeError::InvalidSessionId {
+                session: id.to_string(),
+            })
+        }
+    }
+
+    fn latest_path(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{id}.session"))
+    }
+
+    fn prev_path(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{id}.session.prev"))
+    }
+
+    fn tmp_path(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{id}.session.tmp"))
+    }
+
+    /// Persists one snapshot payload durably (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidSessionId`] for unsafe ids and
+    /// [`ServeError::Store`] when a write, sync, or rename fails; on error
+    /// the previously persisted generations are untouched.
+    pub fn persist(&self, id: &str, snapshot_json: &str) -> Result<(), ServeError> {
+        Self::validate_id(id)?;
+        let payload = snapshot_json.as_bytes();
+        let frame = format!(
+            "{MAGIC} v{FORMAT_VERSION} {} {:016x}\n{snapshot_json}\n",
+            payload.len(),
+            fnv1a64(payload)
+        );
+        let tmp = self.tmp_path(id);
+        let io_err = |path: &Path, e: std::io::Error| ServeError::Store {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        };
+        {
+            let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+            f.write_all(frame.as_bytes()).map_err(|e| io_err(&tmp, e))?;
+            f.sync_all().map_err(|e| io_err(&tmp, e))?;
+        }
+        let latest = self.latest_path(id);
+        if latest.exists() {
+            let prev = self.prev_path(id);
+            fs::rename(&latest, &prev).map_err(|e| io_err(&latest, e))?;
+        }
+        fs::rename(&tmp, &latest).map_err(|e| io_err(&latest, e))?;
+        // Make the renames themselves durable where the platform allows it;
+        // a failure here only delays durability, it cannot tear a file.
+        if let Ok(d) = fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    /// Loads the most recent intact snapshot for `id`.
+    ///
+    /// Returns `Ok(None)` when no generation exists at all (an unknown
+    /// session, not an error).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::CorruptSnapshot`] when generations exist but none
+    /// verifies, [`ServeError::Store`] for I/O failures other than
+    /// not-found, and [`ServeError::InvalidSessionId`] for unsafe ids.
+    pub fn load(&self, id: &str) -> Result<Option<LoadedSession>, ServeError> {
+        Self::validate_id(id)?;
+        let latest = match self.read_generation(&self.latest_path(id))? {
+            Generation::Ok(json) => {
+                return Ok(Some(LoadedSession {
+                    snapshot_json: json,
+                    recovered_from_backup: false,
+                    corruption: None,
+                }));
+            }
+            other => other,
+        };
+        let prev = match self.read_generation(&self.prev_path(id))? {
+            Generation::Ok(json) => {
+                return Ok(Some(LoadedSession {
+                    snapshot_json: json,
+                    recovered_from_backup: true,
+                    corruption: match &latest {
+                        Generation::Corrupt(why) => Some(why.clone()),
+                        Generation::Missing => None,
+                        Generation::Ok(_) => unreachable!(),
+                    },
+                }));
+            }
+            other => other,
+        };
+        match (latest, prev) {
+            (Generation::Missing, Generation::Missing) => Ok(None),
+            (l, p) => Err(ServeError::CorruptSnapshot {
+                session: id.to_string(),
+                details: format!("latest: {}; prev: {}", l.describe(), p.describe()),
+            }),
+        }
+    }
+
+    /// Session ids with at least one on-disk generation, sorted.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] when the directory cannot be read.
+    pub fn list(&self) -> Result<Vec<String>, ServeError> {
+        let entries = fs::read_dir(&self.dir).map_err(|e| ServeError::Store {
+            path: self.dir.display().to_string(),
+            reason: e.to_string(),
+        })?;
+        let mut ids: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let name = e.file_name().into_string().ok()?;
+                name.strip_suffix(".session")
+                    .or_else(|| name.strip_suffix(".session.prev"))
+                    .map(str::to_string)
+            })
+            .collect();
+        ids.sort();
+        ids.dedup();
+        Ok(ids)
+    }
+
+    /// Removes every generation of `id` (missing files are fine).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] when an existing file cannot be removed.
+    pub fn remove(&self, id: &str) -> Result<(), ServeError> {
+        Self::validate_id(id)?;
+        for path in [self.latest_path(id), self.prev_path(id), self.tmp_path(id)] {
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    return Err(ServeError::Store {
+                        path: path.display().to_string(),
+                        reason: e.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads and verifies one generation file.
+    fn read_generation(&self, path: &Path) -> Result<Generation, ServeError> {
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Generation::Missing),
+            Err(e) => {
+                return Err(ServeError::Store {
+                    path: path.display().to_string(),
+                    reason: e.to_string(),
+                });
+            }
+        };
+        Ok(verify_frame(&bytes))
+    }
+}
+
+/// Outcome of reading one on-disk generation.
+enum Generation {
+    Ok(String),
+    Missing,
+    Corrupt(String),
+}
+
+impl Generation {
+    fn describe(&self) -> String {
+        match self {
+            Generation::Ok(_) => "intact".to_string(),
+            Generation::Missing => "missing".to_string(),
+            Generation::Corrupt(why) => why.clone(),
+        }
+    }
+}
+
+/// Verifies a framed snapshot file (see the module docs for the format).
+fn verify_frame(bytes: &[u8]) -> Generation {
+    let corrupt = |why: &str| Generation::Corrupt(why.to_string());
+    let Some(newline) = bytes.iter().position(|&b| b == b'\n') else {
+        return corrupt("no header line");
+    };
+    let Ok(header) = std::str::from_utf8(&bytes[..newline]) else {
+        return corrupt("header is not UTF-8");
+    };
+    let mut fields = header.split(' ');
+    if fields.next() != Some(MAGIC) {
+        return corrupt("bad magic");
+    }
+    match fields.next() {
+        Some(v) if v == format!("v{FORMAT_VERSION}") => {}
+        Some(v) => return Generation::Corrupt(format!("unsupported format version {v:?}")),
+        None => return corrupt("missing format version"),
+    }
+    let Some(len) = fields.next().and_then(parse_strict_decimal) else {
+        return corrupt("bad length field");
+    };
+    let Some(checksum) = fields.next().and_then(parse_strict_hex64) else {
+        return corrupt("bad checksum field");
+    };
+    if fields.next().is_some() {
+        return corrupt("trailing header fields");
+    }
+    let body = &bytes[newline + 1..];
+    // The frame ends with exactly one trailing newline after the payload.
+    if body.len() != len + 1 || body[len] != b'\n' {
+        return Generation::Corrupt(format!(
+            "payload length {} does not match header {len} (torn write)",
+            body.len().saturating_sub(1)
+        ));
+    }
+    let payload = &body[..len];
+    let actual = fnv1a64(payload);
+    if actual != checksum {
+        return Generation::Corrupt(format!(
+            "checksum mismatch (header {checksum:016x}, payload {actual:016x})"
+        ));
+    }
+    match std::str::from_utf8(payload) {
+        Ok(s) => Generation::Ok(s.to_string()),
+        Err(_) => corrupt("payload is not UTF-8"),
+    }
+}
+
+/// Strict decimal parse: ASCII digits only — unlike `str::parse`, no sign
+/// or whitespace tolerance, so every single-bit flip of a digit changes the
+/// parsed value or fails.
+fn parse_strict_decimal(field: &str) -> Option<usize> {
+    if field.is_empty() || !field.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    field.parse::<usize>().ok()
+}
+
+/// Strict checksum parse: exactly 16 lowercase hex chars — `from_str_radix`
+/// would also accept uppercase, making an ASCII case flip (bit 5 of a hex
+/// letter) semantically invisible.
+fn parse_strict_hex64(field: &str) -> Option<u64> {
+    if field.len() != 16
+        || !field
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return None;
+    }
+    u64::from_str_radix(field, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static UNIQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = UNIQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("nnbo-serve-store-{}-{tag}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn persist_then_load_round_trips() {
+        let store = SessionStore::open(scratch_dir("roundtrip")).unwrap();
+        store.persist("s1", "{\"x\":1}").unwrap();
+        let loaded = store.load("s1").unwrap().unwrap();
+        assert_eq!(loaded.snapshot_json, "{\"x\":1}");
+        assert!(!loaded.recovered_from_backup);
+        assert!(loaded.corruption.is_none());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn unknown_session_loads_as_none() {
+        let store = SessionStore::open(scratch_dir("none")).unwrap();
+        assert_eq!(store.load("nope").unwrap(), None);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn truncated_latest_falls_back_to_prev() {
+        let store = SessionStore::open(scratch_dir("trunc")).unwrap();
+        store.persist("s", "first").unwrap();
+        store.persist("s", "second").unwrap();
+        let latest = store.latest_path("s");
+        let bytes = fs::read(&latest).unwrap();
+        fs::write(&latest, &bytes[..bytes.len() - 3]).unwrap();
+        let loaded = store.load("s").unwrap().unwrap();
+        assert_eq!(loaded.snapshot_json, "first");
+        assert!(loaded.recovered_from_backup);
+        assert!(loaded.corruption.unwrap().contains("torn write"));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn bit_flip_in_payload_is_detected() {
+        let store = SessionStore::open(scratch_dir("flip")).unwrap();
+        store.persist("s", "first-generation").unwrap();
+        store.persist("s", "second-generation").unwrap();
+        let latest = store.latest_path("s");
+        let mut bytes = fs::read(&latest).unwrap();
+        let header_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+        bytes[header_end + 3] ^= 0x10;
+        fs::write(&latest, &bytes).unwrap();
+        let loaded = store.load("s").unwrap().unwrap();
+        assert_eq!(loaded.snapshot_json, "first-generation");
+        assert!(loaded.recovered_from_backup);
+        assert!(loaded.corruption.unwrap().contains("checksum mismatch"));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn both_generations_damaged_is_an_error_not_a_wrong_resume() {
+        let store = SessionStore::open(scratch_dir("both")).unwrap();
+        store.persist("s", "first").unwrap();
+        store.persist("s", "second").unwrap();
+        fs::write(store.latest_path("s"), b"garbage").unwrap();
+        fs::write(store.prev_path("s"), b"also garbage").unwrap();
+        let err = store.load("s").unwrap_err();
+        assert!(matches!(err, ServeError::CorruptSnapshot { .. }));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn list_and_remove() {
+        let store = SessionStore::open(scratch_dir("list")).unwrap();
+        store.persist("b", "1").unwrap();
+        store.persist("a", "1").unwrap();
+        store.persist("a", "2").unwrap();
+        assert_eq!(
+            store.list().unwrap(),
+            vec!["a".to_string(), "b".to_string()]
+        );
+        store.remove("a").unwrap();
+        assert_eq!(store.list().unwrap(), vec!["b".to_string()]);
+        assert_eq!(store.load("a").unwrap(), None);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn unsafe_ids_are_rejected() {
+        let store = SessionStore::open(scratch_dir("ids")).unwrap();
+        for bad in ["", "a/b", "../x", ".hidden", "a b", "x\n"] {
+            assert!(
+                matches!(
+                    store.persist(bad, "{}"),
+                    Err(ServeError::InvalidSessionId { .. })
+                ),
+                "id {bad:?} should be rejected"
+            );
+        }
+        assert!(SessionStore::validate_id("ok-id_1.v2").is_ok());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}
