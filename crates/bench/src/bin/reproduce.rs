@@ -9,6 +9,7 @@
 //! reproduce [--quick] linalg           # kernel old-vs-new benchmark → BENCH_linalg.json
 //! reproduce [--quick] fit              # fit-path old-vs-new benchmark → BENCH_fit.json
 //! reproduce [--quick] predict          # packed-vs-blocked batched prediction → BENCH_predict.json
+//! reproduce [--quick] pvt              # parallel-vs-sequential PVT corner-sweep throughput → BENCH_pvt.json
 //! reproduce [--quick] robustness       # fault-tolerance: overhead + recovery → BENCH_robustness.json
 //! reproduce [--quick] serve            # multi-session serving layer: throughput, recovery, shedding → BENCH_serve.json
 //! reproduce [--quick] ablation-ensemble      # ensemble-size ablation (E4)
@@ -23,11 +24,12 @@
 
 use nnbo_bench::{
     format_fit_json, format_fit_table, format_linalg_json, format_linalg_table,
-    format_predict_json, format_predict_table, format_robustness_json, format_robustness_table,
-    format_scaling_json, format_serve_json, format_serve_table, format_table1, format_table1_json,
-    format_table2, format_table2_json, run_ablation_acquisition, run_ablation_ensemble,
-    run_fit_bench, run_linalg_bench, run_predict_bench, run_robustness_bench, run_scaling,
-    run_serve_bench, run_table1, run_table2, BenchError, Protocol,
+    format_predict_json, format_predict_table, format_pvt_json, format_pvt_table,
+    format_robustness_json, format_robustness_table, format_scaling_json, format_serve_json,
+    format_serve_table, format_table1, format_table1_json, format_table2, format_table2_json,
+    run_ablation_acquisition, run_ablation_ensemble, run_fit_bench, run_linalg_bench,
+    run_predict_bench, run_pvt_bench, run_robustness_bench, run_scaling, run_serve_bench,
+    run_table1, run_table2, BenchError, Protocol,
 };
 
 fn main() {
@@ -46,6 +48,7 @@ fn main() {
         "linalg" => linalg(quick),
         "fit" => fit(quick),
         "predict" => predict(quick),
+        "pvt" => pvt(quick),
         "robustness" => robustness(quick),
         "serve" => serve(quick),
         "ablation-ensemble" => ablation_ensemble(quick),
@@ -56,6 +59,7 @@ fn main() {
             .and_then(|()| linalg(quick))
             .and_then(|()| fit(quick))
             .and_then(|()| predict(quick))
+            .and_then(|()| pvt(quick))
             .and_then(|()| robustness(quick))
             .and_then(|()| serve(quick))
             .and_then(|()| ablation_ensemble(quick))
@@ -63,7 +67,7 @@ fn main() {
         other => {
             eprintln!("unknown command `{other}`");
             eprintln!(
-                "expected one of: table1 | table2 | scaling | linalg | fit | predict | robustness | serve | ablation-ensemble | ablation-acquisition | all"
+                "expected one of: table1 | table2 | scaling | linalg | fit | predict | pvt | robustness | serve | ablation-ensemble | ablation-acquisition | all"
             );
             std::process::exit(2);
         }
@@ -250,6 +254,18 @@ fn predict(quick: bool) -> Result<(), BenchError> {
     print!("{}", format_predict_table(&entries));
     println!();
     write_json("BENCH_predict.json", &format_predict_json(&entries, quick))?;
+    println!();
+    Ok(())
+}
+
+fn pvt(quick: bool) -> Result<(), BenchError> {
+    println!(
+        "# Corner-sweep benchmark — parallel fan-out vs sequential reference (bit-identity pinned)\n"
+    );
+    let entries = run_pvt_bench(quick)?;
+    print!("{}", format_pvt_table(&entries));
+    println!();
+    write_json("BENCH_pvt.json", &format_pvt_json(&entries, quick))?;
     println!();
     Ok(())
 }

@@ -28,6 +28,7 @@ mod json;
 mod linalg_bench;
 mod predict_bench;
 mod protocol;
+mod pvt_bench;
 mod robustness_bench;
 mod scaling;
 mod serve_bench;
@@ -42,6 +43,7 @@ pub use linalg_bench::{
 };
 pub use predict_bench::{format_predict_json, format_predict_table, run_predict_bench};
 pub use protocol::{Algorithm, Protocol};
+pub use pvt_bench::{format_pvt_json, format_pvt_table, run_pvt_bench, PvtBenchEntry};
 pub use robustness_bench::{
     format_robustness_json, format_robustness_table, run_robustness_bench, RobustnessReport,
 };

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::pvt::{Process, PvtCorner};
+use crate::testbench::{CornerContext, CornerOutput, Testbench};
 
 /// Number of design variables of the charge-pump sizing problem
 /// (18 transistors × width and length).
@@ -32,6 +33,27 @@ impl ChargePumpPerformance {
         self.diff1 + self.diff2 + self.diff3 + self.diff4
     }
 
+    /// Builds the paper's aggregated performance report (eq. 16, all
+    /// currents in µA) from the worst-case fold of the per-corner
+    /// measurements (amperes).
+    pub fn from_worst_corners(worst: &ChargePumpCornerMeasurement) -> Self {
+        let to_ua = 1e6;
+        let diff1 = worst.diff1 * to_ua;
+        let diff2 = worst.diff2 * to_ua;
+        let diff3 = worst.diff3 * to_ua;
+        let diff4 = worst.diff4 * to_ua;
+        let deviation = (worst.dev_up + worst.dev_down) * to_ua;
+        let fom = 0.3 * (diff1 + diff2 + diff3 + diff4) + 0.5 * deviation;
+        ChargePumpPerformance {
+            diff1,
+            diff2,
+            diff3,
+            diff4,
+            deviation,
+            fom,
+        }
+    }
+
     /// `true` when the Table-II constraints are satisfied:
     /// `diff1,2 < 20 µA`, `diff3,4 < 5 µA`, `deviation < 5 µA`.
     pub fn feasible(&self) -> bool {
@@ -40,6 +62,67 @@ impl ChargePumpPerformance {
             && self.diff3 < 5.0
             && self.diff4 < 5.0
             && self.deviation < 5.0
+    }
+}
+
+/// The raw measurement of one PVT corner: UP/DOWN current spreads around
+/// their sweep averages and the averages' deviation from the target, all
+/// in amperes (the paper's µA conversion happens only when the worst-case
+/// fold is turned into a [`ChargePumpPerformance`]).
+///
+/// Every metric is non-negative, so the all-zero measurement is the
+/// identity of the worst-case fold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChargePumpCornerMeasurement {
+    /// `IM1_max − IM1_avg` — UP-current spread above its sweep average.
+    pub diff1: f64,
+    /// `IM1_avg − IM1_min` — UP-current spread below its sweep average.
+    pub diff2: f64,
+    /// `IM2_max − IM2_avg` — DOWN-current spread above its sweep average.
+    pub diff3: f64,
+    /// `IM2_avg − IM2_min` — DOWN-current spread below its sweep average.
+    pub diff4: f64,
+    /// `|IM1_avg − I_target|` — deviation of the average UP current.
+    pub dev_up: f64,
+    /// `|IM2_avg − I_target|` — deviation of the average DOWN current.
+    pub dev_down: f64,
+}
+
+impl ChargePumpCornerMeasurement {
+    /// The identity of the worst-case fold (every metric is non-negative).
+    pub fn zero() -> Self {
+        ChargePumpCornerMeasurement {
+            diff1: 0.0,
+            diff2: 0.0,
+            diff3: 0.0,
+            diff4: 0.0,
+            dev_up: 0.0,
+            dev_down: 0.0,
+        }
+    }
+}
+
+impl CornerOutput for ChargePumpCornerMeasurement {
+    /// Componentwise maximum — exactly the per-metric `max` the paper's
+    /// eq. 15 takes over the PVT corners.
+    fn fold_worst(&self, other: &Self) -> Self {
+        ChargePumpCornerMeasurement {
+            diff1: self.diff1.max(other.diff1),
+            diff2: self.diff2.max(other.diff2),
+            diff3: self.diff3.max(other.diff3),
+            diff4: self.diff4.max(other.diff4),
+            dev_up: self.dev_up.max(other.dev_up),
+            dev_down: self.dev_down.max(other.dev_down),
+        }
+    }
+
+    fn all_finite(&self) -> bool {
+        self.diff1.is_finite()
+            && self.diff2.is_finite()
+            && self.diff3.is_finite()
+            && self.diff4.is_finite()
+            && self.dev_up.is_finite()
+            && self.dev_down.is_finite()
     }
 }
 
@@ -178,31 +261,29 @@ impl ChargePump {
     }
 
     /// Evaluates a design in physical units, reporting a degenerate corner
-    /// sweep honestly instead of returning non-finite metrics.
+    /// honestly instead of returning non-finite metrics.
+    ///
+    /// This is the worst-case corner sweep of the paper expressed through
+    /// the [`Testbench`] measurement: every corner is measured via
+    /// [`Testbench::measure`] and folded with
+    /// [`CornerOutput::fold_worst`], so a non-finite corner fails the
+    /// sweep *naming the corner* — it never reaches the aggregate.
     ///
     /// # Errors
     ///
     /// Returns a human-readable reason when any corner produces a non-finite
-    /// current difference or deviation.
+    /// current difference or deviation, identifying the corner.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != 36` or any variable is not strictly positive.
     pub fn try_evaluate(&self, x: &[f64]) -> Result<ChargePumpPerformance, String> {
-        let p = self.evaluate(x);
-        if p.fom.is_finite()
-            && p.diff1.is_finite()
-            && p.diff2.is_finite()
-            && p.diff3.is_finite()
-            && p.diff4.is_finite()
-            && p.deviation.is_finite()
-        {
-            Ok(p)
-        } else {
-            Err(format!(
-                "PVT corner sweep produced non-finite charge-pump metrics: {p:?}"
-            ))
+        let mut worst = ChargePumpCornerMeasurement::zero();
+        for (ci, corner) in self.corners.iter().enumerate() {
+            let m = self.measure(x, &CornerContext::new(*corner, ci))?;
+            worst = worst.fold_worst(&m);
         }
+        Ok(ChargePumpPerformance::from_worst_corners(&worst))
     }
 
     /// Fallible evaluation in normalised `[0, 1]` coordinates — see
@@ -235,37 +316,34 @@ impl ChargePump {
             "design variables must be positive"
         );
 
-        let mut diff1: f64 = 0.0;
-        let mut diff2: f64 = 0.0;
-        let mut diff3: f64 = 0.0;
-        let mut diff4: f64 = 0.0;
-        let mut dev_up: f64 = 0.0;
-        let mut dev_down: f64 = 0.0;
-
+        let mut worst = ChargePumpCornerMeasurement::zero();
         for (ci, corner) in self.corners.iter().enumerate() {
-            let (up_stats, down_stats) = self.corner_currents(x, corner, ci);
-            diff1 = diff1.max(up_stats.max - up_stats.avg);
-            diff2 = diff2.max(up_stats.avg - up_stats.min);
-            diff3 = diff3.max(down_stats.max - down_stats.avg);
-            diff4 = diff4.max(down_stats.avg - down_stats.min);
-            dev_up = dev_up.max((up_stats.avg - self.target_current).abs());
-            dev_down = dev_down.max((down_stats.avg - self.target_current).abs());
+            worst = worst.fold_worst(&self.corner_measurement(x, corner, ci));
         }
+        ChargePumpPerformance::from_worst_corners(&worst)
+    }
 
-        let to_ua = 1e6;
-        let diff1 = diff1 * to_ua;
-        let diff2 = diff2 * to_ua;
-        let diff3 = diff3 * to_ua;
-        let diff4 = diff4 * to_ua;
-        let deviation = (dev_up + dev_down) * to_ua;
-        let fom = 0.3 * (diff1 + diff2 + diff3 + diff4) + 0.5 * deviation;
-        ChargePumpPerformance {
-            diff1,
-            diff2,
-            diff3,
-            diff4,
-            deviation,
-            fom,
+    /// The raw measurement of one corner: current spreads and target
+    /// deviations of both sources over the output-voltage sweep, in
+    /// amperes.
+    ///
+    /// `corner_index` is the corner's position in the evaluated corner
+    /// list; it seeds the deterministic per-corner mismatch sign, so the
+    /// same corner at the same index always measures identically.
+    fn corner_measurement(
+        &self,
+        x: &[f64],
+        corner: &PvtCorner,
+        corner_index: usize,
+    ) -> ChargePumpCornerMeasurement {
+        let (up_stats, down_stats) = self.corner_currents(x, corner, corner_index);
+        ChargePumpCornerMeasurement {
+            diff1: up_stats.max - up_stats.avg,
+            diff2: up_stats.avg - up_stats.min,
+            diff3: down_stats.max - down_stats.avg,
+            diff4: down_stats.avg - down_stats.min,
+            dev_up: (up_stats.avg - self.target_current).abs(),
+            dev_down: (down_stats.avg - self.target_current).abs(),
         }
     }
 
@@ -467,6 +545,52 @@ impl ChargePump {
     }
 }
 
+impl Testbench for ChargePump {
+    type Output = ChargePumpCornerMeasurement;
+
+    fn name(&self) -> &str {
+        "charge-pump"
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        ChargePump::bounds(self)
+    }
+
+    fn denormalize(&self, x: &[f64]) -> Vec<f64> {
+        ChargePump::denormalize(self, x)
+    }
+
+    /// Measures exactly one PVT corner — the corner (and its index, which
+    /// seeds the deterministic mismatch sign) comes from the context; the
+    /// bench's own corner list is *not* consulted, so a [`crate::CornerSweep`]
+    /// over [`PvtCorner::standard_18`] reproduces [`ChargePump::evaluate`]
+    /// corner for corner.
+    fn measure(
+        &self,
+        x: &[f64],
+        ctx: &CornerContext,
+    ) -> Result<ChargePumpCornerMeasurement, String> {
+        assert_eq!(
+            x.len(),
+            CHARGE_PUMP_DIM,
+            "expected {CHARGE_PUMP_DIM} variables"
+        );
+        assert!(
+            x.iter().all(|v| *v > 0.0),
+            "design variables must be positive"
+        );
+        let m = self.corner_measurement(x, &ctx.corner, ctx.index);
+        if m.all_finite() {
+            Ok(m)
+        } else {
+            Err(format!(
+                "corner {} produced a non-finite charge-pump measurement: {m:?}",
+                ctx.corner
+            ))
+        }
+    }
+}
+
 /// Which output current source is being modelled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SourceSide {
@@ -608,5 +732,53 @@ mod tests {
     #[test]
     fn there_are_18_corners_by_default() {
         assert_eq!(ChargePump::new().corners().len(), 18);
+    }
+
+    #[test]
+    fn try_evaluate_agrees_bit_for_bit_with_evaluate() {
+        let bench = ChargePump::new();
+        for x in [
+            vec![0.01; CHARGE_PUMP_DIM],
+            decent_design(),
+            vec![0.99; CHARGE_PUMP_DIM],
+        ] {
+            let phys = bench.denormalize(&x);
+            assert_eq!(bench.try_evaluate(&phys).unwrap(), bench.evaluate(&phys));
+        }
+    }
+
+    #[test]
+    fn a_corner_sweep_reproduces_the_monolithic_evaluation() {
+        // Folding per-corner Testbench measurements over the bench's own
+        // corner list must be bit-identical to the hand-rolled loop.
+        let bench = ChargePump::new();
+        let phys = bench.denormalize(&decent_design());
+        let mut worst = ChargePumpCornerMeasurement::zero();
+        for (ci, corner) in bench.corners().iter().enumerate() {
+            let m = bench
+                .measure(&phys, &CornerContext::new(*corner, ci))
+                .unwrap();
+            worst = worst.fold_worst(&m);
+        }
+        assert_eq!(
+            ChargePumpPerformance::from_worst_corners(&worst),
+            bench.evaluate(&phys)
+        );
+    }
+
+    #[test]
+    fn corner_measurement_depends_on_the_corner_index() {
+        // The deterministic mismatch sign is seeded by the corner's index,
+        // so the context must carry it for sweeps to stay bit-identical.
+        let bench = ChargePump::new();
+        let phys = bench.denormalize(&decent_design());
+        let corner = bench.corners()[0];
+        let at0 = bench
+            .measure(&phys, &CornerContext::new(corner, 0))
+            .unwrap();
+        let at5 = bench
+            .measure(&phys, &CornerContext::new(corner, 5))
+            .unwrap();
+        assert_ne!(at0, at5);
     }
 }

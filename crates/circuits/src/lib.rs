@@ -17,7 +17,9 @@
 //!   simulation with pulse/sine stimuli;
 //! * [`TwoStageOpAmp`] — the Table-I testbench (10 design variables → GAIN/UGF/PM);
 //! * [`ChargePump`] + [`PvtCorner`] — the Table-II testbench (36 design variables,
-//!   18 PVT corners → current-matching metrics and FOM).
+//!   18 PVT corners → current-matching metrics and FOM);
+//! * [`Testbench`] / [`CornerSweep`] — the declarative testbench layer and the PVT
+//!   corner-sweep combinator (see below).
 //!
 //! See `DESIGN.md` at the repository root for the substitution rationale.
 //!
@@ -32,6 +34,44 @@
 //! assert!(perf.gain_db.is_finite());
 //! assert!(perf.ugf_hz > 0.0);
 //! ```
+//!
+//! # Testbenches and corner sweeps
+//!
+//! Circuit problems compose declaratively instead of being hand-wired: a
+//! [`Testbench`] owns its design-space mapping (bounds + denormalisation), its
+//! netlist/MNA build, the analyses it runs and the metrics it measures, all behind
+//! one corner-aware entry point, [`Testbench::measure`].  A [`CornerSweep`] expands
+//! one testbench into K [`PvtCorner`] variants with a pluggable
+//! [`CornerAggregation`] — [`CornerAggregation::WorstCase`] folds every corner into
+//! the componentwise worst case via [`CornerOutput::fold_worst`] (the paper's
+//! charge-pump setting), [`CornerAggregation::Nominal`] degenerates to the plain
+//! bench, and [`CornerAggregation::PerCorner`] keeps every measurement for
+//! per-corner constraint enforcement.  Failed corners surface as errors naming the
+//! corner — never as a `NaN` smuggled through an aggregation.
+//!
+//! A worked op-amp example — worst-case gain/UGF/phase margin of one design over
+//! the standard 18 corners:
+//!
+//! ```
+//! use nnbo_circuits::{CornerSweep, SweepMeasurement, Testbench, TwoStageOpAmp};
+//!
+//! let sweep = CornerSweep::standard_18(TwoStageOpAmp::new());
+//! let x = sweep.bench().denormalize(&[0.5; 10]);
+//! match sweep.measure(&x).expect("all corners converge at this point") {
+//!     SweepMeasurement::Folded(worst) => {
+//!         // The fold is pessimistic per metric: min gain/UGF/PM, max power/area.
+//!         let nominal = sweep.bench().try_evaluate(&x).unwrap();
+//!         assert!(worst.gain_db <= nominal.gain_db);
+//!         assert!(worst.power_w >= nominal.power_w);
+//!     }
+//!     SweepMeasurement::PerCorner(_) => unreachable!("WorstCase folds"),
+//! }
+//! ```
+//!
+//! The sequential [`CornerSweep::measure`] is the *reference semantics*; the
+//! `SweepProblem` adapter in `nnbo-core` fans the same per-corner measurements out
+//! over the process-wide worker pool and is test-pinned to agree with this path bit
+//! for bit.
 
 #![warn(missing_docs)]
 
@@ -44,10 +84,13 @@ mod mosfet;
 mod netlist;
 mod opamp;
 mod pvt;
+mod testbench;
 mod tran;
 
 pub use ac::{AcAnalysis, AcSweep, BodeMetrics, SmallSignalCircuit, SmallSignalElement};
-pub use chargepump::{ChargePump, ChargePumpPerformance, CHARGE_PUMP_DIM};
+pub use chargepump::{
+    ChargePump, ChargePumpCornerMeasurement, ChargePumpPerformance, CHARGE_PUMP_DIM,
+};
 pub use complex::Complex;
 pub use dc::{DcAnalysis, DcError, DcSolution};
 pub use mna::MnaSystem;
@@ -55,4 +98,7 @@ pub use mosfet::{MosPolarity, MosTransistor, MosfetModel, OperatingRegion, Small
 pub use netlist::{Circuit, Element, NodeId, GROUND};
 pub use opamp::{OpAmpPerformance, TwoStageOpAmp, OPAMP_DIM};
 pub use pvt::{Process, PvtCorner};
+pub use testbench::{
+    CornerAggregation, CornerContext, CornerOutput, CornerSweep, SweepMeasurement, Testbench,
+};
 pub use tran::{TransientAnalysis, TransientResult, Waveform};

@@ -5,6 +5,8 @@ use serde::{Deserialize, Serialize};
 use crate::ac::{AcAnalysis, AcSweep, SmallSignalCircuit, SmallSignalElement};
 use crate::mosfet::{MosTransistor, MosfetModel};
 use crate::netlist::GROUND;
+use crate::pvt::PvtCorner;
+use crate::testbench::{CornerContext, CornerOutput, Testbench};
 
 /// Number of design variables of the op-amp sizing problem.
 pub const OPAMP_DIM: usize = 10;
@@ -104,6 +106,26 @@ impl TwoStageOpAmp {
             comp_resistor: 0.0,
             ..Self::default()
         }
+    }
+
+    /// The same amplifier re-biased under a PVT corner: the supply scales
+    /// with the corner's deviation from the nominal 1.1 V rail, and both
+    /// device models take the corner's transconductance factor and
+    /// threshold shift.
+    ///
+    /// At [`PvtCorner::nominal`] this returns `self` exactly (all the
+    /// corner factors are the multiplicative/additive identities there),
+    /// so a nominal-corner measurement is bit-identical to the plain
+    /// bench.
+    pub fn at_corner(&self, corner: &PvtCorner) -> TwoStageOpAmp {
+        let nominal_vdd = PvtCorner::nominal().vdd;
+        let mut bench = self.clone();
+        bench.vdd = self.vdd * (corner.vdd / nominal_vdd);
+        bench.nmos.kp = self.nmos.kp * corner.kp_factor();
+        bench.pmos.kp = self.pmos.kp * corner.kp_factor();
+        bench.nmos.vth = self.nmos.vth + corner.vth_shift();
+        bench.pmos.vth = self.pmos.vth + corner.vth_shift();
+        bench
     }
 
     /// Lower/upper bounds of the 10 physical design variables
@@ -373,6 +395,49 @@ impl TwoStageOpAmp {
     }
 }
 
+impl Testbench for TwoStageOpAmp {
+    type Output = OpAmpPerformance;
+
+    fn name(&self) -> &str {
+        "two-stage-opamp"
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        TwoStageOpAmp::bounds(self).to_vec()
+    }
+
+    fn denormalize(&self, x: &[f64]) -> Vec<f64> {
+        TwoStageOpAmp::denormalize(self, x).to_vec()
+    }
+
+    fn measure(&self, x: &[f64], ctx: &CornerContext) -> Result<OpAmpPerformance, String> {
+        self.at_corner(&ctx.corner).try_evaluate(x)
+    }
+}
+
+impl CornerOutput for OpAmpPerformance {
+    /// Worst case per metric: minimum gain/UGF/phase margin, maximum power
+    /// and area, and a bias point that is only OK when *every* corner's is.
+    fn fold_worst(&self, other: &Self) -> Self {
+        OpAmpPerformance {
+            gain_db: self.gain_db.min(other.gain_db),
+            ugf_hz: self.ugf_hz.min(other.ugf_hz),
+            pm_deg: self.pm_deg.min(other.pm_deg),
+            power_w: self.power_w.max(other.power_w),
+            area_m2: self.area_m2.max(other.area_m2),
+            bias_ok: self.bias_ok && other.bias_ok,
+        }
+    }
+
+    fn all_finite(&self) -> bool {
+        self.gain_db.is_finite()
+            && self.ugf_hz.is_finite()
+            && self.pm_deg.is_finite()
+            && self.power_w.is_finite()
+            && self.area_m2.is_finite()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,6 +548,30 @@ mod tests {
         assert!(p.ugf_hz > 40e6, "UGF {} too low", p.ugf_hz);
         assert!(p.pm_deg > 60.0, "PM {} too low", p.pm_deg);
         assert!(p.gain_db > 70.0, "gain {} too low", p.gain_db);
+    }
+
+    #[test]
+    fn at_nominal_corner_the_bench_is_bit_identical() {
+        let bench = TwoStageOpAmp::new();
+        assert_eq!(bench.at_corner(&PvtCorner::nominal()), bench);
+    }
+
+    #[test]
+    fn corners_actually_move_the_performance() {
+        use crate::pvt::Process;
+        let bench = TwoStageOpAmp::new();
+        let x = decent_design();
+        let nominal = bench.try_evaluate(&x).unwrap();
+        let slow_cold = bench
+            .at_corner(&PvtCorner {
+                process: Process::SlowSlow,
+                vdd: 0.99,
+                temperature: -40.0,
+            })
+            .try_evaluate(&x)
+            .unwrap();
+        assert_ne!(nominal, slow_cold);
+        assert!(slow_cold.gain_db.is_finite());
     }
 
     #[test]

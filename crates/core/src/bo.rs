@@ -847,36 +847,24 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
             candidates.push(x);
         }
 
-        // Score the whole candidate set in one batch per surrogate: the
-        // cross-kernel / feature products and triangular solves amortise over
-        // all `candidate_pool + local_candidates` points at once, and the
-        // `_into` prediction path reuses the persistent scoring buffers, so a
-        // steady-state iteration allocates nothing here beyond the candidate
-        // set itself.
-        fitted
-            .objective
-            .predict_batch_into(&candidates, &mut scores.objective);
-        scores
-            .constraints
-            .resize_with(fitted.constraints.len(), Vec::new);
-        for (model, preds) in fitted.constraints.iter().zip(scores.constraints.iter_mut()) {
-            model.predict_batch_into(&candidates, preds);
-        }
+        // Score the whole candidate set in one batch per surrogate (the
+        // `_into` prediction path reuses the persistent scoring buffers), or
+        // band-split over the worker pool when the pool and the pool size
+        // make it worthwhile — bit-identical either way.
+        score_candidates(
+            fitted,
+            &candidates,
+            self.config.acquisition,
+            tau,
+            scores,
+            score_bands(candidates.len()),
+        );
 
         let mut best_score = f64::NEG_INFINITY;
         let mut best_index = 0;
-        let mut constraint_buf = Vec::with_capacity(scores.constraints.len());
-        for (idx, objective_pred) in scores.objective.iter().enumerate() {
-            constraint_buf.clear();
-            constraint_buf.extend(scores.constraints.iter().map(|preds| preds[idx]));
-            let score = acquisition::evaluate(
-                self.config.acquisition,
-                objective_pred,
-                &constraint_buf,
-                tau,
-            );
-            if score > best_score {
-                best_score = score;
+        for (idx, score) in scores.acquisition.iter().enumerate() {
+            if *score > best_score {
+                best_score = *score;
                 best_index = idx;
             }
         }
@@ -1249,11 +1237,17 @@ struct ModelSnapshot {
 }
 
 /// Prediction buffers reused across the acquisition scoring of every loop
-/// iteration (one vector per modelled output), so the batched prediction
-/// path writes into stable allocations.
+/// iteration (one vector per modelled output, plus per-band buffers for the
+/// worker-pool split and the per-candidate acquisition values), so the
+/// batched prediction path writes into stable allocations.
 struct ScoreBuffers {
     objective: Vec<crate::surrogate::Prediction>,
     constraints: Vec<Vec<crate::surrogate::Prediction>>,
+    /// Acquisition value of every candidate, in candidate order.
+    acquisition: Vec<f64>,
+    /// Per-band prediction buffers of the parallel scoring path (empty until
+    /// a multi-band scoring pass runs).
+    bands: Vec<BandBuffers>,
 }
 
 impl ScoreBuffers {
@@ -1261,8 +1255,119 @@ impl ScoreBuffers {
         ScoreBuffers {
             objective: Vec::new(),
             constraints: Vec::new(),
+            acquisition: Vec::new(),
+            bands: Vec::new(),
         }
     }
+}
+
+/// One scoring band's private prediction buffers: each band predicts its
+/// contiguous candidate chunk into its own vectors, so the parallel split
+/// shares nothing but the disjoint acquisition output slices.
+#[derive(Default)]
+struct BandBuffers {
+    objective: Vec<crate::surrogate::Prediction>,
+    constraints: Vec<Vec<crate::surrogate::Prediction>>,
+}
+
+/// Candidate pools below this size are scored single-threaded: the
+/// per-band dispatch overhead outweighs the prediction work.
+const PARALLEL_SCORE_MIN_CANDIDATES: usize = 256;
+
+/// Minimum candidates per band, so the split never degenerates into
+/// per-point dispatch (and band batches stay below the surrogates' own
+/// internal fan-out thresholds).
+const PARALLEL_SCORE_BAND_MIN: usize = 128;
+
+/// Number of bands to split `n` candidates over: bounded by the pool's
+/// useful fan-out and by [`PARALLEL_SCORE_BAND_MIN`] points per band; `1`
+/// (the sequential reference) below the parallel threshold or on a
+/// single-participant pool.
+fn score_bands(n: usize) -> usize {
+    if n < PARALLEL_SCORE_MIN_CANDIDATES {
+        return 1;
+    }
+    nnbo_pool::WorkerPool::global()
+        .participants()
+        .min(8)
+        .min(n / PARALLEL_SCORE_BAND_MIN)
+        .max(1)
+}
+
+/// Scores `candidates` under the fitted surrogates, filling
+/// `scores.acquisition` with one acquisition value per candidate (in
+/// candidate order).
+///
+/// `bands <= 1` is the sequential reference: one full-batch prediction per
+/// surrogate, then a sequential acquisition sweep.  `bands > 1` splits the
+/// candidate set into contiguous chunks fanned out over
+/// [`nnbo_pool::WorkerPool::global`]; every band predicts its chunk into
+/// its own [`BandBuffers`] and writes its disjoint slice of the acquisition
+/// output.  Because [`SurrogateModel::predict_batch_into`] is contractually
+/// per-point (overrides must write exactly what per-point `predict` calls
+/// would), chunked prediction — and therefore the whole banded path — is
+/// **bit-identical** to the sequential reference, which the loop's tests
+/// pin at forced band counts.
+fn score_candidates<M: SurrogateModel>(
+    fitted: &FittedModels<M>,
+    candidates: &[Vec<f64>],
+    kind: AcquisitionKind,
+    tau: Option<f64>,
+    scores: &mut ScoreBuffers,
+    bands: usize,
+) {
+    let n = candidates.len();
+    scores.acquisition.clear();
+    scores.acquisition.resize(n, f64::NEG_INFINITY);
+    if bands <= 1 || n < 2 {
+        fitted
+            .objective
+            .predict_batch_into(candidates, &mut scores.objective);
+        scores
+            .constraints
+            .resize_with(fitted.constraints.len(), Vec::new);
+        for (model, preds) in fitted.constraints.iter().zip(scores.constraints.iter_mut()) {
+            model.predict_batch_into(candidates, preds);
+        }
+        let mut constraint_buf = Vec::with_capacity(scores.constraints.len());
+        for (idx, objective_pred) in scores.objective.iter().enumerate() {
+            constraint_buf.clear();
+            constraint_buf.extend(scores.constraints.iter().map(|preds| preds[idx]));
+            scores.acquisition[idx] =
+                acquisition::evaluate(kind, objective_pred, &constraint_buf, tau);
+        }
+        return;
+    }
+
+    let chunk = n.div_ceil(bands);
+    let n_bands = n.div_ceil(chunk);
+    if scores.bands.len() < n_bands {
+        scores.bands.resize_with(n_bands, BandBuffers::default);
+    }
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(n_bands);
+    for ((chunk_xs, out), band) in candidates
+        .chunks(chunk)
+        .zip(scores.acquisition.chunks_mut(chunk))
+        .zip(scores.bands.iter_mut())
+    {
+        tasks.push(Box::new(move || {
+            fitted
+                .objective
+                .predict_batch_into(chunk_xs, &mut band.objective);
+            band.constraints
+                .resize_with(fitted.constraints.len(), Vec::new);
+            for (model, preds) in fitted.constraints.iter().zip(band.constraints.iter_mut()) {
+                model.predict_batch_into(chunk_xs, preds);
+            }
+            let mut constraint_buf = Vec::with_capacity(band.constraints.len());
+            for (idx, objective_pred) in band.objective.iter().enumerate() {
+                constraint_buf.clear();
+                constraint_buf.extend(band.constraints.iter().map(|preds| preds[idx]));
+                out[idx] = acquisition::evaluate(kind, objective_pred, &constraint_buf, tau);
+            }
+        }));
+    }
+    nnbo_pool::WorkerPool::global().run_batch(tasks);
 }
 
 /// Draws a standard-normal sample by the Box–Muller transform (avoids pulling in a
@@ -1280,6 +1385,70 @@ mod tests {
 
     fn fast_neural(config: BoConfig) -> BayesOpt<NeuralGpEnsembleTrainer> {
         BayesOpt::neural_with(config, EnsembleConfig::fast())
+    }
+
+    /// A deterministic analytic surrogate: predictions depend only on the
+    /// query point and a weight, so banded and sequential scoring of the
+    /// same candidates must agree bit for bit.
+    struct RampModel {
+        w: f64,
+    }
+
+    impl SurrogateModel for RampModel {
+        fn predict(&self, x: &[f64]) -> crate::surrogate::Prediction {
+            let s: f64 = x
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v * (i as f64 + self.w))
+                .sum();
+            crate::surrogate::Prediction::new(s.sin(), 0.1 + s.cos().abs())
+        }
+    }
+
+    #[test]
+    fn banded_acquisition_scoring_is_bit_identical_to_sequential() {
+        let fitted = FittedModels {
+            objective: RampModel { w: 1.3 },
+            constraints: vec![RampModel { w: 2.7 }, RampModel { w: 0.4 }],
+            trained_on: 16,
+            last_full_fit: 16,
+            fit_nll_per_point: None,
+        };
+        let mut rng = StdRng::seed_from_u64(42);
+        let candidates: Vec<Vec<f64>> = (0..1280)
+            .map(|_| (0..6).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        for (kind, tau) in [
+            (AcquisitionKind::WeightedExpectedImprovement, Some(0.2)),
+            (AcquisitionKind::WeightedExpectedImprovement, None),
+            (
+                AcquisitionKind::LowerConfidenceBound { kappa: 2.0 },
+                Some(-0.4),
+            ),
+        ] {
+            let mut reference = ScoreBuffers::new();
+            score_candidates(&fitted, &candidates, kind, tau, &mut reference, 1);
+            assert_eq!(reference.acquisition.len(), candidates.len());
+            // Forced band counts stand in for forced worker counts: each band
+            // is one worker-pool task, whichever thread picks it up.
+            for bands in [2, 3, 5, 8] {
+                let mut banded = ScoreBuffers::new();
+                score_candidates(&fitted, &candidates, kind, tau, &mut banded, bands);
+                assert_eq!(
+                    banded.acquisition, reference.acquisition,
+                    "bands={bands} diverged for {kind:?}/tau={tau:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_bands_respects_the_thresholds() {
+        assert_eq!(score_bands(0), 1);
+        assert_eq!(score_bands(PARALLEL_SCORE_MIN_CANDIDATES - 1), 1);
+        let bands = score_bands(1280);
+        assert!((1..=8).contains(&bands));
+        assert!(bands <= 1280 / PARALLEL_SCORE_BAND_MIN);
     }
 
     #[test]

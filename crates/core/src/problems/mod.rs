@@ -12,10 +12,19 @@
 //! synthetic benchmarks into that form.
 
 mod circuit;
+mod sweep;
 mod synthetic;
 
 pub use circuit::{ChargePumpProblem, OpAmpProblem};
+pub use sweep::{SweepAggregation, SweepProblem};
 pub use synthetic::{Ackley, ConstrainedBranin, GardnerSine, Hartmann6, Levy, Rosenbrock};
+
+// Re-exported so downstream crates (e.g. `nnbo-serve`) can build sweep
+// problems without depending on `nnbo-circuits` directly.
+pub use nnbo_circuits::{
+    CornerAggregation, CornerContext, CornerOutput, CornerSweep, PvtCorner, SweepMeasurement,
+    Testbench,
+};
 
 use serde::{Deserialize, Serialize};
 
@@ -142,6 +151,18 @@ pub trait Problem: Sync {
             return EvalOutcome::Failed(format!("non-finite constraint {i} value {g}"));
         }
         EvalOutcome::Ok(eval)
+    }
+
+    /// Evaluates a batch of design points, reporting each outcome honestly.
+    ///
+    /// The default is a sequential loop over [`Problem::try_evaluate`] — the
+    /// reference semantics every existing problem gets for free.  Problems
+    /// whose evaluations parallelise internally (corner sweeps, external
+    /// simulator farms) override this to fan the whole batch out at once;
+    /// overrides must return outcomes in input order, bit-identical to the
+    /// sequential loop.
+    fn try_evaluate_batch(&self, xs: &[&[f64]]) -> Vec<EvalOutcome> {
+        xs.iter().map(|x| self.try_evaluate(x)).collect()
     }
 
     /// A short human-readable name used in reports.

@@ -1,0 +1,255 @@
+//! Property-based tests of the corner-sweep aggregation laws.
+//!
+//! [`SweepProblem::aggregate`] is public exactly so these laws are testable
+//! in isolation from the circuit simulators:
+//!
+//! * the worst-case aggregate is the componentwise maximum, and is monotone
+//!   in every single corner's objective;
+//! * aggregating a single corner is the identity, for every aggregation;
+//! * a sweep over one nominal corner *is* the plain testbench;
+//! * a failed corner surfaces as an honest [`EvalOutcome::Failed`] naming
+//!   the corner — never a silent `NaN` — and the loop's [`FailurePolicy`]
+//!   turns it into a recorded, finite, imputed observation.
+
+use nnbo_core::problems::{CornerContext, CornerSweep, PvtCorner, Testbench};
+use nnbo_core::{
+    BayesOpt, BoConfig, EvalOutcome, Evaluation, FailurePolicy, Problem, SweepAggregation,
+    SweepProblem,
+};
+use proptest::prelude::*;
+
+/// A cheap deterministic 3-parameter bench whose output depends on both the
+/// corner's electrical parameters and its index (like the charge pump's
+/// mismatch sign does).
+#[derive(Clone)]
+struct ToyBench;
+
+impl Testbench for ToyBench {
+    type Output = f64;
+
+    fn name(&self) -> &str {
+        "toy"
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        vec![(0.0, 2.0), (-1.0, 1.0), (0.5, 1.5)]
+    }
+
+    fn measure(&self, x: &[f64], ctx: &CornerContext) -> Result<f64, String> {
+        let base = x[0] + 2.0 * x[1] - x[2];
+        Ok(base * (ctx.corner.vdd / 1.1) + 0.01 * ctx.index as f64)
+    }
+}
+
+/// A bench that fails deterministically at one corner index.
+#[derive(Clone)]
+struct FailsAtCorner {
+    at: usize,
+}
+
+impl Testbench for FailsAtCorner {
+    type Output = f64;
+
+    fn name(&self) -> &str {
+        "fails-at-corner"
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        vec![(0.0, 1.0); 2]
+    }
+
+    fn measure(&self, x: &[f64], ctx: &CornerContext) -> Result<f64, String> {
+        if ctx.index == self.at {
+            return Err("solver did not converge".to_string());
+        }
+        Ok(x[0] - x[1] + 0.1 * ctx.index as f64)
+    }
+}
+
+const NC: usize = 3;
+
+/// A sweep problem whose `aggregate` carries `NC` base constraints; the
+/// bench and spec are irrelevant to the aggregation laws.
+fn toy_problem(aggregation: SweepAggregation) -> SweepProblem<ToyBench> {
+    SweepProblem::new(
+        CornerSweep::new(ToyBench, PvtCorner::standard_18()),
+        "toy-pvt",
+        NC,
+        |out: &f64| Evaluation::new(*out, vec![*out - 1.0, -out, out * 0.5]),
+    )
+    .with_aggregation(aggregation)
+}
+
+fn evaluation() -> impl Strategy<Value = Evaluation> {
+    prop::collection::vec(-5.0..5.0f64, NC + 1).prop_map(|mut v| {
+        let objective = v.pop().expect("NC + 1 values");
+        Evaluation::new(objective, v)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The worst-case aggregate is exactly the componentwise maximum over
+    /// the corners, and raising any single corner's objective never lowers
+    /// the aggregate objective (monotonicity).
+    #[test]
+    fn worst_case_is_the_componentwise_max_and_monotone(
+        evals in prop::collection::vec(evaluation(), 2..6),
+        pick in 0usize..6,
+        bump in 0.0..3.0f64,
+    ) {
+        let mut evals = evals;
+        let problem = toy_problem(SweepAggregation::WorstCase);
+        let agg = problem.aggregate(&evals);
+        let max_obj = evals.iter().map(|e| e.objective).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(agg.objective, max_obj);
+        for i in 0..NC {
+            let max_g = evals.iter().map(|e| e.constraints[i]).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(agg.constraints[i], max_g);
+        }
+        // Monotone: bump one corner's objective upward, aggregate can only rise.
+        let k = pick % evals.len();
+        evals[k].objective += bump;
+        let bumped = problem.aggregate(&evals);
+        prop_assert!(bumped.objective >= agg.objective);
+        // And feasibility is corner-wise: the aggregate is feasible iff
+        // every corner is.
+        prop_assert_eq!(agg.is_feasible(), evals.iter().all(Evaluation::is_feasible));
+    }
+
+    /// Aggregating a single corner is the identity under every aggregation.
+    #[test]
+    fn single_corner_aggregation_is_the_identity(eval in evaluation()) {
+        for aggregation in [
+            SweepAggregation::WorstCase,
+            SweepAggregation::Nominal,
+            SweepAggregation::PerCornerConstraints,
+        ] {
+            let problem = toy_problem(aggregation);
+            let agg = problem.aggregate(std::slice::from_ref(&eval));
+            prop_assert!(
+                agg == eval,
+                "{:?} is not the identity on one corner: {:?} vs {:?}",
+                aggregation, agg, eval
+            );
+        }
+    }
+
+    /// A sweep over just the nominal corner evaluates to exactly the plain
+    /// testbench measurement passed through the spec — the sweep layer adds
+    /// nothing of its own.
+    #[test]
+    fn a_one_corner_sweep_is_the_plain_testbench(
+        x in prop::collection::vec(0.0..1.0f64, NC),
+    ) {
+        let problem = SweepProblem::new(
+            CornerSweep::new(ToyBench, vec![PvtCorner::nominal()]),
+            "toy-nominal",
+            NC,
+            |out: &f64| Evaluation::new(*out, vec![*out - 1.0, -out, out * 0.5]),
+        );
+        let phys = ToyBench.denormalize(&x);
+        let direct = ToyBench.measure(&phys, &CornerContext::nominal()).unwrap();
+        let expected = Evaluation::new(direct, vec![direct - 1.0, -direct, direct * 0.5]);
+        prop_assert_eq!(problem.try_evaluate(&x), EvalOutcome::Ok(expected));
+    }
+
+    /// A failing corner makes the whole sweep an honest failure naming that
+    /// corner — and the infallible projection stays finite, so a failed
+    /// corner can never smuggle a `NaN` into the optimizer.
+    #[test]
+    fn a_failed_corner_is_an_honest_failure_never_a_nan(
+        at in 0usize..18,
+        x in prop::collection::vec(0.0..1.0f64, 2),
+    ) {
+        let problem = SweepProblem::new(
+            CornerSweep::new(FailsAtCorner { at }, PvtCorner::standard_18()),
+            "flaky-pvt",
+            0,
+            |_: &f64| Evaluation::unconstrained(0.0),
+        );
+        match problem.try_evaluate(&x) {
+            EvalOutcome::Failed(reason) => {
+                prop_assert!(reason.contains("flaky-pvt sweep failed"), "{}", reason);
+                prop_assert!(
+                    reason.contains(&format!("({}/18)", at + 1)),
+                    "failure must name the corner position: {}", reason
+                );
+                prop_assert!(reason.contains("solver did not converge"), "{}", reason);
+            }
+            other => prop_assert!(false, "expected a failure, got {:?}", other),
+        }
+        let projected = problem.evaluate(&x);
+        prop_assert!(projected.objective.is_finite());
+        prop_assert!(projected.constraints.iter().all(|g| g.is_finite()));
+    }
+}
+
+/// End to end: the optimization loop's failure policy turns failing sweeps
+/// into finite imputed observations — the run completes, the failures are
+/// counted, every recorded value is finite, and the imputed stand-ins are
+/// excluded from the reported optimum.
+#[test]
+fn the_failure_policy_absorbs_failing_sweeps_without_nans() {
+    // Fails at corner 7 whenever x[0] lands in the upper quarter of the
+    // design space, so the run sees both clean and failing evaluations.
+    #[derive(Clone)]
+    struct FlakyRegion;
+    impl Testbench for FlakyRegion {
+        type Output = f64;
+        fn name(&self) -> &str {
+            "flaky-region"
+        }
+        fn bounds(&self) -> Vec<(f64, f64)> {
+            vec![(0.0, 1.0); 2]
+        }
+        fn measure(&self, x: &[f64], ctx: &CornerContext) -> Result<f64, String> {
+            if ctx.index == 7 && x[0] > 0.75 {
+                return Err("corner 7 diverged".to_string());
+            }
+            Ok((3.0 * x[0]).sin() + x[1] * x[1] + 0.01 * ctx.index as f64)
+        }
+    }
+
+    let problem = SweepProblem::new(
+        CornerSweep::new(FlakyRegion, PvtCorner::standard_18()),
+        "flaky-region-pvt",
+        1,
+        |out: &f64| Evaluation::new(*out, vec![*out - 10.0]),
+    );
+    let config = BoConfig::fast(6, 10)
+        .with_seed(11)
+        .with_failure_policy(FailurePolicy::no_retries());
+    let result = BayesOpt::neural(config)
+        .run(&problem)
+        .expect("run completes");
+
+    let recovery = result.recovery();
+    assert_eq!(recovery.imputed.len(), recovery.eval_failures);
+    for (i, (x, eval)) in result.evaluations().iter().enumerate() {
+        assert!(eval.objective.is_finite(), "non-finite objective at {i}");
+        assert!(
+            eval.constraints.iter().all(|g| g.is_finite()),
+            "non-finite constraint at {i}"
+        );
+        // Points in the failing region must have been imputed, not measured.
+        if x[0] > 0.75 {
+            assert!(
+                recovery.imputed.contains(&i),
+                "failure at {i} was not imputed"
+            );
+        }
+    }
+    if let Some((best_x, _)) = result.best() {
+        let best_index = result
+            .evaluations()
+            .iter()
+            .position(|(x, _)| x.as_slice() == best_x)
+            .expect("optimum comes from the history");
+        assert!(
+            !recovery.imputed.contains(&best_index),
+            "an imputed stand-in must never be the reported optimum"
+        );
+    }
+}

@@ -12,10 +12,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use nnbo_core::problems::ConstrainedBranin;
+use nnbo_core::problems::{ConstrainedBranin, CornerContext, CornerSweep, PvtCorner, Testbench};
 use nnbo_core::{
     BayesOpt, BoConfig, BoError, EvalOutcome, Evaluation, Prediction, Problem, SurrogateModel,
-    SurrogateTrainer,
+    SurrogateTrainer, SweepProblem,
 };
 use nnbo_serve::{BoService, ServeConfig, ServeError, SessionStatus, SessionStore};
 use rand::rngs::StdRng;
@@ -556,6 +556,200 @@ fn overload_with_no_idle_session_is_rejected_with_backpressure() {
     gate.open();
     service.drain();
     assert_eq!(service.status("busy").unwrap(), SessionStatus::Completed);
+    let _ = std::fs::remove_dir_all(service.store().dir());
+}
+
+/// A deterministic analytic testbench for sweep sessions: the measurement
+/// depends only on the design point and the corner context, so parallel
+/// corner fan-out is bit-identical to the sequential reference.
+#[derive(Debug, Clone)]
+struct CornerBench;
+
+impl Testbench for CornerBench {
+    type Output = f64;
+
+    fn name(&self) -> &str {
+        "corner-bench"
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        vec![(0.0, 1.0); 2]
+    }
+
+    fn measure(&self, x: &[f64], ctx: &CornerContext) -> Result<f64, String> {
+        Ok((x[0] * ctx.corner.vdd
+            + x[1] * (ctx.corner.temperature + 40.0) / 165.0
+            + 0.1 * ctx.index as f64)
+            .sin())
+    }
+}
+
+/// `CornerBench`, but one scripted corner measurement panics (per-instance
+/// counter over all corners of all evaluations) — a simulator crash in the
+/// middle of a fanned-out PVT sweep.
+struct FlakyCornerBench {
+    at: usize,
+    calls: AtomicUsize,
+}
+
+impl Testbench for FlakyCornerBench {
+    type Output = f64;
+
+    fn name(&self) -> &str {
+        "flaky-corner-bench"
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        CornerBench.bounds()
+    }
+
+    fn measure(&self, x: &[f64], ctx: &CornerContext) -> Result<f64, String> {
+        if self.calls.fetch_add(1, Ordering::SeqCst) == self.at {
+            panic!("chaos: corner simulator crash at corner call {}", self.at);
+        }
+        CornerBench.measure(x, ctx)
+    }
+}
+
+fn sweep_problem<T: Testbench<Output = f64>>(bench: T) -> SweepProblem<T> {
+    SweepProblem::new(
+        CornerSweep::new(bench, PvtCorner::standard_18()),
+        "corner-bench-pvt",
+        1,
+        |out: &f64| Evaluation::new(*out, vec![*out - 0.9]),
+    )
+}
+
+/// The evaluations an unfaulted, *sequential* (no pool fan-out) sweep run
+/// produces — the bit-identity reference for served parallel sweeps.
+fn sweep_reference(seed: u64) -> Vec<(Vec<f64>, Evaluation)> {
+    driver(seed)
+        .run(&sweep_problem(CornerBench).with_parallel(false))
+        .expect("sequential sweep reference succeeds")
+        .evaluations()
+        .to_vec()
+}
+
+#[test]
+fn sweep_sessions_share_the_pool_and_match_the_sequential_sweep_bit_identically() {
+    // Sessions carry sweep problems unchanged: each step job (on the
+    // service's pool) fans its 18 corners out over the global pool, and the
+    // result must still be exactly the sequential sweep's.
+    let service: BoService<MeanTrainer> = BoService::new(
+        scratch_store("sweep"),
+        ServeConfig {
+            workers: Some(3),
+            ..ServeConfig::default()
+        },
+    );
+    let seeds = [101u64, 102, 103];
+    for seed in seeds {
+        service
+            .submit(
+                &format!("sweep{seed}"),
+                driver(seed),
+                Arc::new(sweep_problem(CornerBench)),
+            )
+            .unwrap();
+    }
+    service.drain();
+
+    for seed in seeds {
+        let id = format!("sweep{seed}");
+        assert_eq!(service.status(&id).unwrap(), SessionStatus::Completed);
+        assert_eq!(
+            service.history(&id).unwrap(),
+            sweep_reference(seed),
+            "served sweep session {id} diverged from the sequential sweep"
+        );
+    }
+    let stats = service.stats();
+    assert_eq!(stats.sessions_completed, 3);
+    assert_eq!(stats.sessions_quarantined, 0);
+    let _ = std::fs::remove_dir_all(service.store().dir());
+}
+
+#[test]
+fn a_mid_sweep_corner_panic_quarantines_only_its_session() {
+    let service: BoService<MeanTrainer> = BoService::new(
+        scratch_store("sweep-panic"),
+        ServeConfig {
+            workers: Some(2),
+            ..ServeConfig::default()
+        },
+    );
+    service
+        .submit("healthy-1", driver(1), Arc::new(sweep_problem(CornerBench)))
+        .unwrap();
+    // 18 corners per evaluation: corner call 99 lands mid-sweep of the 6th
+    // evaluation, well into the model-guided phase.  The panic surfaces on
+    // a *global-pool* corner task, is re-thrown into the session's step job
+    // on the service pool, and must quarantine only that session.
+    service
+        .submit(
+            "doomed",
+            driver(2),
+            Arc::new(sweep_problem(FlakyCornerBench {
+                at: 99,
+                calls: AtomicUsize::new(0),
+            })),
+        )
+        .unwrap();
+    service
+        .submit("healthy-2", driver(3), Arc::new(sweep_problem(CornerBench)))
+        .unwrap();
+    service.drain();
+
+    // Exactly one quarantine, with the corner-panic payload preserved.
+    let quarantined = service.quarantined();
+    assert_eq!(quarantined.len(), 1);
+    assert_eq!(quarantined[0].0, "doomed");
+    assert!(
+        quarantined[0].1.contains("corner simulator crash"),
+        "payload: {}",
+        quarantined[0].1
+    );
+    assert!(matches!(
+        service.result("doomed"),
+        Err(ServeError::SessionPanicked { .. })
+    ));
+
+    // The service worker that ran the doomed step job is recycled (the
+    // global pool's corner workers are untouched: batch-task panics are not
+    // a worker-health signal there).
+    let waiting = std::time::Instant::now();
+    while service.pool_stats().worker_restarts < 1 && waiting.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(service.pool_stats().worker_restarts, 1);
+
+    // The surviving sweep sessions are bit-identical to unfaulted
+    // sequential sweeps.
+    for (id, seed) in [("healthy-1", 1u64), ("healthy-2", 3u64)] {
+        assert_eq!(service.status(id).unwrap(), SessionStatus::Completed);
+        assert_eq!(service.history(id).unwrap(), sweep_reference(seed));
+    }
+    let stats = service.stats();
+    assert_eq!(stats.session_panics, 1);
+    assert_eq!(stats.sessions_quarantined, 1);
+    assert_eq!(stats.sessions_completed, 2);
+
+    // The doomed session's checkpoints survived the corner panic: recovery
+    // with a healthy sweep bench completes exactly as the unfaulted run.
+    let fresh: BoService<MeanTrainer> = BoService::new(
+        SessionStore::open(service.store().dir()).unwrap(),
+        ServeConfig {
+            workers: Some(1),
+            ..ServeConfig::default()
+        },
+    );
+    let resumed = fresh
+        .recover("doomed", driver(2), Arc::new(sweep_problem(CornerBench)))
+        .unwrap();
+    assert!(resumed >= 4, "checkpoints were landing before the crash");
+    fresh.drain();
+    assert_eq!(fresh.status("doomed").unwrap(), SessionStatus::Completed);
+    assert_eq!(fresh.history("doomed").unwrap(), sweep_reference(2));
     let _ = std::fs::remove_dir_all(service.store().dir());
 }
 
