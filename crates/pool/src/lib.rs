@@ -42,6 +42,11 @@
 //! worker-health signal: the payload is captured and re-thrown on the
 //! submitting thread, exactly as the old `thread::scope` join did.
 //!
+//! Poisoned internal locks are recovered, never propagated: a thread dying
+//! while holding the injector, a batch queue, or the handle table cannot
+//! cascade into panicking every later `run_batch`/`spawn` caller.  Each
+//! recovery is counted in [`PoolStats::lock_poisonings`].
+//!
 //! ## The global pool
 //!
 //! [`WorkerPool::global`] is the process-wide instance every library call
@@ -58,7 +63,7 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 /// Upper bound on global-pool workers (beyond this the numeric kernels are
 /// memory-bound; the cap matches the old per-call `thread::scope` limit).
@@ -86,22 +91,25 @@ struct BatchCore {
     /// Latch the submitting thread waits on once it runs out of tasks.
     done: Mutex<bool>,
     done_cv: Condvar,
+    /// The owning pool's poisoned-lock counter (shared so the free
+    /// functions working a batch can count recoveries too).
+    poisonings: Arc<AtomicUsize>,
 }
 
 impl BatchCore {
     /// Claims and runs one task, if any remain.  Returns `false` when the
     /// batch has no unclaimed tasks left.
     fn run_one(&self) -> bool {
-        let task = match self.tasks.lock().expect("batch queue poisoned").pop_front() {
+        let task = match recover_lock(&self.tasks, &self.poisonings).pop_front() {
             Some(t) => t,
             None => return false,
         };
         if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
-            let mut slot = self.panic.lock().expect("batch panic slot poisoned");
+            let mut slot = recover_lock(&self.panic, &self.poisonings);
             slot.get_or_insert(payload);
         }
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let mut done = self.done.lock().expect("batch latch poisoned");
+            let mut done = recover_lock(&self.done, &self.poisonings);
             *done = true;
             self.done_cv.notify_all();
         }
@@ -140,6 +148,10 @@ pub struct PoolStats {
     /// Recycle requests denied because the restart budget was spent (the
     /// worker kept running on its old thread instead).
     pub restart_budget_exhausted: usize,
+    /// Poisoned internal locks recovered with `into_inner` (a panic died
+    /// while holding a pool lock; the pool continued instead of cascading
+    /// the panic into every later caller).
+    pub lock_poisonings: usize,
 }
 
 struct Counters {
@@ -148,6 +160,8 @@ struct Counters {
     job_panics: AtomicUsize,
     worker_restarts: AtomicUsize,
     restart_budget_exhausted: AtomicUsize,
+    /// Behind an `Arc` so each `BatchCore` can hold a handle to it.
+    lock_poisonings: Arc<AtomicUsize>,
 }
 
 impl Counters {
@@ -158,6 +172,7 @@ impl Counters {
             job_panics: AtomicUsize::new(0),
             worker_restarts: AtomicUsize::new(0),
             restart_budget_exhausted: AtomicUsize::new(0),
+            lock_poisonings: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -168,8 +183,34 @@ impl Counters {
             job_panics: self.job_panics.load(Ordering::Relaxed),
             worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
             restart_budget_exhausted: self.restart_budget_exhausted.load(Ordering::Relaxed),
+            lock_poisonings: self.lock_poisonings.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Locks `lock`, recovering the inner value (and counting the recovery)
+/// when a previous holder panicked.  Every invariant the pool's locks guard
+/// is re-established by the panicking path itself (task panics are caught
+/// *outside* the lock scopes), so the poison flag carries no information —
+/// propagating it would only convert one panic into a cascade across every
+/// later caller.
+fn recover_lock<'a, T>(lock: &'a Mutex<T>, poisonings: &AtomicUsize) -> MutexGuard<'a, T> {
+    lock.lock().unwrap_or_else(|poisoned| {
+        poisonings.fetch_add(1, Ordering::Relaxed);
+        poisoned.into_inner()
+    })
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`recover_lock`].
+fn recover_wait<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    poisonings: &AtomicUsize,
+) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|poisoned| {
+        poisonings.fetch_add(1, Ordering::Relaxed);
+        poisoned.into_inner()
+    })
 }
 
 /// Pool construction knobs (see [`WorkerPool::with_config`]).
@@ -305,9 +346,10 @@ impl WorkerPool {
             panic: Mutex::new(None),
             done: Mutex::new(false),
             done_cv: Condvar::new(),
+            poisonings: Arc::clone(&self.inner.counters.lock_poisonings),
         });
         if self.inner.workers > 0 && n > 1 {
-            let mut injector = self.inner.injector.lock().expect("injector poisoned");
+            let mut injector = self.lock_injector();
             injector.push_back(Work::Batch(Arc::clone(&batch)));
             drop(injector);
             self.inner.work_cv.notify_all();
@@ -321,14 +363,15 @@ impl WorkerPool {
                 .fetch_add(1, Ordering::Relaxed);
         }
         wait_batch(&batch);
-        let payload = batch
-            .panic
-            .lock()
-            .expect("batch panic slot poisoned")
-            .take();
+        let payload = recover_lock(&batch.panic, &batch.poisonings).take();
         if let Some(payload) = payload {
             resume_unwind(payload);
         }
+    }
+
+    /// Locks the injector with poison recovery.
+    fn lock_injector(&self) -> MutexGuard<'_, VecDeque<Work>> {
+        recover_lock(&self.inner.injector, &self.inner.counters.lock_poisonings)
     }
 
     /// Submits a detached job.  The job runs on a worker under
@@ -339,7 +382,7 @@ impl WorkerPool {
             self.inner.workers > 0,
             "cannot spawn a detached job on a pool with zero workers"
         );
-        let mut injector = self.inner.injector.lock().expect("injector poisoned");
+        let mut injector = self.lock_injector();
         injector.push_back(Work::Job(Box::new(job)));
         drop(injector);
         self.inner.work_cv.notify_one();
@@ -366,14 +409,11 @@ impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.work_cv.notify_all();
-        let handles: Vec<_> = self
-            .inner
-            .handles
-            .lock()
-            .expect("handle table poisoned")
-            .iter_mut()
-            .filter_map(Option::take)
-            .collect();
+        let handles: Vec<_> =
+            recover_lock(&self.inner.handles, &self.inner.counters.lock_poisonings)
+                .iter_mut()
+                .filter_map(Option::take)
+                .collect();
         // The pool can be dropped *from one of its own workers* (the last
         // owner of an embedding structure may be a detached job); joining
         // the current thread would deadlock, so that handle is released
@@ -392,9 +432,9 @@ fn wait_batch(batch: &BatchCore) {
     if batch.is_done() {
         return;
     }
-    let mut done = batch.done.lock().expect("batch latch poisoned");
+    let mut done = recover_lock(&batch.done, &batch.poisonings);
     while !*done {
-        done = batch.done_cv.wait(done).expect("batch latch poisoned");
+        done = recover_wait(&batch.done_cv, done, &batch.poisonings);
     }
 }
 
@@ -405,7 +445,7 @@ fn spawn_worker(inner: &Arc<PoolInner>, id: usize) {
         .name(format!("nnbo-pool-{id}"))
         .spawn(move || worker_main(pool, id))
         .expect("failed to spawn pool worker");
-    inner.handles.lock().expect("handle table poisoned")[id] = Some(handle);
+    recover_lock(&inner.handles, &inner.counters.lock_poisonings)[id] = Some(handle);
 }
 
 /// Worker thread entry: run the loop; on a recycle exit (or an unexpected
@@ -455,7 +495,8 @@ fn try_reserve_restart(inner: &PoolInner) -> bool {
 fn worker_loop(inner: &Arc<PoolInner>) -> WorkerExit {
     loop {
         let work = {
-            let mut injector = inner.injector.lock().expect("injector poisoned");
+            let poisonings = &inner.counters.lock_poisonings;
+            let mut injector = recover_lock(&inner.injector, poisonings);
             loop {
                 if let Some(work) = injector.pop_front() {
                     break work;
@@ -463,7 +504,7 @@ fn worker_loop(inner: &Arc<PoolInner>) -> WorkerExit {
                 if inner.shutdown.load(Ordering::SeqCst) {
                     return WorkerExit::Shutdown;
                 }
-                injector = inner.work_cv.wait(injector).expect("injector poisoned");
+                injector = recover_wait(&inner.work_cv, injector, poisonings);
             }
         };
         match work {
@@ -502,8 +543,9 @@ fn worker_loop(inner: &Arc<PoolInner>) -> WorkerExit {
                     // per task).  An exhausted handle is dropped on pop —
                     // run_one returns false and nothing is re-injected — so
                     // dead handles cannot circulate.
-                    if !batch.tasks.lock().expect("batch queue poisoned").is_empty() {
-                        let mut injector = inner.injector.lock().expect("injector poisoned");
+                    if !recover_lock(&batch.tasks, &batch.poisonings).is_empty() {
+                        let mut injector =
+                            recover_lock(&inner.injector, &inner.counters.lock_poisonings);
                         injector.push_front(Work::Batch(Arc::clone(&batch)));
                         drop(injector);
                         inner.work_cv.notify_one();
@@ -716,6 +758,40 @@ mod tests {
         pool.run_batch(tasks);
         assert_eq!(outer_sum.load(Ordering::SeqCst), 60);
         assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), 6);
+    }
+
+    #[test]
+    fn poisoned_injector_lock_recovers_instead_of_cascading() {
+        let pool = WorkerPool::new(1);
+        // Poison the injector lock the only way it can happen in practice:
+        // a thread dies while holding it.
+        let inner = Arc::clone(&pool.inner);
+        let _ = std::thread::spawn(move || {
+            let _guard = inner.injector.lock().unwrap();
+            panic!("die holding the injector lock");
+        })
+        .join();
+        assert!(pool.inner.injector.is_poisoned());
+        // Detached jobs and scoped batches must both keep working.
+        let (tx, rx) = std::sync::mpsc::channel::<u32>();
+        pool.spawn(move || {
+            let _ = tx.send(7);
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), 7);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_batch(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+        assert!(
+            pool.stats().lock_poisonings >= 1,
+            "the recovery must be counted"
+        );
     }
 
     #[test]

@@ -61,6 +61,17 @@ pub enum ServeError {
         /// The session's actual status.
         status: String,
     },
+    /// The shard a session routes to is `Down`: enough consecutive
+    /// operations exhausted their retries that the sharded store stopped
+    /// sending it traffic.  Only sessions on that shard are affected; the
+    /// rest of the store keeps serving.  A successful scrub pass revives
+    /// the shard.
+    ShardUnavailable {
+        /// The down shard's name.
+        shard: String,
+        /// The session whose operation was rejected.
+        session: String,
+    },
     /// The service's kill switch has been tripped: it no longer accepts or
     /// advances sessions (recover into a fresh service instead).
     ServiceKilled,
@@ -99,6 +110,12 @@ impl fmt::Display for ServeError {
             }
             ServeError::SessionBusy { session, status } => {
                 write!(f, "session {session} is {status}")
+            }
+            ServeError::ShardUnavailable { shard, session } => {
+                write!(
+                    f,
+                    "shard {shard} is down; session {session} is unavailable until a scrub revives it"
+                )
             }
             ServeError::ServiceKilled => write!(f, "service kill switch is tripped"),
             ServeError::Bo(e) => write!(f, "optimization error: {e}"),

@@ -34,6 +34,24 @@
 //!   under overload and rejecting with [`ServeError::Overloaded`] — the
 //!   explicit backpressure signal — when nothing can be shed.
 //!
+//! * **Sharding, fault injection, and scrub.**  Every filesystem touch of
+//!   the store goes through the [`io::StoreIo`] seam, so the same
+//!   persistence code runs against the real disk ([`io::StdIo`]) or a
+//!   deterministic fault injector ([`io::FaultIo`]) scripting EIO, ENOSPC,
+//!   torn writes, dropped renames, and lost fsyncs.  [`ShardedStore`]
+//!   spreads sessions across K directory shards with rendezvous-hash
+//!   routing, retries transient faults with decorrelated-jitter backoff,
+//!   and degrades per shard: a `Down` shard rejects only its own sessions
+//!   with [`ServeError::ShardUnavailable`] while the rest keep serving.
+//!   A [`ShardedStore::scrub`] pass walks the shards, repairs session
+//!   generations (promoting intact backups over corrupt or missing
+//!   `latest` files), revives recovered shards, and reports a typed
+//!   [`ScrubReport`]; [`BoService::recover`] runs the per-session repair
+//!   before loading, so a restart after any fault sequence converges to a
+//!   consistent store.  The fault model — which faults are retried, which
+//!   degrade a shard, and which lose data — is documented in the [`store`]
+//!   module.
+//!
 //! The happy path:
 //!
 //! ```
@@ -62,10 +80,16 @@
 mod error;
 
 pub mod deadline;
+pub mod io;
+pub mod scrub;
 pub mod service;
+pub mod shard;
 pub mod store;
 
 pub use deadline::DeadlineProblem;
 pub use error::ServeError;
+pub use io::{FaultIo, FaultKind, FaultPlan, StdIo, StoreIo};
+pub use scrub::{ScrubAction, ScrubReport, SessionScrub};
 pub use service::{percentile_of, BoService, ServeConfig, ServeStats, SessionStatus};
-pub use store::{fnv1a64, LoadedSession, SessionStore};
+pub use shard::{RetryPolicy, ShardConfig, ShardHealth, ShardedStore};
+pub use store::{fnv1a64, LoadedSession, SessionStore, SnapshotStore};

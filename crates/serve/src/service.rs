@@ -69,7 +69,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::deadline::DeadlineProblem;
 use crate::error::ServeError;
-use crate::store::SessionStore;
+use crate::shard::ShardHealth;
+use crate::store::{SessionStore, SnapshotStore};
 
 /// Service construction knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -162,6 +163,11 @@ pub struct ServeStats {
     pub recovered_from_backup: usize,
     /// Recoveries that detected (and survived) a corrupt primary.
     pub corruption_detected: usize,
+    /// Sessions parked because a persist hit a `Down` shard (distinct from
+    /// shed parks: the in-memory state is intact, only durability waits).
+    pub shard_parks: usize,
+    /// Admissions rejected because the session's shard was `Down`.
+    pub shard_rejections: usize,
 }
 
 struct StatCounters {
@@ -180,6 +186,8 @@ struct StatCounters {
     steps_lost_to_kill: AtomicUsize,
     recovered_from_backup: AtomicUsize,
     corruption_detected: AtomicUsize,
+    shard_parks: AtomicUsize,
+    shard_rejections: AtomicUsize,
 }
 
 impl StatCounters {
@@ -200,6 +208,8 @@ impl StatCounters {
             steps_lost_to_kill: AtomicUsize::new(0),
             recovered_from_backup: AtomicUsize::new(0),
             corruption_detected: AtomicUsize::new(0),
+            shard_parks: AtomicUsize::new(0),
+            shard_rejections: AtomicUsize::new(0),
         }
     }
 
@@ -221,6 +231,8 @@ impl StatCounters {
             steps_lost_to_kill: get(&self.steps_lost_to_kill),
             recovered_from_backup: get(&self.recovered_from_backup),
             corruption_detected: get(&self.corruption_detected),
+            shard_parks: get(&self.shard_parks),
+            shard_rejections: get(&self.shard_rejections),
         }
     }
 }
@@ -284,8 +296,8 @@ impl<T: SurrogateTrainer> Session<T> {
     }
 }
 
-struct ServeInner<T: SurrogateTrainer> {
-    store: SessionStore,
+struct ServeInner<T: SurrogateTrainer, S: SnapshotStore> {
+    store: S,
     config: ServeConfig,
     pool: PoolRef,
     registry: Mutex<HashMap<String, Arc<Session<T>>>>,
@@ -297,7 +309,7 @@ struct ServeInner<T: SurrogateTrainer> {
     latencies_ms: Mutex<Vec<f64>>,
 }
 
-impl<T: SurrogateTrainer> ServeInner<T> {
+impl<T: SurrogateTrainer, S: SnapshotStore> ServeInner<T, S> {
     fn pool(&self) -> &WorkerPool {
         self.pool.get()
     }
@@ -318,17 +330,23 @@ impl<T: SurrogateTrainer> ServeInner<T> {
 
 /// The supervised multi-session Bayesian-optimization service.  See the
 /// module docs for the execution, supervision, shedding, and crash models.
-pub struct BoService<T: SurrogateTrainer> {
-    inner: Arc<ServeInner<T>>,
+///
+/// Generic over its persistence backend: the default [`SessionStore`] is
+/// one directory; [`crate::ShardedStore`] adds rendezvous-routed shards
+/// with retry and per-shard degradation, which the service's admission and
+/// persist paths respect (see [`ServeError::ShardUnavailable`]).
+pub struct BoService<T: SurrogateTrainer, S: SnapshotStore = SessionStore> {
+    inner: Arc<ServeInner<T, S>>,
 }
 
-impl<T> BoService<T>
+impl<T, S> BoService<T, S>
 where
     T: SurrogateTrainer + 'static,
     T::Model: Serialize + for<'de> Deserialize<'de> + 'static,
+    S: SnapshotStore + 'static,
 {
     /// Creates a service persisting through `store`.
-    pub fn new(store: SessionStore, config: ServeConfig) -> Self {
+    pub fn new(store: S, config: ServeConfig) -> Self {
         let pool = match config.workers {
             Some(n) => PoolRef::Private(WorkerPool::new(n.max(1))),
             None => PoolRef::Global,
@@ -350,7 +368,7 @@ where
     }
 
     /// The store this service persists through.
-    pub fn store(&self) -> &SessionStore {
+    pub fn store(&self) -> &S {
         &self.inner.store
     }
 
@@ -394,6 +412,23 @@ where
         driver: BayesOpt<T>,
         problem: Arc<dyn Problem + Send + Sync>,
     ) -> Result<usize, ServeError> {
+        // Scrub the session's generations first, so recovery after a torn
+        // write or dropped rename reads the repaired store rather than
+        // tripping over the debris.  What the scrub healed still counts as
+        // provenance: a promoted backup IS a recovery from backup.
+        let repaired = self.inner.store.repair_session(id)?;
+        if repaired.action == crate::scrub::ScrubAction::PromotedBackup {
+            self.inner
+                .stats
+                .recovered_from_backup
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if repaired.latest_was_corrupt {
+            self.inner
+                .stats
+                .corruption_detected
+                .fetch_add(1, Ordering::Relaxed);
+        }
         let loaded = self
             .inner
             .store
@@ -436,6 +471,19 @@ where
         SessionStore::validate_id(id)?;
         if self.inner.killed.load(Ordering::SeqCst) {
             return Err(ServeError::ServiceKilled);
+        }
+        // Admission respects shard health: a session routed to a Down
+        // shard cannot checkpoint, so it is rejected up-front instead of
+        // admitted into guaranteed persist failures.
+        if self.inner.store.health_for(id) == ShardHealth::Down {
+            self.inner
+                .stats
+                .shard_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::ShardUnavailable {
+                shard: self.inner.store.placement(id).unwrap_or_default(),
+                session: id.to_string(),
+            });
         }
         let deadline = self
             .inner
@@ -716,10 +764,11 @@ pub fn percentile_of(samples: &[f64], percentile: f64) -> Option<f64> {
 
 /// Enqueues the session's next step job, keeping the invariant that an
 /// active session always has exactly one job queued or running.
-fn spawn_step_job<T>(inner: &Arc<ServeInner<T>>, session: &Arc<Session<T>>)
+fn spawn_step_job<T, S>(inner: &Arc<ServeInner<T, S>>, session: &Arc<Session<T>>)
 where
     T: SurrogateTrainer + 'static,
     T::Model: Serialize + for<'de> Deserialize<'de> + 'static,
+    S: SnapshotStore + 'static,
 {
     inner.in_flight.fetch_add(1, Ordering::SeqCst);
     let inner_job = Arc::clone(inner);
@@ -733,10 +782,11 @@ where
 
 /// One unit of session work: start or step, checkpoint, re-enqueue.  Never
 /// unwinds — panics quarantine the session and recycle the worker.
-fn step_job<T>(inner: &Arc<ServeInner<T>>, session: &Arc<Session<T>>)
+fn step_job<T, S>(inner: &Arc<ServeInner<T, S>>, session: &Arc<Session<T>>)
 where
     T: SurrogateTrainer + 'static,
     T::Model: Serialize + for<'de> Deserialize<'de> + 'static,
+    S: SnapshotStore + 'static,
 {
     if inner.killed.load(Ordering::SeqCst) {
         return;
@@ -786,6 +836,17 @@ where
                 return;
             }
             if let Err(e) = inner.store.persist(&session.id, &snapshot_json) {
+                if matches!(e, ServeError::ShardUnavailable { .. }) {
+                    // The session's shard went Down mid-run.  Its in-memory
+                    // state is intact and its durable state is the last
+                    // acked checkpoint, so park it instead of quarantining:
+                    // once a scrub revives the shard, `resume_parked`
+                    // continues the run and the next persist catches up.
+                    inner.stats.shard_parks.fetch_add(1, Ordering::Relaxed);
+                    session.lock_state().status = SessionStatus::Parked;
+                    inner.note_change();
+                    return;
+                }
                 inner.stats.persist_failures.fetch_add(1, Ordering::Relaxed);
                 quarantine(inner, session, format!("checkpoint persist failed: {e}"));
                 return;
@@ -818,7 +879,11 @@ where
 
 /// Marks a session quarantined, discarding its (suspect) in-memory state;
 /// the last persisted checkpoint stays authoritative.
-fn quarantine<T: SurrogateTrainer>(inner: &ServeInner<T>, session: &Session<T>, reason: String) {
+fn quarantine<T: SurrogateTrainer, S: SnapshotStore>(
+    inner: &ServeInner<T, S>,
+    session: &Session<T>,
+    reason: String,
+) {
     let mut st = session.lock_state();
     st.bo = None;
     st.status = SessionStatus::Quarantined;

@@ -33,12 +33,47 @@
 //! anywhere hash differently).  A damaged `latest` falls back to `prev`
 //! with the corruption recorded in [`LoadedSession`]; a wrong resume is
 //! never returned.
+//!
+//! # Fault model
+//!
+//! Every filesystem touch goes through an injectable [`StoreIo`] backend
+//! (see the [`crate::io`] module), and the store's behaviour under each
+//! disk-fault class is part of the durability contract:
+//!
+//! * **Transient faults (`EIO`, `ENOSPC`)** — `persist` returns
+//!   [`ServeError::Store`] with the previously persisted generations
+//!   untouched.  These are *retryable*: the sharded layer
+//!   ([`crate::ShardedStore`]) retries them with bounded decorrelated-jitter
+//!   backoff before reporting failure.
+//! * **Torn writes** — a crash mid-`write` leaves a short `.tmp` file; the
+//!   durable generations are untouched because the tmp file is renamed into
+//!   place only after its fsync succeeded.  [`SessionStore::scrub_session`]
+//!   removes the stray tmp on the next start.
+//! * **Dropped renames / lost fsyncs** — a crash before the rename (or its
+//!   durability barrier) reached the platter loses only the step being
+//!   persisted: `persist` never acknowledges success before `write`,
+//!   `sync_file`, both renames *and* the directory fsync all returned —
+//!   a failed directory fsync is surfaced as [`ServeError::Store`], not
+//!   swallowed, so an acknowledged step is durable on every path.
+//! * **Data loss** — only a fault (or bit rot) that damages *both* the
+//!   `latest` and `prev` generations of a session loses data, and it is
+//!   reported as [`ServeError::CorruptSnapshot`], never resumed from.
+//!
+//! [`SessionStore::scrub_session`] is the self-healing pass over this
+//! model: it deletes stray `.tmp` files, promotes an intact `prev` over a
+//! corrupt-or-missing `latest` (making the fallback [`load`] would take
+//! durable on disk), and reports what it found.  `load` before and after a
+//! scrub returns byte-identical payloads.
+//!
+//! [`load`]: SessionStore::load
 
-use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::error::ServeError;
+use crate::io::{StdIo, StoreIo};
+use crate::scrub::{ScrubAction, ScrubReport, SessionScrub};
+use crate::shard::ShardHealth;
 
 const MAGIC: &str = "nnbo-session";
 const FORMAT_VERSION: u32 = 1;
@@ -65,27 +100,64 @@ pub struct LoadedSession {
     pub corruption: Option<String>,
 }
 
+/// The storage surface [`crate::BoService`] persists through: one
+/// directory ([`SessionStore`]) or many health-tracked shards
+/// ([`crate::ShardedStore`]).
+pub trait SnapshotStore: Send + Sync {
+    /// Persists one snapshot payload durably.
+    fn persist(&self, id: &str, snapshot_json: &str) -> Result<(), ServeError>;
+    /// Loads the most recent intact snapshot for `id` (`None` = unknown).
+    fn load(&self, id: &str) -> Result<Option<LoadedSession>, ServeError>;
+    /// Session ids with at least one on-disk generation, sorted.
+    fn list(&self) -> Result<Vec<String>, ServeError>;
+    /// Removes every generation of `id`.
+    fn remove(&self, id: &str) -> Result<(), ServeError>;
+    /// Health of the storage serving `id` (always `Healthy` for an
+    /// unsharded store; per-shard for [`crate::ShardedStore`]).
+    fn health_for(&self, id: &str) -> ShardHealth;
+    /// The shard name `id` routes to (`None` when the store is unsharded).
+    fn placement(&self, _id: &str) -> Option<String> {
+        None
+    }
+    /// Self-heals `id`'s on-disk generations (stray tmp removal, backup
+    /// promotion) before a recovery reads them, reporting what it found.
+    fn repair_session(&self, id: &str) -> Result<SessionScrub, ServeError>;
+}
+
 /// Crash-safe, per-session snapshot storage in one directory.
 ///
-/// See the module docs for the durability contract.
+/// See the module docs for the durability contract and the fault model.
 #[derive(Debug, Clone)]
 pub struct SessionStore {
     dir: PathBuf,
+    io: Arc<dyn StoreIo>,
 }
 
 impl SessionStore {
-    /// Opens (creating if needed) a store rooted at `dir`.
+    /// Opens (creating if needed) a store rooted at `dir` on the real
+    /// filesystem backend.
     ///
     /// # Errors
     ///
     /// [`ServeError::Store`] when the directory cannot be created.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, ServeError> {
+        SessionStore::open_with(dir, Arc::new(StdIo))
+    }
+
+    /// Opens a store over an explicit I/O backend (the seam the
+    /// fault-injection suites use; production code wants
+    /// [`SessionStore::open`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] when the directory cannot be created.
+    pub fn open_with(dir: impl AsRef<Path>, io: Arc<dyn StoreIo>) -> Result<Self, ServeError> {
         let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&dir).map_err(|e| ServeError::Store {
+        io.create_dir_all(&dir).map_err(|e| ServeError::Store {
             path: dir.display().to_string(),
             reason: e.to_string(),
         })?;
-        Ok(SessionStore { dir })
+        Ok(SessionStore { dir, io })
     }
 
     /// The directory this store persists into.
@@ -124,6 +196,11 @@ impl SessionStore {
 
     /// Persists one snapshot payload durably (see the module docs).
     ///
+    /// Success is acknowledged only after the framed bytes, both renames,
+    /// *and* the directory fsync (the renames' durability barrier) all
+    /// completed — so an acknowledged step survives a crash at any later
+    /// instant.
+    ///
     /// # Errors
     ///
     /// [`ServeError::InvalidSessionId`] for unsafe ids and
@@ -138,26 +215,28 @@ impl SessionStore {
             fnv1a64(payload)
         );
         let tmp = self.tmp_path(id);
-        let io_err = |path: &Path, e: std::io::Error| ServeError::Store {
-            path: path.display().to_string(),
-            reason: e.to_string(),
-        };
-        {
-            let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
-            f.write_all(frame.as_bytes()).map_err(|e| io_err(&tmp, e))?;
-            f.sync_all().map_err(|e| io_err(&tmp, e))?;
-        }
+        let io_err = io_err();
+        self.io
+            .write(&tmp, frame.as_bytes())
+            .map_err(|e| io_err(&tmp, e))?;
+        self.io.sync_file(&tmp).map_err(|e| io_err(&tmp, e))?;
         let latest = self.latest_path(id);
-        if latest.exists() {
+        if self.io.exists(&latest).map_err(|e| io_err(&latest, e))? {
             let prev = self.prev_path(id);
-            fs::rename(&latest, &prev).map_err(|e| io_err(&latest, e))?;
+            self.io
+                .rename(&latest, &prev)
+                .map_err(|e| io_err(&latest, e))?;
         }
-        fs::rename(&tmp, &latest).map_err(|e| io_err(&latest, e))?;
-        // Make the renames themselves durable where the platform allows it;
-        // a failure here only delays durability, it cannot tear a file.
-        if let Ok(d) = fs::File::open(&self.dir) {
-            let _ = d.sync_all();
-        }
+        self.io
+            .rename(&tmp, &latest)
+            .map_err(|e| io_err(&latest, e))?;
+        // The renames' durability barrier.  A failure here means the step
+        // may not survive a crash, so it is a persist failure — reporting
+        // success for a possibly-lost rename would break the "acknowledged
+        // ⇒ durable" contract.
+        self.io
+            .sync_dir(&self.dir)
+            .map_err(|e| io_err(&self.dir, e))?;
         Ok(())
     }
 
@@ -212,14 +291,13 @@ impl SessionStore {
     ///
     /// [`ServeError::Store`] when the directory cannot be read.
     pub fn list(&self) -> Result<Vec<String>, ServeError> {
-        let entries = fs::read_dir(&self.dir).map_err(|e| ServeError::Store {
+        let names = self.io.list(&self.dir).map_err(|e| ServeError::Store {
             path: self.dir.display().to_string(),
             reason: e.to_string(),
         })?;
-        let mut ids: Vec<String> = entries
-            .filter_map(|e| e.ok())
-            .filter_map(|e| {
-                let name = e.file_name().into_string().ok()?;
+        let mut ids: Vec<String> = names
+            .iter()
+            .filter_map(|name| {
                 name.strip_suffix(".session")
                     .or_else(|| name.strip_suffix(".session.prev"))
                     .map(str::to_string)
@@ -237,24 +315,110 @@ impl SessionStore {
     /// [`ServeError::Store`] when an existing file cannot be removed.
     pub fn remove(&self, id: &str) -> Result<(), ServeError> {
         Self::validate_id(id)?;
+        let io_err = io_err();
         for path in [self.latest_path(id), self.prev_path(id), self.tmp_path(id)] {
-            match fs::remove_file(&path) {
-                Ok(()) => {}
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-                Err(e) => {
-                    return Err(ServeError::Store {
-                        path: path.display().to_string(),
-                        reason: e.to_string(),
-                    });
-                }
-            }
+            self.io.remove_file(&path).map_err(|e| io_err(&path, e))?;
         }
         Ok(())
     }
 
+    /// Self-heals the on-disk generations of one session (see the module
+    /// docs' fault model): removes a stray `.tmp`, promotes an intact
+    /// `prev` over a corrupt-or-missing `latest`, and deletes a corrupt
+    /// `prev` shadowed by an intact `latest`.  [`SessionStore::load`]
+    /// returns byte-identical payloads before and after.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidSessionId`] for unsafe ids and
+    /// [`ServeError::Store`] for I/O failures during the repair.
+    pub fn scrub_session(&self, id: &str) -> Result<SessionScrub, ServeError> {
+        Self::validate_id(id)?;
+        let io_err = io_err();
+        let tmp = self.tmp_path(id);
+        let mut scrub = SessionScrub::default();
+        if self.io.exists(&tmp).map_err(|e| io_err(&tmp, e))? {
+            self.io.remove_file(&tmp).map_err(|e| io_err(&tmp, e))?;
+            scrub.tmp_removed = true;
+        }
+        let latest_path = self.latest_path(id);
+        let prev_path = self.prev_path(id);
+        let latest = self.read_generation(&latest_path)?;
+        let prev = self.read_generation(&prev_path)?;
+        scrub.latest_was_corrupt = matches!(latest, Generation::Corrupt(_));
+        scrub.action = match (latest, prev) {
+            (Generation::Ok(_), prev) => {
+                if matches!(prev, Generation::Corrupt(_)) {
+                    self.io
+                        .remove_file(&prev_path)
+                        .map_err(|e| io_err(&prev_path, e))?;
+                    scrub.stale_backup_removed = true;
+                }
+                ScrubAction::Intact
+            }
+            (latest, Generation::Ok(_)) => {
+                if !matches!(latest, Generation::Missing) {
+                    self.io
+                        .remove_file(&latest_path)
+                        .map_err(|e| io_err(&latest_path, e))?;
+                }
+                self.io
+                    .rename(&prev_path, &latest_path)
+                    .map_err(|e| io_err(&prev_path, e))?;
+                self.io
+                    .sync_dir(&self.dir)
+                    .map_err(|e| io_err(&self.dir, e))?;
+                ScrubAction::PromotedBackup
+            }
+            (Generation::Missing, Generation::Missing) => ScrubAction::Missing,
+            _ => ScrubAction::Unrecoverable,
+        };
+        Ok(scrub)
+    }
+
+    /// Scrubs every session in the directory (including sessions that left
+    /// only a stray `.tmp` behind), accumulating into `report`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] when the directory walk or a repair fails.
+    pub fn scrub_into(&self, report: &mut ScrubReport) -> Result<(), ServeError> {
+        let names = self.io.list(&self.dir).map_err(|e| ServeError::Store {
+            path: self.dir.display().to_string(),
+            reason: e.to_string(),
+        })?;
+        let mut ids: Vec<String> = names
+            .iter()
+            .filter_map(|name| {
+                name.strip_suffix(".session.tmp")
+                    .or_else(|| name.strip_suffix(".session.prev"))
+                    .or_else(|| name.strip_suffix(".session"))
+                    .map(str::to_string)
+            })
+            .collect();
+        ids.sort();
+        ids.dedup();
+        for id in ids {
+            report.record(&id, self.scrub_session(&id)?);
+        }
+        Ok(())
+    }
+
+    /// Scrubs every session in the directory and reports what was healed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] when the directory walk or a repair fails.
+    pub fn scrub(&self) -> Result<ScrubReport, ServeError> {
+        let mut report = ScrubReport::default();
+        self.scrub_into(&mut report)?;
+        report.shards_scrubbed = 1;
+        Ok(report)
+    }
+
     /// Reads and verifies one generation file.
     fn read_generation(&self, path: &Path) -> Result<Generation, ServeError> {
-        let bytes = match fs::read(path) {
+        let bytes = match self.io.read(path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Generation::Missing),
             Err(e) => {
@@ -265,6 +429,41 @@ impl SessionStore {
             }
         };
         Ok(verify_frame(&bytes))
+    }
+}
+
+impl SnapshotStore for SessionStore {
+    fn persist(&self, id: &str, snapshot_json: &str) -> Result<(), ServeError> {
+        SessionStore::persist(self, id, snapshot_json)
+    }
+
+    fn load(&self, id: &str) -> Result<Option<LoadedSession>, ServeError> {
+        SessionStore::load(self, id)
+    }
+
+    fn list(&self) -> Result<Vec<String>, ServeError> {
+        SessionStore::list(self)
+    }
+
+    fn remove(&self, id: &str) -> Result<(), ServeError> {
+        SessionStore::remove(self, id)
+    }
+
+    fn health_for(&self, _id: &str) -> ShardHealth {
+        ShardHealth::Healthy
+    }
+
+    fn repair_session(&self, id: &str) -> Result<SessionScrub, ServeError> {
+        self.scrub_session(id)
+    }
+}
+
+/// The standard `ServeError::Store` constructor from a path and an
+/// `io::Error`.
+fn io_err() -> impl Fn(&Path, std::io::Error) -> ServeError {
+    |path, e| ServeError::Store {
+        path: path.display().to_string(),
+        reason: e.to_string(),
     }
 }
 
@@ -360,6 +559,7 @@ fn parse_strict_hex64(field: &str) -> Option<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn scratch_dir(tag: &str) -> PathBuf {
         static UNIQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);

@@ -795,3 +795,142 @@ fn admission_rejects_duplicates_bad_ids_and_mismatched_recoveries() {
     ));
     let _ = std::fs::remove_dir_all(service.store().dir());
 }
+
+/// Finds `want` session ids that the sharded store routes to `shard`.
+fn ids_on_shard(
+    store: &nnbo_serve::ShardedStore,
+    shard: &str,
+    want: usize,
+    tag: &str,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0.. {
+        let id = format!("{tag}-{i}");
+        if store.shard_for(&id) == shard {
+            out.push(id);
+            if out.len() == want {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn down_shard_parks_its_sessions_while_the_other_shard_completes() {
+    use nnbo_serve::{
+        FaultIo, FaultKind, FaultPlan, RetryPolicy, ShardConfig, ShardedStore, StdIo,
+    };
+
+    let root = std::env::temp_dir().join(format!("nnbo-chaos-shard-down-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let cfg = ShardConfig::new(2)
+        .with_retry(RetryPolicy::no_backoff(1))
+        .with_down_after(1);
+    // shard-00's disk dies on its very first write and never comes back.
+    let store = ShardedStore::open_with(&root, cfg, |name| {
+        if name == "shard-00" {
+            Arc::new(FaultIo::new(FaultPlan::one(0, FaultKind::TornWrite)))
+        } else {
+            Arc::new(StdIo)
+        }
+    })
+    .unwrap();
+    let bad = ids_on_shard(&store, "shard-00", 2, "bad");
+    let good = ids_on_shard(&store, "shard-01", 2, "good");
+    let service: BoService<MeanTrainer, ShardedStore> = BoService::new(
+        store,
+        ServeConfig {
+            workers: Some(1),
+            ..ServeConfig::default()
+        },
+    );
+    // One worker => deterministic job order: bad[0] hits the dead disk
+    // first (quarantined, shard goes Down), bad[1]'s persist then sees the
+    // Down shard and parks instead.
+    for id in bad.iter().chain(&good) {
+        service
+            .submit(id, driver(21), Arc::new(ConstrainedBranin))
+            .unwrap();
+    }
+    service.drain();
+
+    assert_eq!(service.status(&bad[0]).unwrap(), SessionStatus::Quarantined);
+    assert_eq!(service.status(&bad[1]).unwrap(), SessionStatus::Parked);
+    for id in &good {
+        assert_eq!(
+            service.status(id).unwrap(),
+            SessionStatus::Completed,
+            "{id}: the healthy shard must keep serving through the outage"
+        );
+        assert_eq!(service.history(id).unwrap(), sequential_reference(21));
+    }
+    let stats = service.stats();
+    assert_eq!(stats.sessions_completed, 2);
+    assert_eq!(
+        stats.persist_failures, 1,
+        "only the downing failure touches disk"
+    );
+    assert_eq!(stats.shard_parks, 1);
+
+    // Admission also respects shard health: a *new* session routed to the
+    // Down shard is rejected up-front with the typed error.
+    let extra = ids_on_shard(service.store(), "shard-00", 1, "extra");
+    match service.submit(&extra[0], driver(22), Arc::new(ConstrainedBranin)) {
+        Err(ServeError::ShardUnavailable { shard, session }) => {
+            assert_eq!(shard, "shard-00");
+            assert_eq!(session, extra[0]);
+        }
+        other => panic!("expected ShardUnavailable, got {other:?}"),
+    }
+    assert_eq!(service.stats().shard_rejections, 1);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn scrub_revives_the_shard_and_the_parked_session_finishes_bit_identically() {
+    use nnbo_serve::{FaultIo, FaultKind, FaultPlan, RetryPolicy, ShardConfig, ShardedStore};
+
+    let root = std::env::temp_dir().join(format!("nnbo-chaos-shard-revive-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let cfg = ShardConfig::new(1)
+        .with_retry(RetryPolicy::no_backoff(1))
+        .with_down_after(1);
+    // One transient EIO, then the disk is fine — but with no retries and
+    // down_after=1 that single fault downs the only shard.
+    let store = ShardedStore::open_with(&root, cfg, |_| {
+        Arc::new(FaultIo::new(FaultPlan::one(0, FaultKind::TransientEio)))
+    })
+    .unwrap();
+    let service: BoService<MeanTrainer, ShardedStore> = BoService::new(
+        store,
+        ServeConfig {
+            workers: Some(1),
+            ..ServeConfig::default()
+        },
+    );
+    service
+        .submit("a", driver(31), Arc::new(ConstrainedBranin))
+        .unwrap();
+    service
+        .submit("b", driver(32), Arc::new(ConstrainedBranin))
+        .unwrap();
+    service.drain();
+    // a's first persist ate the EIO (quarantine + shard Down); b parked.
+    assert_eq!(service.status("a").unwrap(), SessionStatus::Quarantined);
+    assert_eq!(service.status("b").unwrap(), SessionStatus::Parked);
+
+    // Operator runs a scrub: the shard answers again, so it is revived and
+    // the parked session resumes from its intact in-memory state.
+    let report = service.store().scrub().unwrap();
+    assert_eq!(report.shards_revived, 1);
+    service.resume_parked("b").unwrap();
+    service.drain();
+    assert_eq!(service.status("b").unwrap(), SessionStatus::Completed);
+    assert_eq!(
+        service.history("b").unwrap(),
+        sequential_reference(32),
+        "the outage must not change what the session computes"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
