@@ -92,8 +92,18 @@ impl Gaspad {
         &self.config
     }
 
-    /// Runs the optimization.
+    /// Runs the optimization to completion — exactly
+    /// [`Gaspad::start`] / [`Gaspad::step`] / [`Gaspad::finish`], so an
+    /// interrupted-and-resumed run reproduces this one bit for bit.
     pub fn run(&self, problem: &dyn Problem) -> OptimizationResult {
+        let mut state = self.start(problem);
+        while self.step(problem, &mut state) {}
+        self.finish(state)
+    }
+
+    /// Evaluates the initial Latin-hypercube population and returns the
+    /// mid-run state the generation loop advances.
+    pub fn start(&self, problem: &dyn Problem) -> GaspadState {
         let dim = problem.dim();
         let np = self.config.population;
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -107,33 +117,96 @@ impl Gaspad {
             population.push(x);
             fitness.push(eval);
         }
-
-        while history.len() < self.config.max_evaluations {
-            // Generate an offspring pool with DE operators.
-            let offspring: Vec<Vec<f64>> = (0..self.config.offspring_pool)
-                .map(|_| self.make_offspring(&population, dim, &mut rng))
-                .collect();
-
-            // Pre-screen the pool with GP surrogates; fall back to a random pick if
-            // the surrogate cannot be trained.
-            let chosen = match self.prescreen(&history, &offspring, &mut rng) {
-                Some(idx) => offspring[idx].clone(),
-                None => offspring[rng.gen_range(0..offspring.len())].clone(),
-            };
-            let eval = problem.evaluate(&chosen);
-            history.push((chosen.clone(), eval.clone()));
-
-            // Replace the worst member of the population if the new point is better.
-            let worst = (0..np)
-                .max_by(|&a, &b| compare(&fitness[a], &fitness[b]))
-                .expect("non-empty population");
-            if better(&eval, &fitness[worst]) {
-                population[worst] = chosen;
-                fitness[worst] = eval;
-            }
+        GaspadState {
+            rng,
+            history,
+            population,
+            fitness,
         }
+    }
 
-        OptimizationResult::from_history(history, np)
+    /// Performs one generation — offspring pool, GP prescreen, one simulation,
+    /// Deb's-rules replacement — and returns `false` once the budget is spent
+    /// (in which case the state is untouched).
+    pub fn step(&self, problem: &dyn Problem, state: &mut GaspadState) -> bool {
+        if state.history.len() >= self.config.max_evaluations {
+            return false;
+        }
+        let dim = problem.dim();
+        let np = self.config.population;
+        let GaspadState {
+            rng,
+            history,
+            population,
+            fitness,
+        } = state;
+
+        // Generate an offspring pool with DE operators.
+        let offspring: Vec<Vec<f64>> = (0..self.config.offspring_pool)
+            .map(|_| self.make_offspring(population, dim, rng))
+            .collect();
+
+        // Pre-screen the pool with GP surrogates; fall back to a random pick if
+        // the surrogate cannot be trained.
+        let chosen = match self.prescreen(history, &offspring, rng) {
+            Some(idx) => offspring[idx].clone(),
+            None => offspring[rng.gen_range(0..offspring.len())].clone(),
+        };
+        let eval = problem.evaluate(&chosen);
+        history.push((chosen.clone(), eval.clone()));
+
+        // Replace the worst member of the population if the new point is better.
+        let worst = (0..np)
+            .max_by(|&a, &b| compare(&fitness[a], &fitness[b]))
+            .expect("non-empty population");
+        if better(&eval, &fitness[worst]) {
+            population[worst] = chosen;
+            fitness[worst] = eval;
+        }
+        true
+    }
+
+    /// Wraps up a (possibly mid-budget) state into the result every baseline
+    /// reports.
+    pub fn finish(&self, state: GaspadState) -> OptimizationResult {
+        OptimizationResult::from_history(state.history, self.config.population)
+    }
+
+    /// Captures a checkpoint of a mid-run state.  The snapshot embeds the
+    /// configuration, the full history, the population with its fitness, and
+    /// the exact RNG position, so [`Gaspad::resume`] continues bit-identically
+    /// to the uninterrupted run.
+    pub fn snapshot(&self, state: &GaspadState) -> GaspadSnapshot {
+        GaspadSnapshot {
+            config: self.config.clone(),
+            rng_state: state.rng.state(),
+            history: state.history.clone(),
+            population: state.population.clone(),
+            fitness: state.fitness.clone(),
+        }
+    }
+
+    /// Restores a mid-run state from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the snapshot was taken under a
+    /// different configuration or is internally inconsistent.
+    pub fn resume(&self, snapshot: &GaspadSnapshot) -> Result<GaspadState, String> {
+        if snapshot.config != self.config {
+            return Err("snapshot was taken under a different GASPAD configuration".into());
+        }
+        if snapshot.population.len() != self.config.population
+            || snapshot.fitness.len() != snapshot.population.len()
+        {
+            return Err("snapshot population is inconsistent".into());
+        }
+        Ok(GaspadState {
+            rng: StdRng::from_state(snapshot.rng_state),
+            history: snapshot.history.clone(),
+            population: snapshot.population.clone(),
+            fitness: snapshot.fitness.clone(),
+        })
     }
 
     fn make_offspring(&self, population: &[Vec<f64>], dim: usize, rng: &mut StdRng) -> Vec<f64> {
@@ -187,6 +260,50 @@ impl Gaspad {
             }
         }
         best
+    }
+}
+
+/// Mid-run state of a GASPAD optimization, advanced one generation at a time
+/// by [`Gaspad::step`].
+#[derive(Debug, Clone)]
+pub struct GaspadState {
+    rng: StdRng,
+    history: Vec<(Vec<f64>, Evaluation)>,
+    population: Vec<Vec<f64>>,
+    fitness: Vec<Evaluation>,
+}
+
+impl GaspadState {
+    /// Evaluations performed so far (initial population included).
+    pub fn num_evaluations(&self) -> usize {
+        self.history.len()
+    }
+}
+
+/// A serialisable checkpoint of a mid-run GASPAD state
+/// (see [`Gaspad::snapshot`] / [`Gaspad::resume`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaspadSnapshot {
+    config: GaspadConfig,
+    rng_state: [u64; 4],
+    history: Vec<(Vec<f64>, Evaluation)>,
+    population: Vec<Vec<f64>>,
+    fitness: Vec<Evaluation>,
+}
+
+impl GaspadSnapshot {
+    /// Serializes the snapshot to a JSON string (bit-exact floats).
+    pub fn to_json(&self) -> String {
+        serde::to_json_string(self)
+    }
+
+    /// Parses a snapshot from the JSON produced by [`GaspadSnapshot::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the text is not a GASPAD snapshot.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde::from_json_str(text).map_err(|e| e.to_string())
     }
 }
 
@@ -258,5 +375,34 @@ mod tests {
     #[should_panic(expected = "population of at least 4")]
     fn tiny_population_is_rejected() {
         let _ = Gaspad::new(GaspadConfig::new(2, 10));
+    }
+
+    #[test]
+    fn snapshot_resume_continues_bit_identically() {
+        let problem = ConstrainedBranin::new();
+        let g = fast_gaspad(GaspadConfig::new(6, 16).with_seed(9));
+        let uninterrupted = g.run(&problem);
+
+        let mut state = g.start(&problem);
+        for _ in 0..4 {
+            assert!(g.step(&problem, &mut state));
+        }
+        let snap = GaspadSnapshot::from_json(&g.snapshot(&state).to_json()).unwrap();
+        let mut resumed = g.resume(&snap).unwrap();
+        assert_eq!(resumed.num_evaluations(), 6 + 4);
+        while g.step(&problem, &mut resumed) {}
+        let replayed = g.finish(resumed);
+        assert_eq!(replayed.evaluations(), uninterrupted.evaluations());
+    }
+
+    #[test]
+    fn resume_rejects_a_foreign_snapshot() {
+        let problem = ConstrainedBranin::new();
+        let g = fast_gaspad(GaspadConfig::new(6, 16).with_seed(9));
+        let state = g.start(&problem);
+        let snap = g.snapshot(&state);
+        let other = fast_gaspad(GaspadConfig::new(6, 16).with_seed(10));
+        assert!(other.resume(&snap).is_err());
+        assert!(GaspadSnapshot::from_json("not a snapshot").is_err());
     }
 }

@@ -5,6 +5,7 @@ use std::sync::Mutex;
 use nnbo_core::{BayesOpt, BoConfig, Prediction, SurrogateModel, SurrogateTrainer};
 use nnbo_gp::{FitContext, GpConfig, GpHyperParams, GpModel, GpPredictScratch, GpPrediction};
 use rand::rngs::StdRng;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// A classical-GP surrogate model (adapter around [`nnbo_gp::GpModel`]).
 ///
@@ -50,6 +51,23 @@ impl GpSurrogate {
     }
 }
 
+/// The surrogate serialises as its [`GpModel`] alone — the prediction scratch
+/// is rebuilt empty on restore, so a round-tripped surrogate predicts
+/// bit-identically while checkpoints stay free of buffer noise.  This is what
+/// lets [`nnbo_core::BayesOpt::snapshot`] capture GP-backed runs (WEIBO,
+/// LinEasyBO) with their fitted models inline.
+impl Serialize for GpSurrogate {
+    fn to_value(&self) -> Value {
+        self.model.to_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for GpSurrogate {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        GpModel::from_value(value).map(GpSurrogate::from_model)
+    }
+}
+
 impl SurrogateModel for GpSurrogate {
     fn predict(&self, x: &[f64]) -> Prediction {
         let p = self.model.predict(x);
@@ -84,6 +102,13 @@ impl SurrogateModel for GpSurrogate {
     /// incremental model's quality between full refits.
     fn training_nll(&self) -> Option<f64> {
         Some(self.model.nll())
+    }
+
+    /// The fitted ARD lengthscales `exp(log ℓ_d)` — the adaptive signal the
+    /// LinEasyBO line strategy's `DirectionRule::LengthscaleWeighted` reads
+    /// to tilt its search direction toward the active dimensions.
+    fn lengthscales(&self) -> Option<Vec<f64>> {
+        Some(self.model.hyper_params().lengthscales())
     }
 }
 

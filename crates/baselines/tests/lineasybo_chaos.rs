@@ -1,0 +1,315 @@
+//! Chaos coverage for LinEasyBO: the line-subspace strategy rides the exact
+//! resilience machinery WEIBO does, so under identical scripted faults it
+//! must recover identically — same failure accounting, same imputation
+//! discipline, same quarantine/park behaviour when the session store's disks
+//! die under a serving fleet.
+//!
+//! The fault plans are positional (0-based call indices), so the two
+//! strategies hit the very same tape positions: both evaluate exactly one
+//! proposal per model-guided iteration, whatever that proposal cost to find.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use nnbo_baselines::GpSurrogateTrainer;
+use nnbo_core::problems::ConstrainedBranin;
+use nnbo_core::{
+    BayesOpt, BoConfig, EvalOutcome, Evaluation, FailureAction, FailurePolicy, OptimizationResult,
+    Problem, SuggestStrategy,
+};
+
+/// A deterministic script of evaluation faults to inject into one run.
+#[derive(Debug, Clone, Default)]
+struct ChaosPlan {
+    /// 0-based `try_evaluate` call indices that fail (retries consume indices).
+    fail_evals: Vec<usize>,
+    /// 0-based `try_evaluate` call indices that time out.
+    timeout_evals: Vec<usize>,
+}
+
+impl ChaosPlan {
+    fn is_empty(&self) -> bool {
+        self.fail_evals.is_empty() && self.timeout_evals.is_empty()
+    }
+}
+
+/// Replays a [`ChaosPlan`] over a wrapped problem (caller-owned counter, so
+/// a snapshot can record the exact tape position).
+struct FaultyProblem<'a> {
+    inner: ConstrainedBranin,
+    plan: &'a ChaosPlan,
+    calls: &'a AtomicUsize,
+}
+
+impl Problem for FaultyProblem<'_> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+    fn num_constraints(&self) -> usize {
+        self.inner.num_constraints()
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        self.inner.evaluate(x)
+    }
+    fn try_evaluate(&self, x: &[f64]) -> EvalOutcome {
+        let i = self.calls.fetch_add(1, Ordering::SeqCst);
+        if self.plan.fail_evals.contains(&i) {
+            EvalOutcome::Failed(format!("chaos: scripted failure at call {i}"))
+        } else if self.plan.timeout_evals.contains(&i) {
+            EvalOutcome::Timeout
+        } else {
+            self.inner.try_evaluate(x)
+        }
+    }
+}
+
+const INITIAL: usize = 6;
+const BUDGET: usize = 16;
+
+fn chaos_config(seed: u64, action: FailureAction) -> BoConfig {
+    BoConfig::fast(INITIAL, BUDGET)
+        .with_seed(seed)
+        .with_failure_policy(FailurePolicy {
+            on_exhausted: action,
+            ..FailurePolicy::default()
+        })
+}
+
+fn weibo_driver(config: BoConfig) -> BayesOpt<GpSurrogateTrainer> {
+    BayesOpt::with_trainer(config, GpSurrogateTrainer::fast())
+}
+
+fn lineasybo_driver(config: BoConfig) -> BayesOpt<GpSurrogateTrainer> {
+    BayesOpt::with_trainer(
+        config.with_strategy(SuggestStrategy::line_subspace()),
+        GpSurrogateTrainer::fast(),
+    )
+}
+
+fn run_under_plan(driver: BayesOpt<GpSurrogateTrainer>, plan: &ChaosPlan) -> OptimizationResult {
+    let calls = AtomicUsize::new(0);
+    let problem = FaultyProblem {
+        inner: ConstrainedBranin::new(),
+        plan,
+        calls: &calls,
+    };
+    driver
+        .run(&problem)
+        .expect("a chaos run never aborts on recoverable faults")
+}
+
+/// The scripted fault plans the suite sweeps, from mild to hostile.
+fn plans() -> Vec<ChaosPlan> {
+    vec![
+        ChaosPlan::default(),
+        // One isolated failure in the initial design.
+        ChaosPlan {
+            fail_evals: vec![2],
+            ..ChaosPlan::default()
+        },
+        // A burst long enough to exhaust retries mid-run, plus a timeout.
+        ChaosPlan {
+            fail_evals: (8..14).collect(),
+            timeout_evals: vec![17],
+        },
+    ]
+}
+
+#[test]
+fn lineasybo_chaos_runs_complete_their_budget_with_finite_values() {
+    for (pi, plan) in plans().iter().enumerate() {
+        for (si, action) in [
+            FailureAction::MarkInfeasible,
+            FailureAction::ImputeWorst,
+            FailureAction::Penalize { margin: 0.5 },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let result = run_under_plan(
+                lineasybo_driver(chaos_config(100 + si as u64, action)),
+                plan,
+            );
+            let ctx = format!("plan {pi}, action {action:?}");
+
+            assert_eq!(result.num_evaluations(), BUDGET, "{ctx}");
+            for (i, (x, e)) in result.evaluations().iter().enumerate() {
+                assert!(
+                    e.objective.is_finite() && e.constraints.iter().all(|g| g.is_finite()),
+                    "{ctx}: non-finite evaluation {i}"
+                );
+                assert!(
+                    x.iter().all(|v| (0.0..=1.0).contains(v)),
+                    "{ctx}: point {i} outside the unit cube"
+                );
+            }
+
+            let rec = result.recovery();
+            assert_eq!(
+                rec.eval_failures + rec.eval_timeouts == 0,
+                plan.is_empty(),
+                "{ctx}: {rec:?}"
+            );
+            assert!(
+                rec.eval_failures + rec.eval_timeouts >= rec.imputed.len(),
+                "{ctx}: {rec:?}"
+            );
+            if let Some(best) = result.best_index() {
+                assert!(!rec.imputed.contains(&best), "{ctx}: imputed best");
+            }
+        }
+    }
+}
+
+/// The WEIBO reference invariant: the fault plans are positional and both
+/// strategies evaluate one proposal per iteration, so the entire eval-side
+/// recovery account — failures, timeouts, retries, *which history indices
+/// were imputed* — must be exactly equal between the two.
+#[test]
+fn lineasybo_recovers_exactly_like_weibo_under_the_same_fault_plan() {
+    for plan in plans().iter().filter(|p| !p.is_empty()) {
+        let weibo = run_under_plan(
+            weibo_driver(chaos_config(11, FailureAction::ImputeWorst)),
+            plan,
+        );
+        let lineasybo = run_under_plan(
+            lineasybo_driver(chaos_config(11, FailureAction::ImputeWorst)),
+            plan,
+        );
+        let (w, l) = (weibo.recovery(), lineasybo.recovery());
+        assert_eq!(w.eval_failures, l.eval_failures, "plan {plan:?}");
+        assert_eq!(w.eval_timeouts, l.eval_timeouts, "plan {plan:?}");
+        assert_eq!(w.eval_retries, l.eval_retries, "plan {plan:?}");
+        assert_eq!(w.imputed, l.imputed, "plan {plan:?}");
+    }
+}
+
+#[test]
+fn lineasybo_chaos_runs_are_reproducible_for_a_fixed_seed() {
+    let plan = ChaosPlan {
+        fail_evals: (7..11).collect(),
+        timeout_evals: vec![13],
+    };
+    let run = || {
+        run_under_plan(
+            lineasybo_driver(chaos_config(11, FailureAction::Penalize { margin: 1.0 })),
+            &plan,
+        )
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.evaluations(), b.evaluations());
+    assert_eq!(a.recovery(), b.recovery());
+}
+
+/// Finds `want` session ids that the sharded store routes to `shard`.
+fn ids_on_shard(
+    store: &nnbo_serve::ShardedStore,
+    shard: &str,
+    want: usize,
+    tag: &str,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0.. {
+        let id = format!("{tag}-{i}");
+        if store.shard_for(&id) == shard {
+            out.push(id);
+            if out.len() == want {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// A sharded-store outage under a fleet of LinEasyBO sessions: the session
+/// whose persist hits the dead disk is quarantined (downing the shard), the
+/// next session routed there parks, the healthy shard's sessions complete
+/// bit-identically to the sequential loop, and admission to the Down shard
+/// is rejected with the typed error — exactly the WEIBO/MeanTrainer
+/// reference behaviour of the serve chaos suite.
+#[test]
+fn a_dead_shard_parks_lineasybo_sessions_while_the_healthy_shard_completes() {
+    use nnbo_serve::{
+        BoService, FaultIo, FaultKind, FaultPlan as IoFaultPlan, RetryPolicy, ServeConfig,
+        ServeError, SessionStatus, ShardConfig, ShardedStore, StdIo,
+    };
+
+    let root =
+        std::env::temp_dir().join(format!("nnbo-lineasybo-shard-down-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let cfg = ShardConfig::new(2)
+        .with_retry(RetryPolicy::no_backoff(1))
+        .with_down_after(1);
+    // shard-00's disk dies on its very first write and never comes back.
+    let store = ShardedStore::open_with(&root, cfg, |name| {
+        if name == "shard-00" {
+            Arc::new(FaultIo::new(IoFaultPlan::one(0, FaultKind::TornWrite)))
+        } else {
+            Arc::new(StdIo)
+        }
+    })
+    .unwrap();
+    let bad = ids_on_shard(&store, "shard-00", 2, "bad");
+    let good = ids_on_shard(&store, "shard-01", 2, "good");
+
+    let driver = || lineasybo_driver(BoConfig::fast(4, 10).with_seed(21));
+    let reference = driver()
+        .run(&ConstrainedBranin::new())
+        .unwrap()
+        .evaluations()
+        .to_vec();
+
+    let service: BoService<GpSurrogateTrainer, ShardedStore> = BoService::new(
+        store,
+        ServeConfig {
+            workers: Some(1),
+            ..ServeConfig::default()
+        },
+    );
+    // One worker, and a healthy-shard session enqueued first: the worker is
+    // busy with good[0]'s GP fits while the remaining submits land, so every
+    // admission happens before the dead disk is ever touched.  Job order is
+    // then deterministic: bad[0] hits the dead disk first (quarantined,
+    // shard goes Down), bad[1]'s persist sees the Down shard and parks.
+    for id in [&good[0], &bad[0], &bad[1], &good[1]] {
+        service
+            .submit(id, driver(), Arc::new(ConstrainedBranin::new()))
+            .unwrap();
+    }
+    service.drain();
+
+    assert_eq!(service.status(&bad[0]).unwrap(), SessionStatus::Quarantined);
+    assert_eq!(service.status(&bad[1]).unwrap(), SessionStatus::Parked);
+    for id in &good {
+        assert_eq!(
+            service.status(id).unwrap(),
+            SessionStatus::Completed,
+            "{id}: the healthy shard must keep serving through the outage"
+        );
+        assert_eq!(
+            service.history(id).unwrap(),
+            reference,
+            "{id}: a served LinEasyBO session must match the sequential loop"
+        );
+    }
+    let stats = service.stats();
+    assert_eq!(stats.sessions_completed, 2);
+    assert_eq!(
+        stats.persist_failures, 1,
+        "only the downing failure touches disk"
+    );
+    assert_eq!(stats.shard_parks, 1);
+
+    // Admission also respects shard health: a *new* LinEasyBO session routed
+    // to the Down shard is rejected up-front with the typed error.
+    let extra = ids_on_shard(service.store(), "shard-00", 1, "extra");
+    match service.submit(&extra[0], driver(), Arc::new(ConstrainedBranin::new())) {
+        Err(ServeError::ShardUnavailable { shard, session }) => {
+            assert_eq!(shard, "shard-00");
+            assert_eq!(session, extra[0]);
+        }
+        other => panic!("expected ShardUnavailable, got {other:?}"),
+    }
+    assert_eq!(service.stats().shard_rejections, 1);
+    let _ = std::fs::remove_dir_all(&root);
+}

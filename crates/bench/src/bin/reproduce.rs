@@ -4,8 +4,8 @@
 //!
 //! ```text
 //! reproduce [--quick] table1           # Table I  (two-stage op-amp) → BENCH_table1.json
-//! reproduce [--quick] table2           # Table II (charge pump, 18 PVT corners) → BENCH_table2.json
-//! reproduce [--quick] scaling          # §III.D complexity scaling study → BENCH_scaling.json
+//! reproduce [--quick] table2           # Table II (charge pump) + D=20 high-dim study → BENCH_table2.json
+//! reproduce [--quick] scaling          # §III.D complexity scaling + subspace acquisition study → BENCH_scaling.json
 //! reproduce [--quick] linalg           # kernel old-vs-new benchmark → BENCH_linalg.json
 //! reproduce [--quick] fit              # fit-path old-vs-new benchmark → BENCH_fit.json
 //! reproduce [--quick] predict          # packed-vs-blocked batched prediction → BENCH_predict.json
@@ -26,10 +26,11 @@ use nnbo_bench::{
     format_fit_json, format_fit_table, format_linalg_json, format_linalg_table,
     format_predict_json, format_predict_table, format_pvt_json, format_pvt_table,
     format_robustness_json, format_robustness_table, format_scaling_json, format_serve_json,
-    format_serve_table, format_table1, format_table1_json, format_table2, format_table2_json,
-    run_ablation_acquisition, run_ablation_ensemble, run_fit_bench, run_linalg_bench,
-    run_predict_bench, run_pvt_bench, run_robustness_bench, run_scaling, run_serve_bench,
-    run_table1, run_table2, BenchError, Protocol,
+    format_serve_table, format_table1, format_table1_json, format_table2, format_table2_highdim,
+    format_table2_json, run_ablation_acquisition, run_ablation_ensemble, run_fit_bench,
+    run_linalg_bench, run_predict_bench, run_pvt_bench, run_robustness_bench, run_scaling,
+    run_serve_bench, run_subspace_scaling, run_table1, run_table2, run_table2_highdim, BenchError,
+    Protocol, SubspaceProtocol,
 };
 
 fn main() {
@@ -185,7 +186,14 @@ fn table2(quick: bool) -> Result<(), BenchError> {
     println!("# Experiment E2 (Table II) — protocol: {protocol:?}\n");
     let rows = run_table2(&protocol)?;
     println!("{}", format_table2(&rows));
-    write_json("BENCH_table2.json", &format_table2_json(&rows, quick))?;
+    // The high-dimensional companion study rides Table II's protocol but only
+    // the BO budget matters, so the smoke-scale shrink applies unchanged.
+    let highdim = run_table2_highdim(&protocol)?;
+    println!("{}", format_table2_highdim(&highdim));
+    write_json(
+        "BENCH_table2.json",
+        &format_table2_json(&rows, &highdim, quick),
+    )?;
     println!();
     Ok(())
 }
@@ -221,7 +229,45 @@ fn scaling(quick: bool) -> Result<(), BenchError> {
         );
     }
     println!();
-    write_json("BENCH_scaling.json", &format_scaling_json(&points, quick))?;
+
+    println!("## Acquisition-search scaling — full-pool WEIBO vs LinEasyBO line subspaces\n");
+    let protocol = if quick {
+        SubspaceProtocol::quick()
+    } else {
+        SubspaceProtocol::full()
+    };
+    let subspace = run_subspace_scaling(&protocol)?;
+    println!(
+        "{:>10} {:>5} {:>12} {:>14} {:>18} {:>10}",
+        "Alg", "D", "scored/iter", "suggest calls", "suggest mean (us)", "best"
+    );
+    for p in &subspace {
+        println!(
+            "{:>10} {:>5} {:>12} {:>14} {:>18.2} {:>10.4}",
+            p.algorithm,
+            p.dim,
+            p.scored_per_iteration,
+            p.suggest_calls,
+            p.suggest_mean_us,
+            p.best_fom
+        );
+    }
+    for &dim in protocol.dims {
+        let cost = |name: &str| {
+            subspace
+                .iter()
+                .find(|p| p.dim == dim && p.algorithm == name)
+                .map(|p| p.suggest_mean_us)
+        };
+        if let (Some(pool), Some(line)) = (cost("WEIBO"), cost("LinEasyBO")) {
+            println!("D = {dim}: per-suggestion speedup {:.1}x", pool / line);
+        }
+    }
+    println!();
+    write_json(
+        "BENCH_scaling.json",
+        &format_scaling_json(&points, &subspace, quick),
+    )?;
     println!();
     Ok(())
 }

@@ -20,6 +20,18 @@ pub(crate) fn document(
     array_name: &str,
     rows: &[String],
 ) -> String {
+    document_sections(schema, subcommand, quick, &[(array_name, rows)])
+}
+
+/// Like [`document`], but with several named arrays in one document — the
+/// multi-experiment reports (`BENCH_table2.json`, `BENCH_scaling.json`) keep
+/// their main table and the high-dimensional companion study side by side.
+pub(crate) fn document_sections(
+    schema: &str,
+    subcommand: &str,
+    quick: bool,
+    sections: &[(&str, &[String])],
+) -> String {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"schema\": \"{schema}\",\n"));
@@ -29,13 +41,20 @@ pub(crate) fn document(
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!("  \"isa\": \"{}\",\n", nnbo_linalg::kernel_isa()));
     out.push_str(&format!("  \"cores\": {cores},\n"));
-    out.push_str(&format!("  \"{array_name}\": [\n"));
-    for (i, row) in rows.iter().enumerate() {
-        out.push_str("    ");
-        out.push_str(row);
-        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    for (si, (array_name, rows)) in sections.iter().enumerate() {
+        out.push_str(&format!("  \"{array_name}\": [\n"));
+        for (i, row) in rows.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(row);
+            out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+        }
+        out.push_str(if si + 1 == sections.len() {
+            "  ]\n"
+        } else {
+            "  ],\n"
+        });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("}\n");
     out
 }
 
@@ -68,6 +87,23 @@ mod tests {
         assert!(doc.contains("\"cores\": "));
         assert!(doc.contains("{\"a\": 1},\n"));
         assert!(doc.contains("{\"a\": 2}\n"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn multi_section_documents_emit_every_named_array() {
+        let a = ["{\"x\": 1}".to_string()];
+        let b = ["{\"y\": 2}".to_string(), "{\"y\": 3}".to_string()];
+        let doc = document_sections(
+            "s-v2",
+            "table2",
+            false,
+            &[("rows", &a[..]), ("highdim", &b[..])],
+        );
+        assert!(doc.contains("\"rows\": [\n"));
+        assert!(doc.contains("\"highdim\": [\n"));
+        assert!(doc.contains("  ],\n"), "sections are comma-separated");
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
     }

@@ -47,10 +47,13 @@ pub use pvt_bench::{format_pvt_json, format_pvt_table, run_pvt_bench, PvtBenchEn
 pub use robustness_bench::{
     format_robustness_json, format_robustness_table, run_robustness_bench, RobustnessReport,
 };
-pub use scaling::{format_scaling_json, run_scaling, ScalingPoint};
+pub use scaling::{
+    format_scaling_json, run_scaling, run_subspace_scaling, ScalingPoint, SubspacePoint,
+    SubspaceProtocol,
+};
 pub use serve_bench::{format_serve_json, format_serve_table, run_serve_bench, ServeBenchReport};
 pub use tables::{
-    format_table1, format_table1_json, format_table2, format_table2_json, run_ablation_acquisition,
-    run_ablation_ensemble, run_algorithm, run_table1, run_table2, AblationRow, Table1Row,
-    Table2Row,
+    format_table1, format_table1_json, format_table2, format_table2_highdim, format_table2_json,
+    run_ablation_acquisition, run_ablation_ensemble, run_algorithm, run_table1, run_table2,
+    run_table2_highdim, AblationRow, HighDimRow, Table1Row, Table2Row, HIGHDIM_DIM,
 };

@@ -10,6 +10,9 @@ pub enum Algorithm {
     NeuralBo,
     /// WEIBO: BO with the classical GP surrogate.
     Weibo,
+    /// LinEasyBO: WEIBO's surrogate with the one-dimensional line-subspace
+    /// acquisition search (arXiv 2109.00617) — the high-dimensional baseline.
+    LinEasyBo,
     /// GASPAD-style surrogate-assisted evolutionary search.
     Gaspad,
     /// Plain differential evolution.
@@ -17,11 +20,13 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
-    /// All four algorithms, in the column order of the paper's tables.
-    pub fn all() -> [Algorithm; 4] {
+    /// All five algorithms, in the column order of the reports (the paper's
+    /// four plus the LinEasyBO subspace baseline).
+    pub fn all() -> [Algorithm; 5] {
         [
             Algorithm::NeuralBo,
             Algorithm::Weibo,
+            Algorithm::LinEasyBo,
             Algorithm::Gaspad,
             Algorithm::De,
         ]
@@ -32,6 +37,7 @@ impl Algorithm {
         match self {
             Algorithm::NeuralBo => "Ours",
             Algorithm::Weibo => "WEIBO",
+            Algorithm::LinEasyBo => "LinEasyBO",
             Algorithm::Gaspad => "GASPAD",
             Algorithm::De => "DE",
         }
@@ -198,6 +204,7 @@ mod tests {
     #[test]
     fn algorithm_names_are_stable() {
         assert_eq!(Algorithm::NeuralBo.name(), "Ours");
-        assert_eq!(Algorithm::all().len(), 4);
+        assert_eq!(Algorithm::LinEasyBo.name(), "LinEasyBO");
+        assert_eq!(Algorithm::all().len(), 5);
     }
 }

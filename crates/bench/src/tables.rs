@@ -1,9 +1,12 @@
 //! Table I / Table II reproduction and the ablation experiments.
 
-use nnbo_baselines::{weibo, DeConfig, DifferentialEvolution, Gaspad, GaspadConfig};
+use nnbo_baselines::{lineasybo, weibo, DeConfig, DifferentialEvolution, Gaspad, GaspadConfig};
 use nnbo_core::acquisition::AcquisitionKind;
-use nnbo_core::problems::{ChargePumpProblem, OpAmpProblem};
-use nnbo_core::{BayesOpt, EnsembleConfig, OptimizationResult, Problem, RunStatistics, RunSummary};
+use nnbo_core::problems::{ChargePumpProblem, OpAmpProblem, WeightedSphere};
+use nnbo_core::{
+    BayesOpt, EnsembleConfig, LineSubspaceConfig, OptimizationResult, Problem, RunStatistics,
+    RunSummary,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::json::number as json_number;
@@ -86,6 +89,7 @@ pub fn run_algorithm(
                 .run(problem)?
         }
         Algorithm::Weibo => weibo(protocol.bo_config(run)).run(problem)?,
+        Algorithm::LinEasyBo => lineasybo(protocol.bo_config(run)).run(problem)?,
         Algorithm::Gaspad => {
             let population = protocol.initial_samples.max(10);
             Gaspad::new(GaspadConfig::new(population, protocol.max_sims_gaspad).with_seed(seed))
@@ -222,6 +226,93 @@ pub fn run_table2(protocol: &Protocol) -> Result<Vec<Table2Row>, BenchError> {
     Ok(rows)
 }
 
+/// Dimensionality of the high-dimensional synthesis family reported in the
+/// `highdim` section of `BENCH_table2.json`.
+pub const HIGHDIM_DIM: usize = 20;
+
+/// One row of the high-dimensional companion study: full-pool WEIBO versus
+/// LinEasyBO's line-subspace search on the [`WeightedSphere`] family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HighDimRow {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Design-space dimensionality.
+    pub dim: usize,
+    /// Acquisition candidates scored per model-guided iteration — the
+    /// structural cost the line search cuts (constant versus pool-sized).
+    pub scored_per_iteration: usize,
+    /// Mean best objective over the successful runs.
+    pub mean_fom: f64,
+    /// Median best objective.
+    pub median_fom: f64,
+    /// Best objective over all runs.
+    pub best_fom: f64,
+    /// Worst best-objective over the successful runs.
+    pub worst_fom: f64,
+    /// Average number of simulations to convergence.
+    pub avg_sims: f64,
+    /// Success count formatted as "k/n".
+    pub success: String,
+}
+
+/// Acquisition candidates one model-guided iteration scores under `protocol`:
+/// the full candidate pool for the pool-search algorithms, the constant line
+/// budget for LinEasyBO.
+fn scored_per_iteration(algorithm: Algorithm, protocol: &Protocol) -> usize {
+    match algorithm {
+        Algorithm::LinEasyBo => LineSubspaceConfig::default().points_per_iteration(),
+        _ => {
+            let config = protocol.bo_config(0);
+            config.candidate_pool + config.local_candidates
+        }
+    }
+}
+
+/// The high-dimensional companion to Table II: WEIBO's full-pool search
+/// against LinEasyBO on the D = [`HIGHDIM_DIM`] [`WeightedSphere`] synthesis
+/// family, under the same budget and seeds.  The paper's tables stop at 10
+/// design variables; this section pins the claim that the line-subspace
+/// search keeps the final quality while scoring a constant, pool-independent
+/// number of candidates per iteration.
+pub fn run_table2_highdim(protocol: &Protocol) -> Result<Vec<HighDimRow>, BenchError> {
+    let problem = WeightedSphere::new(HIGHDIM_DIM);
+    let mut rows = Vec::new();
+    for algorithm in [Algorithm::Weibo, Algorithm::LinEasyBo] {
+        let (summaries, _) = summaries_for(algorithm, &problem, protocol, 0.05)?;
+        let stats = RunStatistics::from_summaries(&summaries);
+        let (mean_fom, median_fom, best_fom, worst_fom, avg_sims, success) = match &stats {
+            Some(st) => (
+                st.mean,
+                st.median,
+                st.best,
+                st.worst,
+                st.avg_simulations,
+                st.success_rate(),
+            ),
+            None => (
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                format!("0/{}", protocol.runs),
+            ),
+        };
+        rows.push(HighDimRow {
+            algorithm: algorithm.name().to_string(),
+            dim: HIGHDIM_DIM,
+            scored_per_iteration: scored_per_iteration(algorithm, protocol),
+            mean_fom,
+            median_fom,
+            best_fom,
+            worst_fom,
+            avg_sims,
+            success,
+        });
+    }
+    Ok(rows)
+}
+
 /// Ablation E4: optimization quality versus ensemble size `K` on the op-amp problem.
 pub fn run_ablation_ensemble(
     protocol: &Protocol,
@@ -336,6 +427,33 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
     s
 }
 
+/// Formats the high-dimensional companion study as text.
+pub fn format_table2_highdim(rows: &[HighDimRow]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "High-dimensional companion: WeightedSphere, D = {HIGHDIM_DIM} (objective, lower is better)\n"
+    ));
+    s.push_str(&format!(
+        "{:<10} {:>5} {:>12} {:>9} {:>9} {:>9} {:>9} {:>10} {:>8}\n",
+        "Alg", "D", "scored/iter", "mean", "median", "best", "worst", "Avg.#Sim", "Success"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<10} {:>5} {:>12} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>10.1} {:>8}\n",
+            r.algorithm,
+            r.dim,
+            r.scored_per_iteration,
+            r.mean_fom,
+            r.median_fom,
+            r.best_fom,
+            r.worst_fom,
+            r.avg_sims,
+            r.success
+        ));
+    }
+    s
+}
+
 /// Serialises Table I rows as the `BENCH_table1.json` document so the result
 /// trajectory can be tracked across PRs (JSON written by hand — the
 /// workspace's serde is an offline no-op stand-in).
@@ -360,9 +478,10 @@ pub fn format_table1_json(rows: &[Table1Row], quick: bool) -> String {
     crate::json::document("nnbo-bench-table1-v1", "table1", quick, "rows", &rendered)
 }
 
-/// Serialises Table II rows as the `BENCH_table2.json` document (see
-/// [`format_table1_json`]).
-pub fn format_table2_json(rows: &[Table2Row], quick: bool) -> String {
+/// Serialises Table II rows plus the high-dimensional companion study as the
+/// `BENCH_table2.json` document (see [`format_table1_json`]): a `rows` array
+/// for the charge pump and a `highdim` array for the D = 20 family.
+pub fn format_table2_json(rows: &[Table2Row], highdim: &[HighDimRow], quick: bool) -> String {
     let rendered: Vec<String> = rows
         .iter()
         .map(|r| {
@@ -383,7 +502,29 @@ pub fn format_table2_json(rows: &[Table2Row], quick: bool) -> String {
             )
         })
         .collect();
-    crate::json::document("nnbo-bench-table2-v1", "table2", quick, "rows", &rendered)
+    let rendered_highdim: Vec<String> = highdim
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"algorithm\": \"{}\", \"dim\": {}, \"scored_per_iteration\": {}, \"mean_fom\": {}, \"median_fom\": {}, \"best_fom\": {}, \"worst_fom\": {}, \"avg_sims\": {}, \"success\": \"{}\"}}",
+                r.algorithm,
+                r.dim,
+                r.scored_per_iteration,
+                json_number(r.mean_fom),
+                json_number(r.median_fom),
+                json_number(r.best_fom),
+                json_number(r.worst_fom),
+                json_number(r.avg_sims),
+                r.success,
+            )
+        })
+        .collect();
+    crate::json::document_sections(
+        "nnbo-bench-table2-v2",
+        "table2",
+        quick,
+        &[("rows", &rendered), ("highdim", &rendered_highdim)],
+    )
 }
 
 #[cfg(test)]
@@ -487,9 +628,58 @@ mod tests {
             avg_sims: 100.0,
             success: "10/10".into(),
         }];
-        let json2 = format_table2_json(&rows2, false);
-        assert!(json2.contains("\"schema\": \"nnbo-bench-table2-v1\""));
+        let highdim = vec![HighDimRow {
+            algorithm: "LinEasyBO".into(),
+            dim: 20,
+            scored_per_iteration: 96,
+            mean_fom: 0.2,
+            median_fom: 0.2,
+            best_fom: 0.1,
+            worst_fom: 0.4,
+            avg_sims: 80.0,
+            success: "2/2".into(),
+        }];
+        let json2 = format_table2_json(&rows2, &highdim, false);
+        assert!(json2.contains("\"schema\": \"nnbo-bench-table2-v2\""));
         assert!(json2.contains("\"quick\": false"));
+        assert!(json2.contains("\"highdim\": ["));
+        assert!(json2.contains("\"scored_per_iteration\": 96"));
         assert_eq!(json2.matches('{').count(), json2.matches('}').count());
+        assert_eq!(json2.matches('[').count(), json2.matches(']').count());
+    }
+
+    /// The structural claim behind the high-dimensional section: under the
+    /// same protocol, LinEasyBO scores a small constant number of candidates
+    /// per iteration while the pool search scores the whole pool.
+    #[test]
+    fn line_subspace_scores_at_least_five_times_fewer_candidates_per_iteration() {
+        let line = scored_per_iteration(Algorithm::LinEasyBo, &Protocol::table2_paper());
+        assert_eq!(line, LineSubspaceConfig::default().points_per_iteration());
+        for protocol in [Protocol::table1_paper(), Protocol::table2_paper()] {
+            let pool = scored_per_iteration(Algorithm::Weibo, &protocol);
+            assert!(
+                pool >= 5 * line,
+                "pool search scores {pool}/iter, line search {line}/iter"
+            );
+        }
+        // Even the CI-scale pool is never cheaper than the constant line budget.
+        let quick_pool = scored_per_iteration(Algorithm::Weibo, &Protocol::table2_quick());
+        assert!(quick_pool > line);
+    }
+
+    #[test]
+    fn highdim_study_runs_both_strategies_on_the_weighted_sphere() {
+        let _guard = crate::TEST_DISPATCH_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let rows = run_table2_highdim(&tiny_protocol()).expect("highdim study runs");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].algorithm, "WEIBO");
+        assert_eq!(rows[1].algorithm, "LinEasyBO");
+        for r in &rows {
+            assert_eq!(r.dim, HIGHDIM_DIM);
+            assert!(r.scored_per_iteration > 0);
+        }
+        assert!(format_table2_highdim(&rows).contains("LinEasyBO"));
     }
 }

@@ -23,11 +23,11 @@ fn tiny(initial: usize, bo: usize, gaspad: usize, de: usize) -> Protocol {
 }
 
 #[test]
-fn table1_rows_cover_all_four_algorithms() {
+fn table1_rows_cover_all_five_algorithms() {
     let rows = run_table1(&tiny(8, 12, 14, 40)).expect("table 1 runs");
-    assert_eq!(rows.len(), 4);
+    assert_eq!(rows.len(), 5);
     let names: Vec<_> = rows.iter().map(|r| r.algorithm.as_str()).collect();
-    assert_eq!(names, vec!["Ours", "WEIBO", "GASPAD", "DE"]);
+    assert_eq!(names, vec!["Ours", "WEIBO", "LinEasyBO", "GASPAD", "DE"]);
     for row in &rows {
         // Gain statistics are plausible dB numbers whenever a run succeeded.
         if !row.mean_gain.is_nan() {
@@ -42,7 +42,7 @@ fn table1_rows_cover_all_four_algorithms() {
 #[test]
 fn table2_rows_report_constraint_metrics() {
     let rows = run_table2(&tiny(10, 14, 16, 40)).expect("table 2 runs");
-    assert_eq!(rows.len(), 4);
+    assert_eq!(rows.len(), 5);
     for row in &rows {
         if !row.mean_fom.is_nan() {
             assert!(row.mean_fom > 0.0, "{row:?}");

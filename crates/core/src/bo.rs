@@ -13,6 +13,7 @@ use crate::error::BoError;
 use crate::problems::{EvalOutcome, Evaluation, Problem};
 use crate::resilience::{FailureAction, FailurePolicy, ModelResilience, RecoveryLog};
 use crate::sampling::latin_hypercube;
+use crate::strategy::{AcquisitionOracle, SuggestContext, SuggestStrategy};
 use crate::surrogate::{SurrogateModel, SurrogateTrainer};
 
 /// When the loop performs a *full* surrogate refit (hyper-parameter
@@ -147,6 +148,11 @@ pub struct BoConfig {
     /// Number of additional candidates drawn as Gaussian perturbations of the
     /// incumbent (local refinement of the acquisition search).
     pub local_candidates: usize,
+    /// How the acquisition is maximised each iteration (see
+    /// [`SuggestStrategy`]): the paper's full-pool scoring by default, or the
+    /// LinEasyBO-style one-dimensional subspace search whose per-iteration
+    /// cost does not grow with the candidate pool.
+    pub strategy: SuggestStrategy,
     /// When the surrogates are refitted from scratch versus incrementally
     /// updated (see [`RefitPolicy`]; the default refits every iteration,
     /// exactly as the paper's Algorithm 1 does).
@@ -170,6 +176,7 @@ impl BoConfig {
             acquisition: AcquisitionKind::WeightedExpectedImprovement,
             candidate_pool: 1024,
             local_candidates: 256,
+            strategy: SuggestStrategy::FullPool,
             refit: RefitPolicy::Fixed(1),
             failure: FailurePolicy::default(),
             seed: 0,
@@ -219,10 +226,54 @@ impl BoConfig {
         self
     }
 
+    /// Sets the acquisition-maximization strategy (see [`SuggestStrategy`]).
+    pub fn with_strategy(mut self, strategy: SuggestStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// Sets the evaluation-failure policy (see [`FailurePolicy`]).
     pub fn with_failure_policy(mut self, failure: FailurePolicy) -> Self {
         self.failure = failure;
         self
+    }
+}
+
+/// Cumulative acquisition-maximization cost of a run: how many model-guided
+/// suggestions were made and the wall-clock they took.
+///
+/// The nanoseconds cover candidate generation, batched surrogate scoring and
+/// the argmax — *not* surrogate (re)fits, which
+/// [`OptimizationResult::full_refits`] tracks separately.  This is the
+/// counter strategy comparisons read ([`SuggestStrategy::FullPool`] scores
+/// `candidate_pool + local_candidates` points per iteration, the LinEasyBO
+/// line search a small constant), without needing the bench binary's external
+/// timers.  `calls` is deterministic; `nanos` is wall-clock and therefore
+/// machine-dependent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SuggestCost {
+    /// Model-guided suggestions performed (one per acquisition maximisation;
+    /// space-filling fallbacks after a surrogate-training failure are not
+    /// counted — [`RecoveryLog::fallback_suggests`] tracks those).
+    pub calls: usize,
+    /// Total wall-clock nanoseconds spent maximising the acquisition.
+    pub nanos: u64,
+}
+
+impl SuggestCost {
+    /// Mean nanoseconds per suggestion (`0.0` before any call).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.nanos as f64 / self.calls as f64
+        }
+    }
+
+    /// Accumulates one suggestion of `nanos` wall-clock nanoseconds.
+    pub(crate) fn record(&mut self, nanos: u64) {
+        self.calls += 1;
+        self.nanos += nanos;
     }
 }
 
@@ -235,6 +286,9 @@ pub struct OptimizationResult {
     /// Number of *full* surrogate refits the run performed (0 for
     /// histories built by [`OptimizationResult::from_history`]).
     full_refits: usize,
+    /// Acquisition-maximization cost (zero for histories built by
+    /// [`OptimizationResult::from_history`]).
+    suggest_cost: SuggestCost,
     /// Audit trail of every recovery the run performed (empty for histories
     /// built by [`OptimizationResult::from_history`]).
     recovery: RecoveryLog,
@@ -253,8 +307,16 @@ impl OptimizationResult {
             evaluations,
             initial_samples,
             full_refits: 0,
+            suggest_cost: SuggestCost::default(),
             recovery: RecoveryLog::default(),
         }
+    }
+
+    /// Cumulative acquisition-maximization cost of the run (see
+    /// [`SuggestCost`]); zero for histories built by
+    /// [`OptimizationResult::from_history`].
+    pub fn suggest_cost(&self) -> SuggestCost {
+        self.suggest_cost
     }
 
     /// The run's recovery log: evaluation failures and retries, imputed
@@ -446,6 +508,7 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
                 models: None,
                 scores: ScoreBuffers::new(),
                 full_refits: 0,
+                suggest: SuggestCost::default(),
                 recovery,
                 consecutive_failure_refits: 0,
             },
@@ -518,6 +581,7 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
             evaluations: state.history,
             initial_samples: self.config.initial_samples,
             full_refits: state.surrogate.full_refits,
+            suggest_cost: state.surrogate.suggest,
             recovery: state.surrogate.recovery,
         }
     }
@@ -539,6 +603,7 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
             history: state.history.clone(),
             rng_state: state.rng.state(),
             full_refits: state.surrogate.full_refits,
+            suggest_cost: state.surrogate.suggest,
             recovery: state.surrogate.recovery.clone(),
             consecutive_failure_refits: state.surrogate.consecutive_failure_refits,
             models: state.surrogate.models.as_ref().map(|f| ModelSnapshot {
@@ -608,6 +673,7 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
                 models,
                 scores: ScoreBuffers::new(),
                 full_refits: snapshot.full_refits,
+                suggest: snapshot.suggest_cost,
                 recovery: snapshot.recovery.clone(),
                 consecutive_failure_refits: snapshot.consecutive_failure_refits,
             },
@@ -638,6 +704,7 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
             models: None,
             scores: ScoreBuffers::new(),
             full_refits: 0,
+            suggest: SuggestCost::default(),
             recovery: RecoveryLog::default(),
             consecutive_failure_refits: 0,
         };
@@ -764,6 +831,9 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
                 details: "candidate pool must not be empty".to_string(),
             });
         }
+        if let Err(details) = self.config.strategy.validate() {
+            return Err(BoError::InvalidConfig { details });
+        }
         if let Err(details) = self.config.refit.validate() {
             return Err(BoError::InvalidConfig { details });
         }
@@ -798,7 +868,12 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
                 return Err(BoError::Internal { details });
             }
         }
-        let SurrogateState { models, scores, .. } = state;
+        let SurrogateState {
+            models,
+            scores,
+            suggest,
+            ..
+        } = state;
         let fitted = models.as_ref().ok_or_else(|| BoError::Internal {
             details: "refresh_models succeeded without populating the model slot".to_string(),
         })?;
@@ -831,44 +906,37 @@ impl<T: SurrogateTrainer> BayesOpt<T> {
             .map(|(x, _)| x.clone())
             .unwrap_or_else(|| vec![0.5; dim]);
 
-        // Candidate set: global uniform samples + local Gaussian perturbations of
-        // the anchor at two scales.
-        let mut candidates: Vec<Vec<f64>> =
-            Vec::with_capacity(self.config.candidate_pool + self.config.local_candidates);
-        for _ in 0..self.config.candidate_pool {
-            candidates.push((0..dim).map(|_| rng.gen_range(0.0..1.0)).collect());
-        }
-        for i in 0..self.config.local_candidates {
-            let sigma = if i % 2 == 0 { 0.05 } else { 0.2 };
-            let mut x = anchor.clone();
-            for v in &mut x {
-                *v = (*v + sigma * standard_normal(rng)).clamp(0.0, 1.0);
-            }
-            candidates.push(x);
-        }
+        // The objective surrogate's lengthscales feed the adaptive direction
+        // rule; extracting them is skipped entirely for strategies that do
+        // not read them.
+        let lengthscales = if self.config.strategy.wants_lengthscales() {
+            fitted.objective.lengthscales()
+        } else {
+            None
+        };
 
-        // Score the whole candidate set in one batch per surrogate (the
-        // `_into` prediction path reuses the persistent scoring buffers), or
-        // band-split over the worker pool when the pool and the pool size
-        // make it worthwhile — bit-identical either way.
-        score_candidates(
+        // The configured strategy generates the candidate sets (the paper's
+        // full pool, or the LinEasyBO line search) and scores them through
+        // the oracle below — one batch per call through the buffer-reusing
+        // prediction path, band-split over the worker pool when the batch
+        // size makes it worthwhile (bit-identical either way).
+        let started = std::time::Instant::now();
+        let context = SuggestContext {
+            dim,
+            anchor: &anchor,
+            candidate_pool: self.config.candidate_pool,
+            local_candidates: self.config.local_candidates,
+            lengthscales,
+        };
+        let mut oracle = ModelOracle {
             fitted,
-            &candidates,
-            self.config.acquisition,
+            kind: self.config.acquisition,
             tau,
             scores,
-            score_bands(candidates.len()),
-        );
-
-        let mut best_score = f64::NEG_INFINITY;
-        let mut best_index = 0;
-        for (idx, score) in scores.acquisition.iter().enumerate() {
-            if *score > best_score {
-                best_score = *score;
-                best_index = idx;
-            }
-        }
-        Ok(candidates.swap_remove(best_index))
+        };
+        let choice = self.config.strategy.propose(&context, &mut oracle, rng);
+        suggest.record(started.elapsed().as_nanos() as u64);
+        Ok(choice)
     }
 
     /// Ensures `models` reflects `history`, returning `true` when a *full*
@@ -1140,6 +1208,8 @@ struct SurrogateState<M> {
     models: Option<FittedModels<M>>,
     scores: ScoreBuffers,
     full_refits: usize,
+    /// Acquisition-maximization cost accumulated so far (see [`SuggestCost`]).
+    suggest: SuggestCost,
     recovery: RecoveryLog,
     /// Consecutive full refits triggered by drift right after an *imputed*
     /// observation — capped by [`FailurePolicy::max_failure_refits`], reset
@@ -1176,8 +1246,10 @@ impl<M> BoState<M> {
 }
 
 /// Snapshot format version written by this build (bumped on any breaking
-/// layout change; [`BayesOpt::resume`] refuses other versions).
-const SNAPSHOT_VERSION: u32 = 1;
+/// layout change; [`BayesOpt::resume`] refuses other versions).  Version 2
+/// added the [`SuggestStrategy`] configuration field and the accumulated
+/// [`SuggestCost`] counters.
+const SNAPSHOT_VERSION: u32 = 2;
 
 /// A versioned, serializable checkpoint of an optimization run — see
 /// [`BayesOpt::snapshot`] and [`BayesOpt::resume`].
@@ -1191,6 +1263,7 @@ pub struct BoSnapshot {
     history: Vec<(Vec<f64>, Evaluation)>,
     rng_state: [u64; 4],
     full_refits: usize,
+    suggest_cost: SuggestCost,
     recovery: RecoveryLog,
     consecutive_failure_refits: usize,
     models: Option<ModelSnapshot>,
@@ -1268,6 +1341,30 @@ impl ScoreBuffers {
 struct BandBuffers {
     objective: Vec<crate::surrogate::Prediction>,
     constraints: Vec<Vec<crate::surrogate::Prediction>>,
+}
+
+/// The loop's [`AcquisitionOracle`]: scores candidate batches under the
+/// fitted surrogates through [`score_candidates`] (and therefore through the
+/// persistent [`ScoreBuffers`] and the banded worker-pool split).
+struct ModelOracle<'a, M: SurrogateModel> {
+    fitted: &'a FittedModels<M>,
+    kind: AcquisitionKind,
+    tau: Option<f64>,
+    scores: &'a mut ScoreBuffers,
+}
+
+impl<M: SurrogateModel> AcquisitionOracle for ModelOracle<'_, M> {
+    fn score(&mut self, candidates: &[Vec<f64>]) -> &[f64] {
+        score_candidates(
+            self.fitted,
+            candidates,
+            self.kind,
+            self.tau,
+            self.scores,
+            score_bands(candidates.len()),
+        );
+        &self.scores.acquisition
+    }
 }
 
 /// Candidate pools below this size are scored single-threaded: the
@@ -1372,7 +1469,7 @@ fn score_candidates<M: SurrogateModel>(
 
 /// Draws a standard-normal sample by the Box–Muller transform (avoids pulling in a
 /// distribution crate).
-fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -1473,6 +1570,23 @@ mod tests {
         let result = bo.run(&problem).unwrap();
         assert_eq!(result.num_evaluations(), 10);
         assert_eq!(result.initial_samples(), 6);
+    }
+
+    #[test]
+    fn suggest_cost_counts_model_guided_iterations_only() {
+        let problem = ConstrainedBranin::new();
+        let bo = fast_neural(BoConfig::fast(6, 11).with_seed(9));
+        let result = bo.run(&problem).unwrap();
+        let cost = result.suggest_cost();
+        // One acquisition maximization per model-guided iteration; the
+        // initial design and any fallback suggests are never counted.
+        assert_eq!(cost.calls, 11 - 6);
+        assert!(cost.nanos > 0, "scoring a candidate pool takes time");
+        assert!((cost.mean_nanos() - cost.nanos as f64 / cost.calls as f64).abs() < 1e-9);
+        // Histories assembled outside the loop carry no acquisition cost.
+        let synthetic = OptimizationResult::from_history(result.evaluations().to_vec(), 6);
+        assert_eq!(synthetic.suggest_cost(), SuggestCost::default());
+        assert_eq!(synthetic.suggest_cost().mean_nanos(), 0.0);
     }
 
     #[test]

@@ -150,9 +150,12 @@ pub mod problems;
 mod report;
 mod resilience;
 mod sampling;
+pub mod strategy;
 mod surrogate;
 
-pub use bo::{BayesOpt, BoConfig, BoSnapshot, BoState, OptimizationResult, RefitPolicy};
+pub use bo::{
+    BayesOpt, BoConfig, BoSnapshot, BoState, OptimizationResult, RefitPolicy, SuggestCost,
+};
 pub use design_space::DesignSpace;
 pub use ensemble::{EnsembleConfig, NeuralGpEnsemble, NeuralGpEnsembleTrainer};
 pub use error::BoError;
@@ -161,4 +164,5 @@ pub use problems::{EvalOutcome, Evaluation, Problem, SweepAggregation, SweepProb
 pub use report::{RunStatistics, RunSummary};
 pub use resilience::{FailureAction, FailurePolicy, ModelResilience, RecoveryLog};
 pub use sampling::{latin_hypercube, uniform_random};
+pub use strategy::{DirectionRule, LineSubspaceConfig, SuggestStrategy};
 pub use surrogate::{Prediction, SurrogateModel, SurrogateTrainer};

@@ -15,9 +15,11 @@ mod circuit;
 mod sweep;
 mod synthetic;
 
-pub use circuit::{ChargePumpProblem, OpAmpProblem};
+pub use circuit::{BiasedOpAmpProblem, ChargePumpProblem, OpAmpProblem};
 pub use sweep::{SweepAggregation, SweepProblem};
-pub use synthetic::{Ackley, ConstrainedBranin, GardnerSine, Hartmann6, Levy, Rosenbrock};
+pub use synthetic::{
+    Ackley, ConstrainedBranin, GardnerSine, Hartmann6, Levy, Rosenbrock, WeightedSphere,
+};
 
 // Re-exported so downstream crates (e.g. `nnbo-serve`) can build sweep
 // problems without depending on `nnbo-circuits` directly.

@@ -235,6 +235,72 @@ impl Problem for Levy {
     }
 }
 
+/// A high-dimensional constrained quadratic with decaying axis weights —
+/// the scaling family the LinEasyBO subspace strategy is benchmarked on
+/// (`reproduce scaling`'s D ∈ {20, 50} runs).
+///
+/// `f(x) = Σ_d w_d (x_d − c_d)²` with `w_d = 1 / (1 + d)` on the native unit
+/// cube, subject to the mild budget constraint `mean(x) − 0.75 < 0`.  The
+/// centre `c` is a deterministic golden-ratio low-discrepancy sequence mapped
+/// into `[0.2, 0.8]`, so the optimum (value `0`, feasible since
+/// `mean(c) ≈ 0.5`) sits away from every face.  The decaying weights give the
+/// problem the low effective dimensionality typical of sizing tasks: the
+/// first few coordinates carry most of the objective, which is exactly the
+/// structure lengthscale-weighted line directions are meant to exploit.
+#[derive(Debug, Clone)]
+pub struct WeightedSphere {
+    dim: usize,
+    center: Vec<f64>,
+}
+
+impl WeightedSphere {
+    /// Creates the problem in `dim` dimensions.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        const PHI: f64 = 0.618_033_988_749_895;
+        let center = (0..dim)
+            .map(|d| 0.2 + 0.6 * (PHI * (d as f64 + 1.0)).fract())
+            .collect();
+        WeightedSphere { dim, center }
+    }
+
+    /// The global minimum value (always `0`, attained at the centre).
+    pub fn optimum(&self) -> f64 {
+        0.0
+    }
+
+    /// The (feasible) minimiser in normalised coordinates.
+    pub fn minimiser(&self) -> &[f64] {
+        &self.center
+    }
+}
+
+impl Problem for WeightedSphere {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_constraints(&self) -> usize {
+        1
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let mut f = 0.0;
+        let mut mean = 0.0;
+        for (d, (v, c)) in x.iter().zip(self.center.iter()).enumerate() {
+            let v = v.clamp(0.0, 1.0);
+            f += (v - c) * (v - c) / (1.0 + d as f64);
+            mean += v;
+        }
+        mean /= self.dim as f64;
+        Evaluation::new(f, vec![mean - 0.75])
+    }
+
+    fn name(&self) -> &str {
+        "weighted-sphere"
+    }
+}
+
 /// The Gardner sine constrained problem on `[0, 6]²`:
 /// minimise `sin(x1) + x2` subject to `sin(x1)·sin(x2) < -0.95`
 /// (a tight, disconnected feasible region — a good stress test for wEI).
@@ -343,6 +409,32 @@ mod tests {
         assert!(feasible.is_feasible());
         let infeasible = p.evaluate(&[0.1, 0.1]);
         assert!(!infeasible.is_feasible());
+    }
+
+    #[test]
+    fn weighted_sphere_minimum_sits_at_the_feasible_centre() {
+        for dim in [1, 20, 50] {
+            let p = WeightedSphere::new(dim);
+            let at_min = p.evaluate(p.minimiser());
+            assert_eq!(at_min.objective, p.optimum(), "dim {dim}");
+            assert!(at_min.is_feasible(), "dim {dim}: centre must be feasible");
+            assert!(p.minimiser().iter().all(|c| (0.2..0.8).contains(c)));
+            // Everywhere else is strictly worse.
+            assert!(p.evaluate(&vec![0.95; dim]).objective > 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_sphere_weights_decay_and_budget_constraint_bites() {
+        let p = WeightedSphere::new(20);
+        let mut lo = p.minimiser().to_vec();
+        let mut hi = lo.clone();
+        lo[0] = (lo[0] + 0.2).min(1.0);
+        hi[19] = (hi[19] + 0.2).min(1.0);
+        // The same displacement costs ~20× more along the first axis.
+        assert!(p.evaluate(&lo).objective > 10.0 * p.evaluate(&hi).objective);
+        // Saturating every coordinate violates the mean budget.
+        assert!(!p.evaluate(&[1.0; 20]).is_feasible());
     }
 
     #[test]

@@ -1,0 +1,556 @@
+//! Acquisition-maximization strategies: how one model-guided iteration turns
+//! the fitted surrogates into the next design point.
+//!
+//! The Bayesian-optimization loop separates *what* a candidate is worth (the
+//! acquisition function, scored through [`AcquisitionOracle`]) from *where*
+//! candidates are searched.  The latter is the [`SuggestStrategy`] seam on
+//! [`crate::BoConfig`]:
+//!
+//! * [`SuggestStrategy::FullPool`] — the paper's search: a global uniform
+//!   candidate pool plus Gaussian perturbations of the incumbent, all scored
+//!   in one batch.  Cost per iteration grows with `candidate_pool × D` and
+//!   with the surrogates' per-point prediction cost.
+//! * [`SuggestStrategy::LineSubspace`] — LinEasyBO-style (arXiv 2109.00617)
+//!   one-dimensional subspace search: each iteration draws a random (or
+//!   lengthscale-weighted) direction through the incumbent, clips the line
+//!   exactly to the unit cube, and maximises the acquisition along that line
+//!   with a coarse grid plus local refinement rounds.  The number of scored
+//!   points per iteration is a small constant independent of `D`, which is
+//!   what makes `D = 50`-dimensional synthesis tractable.
+//!
+//! Both searches share the loop's batched scoring path (and therefore the
+//! banded worker-pool split and both kernel dispatch paths); they differ only
+//! in the candidate sets they generate.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::bo::standard_normal;
+
+/// Scores candidate batches under the loop's fitted surrogates and
+/// acquisition function.
+///
+/// The loop hands an implementation of this trait to
+/// [`SuggestStrategy::propose`]; strategies call it once per candidate batch
+/// and receive one acquisition value per candidate, in candidate order.
+/// Larger is better.  The trait exists so the subspace machinery can be
+/// exercised against analytic oracles in tests without fitting surrogates.
+pub trait AcquisitionOracle {
+    /// Scores `candidates`, returning one acquisition value per candidate.
+    fn score(&mut self, candidates: &[Vec<f64>]) -> &[f64];
+}
+
+/// Per-iteration context a strategy proposes from: the problem dimension, the
+/// incumbent anchor, and the configured search budgets.
+#[derive(Debug)]
+pub struct SuggestContext<'a> {
+    /// Problem dimension.
+    pub dim: usize,
+    /// Anchor of the local search: the best feasible point, or the least
+    /// infeasible one before anything is feasible (centre of the cube on an
+    /// empty history).
+    pub anchor: &'a [f64],
+    /// Global uniform candidates of the full-pool search
+    /// ([`crate::BoConfig::candidate_pool`]).
+    pub candidate_pool: usize,
+    /// Local perturbation candidates of the full-pool search
+    /// ([`crate::BoConfig::local_candidates`]).
+    pub local_candidates: usize,
+    /// Per-dimension lengthscales of the objective surrogate, when the model
+    /// family exposes them ([`crate::SurrogateModel::lengthscales`]) and the
+    /// strategy asked for them — the adaptive signal of
+    /// [`DirectionRule::LengthscaleWeighted`].
+    pub lengthscales: Option<Vec<f64>>,
+}
+
+/// How [`SuggestStrategy::LineSubspace`] draws its per-iteration direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DirectionRule {
+    /// Isotropic: a unit vector drawn uniformly from the sphere (via
+    /// normalised Gaussian draws).
+    Random,
+    /// Adaptive: Gaussian draws weighted by the objective surrogate's inverse
+    /// lengthscales before normalisation, so dimensions the model considers
+    /// *active* (short lengthscale) receive proportionally more movement.
+    /// Falls back to [`DirectionRule::Random`] weighting — consuming the
+    /// exact same rng draws — whenever the surrogate does not expose finite
+    /// positive lengthscales of the right dimension.
+    #[default]
+    LengthscaleWeighted,
+}
+
+/// Configuration of the LinEasyBO-style one-dimensional subspace search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LineSubspaceConfig {
+    /// Grid points of the coarse pass over the clipped line (≥ 2).
+    pub line_points: usize,
+    /// Local refinement rounds around the incumbent grid optimum.
+    pub refine_rounds: usize,
+    /// Grid points per refinement round (≥ 2 when `refine_rounds > 0`).
+    pub refine_points: usize,
+    /// Direction sampling rule.
+    pub direction: DirectionRule,
+}
+
+impl Default for LineSubspaceConfig {
+    fn default() -> Self {
+        LineSubspaceConfig {
+            line_points: 64,
+            refine_rounds: 2,
+            refine_points: 16,
+            direction: DirectionRule::LengthscaleWeighted,
+        }
+    }
+}
+
+impl LineSubspaceConfig {
+    /// Total points scored per iteration under this configuration.
+    pub fn points_per_iteration(&self) -> usize {
+        self.line_points + self.refine_rounds * self.refine_points
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.line_points < 2 {
+            return Err(format!(
+                "line search needs at least 2 grid points, got {}",
+                self.line_points
+            ));
+        }
+        if self.refine_rounds > 0 && self.refine_points < 2 {
+            return Err(format!(
+                "line refinement needs at least 2 points per round, got {}",
+                self.refine_points
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The acquisition-maximization strategy of a [`crate::BayesOpt`] run — see
+/// the [module docs](self) for the cost model of each variant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum SuggestStrategy {
+    /// Full-pool scoring: global uniform pool + local Gaussian perturbations
+    /// (the paper's Algorithm 1 search; the default).
+    #[default]
+    FullPool,
+    /// LinEasyBO-style one-dimensional subspace search.
+    LineSubspace(LineSubspaceConfig),
+}
+
+impl SuggestStrategy {
+    /// The LinEasyBO-style line search with its default budgets.
+    pub fn line_subspace() -> Self {
+        SuggestStrategy::LineSubspace(LineSubspaceConfig::default())
+    }
+
+    /// Whether this strategy reads the objective surrogate's lengthscales
+    /// (lets the loop skip extracting them otherwise).
+    pub fn wants_lengthscales(&self) -> bool {
+        matches!(
+            self,
+            SuggestStrategy::LineSubspace(LineSubspaceConfig {
+                direction: DirectionRule::LengthscaleWeighted,
+                ..
+            })
+        )
+    }
+
+    /// Human-readable validity check, part of the loop's config validation.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        match self {
+            SuggestStrategy::FullPool => Ok(()),
+            SuggestStrategy::LineSubspace(cfg) => cfg.validate(),
+        }
+    }
+
+    /// Generates candidates per the strategy, scores them through `oracle`,
+    /// and returns the acquisition argmax.
+    ///
+    /// Every strategy draws from `rng` in a fixed, documented order, so runs
+    /// are seeded-deterministic and snapshot/resume stays bit-identical.
+    pub fn propose(
+        &self,
+        ctx: &SuggestContext<'_>,
+        oracle: &mut dyn AcquisitionOracle,
+        rng: &mut StdRng,
+    ) -> Vec<f64> {
+        match self {
+            SuggestStrategy::FullPool => propose_full_pool(ctx, oracle, rng),
+            SuggestStrategy::LineSubspace(cfg) => propose_line_subspace(cfg, ctx, oracle, rng),
+        }
+    }
+}
+
+/// The paper's candidate search: `candidate_pool` uniform points over the
+/// cube, then `local_candidates` Gaussian perturbations of the anchor at two
+/// alternating scales.  The rng draw order is part of the loop's determinism
+/// contract (snapshots taken before this run resume bit-identically), so it
+/// must not change.
+fn propose_full_pool(
+    ctx: &SuggestContext<'_>,
+    oracle: &mut dyn AcquisitionOracle,
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    let mut candidates: Vec<Vec<f64>> =
+        Vec::with_capacity(ctx.candidate_pool + ctx.local_candidates);
+    for _ in 0..ctx.candidate_pool {
+        candidates.push((0..ctx.dim).map(|_| rng.gen_range(0.0..1.0)).collect());
+    }
+    for i in 0..ctx.local_candidates {
+        let sigma = if i % 2 == 0 { 0.05 } else { 0.2 };
+        let mut x = ctx.anchor.to_vec();
+        for v in &mut x {
+            *v = (*v + sigma * standard_normal(rng)).clamp(0.0, 1.0);
+        }
+        candidates.push(x);
+    }
+    let best = argmax(oracle.score(&candidates));
+    candidates.swap_remove(best)
+}
+
+/// One LinEasyBO iteration: draw a direction through the anchor, clip the
+/// line to the cube, coarse-grid the acquisition along it, then shrink the
+/// search window around the running optimum for `refine_rounds` rounds.
+fn propose_line_subspace(
+    cfg: &LineSubspaceConfig,
+    ctx: &SuggestContext<'_>,
+    oracle: &mut dyn AcquisitionOracle,
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    let direction = sample_direction(ctx.dim, ctx.lengthscales.as_deref(), cfg.direction, rng);
+    let (t_lo, t_hi) = line_interval(ctx.anchor, &direction);
+
+    let ts = line_grid(t_lo, t_hi, cfg.line_points);
+    let mut points: Vec<Vec<f64>> = ts
+        .iter()
+        .map(|&t| point_on_line(ctx.anchor, &direction, t))
+        .collect();
+    let scores = oracle.score(&points);
+    let mut best_index = argmax(scores);
+    let mut best_score = scores[best_index];
+    let mut best_t = ts[best_index];
+    let mut best_point = points.swap_remove(best_index);
+
+    // Each round re-grids a window of one current grid spacing around the
+    // running optimum; the spacing (and thus the window) shrinks
+    // geometrically, homing in on the line's acquisition maximum.
+    let mut spacing = (t_hi - t_lo) / (cfg.line_points.max(2) - 1) as f64;
+    for _ in 0..cfg.refine_rounds {
+        let lo = (best_t - spacing).max(t_lo);
+        let hi = (best_t + spacing).min(t_hi);
+        let ts = line_grid(lo, hi, cfg.refine_points);
+        let points: Vec<Vec<f64>> = ts
+            .iter()
+            .map(|&t| point_on_line(ctx.anchor, &direction, t))
+            .collect();
+        let scores = oracle.score(&points);
+        best_index = argmax(scores);
+        if scores[best_index] > best_score {
+            best_score = scores[best_index];
+            best_t = ts[best_index];
+            best_point = points[best_index].clone();
+        }
+        spacing = (hi - lo) / (cfg.refine_points.max(2) - 1) as f64;
+    }
+    best_point
+}
+
+/// Draws the iteration's unit-norm direction: `dim` standard-normal draws,
+/// optionally weighted by the objective surrogate's inverse lengthscales
+/// (dimensions the model considers active move more), then normalised.
+///
+/// Exactly `dim` Gaussian draws are consumed from `rng` under **every** rule
+/// and fallback, so the rng stream position — and with it snapshot/resume
+/// bit-identity — does not depend on whether lengthscales were available.
+pub fn sample_direction(
+    dim: usize,
+    lengthscales: Option<&[f64]>,
+    rule: DirectionRule,
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    let mut direction: Vec<f64> = (0..dim).map(|_| standard_normal(rng)).collect();
+    if rule == DirectionRule::LengthscaleWeighted {
+        if let Some(ls) = lengthscales {
+            if ls.len() == dim && ls.iter().all(|&l| l.is_finite() && l > 0.0) {
+                for (d, l) in direction.iter_mut().zip(ls.iter()) {
+                    *d /= l;
+                }
+            }
+        }
+    }
+    let norm = direction.iter().map(|d| d * d).sum::<f64>().sqrt();
+    if norm.is_finite() && norm > 0.0 {
+        for d in &mut direction {
+            *d /= norm;
+        }
+    } else {
+        // Degenerate draw (probability zero, but deterministic recovery
+        // matters more than elegance): fall back to the first axis.
+        direction.iter_mut().for_each(|d| *d = 0.0);
+        if dim > 0 {
+            direction[0] = 1.0;
+        }
+    }
+    direction
+}
+
+/// Exact clipping of the line `anchor + t·direction` to the unit cube:
+/// intersects the per-coordinate feasible `t`-intervals and returns
+/// `(t_lo, t_hi)` with `t_lo ≤ 0 ≤ t_hi` (the anchor itself is always inside
+/// the cube, so `t = 0` is always feasible).
+pub fn line_interval(anchor: &[f64], direction: &[f64]) -> (f64, f64) {
+    let mut t_lo = f64::NEG_INFINITY;
+    let mut t_hi = f64::INFINITY;
+    for (&a, &u) in anchor.iter().zip(direction.iter()) {
+        if u == 0.0 {
+            continue;
+        }
+        let to_zero = (0.0 - a) / u;
+        let to_one = (1.0 - a) / u;
+        let (lo, hi) = if to_zero <= to_one {
+            (to_zero, to_one)
+        } else {
+            (to_one, to_zero)
+        };
+        t_lo = t_lo.max(lo);
+        t_hi = t_hi.min(hi);
+    }
+    if !t_lo.is_finite() || t_lo > 0.0 {
+        t_lo = 0.0;
+    }
+    if !t_hi.is_finite() || t_hi < 0.0 {
+        t_hi = 0.0;
+    }
+    (t_lo, t_hi)
+}
+
+/// The point `anchor + t·direction`, clamped to the cube coordinate-wise to
+/// absorb the floating-point slack at the interval endpoints.
+pub fn point_on_line(anchor: &[f64], direction: &[f64], t: f64) -> Vec<f64> {
+    anchor
+        .iter()
+        .zip(direction.iter())
+        .map(|(&a, &u)| (a + t * u).clamp(0.0, 1.0))
+        .collect()
+}
+
+/// `n` evenly spaced `t` values over `[lo, hi]`, endpoints included
+/// (`n < 2` degenerates to the midpoint).
+pub fn line_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    if n < 2 {
+        return vec![0.5 * (lo + hi)];
+    }
+    let step = (hi - lo) / (n - 1) as f64;
+    (0..n).map(|k| lo + step * k as f64).collect()
+}
+
+/// Index of the largest score (strict `>`, first maximum wins — the loop's
+/// historical tie-breaking rule, which the full-pool strategy preserves bit
+/// for bit).
+pub fn argmax(scores: &[f64]) -> usize {
+    let mut best_score = f64::NEG_INFINITY;
+    let mut best_index = 0;
+    for (idx, score) in scores.iter().enumerate() {
+        if *score > best_score {
+            best_score = *score;
+            best_index = idx;
+        }
+    }
+    best_index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Oracle scoring candidates by an analytic function of the point alone.
+    struct FnOracle<F: Fn(&[f64]) -> f64> {
+        f: F,
+        scores: Vec<f64>,
+        batches: usize,
+        scored: usize,
+    }
+
+    impl<F: Fn(&[f64]) -> f64> FnOracle<F> {
+        fn new(f: F) -> Self {
+            FnOracle {
+                f,
+                scores: Vec::new(),
+                batches: 0,
+                scored: 0,
+            }
+        }
+    }
+
+    impl<F: Fn(&[f64]) -> f64> AcquisitionOracle for FnOracle<F> {
+        fn score(&mut self, candidates: &[Vec<f64>]) -> &[f64] {
+            self.batches += 1;
+            self.scored += candidates.len();
+            self.scores.clear();
+            self.scores.extend(candidates.iter().map(|x| (self.f)(x)));
+            &self.scores
+        }
+    }
+
+    fn ctx<'a>(dim: usize, anchor: &'a [f64]) -> SuggestContext<'a> {
+        SuggestContext {
+            dim,
+            anchor,
+            candidate_pool: 64,
+            local_candidates: 16,
+            lengthscales: None,
+        }
+    }
+
+    #[test]
+    fn line_interval_contains_zero_and_stays_inside() {
+        let anchor = vec![0.3, 0.9, 0.5];
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let dir = sample_direction(3, None, DirectionRule::Random, &mut rng);
+            let (lo, hi) = line_interval(&anchor, &dir);
+            assert!(lo <= 0.0 && hi >= 0.0, "interval [{lo}, {hi}] misses 0");
+            for &t in &[lo, hi, 0.5 * (lo + hi)] {
+                for (&a, &u) in anchor.iter().zip(dir.iter()) {
+                    let v = a + t * u;
+                    assert!(
+                        (-1e-9..=1.0 + 1e-9).contains(&v),
+                        "coordinate {v} escaped at t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_pool_strategy_scores_pool_plus_local_candidates() {
+        let anchor = vec![0.5; 4];
+        let context = ctx(4, &anchor);
+        let mut oracle = FnOracle::new(|x: &[f64]| -x.iter().map(|v| (v - 0.3).abs()).sum::<f64>());
+        let mut rng = StdRng::seed_from_u64(3);
+        let choice = SuggestStrategy::FullPool.propose(&context, &mut oracle, &mut rng);
+        assert_eq!(choice.len(), 4);
+        assert_eq!(oracle.batches, 1);
+        assert_eq!(oracle.scored, 64 + 16);
+        assert!(choice.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn line_subspace_scores_a_constant_budget_and_stays_in_cube() {
+        let cfg = LineSubspaceConfig {
+            line_points: 17,
+            refine_rounds: 2,
+            refine_points: 5,
+            direction: DirectionRule::Random,
+        };
+        for dim in [1, 3, 20, 50] {
+            let anchor = vec![0.25; dim];
+            let context = ctx(dim, &anchor);
+            let mut oracle = FnOracle::new(|x: &[f64]| x.iter().sum::<f64>());
+            let mut rng = StdRng::seed_from_u64(11);
+            let choice =
+                SuggestStrategy::LineSubspace(cfg).propose(&context, &mut oracle, &mut rng);
+            assert_eq!(choice.len(), dim);
+            assert_eq!(oracle.scored, cfg.points_per_iteration());
+            assert_eq!(oracle.batches, 3);
+            assert!(choice.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn refinement_never_returns_a_worse_point_than_the_coarse_pass() {
+        let f = |x: &[f64]| -(x[0] - 0.137).powi(2) - (x[1] - 0.712).powi(2);
+        let anchor = vec![0.4, 0.6];
+        let context = ctx(2, &anchor);
+        let coarse_only = LineSubspaceConfig {
+            line_points: 9,
+            refine_rounds: 0,
+            refine_points: 2,
+            direction: DirectionRule::Random,
+        };
+        let refined = LineSubspaceConfig {
+            refine_rounds: 3,
+            refine_points: 7,
+            ..coarse_only
+        };
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        let mut oracle_a = FnOracle::new(f);
+        let mut oracle_b = FnOracle::new(f);
+        let a =
+            SuggestStrategy::LineSubspace(coarse_only).propose(&context, &mut oracle_a, &mut rng_a);
+        let b = SuggestStrategy::LineSubspace(refined).propose(&context, &mut oracle_b, &mut rng_b);
+        assert!(f(&b) >= f(&a), "refined {} < coarse {}", f(&b), f(&a));
+    }
+
+    #[test]
+    fn lengthscale_weighting_tilts_the_direction_toward_short_lengthscales() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut active = 0.0;
+        let mut inert = 0.0;
+        for _ in 0..200 {
+            let d = sample_direction(
+                2,
+                Some(&[0.05, 5.0]),
+                DirectionRule::LengthscaleWeighted,
+                &mut rng,
+            );
+            active += d[0].abs();
+            inert += d[1].abs();
+        }
+        assert!(active > 10.0 * inert, "active {active} vs inert {inert}");
+    }
+
+    #[test]
+    fn bad_lengthscales_fall_back_to_the_random_rule_draws() {
+        for bad in [vec![0.0, 1.0], vec![f64::NAN, 1.0], vec![1.0]] {
+            let mut rng_a = StdRng::seed_from_u64(9);
+            let mut rng_b = StdRng::seed_from_u64(9);
+            let weighted = sample_direction(
+                2,
+                Some(&bad),
+                DirectionRule::LengthscaleWeighted,
+                &mut rng_a,
+            );
+            let random = sample_direction(2, None, DirectionRule::Random, &mut rng_b);
+            assert_eq!(weighted, random);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_budgets() {
+        assert!(SuggestStrategy::FullPool.validate().is_ok());
+        assert!(SuggestStrategy::line_subspace().validate().is_ok());
+        let too_few = SuggestStrategy::LineSubspace(LineSubspaceConfig {
+            line_points: 1,
+            ..LineSubspaceConfig::default()
+        });
+        assert!(too_few.validate().is_err());
+        let bad_refine = SuggestStrategy::LineSubspace(LineSubspaceConfig {
+            refine_rounds: 1,
+            refine_points: 1,
+            ..LineSubspaceConfig::default()
+        });
+        assert!(bad_refine.validate().is_err());
+    }
+
+    #[test]
+    fn strategy_config_round_trips_through_serde() {
+        for strategy in [
+            SuggestStrategy::FullPool,
+            SuggestStrategy::line_subspace(),
+            SuggestStrategy::LineSubspace(LineSubspaceConfig {
+                line_points: 7,
+                refine_rounds: 0,
+                refine_points: 2,
+                direction: DirectionRule::Random,
+            }),
+        ] {
+            let back = SuggestStrategy::from_value(&strategy.to_value()).unwrap();
+            assert_eq!(back, strategy);
+        }
+    }
+}

@@ -83,6 +83,21 @@ pub trait SurrogateModel: Send + Sync {
     fn resilience(&self) -> ModelResilience {
         ModelResilience::default()
     }
+
+    /// Per-dimension lengthscales of the model's kernel, when the family has
+    /// them (the classical ARD GP exposes `exp(log ℓ_d)`; the neural GP's
+    /// implicit kernel has none).
+    ///
+    /// This is the adaptive signal of the LinEasyBO subspace strategy
+    /// (`SuggestStrategy::LineSubspace` with
+    /// `DirectionRule::LengthscaleWeighted`): short lengthscales mark the
+    /// dimensions the surrogate considers active, and the per-iteration
+    /// search direction is tilted toward them.  The default returns `None`,
+    /// meaning "not exposed" — the strategy then falls back to isotropic
+    /// random directions.
+    fn lengthscales(&self) -> Option<Vec<f64>> {
+        None
+    }
 }
 
 /// A recipe for training a [`SurrogateModel`] from scratch on a data set.

@@ -268,7 +268,7 @@ impl ArdSquaredExponential {
 /// built once by [`ArdSquaredExponential::prepare`] and reused by every
 /// [`ArdSquaredExponential::cross_with`] call (e.g. each batched prediction of
 /// a fitted GP).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScaledRows {
     rows: Matrix,
     norms: Vec<f64>,

@@ -77,7 +77,13 @@ impl GpPrediction {
 /// variance, per-dimension lengthscales, noise variance and the constant mean) are
 /// found by maximising the log marginal likelihood of eq. 4 with a multi-restart
 /// Adam optimizer on the analytic gradient.  Prediction follows eq. 3.
-#[derive(Debug, Clone)]
+///
+/// A fitted model serialises losslessly: every field — training set,
+/// standardiser, hyper-parameters, cached Cholesky factor and α vector — round
+/// trips through the workspace's bit-exact JSON floats, so a deserialised
+/// model predicts bit-identically to the original (the checkpoint/resume
+/// contract of the GP-backed baselines).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GpModel {
     x: Matrix,
     /// Standardised residual targets `y_std`.
@@ -928,6 +934,30 @@ mod tests {
         let model = GpModel::fit(&xs, &ys, &GpConfig::fast(), &mut rng).unwrap();
         let p = model.predict(&[0.5]);
         assert!((p.mean - 2.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn fitted_model_round_trips_through_json_bit_exactly() {
+        let (xs, ys) = toy_data(18, 31);
+        let mut rng = StdRng::seed_from_u64(32);
+        let model = GpModel::fit(&xs, &ys, &GpConfig::fast(), &mut rng).unwrap();
+        let restored: GpModel = serde::from_json_str(&serde::to_json_string(&model)).unwrap();
+        assert_eq!(restored.nll(), model.nll());
+        assert_eq!(
+            restored.hyper_params().lengthscales(),
+            model.hyper_params().lengthscales()
+        );
+        for q in [[0.1, 0.9], [0.5, 0.5], [0.83, 0.07], [2.0, -1.0]] {
+            let (a, b) = (model.predict(&q), restored.predict(&q));
+            assert_eq!(a.mean, b.mean, "mean drifted through JSON at {q:?}");
+            assert_eq!(a.variance, b.variance, "variance drifted at {q:?}");
+        }
+        // The restored model keeps absorbing observations identically.
+        let orig = model.append_observation(&[0.4, 0.6], 0.7).unwrap();
+        let back = restored.append_observation(&[0.4, 0.6], 0.7).unwrap();
+        let (a, b) = (orig.predict(&[0.41, 0.59]), back.predict(&[0.41, 0.59]));
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.variance, b.variance);
     }
 
     #[test]
